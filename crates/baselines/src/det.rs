@@ -1,0 +1,37 @@
+//! `Det` — selected-guess query processing (SGQP, Section 1): resolve
+//! all uncertainty up front by picking one world, then query it with the
+//! plain deterministic engine. Fast, but silently discards all
+//! uncertainty — the practice AU-DBs generalize.
+
+use audb_core::EvalError;
+use audb_query::{eval_det, Query};
+use audb_storage::{Database, Relation};
+
+/// Run a query under SGQP over the selected-guess world.
+pub fn run_sgqp(sg_world: &Database, q: &Query) -> Result<Relation, EvalError> {
+    eval_det(sg_world, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+    use audb_query::table;
+    use audb_storage::{Schema, Tuple};
+
+    #[test]
+    fn sgqp_is_plain_evaluation() {
+        let mut db = Database::new();
+        db.insert(
+            "r",
+            Relation::from_tuples(
+                Schema::named(&["a"]),
+                vec![[1i64].into_iter().collect(), [2i64].into_iter().collect()],
+            ),
+        );
+        let out = run_sgqp(&db, &table("r").select(col(0).gt(lit(1i64)))).unwrap();
+        assert_eq!(out.total_count(), 1);
+        let t: Tuple = [2i64].into_iter().collect();
+        assert_eq!(out.multiplicity(&t), 1);
+    }
+}

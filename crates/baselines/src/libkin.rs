@@ -1,0 +1,344 @@
+//! `Libkin` — certain-answer under-approximation for relational algebra
+//! over Codd/V-tables with labeled nulls (Guagliardo & Libkin; the
+//! paper's Section 12 baseline).
+//!
+//! Evaluation is symbolic over rows containing labeled nulls:
+//! a tuple survives a selection only if the predicate is *certainly*
+//! true under every instantiation of the nulls; joins match only
+//! certainly-equal cells (a labeled null is certainly equal to itself);
+//! difference removes left tuples that are *possibly* equal to some
+//! right tuple. The result under-approximates the certain answers.
+//! Aggregation is unsupported (as in the paper's evaluation, where
+//! Libkin only runs the SPJ workloads).
+
+use audb_core::{EvalError, Expr, Value};
+use audb_incomplete::vtable::VCell;
+use audb_incomplete::{VTable, XRelation};
+use audb_query::Query;
+use audb_storage::Schema;
+
+/// A database of V-relations for the Libkin evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct VDatabase {
+    pub relations: Vec<(String, VTable)>,
+}
+
+impl VDatabase {
+    pub fn insert(&mut self, name: impl Into<String>, rel: VTable) {
+        self.relations.push((name.into(), rel));
+    }
+
+    pub fn get(&self, name: &str) -> Result<&VTable, EvalError> {
+        self.relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+            .ok_or_else(|| EvalError::NotFound(format!("V-table {name}")))
+    }
+}
+
+/// Convert an x-relation into a V-table: attributes on which the
+/// alternatives disagree become (independent) labeled nulls — the setup
+/// of Section 12.1 ("a database with labeled nulls for uncertain
+/// attributes"). Optionality is dropped (V-tables cannot express it).
+pub fn xrelation_to_vtable(x: &XRelation, null_domain: Vec<Value>) -> VTable {
+    let mut vt = VTable::new(x.schema.clone(), null_domain);
+    for xt in &x.xtuples {
+        let n = x.schema.arity();
+        let mut cells = Vec::with_capacity(n);
+        for i in 0..n {
+            let first = &xt.alternatives[0].0 .0[i];
+            if xt.alternatives.iter().all(|(t, _)| &t.0[i] == first) {
+                cells.push(VCell::Const(first.clone()));
+            } else {
+                let v = vt.fresh_var();
+                cells.push(VCell::Var(v));
+            }
+        }
+        vt.add_row(cells);
+    }
+    vt
+}
+
+/// Three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TV {
+    True,
+    False,
+    Unknown,
+}
+
+impl TV {
+    fn and(self, other: TV) -> TV {
+        match (self, other) {
+            (TV::False, _) | (_, TV::False) => TV::False,
+            (TV::True, TV::True) => TV::True,
+            _ => TV::Unknown,
+        }
+    }
+    fn or(self, other: TV) -> TV {
+        match (self, other) {
+            (TV::True, _) | (_, TV::True) => TV::True,
+            (TV::False, TV::False) => TV::False,
+            _ => TV::Unknown,
+        }
+    }
+    fn not(self) -> TV {
+        match self {
+            TV::True => TV::False,
+            TV::False => TV::True,
+            TV::Unknown => TV::Unknown,
+        }
+    }
+}
+
+/// A symbolic row: cells with labeled nulls.
+type VRow = Vec<VCell>;
+
+fn cell_eq(a: &VCell, b: &VCell) -> TV {
+    match (a, b) {
+        (VCell::Const(x), VCell::Const(y)) => {
+            if x.value_eq(y) {
+                TV::True
+            } else {
+                TV::False
+            }
+        }
+        (VCell::Var(x), VCell::Var(y)) if x == y => TV::True,
+        _ => TV::Unknown,
+    }
+}
+
+fn cell_cmp_leq(a: &VCell, b: &VCell) -> TV {
+    match (a, b) {
+        (VCell::Const(x), VCell::Const(y)) => {
+            if x <= y || x.value_eq(y) {
+                TV::True
+            } else {
+                TV::False
+            }
+        }
+        (VCell::Var(x), VCell::Var(y)) if x == y => TV::True,
+        _ => TV::Unknown,
+    }
+}
+
+fn eval_3vl(e: &Expr, row: &VRow) -> Result<TV, EvalError> {
+    Ok(match e {
+        Expr::Const(Value::Bool(b)) => {
+            if *b {
+                TV::True
+            } else {
+                TV::False
+            }
+        }
+        Expr::And(a, b) => eval_3vl(a, row)?.and(eval_3vl(b, row)?),
+        Expr::Or(a, b) => eval_3vl(a, row)?.or(eval_3vl(b, row)?),
+        Expr::Not(a) => eval_3vl(a, row)?.not(),
+        Expr::Eq(a, b) => cell_eq(&eval_cell(a, row)?, &eval_cell(b, row)?),
+        Expr::Neq(a, b) => cell_eq(&eval_cell(a, row)?, &eval_cell(b, row)?).not(),
+        Expr::Leq(a, b) => cell_cmp_leq(&eval_cell(a, row)?, &eval_cell(b, row)?),
+        Expr::Geq(a, b) => cell_cmp_leq(&eval_cell(b, row)?, &eval_cell(a, row)?),
+        Expr::Lt(a, b) => cell_cmp_leq(&eval_cell(b, row)?, &eval_cell(a, row)?).not(),
+        Expr::Gt(a, b) => cell_cmp_leq(&eval_cell(a, row)?, &eval_cell(b, row)?).not(),
+        _ => TV::Unknown,
+    })
+}
+
+/// Evaluate a scalar expression to a cell; any arithmetic over a null
+/// yields an (unknown) fresh-null marker, conservatively treated as
+/// never certainly equal to anything.
+fn eval_cell(e: &Expr, row: &VRow) -> Result<VCell, EvalError> {
+    Ok(match e {
+        Expr::Col(i) => row.get(*i).cloned().ok_or(EvalError::UnknownColumn(*i))?,
+        Expr::Const(v) => VCell::Const(v.clone()),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+            let (x, y) = (eval_cell(a, row)?, eval_cell(b, row)?);
+            match (x, y) {
+                (VCell::Const(x), VCell::Const(y)) => {
+                    let v = match e {
+                        Expr::Add(..) => x.add(&y)?,
+                        Expr::Sub(..) => x.sub(&y)?,
+                        Expr::Mul(..) => x.mul(&y)?,
+                        _ => x.div(&y)?,
+                    };
+                    VCell::Const(v)
+                }
+                // arithmetic over a null: an unknown value
+                _ => VCell::Var(usize::MAX),
+            }
+        }
+        Expr::Neg(a) => match eval_cell(a, row)? {
+            VCell::Const(v) => VCell::Const(v.neg()?),
+            _ => VCell::Var(usize::MAX),
+        },
+        _ => VCell::Var(usize::MAX),
+    })
+}
+
+/// Evaluate a query, producing an under-approximation of the certain
+/// answers (rows may contain labeled nulls — "certain answers with
+/// nulls").
+pub fn eval_libkin(db: &VDatabase, q: &Query) -> Result<(Schema, Vec<VRow>), EvalError> {
+    match q {
+        Query::Table(name) => {
+            let vt = db.get(name)?;
+            Ok((vt.schema.clone(), vt.rows.clone()))
+        }
+        Query::Select { input, predicate } => {
+            let (schema, rows) = eval_libkin(db, input)?;
+            let mut out = Vec::new();
+            for r in rows {
+                if eval_3vl(predicate, &r)? == TV::True {
+                    out.push(r);
+                }
+            }
+            Ok((schema, out))
+        }
+        Query::Project { input, exprs } => {
+            let (_, rows) = eval_libkin(db, input)?;
+            let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+            let mut out = Vec::new();
+            for r in rows {
+                let cells: Result<Vec<VCell>, _> =
+                    exprs.iter().map(|(e, _)| eval_cell(e, &r)).collect();
+                out.push(cells?);
+            }
+            Ok((schema, out))
+        }
+        Query::Join { left, right, predicate } => {
+            let (ls, lrows) = eval_libkin(db, left)?;
+            let (rs, rrows) = eval_libkin(db, right)?;
+            let schema = ls.concat(&rs);
+            let mut out = Vec::new();
+            for l in &lrows {
+                for r in &rrows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    let keep = match predicate {
+                        Some(p) => eval_3vl(p, &row)? == TV::True,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(row);
+                    }
+                }
+            }
+            Ok((schema, out))
+        }
+        Query::Union { left, right } => {
+            let (ls, mut lrows) = eval_libkin(db, left)?;
+            let (rs, rrows) = eval_libkin(db, right)?;
+            ls.check_union_compatible(&rs)?;
+            lrows.extend(rrows);
+            Ok((ls, lrows))
+        }
+        Query::Difference { left, right } => {
+            let (ls, lrows) = eval_libkin(db, left)?;
+            let (_, rrows) = eval_libkin(db, right)?;
+            // keep left rows that are possibly-equal to no right row
+            let possibly_eq = |a: &VRow, b: &VRow| {
+                a.iter().zip(b).all(|(x, y)| cell_eq(x, y) != TV::False)
+            };
+            let out: Vec<VRow> =
+                lrows.into_iter().filter(|l| !rrows.iter().any(|r| possibly_eq(l, r))).collect();
+            Ok((ls, out))
+        }
+        Query::Distinct { input } => {
+            let (schema, rows) = eval_libkin(db, input)?;
+            let mut out: Vec<VRow> = Vec::new();
+            for r in rows {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+            Ok((schema, out))
+        }
+        Query::Aggregate { .. } => Err(EvalError::Unsupported(
+            "aggregation over certain-answer under-approximation (Libkin baseline is SPJ-only)"
+                .into(),
+        )),
+    }
+}
+
+/// Count the fully certain (null-free) rows — the baseline's certain
+/// answers in the strict sense.
+pub fn certain_rows(rows: &[VRow]) -> usize {
+    rows.iter().filter(|r| r.iter().all(|c| matches!(c, VCell::Const(_)))).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+    use audb_query::table;
+
+    fn vdb() -> VDatabase {
+        let mut vt = VTable::new(Schema::named(&["a", "b"]), vec![Value::Int(0), Value::Int(9)]);
+        let x = vt.fresh_var();
+        vt.add_row(vec![VCell::Const(Value::Int(1)), VCell::Const(Value::Int(10))]);
+        vt.add_row(vec![VCell::Const(Value::Int(2)), VCell::Var(x)]);
+        let mut db = VDatabase::default();
+        db.insert("r", vt);
+        db
+    }
+
+    #[test]
+    fn selection_keeps_only_certainly_true() {
+        let db = vdb();
+        let (_, rows) = eval_libkin(&db, &table("r").select(col(1).geq(lit(5i64)))).unwrap();
+        // the null row may be below 5 → dropped
+        assert_eq!(rows.len(), 1);
+        assert_eq!(certain_rows(&rows), 1);
+    }
+
+    #[test]
+    fn same_null_joins_itself() {
+        let db = vdb();
+        let q = table("r").join_on(table("r"), col(1).eq(col(3)));
+        let (_, rows) = eval_libkin(&db, &q).unwrap();
+        // (1,10)⋈(1,10) and (2,x)⋈(2,x): same labeled null matches itself
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn difference_removes_possible_matches() {
+        let db = vdb();
+        let q = table("r")
+            .project(vec![(col(0), "a")])
+            .difference(table("r").select(col(1).geq(lit(100i64))).project(vec![(col(0), "a")]));
+        let (_, rows) = eval_libkin(&db, &q).unwrap();
+        assert_eq!(rows.len(), 2); // nothing certainly ≥ 100 on the right
+    }
+
+    #[test]
+    fn aggregation_unsupported() {
+        let db = vdb();
+        let q = table("r").aggregate(vec![], vec![audb_query::AggSpec::count("c")]);
+        assert!(eval_libkin(&db, &q).is_err());
+    }
+
+    /// The under-approximation property: every returned null-free row is
+    /// a certain answer of the possible-worlds semantics.
+    #[test]
+    fn under_approximates_certain_answers() {
+        let mut vt =
+            VTable::new(Schema::named(&["a"]), vec![Value::Int(1), Value::Int(2)]);
+        let x = vt.fresh_var();
+        vt.add_row(vec![VCell::Const(Value::Int(1))]);
+        vt.add_row(vec![VCell::Var(x)]);
+        let mut db = VDatabase::default();
+        db.insert("r", vt.clone());
+
+        let q = table("r").select(col(0).leq(lit(1i64)));
+        let (_, rows) = eval_libkin(&db, &q).unwrap();
+        let inc = vt.to_incomplete("r", 16).unwrap();
+        let certain = inc.eval(&q).unwrap().certain_tuples();
+        for r in &rows {
+            if let [VCell::Const(v)] = r.as_slice() {
+                let t: audb_storage::Tuple = [v.clone()].into_iter().collect();
+                assert!(certain.contains(&t));
+            }
+        }
+    }
+}

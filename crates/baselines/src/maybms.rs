@@ -1,0 +1,114 @@
+//! `MayBMS`-style possible-answer computation for `RA+` (Section 12's
+//! comparison point, "computing all possible answers without
+//! probability computation").
+//!
+//! Substitution note (see DESIGN.md): instead of MayBMS's U-relational
+//! columnar storage we evaluate over the *alternative expansion* of an
+//! x-database — every alternative becomes a tuple. For positive
+//! relational algebra the result is exactly the set of possible answer
+//! tuples (block disjointness can only remove self-join pairings, which
+//! over-approximates possibility as MayBMS's lineage pruning also
+//! would before confidence computation). The cost scales with the
+//! number of alternatives, reproducing the performance shape.
+
+use audb_core::EvalError;
+use audb_incomplete::XDb;
+use audb_query::{eval_det, Query};
+use audb_storage::{Database, Relation};
+
+/// Expand every x-tuple into all of its alternatives.
+pub fn alternative_expansion(xdb: &XDb) -> Database {
+    let mut db = Database::new();
+    for (name, rel) in &xdb.relations {
+        let mut rows = Vec::new();
+        for xt in &rel.xtuples {
+            for (t, _) in &xt.alternatives {
+                rows.push((t.clone(), 1u64));
+            }
+        }
+        db.insert(name.clone(), Relation::from_rows(rel.schema.clone(), rows));
+    }
+    db
+}
+
+/// Compute (an over-approximation of) the possible answers of an `RA+`
+/// query. Errors on non-monotone operators, which this strategy cannot
+/// support.
+pub fn run_maybms(xdb: &XDb, q: &Query) -> Result<Relation, EvalError> {
+    check_positive(q)?;
+    eval_det(&alternative_expansion(xdb), q)
+}
+
+fn check_positive(q: &Query) -> Result<(), EvalError> {
+    match q {
+        Query::Table(_) => Ok(()),
+        Query::Select { input, .. }
+        | Query::Project { input, .. }
+        | Query::Distinct { input } => check_positive(input),
+        Query::Join { left, right, .. } | Query::Union { left, right } => {
+            check_positive(left)?;
+            check_positive(right)
+        }
+        Query::Difference { .. } => Err(EvalError::Unsupported(
+            "set difference in possible-answer expansion (non-monotone)".into(),
+        )),
+        Query::Aggregate { .. } => Err(EvalError::Unsupported(
+            "aggregation in possible-answer expansion".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+    use audb_incomplete::{XRelation, XTuple};
+    use audb_query::table;
+    use audb_storage::{Schema, Tuple};
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    fn xdb() -> XDb {
+        let mut db = XDb::default();
+        db.insert(
+            "r",
+            XRelation::new(
+                Schema::named(&["a"]),
+                vec![
+                    XTuple::certain(it(&[1])),
+                    XTuple::new(vec![(it(&[2]), 0.5), (it(&[3]), 0.5)]),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn all_possible_answers_found() {
+        let db = xdb();
+        let out = run_maybms(&db, &table("r").select(col(0).geq(lit(2i64)))).unwrap();
+        assert_eq!(out.multiplicity(&it(&[2])), 1);
+        assert_eq!(out.multiplicity(&it(&[3])), 1);
+        assert_eq!(out.multiplicity(&it(&[1])), 0);
+    }
+
+    #[test]
+    fn covers_every_world_answer() {
+        let db = xdb();
+        let q = table("r").select(col(0).leq(lit(2i64)));
+        let poss = run_maybms(&db, &q).unwrap();
+        let inc = db.to_incomplete(64).unwrap();
+        let res = inc.eval(&q).unwrap();
+        for t in res.all_tuples() {
+            assert!(poss.multiplicity(&t) > 0, "{t} possible but missed");
+        }
+    }
+
+    #[test]
+    fn non_monotone_rejected() {
+        let db = xdb();
+        assert!(run_maybms(&db, &table("r").difference(table("r"))).is_err());
+    }
+}

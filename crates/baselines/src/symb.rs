@@ -1,0 +1,224 @@
+//! `Symb` — symbolic aggregate-bound computation (the paper compares
+//! against aggregate semimodule expressions solved with Z3).
+//!
+//! Substitution note (DESIGN.md): instead of an SMT solver over symbolic
+//! expressions we compute *exact* result bounds by exhaustively
+//! enumerating possible worlds (the same tight answers, with the same
+//! exponential blow-up in the amount of uncertainty that makes the
+//! approach "only competitive for low #agg-ops" in Figure 11 —
+//! per-world evaluation cost grows with the number of chained
+//! aggregation operators).
+
+use std::collections::BTreeMap;
+
+use audb_core::{EvalError, Value};
+use audb_incomplete::XDb;
+use audb_query::{eval_det, Query};
+use audb_storage::{Database, Relation, Tuple};
+
+/// Exact per-key bounds of a query result across all worlds of an
+/// x-database: rows keyed by `key_cols`, bounds over `val_col`.
+/// Returns `None` when the number of worlds exceeds `max_worlds`.
+pub struct SymbBounds {
+    /// key → (min value, max value, #worlds containing the key)
+    pub per_key: BTreeMap<Tuple, (Value, Value, u64)>,
+    pub world_count: u64,
+}
+
+pub fn run_symb(
+    xdb: &XDb,
+    q: &Query,
+    key_cols: &[usize],
+    val_col: usize,
+    max_worlds: u64,
+) -> Result<Option<SymbBounds>, EvalError> {
+    let mut per_key: BTreeMap<Tuple, (Value, Value, u64)> = BTreeMap::new();
+    let mut world_count = 0u64;
+    let complete = for_each_world(xdb, max_worlds, |world| {
+        world_count += 1;
+        let res = eval_det(world, q)?;
+        for (t, _) in res.rows() {
+            let key = t.project(key_cols);
+            let v = t.0[val_col].clone();
+            per_key
+                .entry(key)
+                .and_modify(|(lo, hi, c)| {
+                    *lo = Value::min_of(lo.clone(), v.clone());
+                    *hi = Value::max_of(hi.clone(), v.clone());
+                    *c += 1;
+                })
+                .or_insert_with(|| (v.clone(), v, 1));
+        }
+        Ok(())
+    })?;
+    if !complete {
+        return Ok(None);
+    }
+    Ok(Some(SymbBounds { per_key, world_count }))
+}
+
+/// Enumerate the worlds of an x-database one at a time (odometer over
+/// the per-x-tuple choices), without materializing the set. Returns
+/// `false` if the enumeration was cut off by `max_worlds`.
+pub fn for_each_world(
+    xdb: &XDb,
+    max_worlds: u64,
+    mut f: impl FnMut(&Database) -> Result<(), EvalError>,
+) -> Result<bool, EvalError> {
+    // flatten choices: (relation index, xtuple index) → #options
+    struct Slot {
+        rel: usize,
+        xt: usize,
+        options: usize, // alternatives (+1 when optional, encoded as last)
+        optional: bool,
+    }
+    let mut slots = Vec::new();
+    let mut total: u64 = 1;
+    for (ri, (_, rel)) in xdb.relations.iter().enumerate() {
+        for (xi, xt) in rel.xtuples.iter().enumerate() {
+            let opts = xt.alternatives.len() + xt.is_optional() as usize;
+            if opts > 1 {
+                total = total.saturating_mul(opts as u64);
+                if total > max_worlds {
+                    return Ok(false);
+                }
+                slots.push(Slot {
+                    rel: ri,
+                    xt: xi,
+                    options: opts,
+                    optional: xt.is_optional(),
+                });
+            }
+        }
+    }
+
+    let mut idx = vec![0usize; slots.len()];
+    loop {
+        // build the world for the current odometer state
+        let mut db = Database::new();
+        for (ri, (name, rel)) in xdb.relations.iter().enumerate() {
+            let mut rows = Vec::new();
+            for (xi, xt) in rel.xtuples.iter().enumerate() {
+                let choice = match slots
+                    .iter()
+                    .position(|s| s.rel == ri && s.xt == xi)
+                {
+                    Some(si) => {
+                        let c = idx[si];
+                        if slots[si].optional && c == slots[si].options - 1 {
+                            None // absent
+                        } else {
+                            Some(c)
+                        }
+                    }
+                    None => {
+                        if xt.is_optional() {
+                            None
+                        } else {
+                            Some(0)
+                        }
+                    }
+                };
+                if let Some(c) = choice {
+                    rows.push((xt.alternatives[c].0.clone(), 1u64));
+                }
+            }
+            db.insert(name.clone(), Relation::from_rows(rel.schema.clone(), rows));
+        }
+        f(&db)?;
+
+        // advance the odometer
+        let mut i = 0;
+        loop {
+            if i == slots.len() {
+                return Ok(true);
+            }
+            idx[i] += 1;
+            if idx[i] < slots[i].options {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::col;
+    use audb_incomplete::{XRelation, XTuple};
+    use audb_query::{table, AggFunc, AggSpec};
+    use audb_storage::Schema;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    fn xdb() -> XDb {
+        let mut db = XDb::default();
+        db.insert(
+            "r",
+            XRelation::new(
+                Schema::named(&["g", "v"]),
+                vec![
+                    XTuple::certain(it(&[1, 10])),
+                    XTuple::new(vec![(it(&[1, 20]), 0.5), (it(&[1, 30]), 0.5)]),
+                    XTuple::new(vec![(it(&[1, 5]), 0.4)]),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn world_enumeration_count() {
+        let db = xdb();
+        let mut count = 0;
+        let done = for_each_world(&db, 100, |_| {
+            count += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(done);
+        assert_eq!(count, 2 * 2); // 2 alternatives × (present/absent)
+    }
+
+    #[test]
+    fn exact_aggregate_bounds() {
+        let db = xdb();
+        let q = table("r").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+        let b = run_symb(&db, &q, &[0], 1, 1000).unwrap().unwrap();
+        let (lo, hi, c) = &b.per_key[&it(&[1])];
+        // sums: 10+20=30, 10+30=40, +5 optionally → {30,35,40,45}
+        assert_eq!(lo, &Value::Int(30));
+        assert_eq!(hi, &Value::Int(45));
+        assert_eq!(*c, 4);
+    }
+
+    #[test]
+    fn budget_cutoff() {
+        let db = xdb();
+        let q = table("r");
+        assert!(run_symb(&db, &q, &[0], 1, 2).unwrap().is_none());
+    }
+
+    /// Symb bounds are tight: the AU-DB bounds always contain them.
+    #[test]
+    fn symb_is_tight_reference() {
+        use audb_query::{eval_au, AuConfig};
+        let db = xdb();
+        let q = table("r").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+        let exact = run_symb(&db, &q, &[0], 1, 1000).unwrap().unwrap();
+        let au = eval_au(&db.to_au(), &q, &AuConfig::precise()).unwrap();
+        for (key, (lo, hi, _)) in &exact.per_key {
+            let row = au
+                .rows()
+                .iter()
+                .find(|(t, _)| t.project(&[0]).sg() == *key)
+                .expect("group present");
+            let bounds = &row.0 .0[1];
+            assert!(bounds.lb <= *lo && *hi <= bounds.ub);
+        }
+    }
+}

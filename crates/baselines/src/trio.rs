@@ -1,0 +1,421 @@
+//! `Trio`-style evaluation (Agrawal et al.): alternative expansion with
+//! *lineage* tracking for SPJ queries, plus per-group aggregate bounds.
+//!
+//! Substitution note (DESIGN.md): we reimplement Trio's evaluation
+//! strategy — x-tuple alternatives expanded into tuples carrying lineage
+//! (which alternative of which x-tuple they derive from), joins pruning
+//! lineage-inconsistent pairs, and certainty decided by enumerating the
+//! worlds of the x-tuples appearing in a tuple's lineage. As in the
+//! paper's experiments, Trio's aggregation returns per-group bounds and
+//! does not support uncertain group-by attributes; its bound
+//! representation is not closed under queries (chaining loses
+//! information), which `trio_aggregate_chain` reproduces.
+
+use std::collections::BTreeMap;
+
+use audb_core::{EvalError, Value};
+use audb_incomplete::{XDb, XRelation};
+use audb_query::{AggFunc, Query};
+use audb_storage::{Schema, Tuple};
+
+/// Which alternative of which x-tuple a derived tuple depends on.
+pub type Lineage = BTreeMap<(String, usize), usize>;
+
+/// A Trio relation: tuples with lineage.
+#[derive(Debug, Clone)]
+pub struct TrioRelation {
+    pub schema: Schema,
+    pub rows: Vec<(Tuple, Lineage)>,
+}
+
+/// Evaluate an SPJ(+union/distinct) query with lineage tracking.
+pub fn eval_trio(xdb: &XDb, q: &Query) -> Result<TrioRelation, EvalError> {
+    match q {
+        Query::Table(name) => {
+            let rel = xdb
+                .get(name)
+                .ok_or_else(|| EvalError::NotFound(format!("x-relation {name}")))?;
+            let mut rows = Vec::new();
+            for (xi, xt) in rel.xtuples.iter().enumerate() {
+                for (ai, (t, _)) in xt.alternatives.iter().enumerate() {
+                    let mut lin = Lineage::new();
+                    lin.insert((name.clone(), xi), ai);
+                    rows.push((t.clone(), lin));
+                }
+            }
+            Ok(TrioRelation { schema: rel.schema.clone(), rows })
+        }
+        Query::Select { input, predicate } => {
+            let rel = eval_trio(xdb, input)?;
+            let mut rows = Vec::new();
+            for (t, lin) in rel.rows {
+                if predicate.eval_bool(t.values())? {
+                    rows.push((t, lin));
+                }
+            }
+            Ok(TrioRelation { schema: rel.schema, rows })
+        }
+        Query::Project { input, exprs } => {
+            let rel = eval_trio(xdb, input)?;
+            let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+            let mut rows = Vec::new();
+            for (t, lin) in rel.rows {
+                let vals: Result<Vec<Value>, _> =
+                    exprs.iter().map(|(e, _)| e.eval(t.values())).collect();
+                rows.push((Tuple::new(vals?), lin));
+            }
+            Ok(TrioRelation { schema, rows })
+        }
+        Query::Join { left, right, predicate } => {
+            let l = eval_trio(xdb, left)?;
+            let r = eval_trio(xdb, right)?;
+            let schema = l.schema.concat(&r.schema);
+            let mut rows = Vec::new();
+            for (lt, ll) in &l.rows {
+                'pair: for (rt, rl) in &r.rows {
+                    // lineage consistency: the same x-tuple cannot take
+                    // two different alternatives
+                    let mut lin = ll.clone();
+                    for (k, v) in rl {
+                        if let Some(prev) = lin.get(k) {
+                            if prev != v {
+                                continue 'pair;
+                            }
+                        }
+                        lin.insert(k.clone(), *v);
+                    }
+                    let t = lt.concat(rt);
+                    let keep = match predicate {
+                        Some(p) => p.eval_bool(t.values())?,
+                        None => true,
+                    };
+                    if keep {
+                        rows.push((t, lin));
+                    }
+                }
+            }
+            Ok(TrioRelation { schema, rows })
+        }
+        Query::Union { left, right } => {
+            let mut l = eval_trio(xdb, left)?;
+            let r = eval_trio(xdb, right)?;
+            l.schema.check_union_compatible(&r.schema)?;
+            l.rows.extend(r.rows);
+            Ok(l)
+        }
+        Query::Distinct { input } => {
+            let rel = eval_trio(xdb, input)?;
+            Ok(rel) // Trio keeps lineage-distinct duplicates
+        }
+        Query::Difference { .. } | Query::Aggregate { .. } => Err(EvalError::Unsupported(
+            "Trio-style lineage evaluation covers SPJ/union; use trio_aggregate".into(),
+        )),
+    }
+}
+
+impl TrioRelation {
+    /// Distinct result tuples.
+    pub fn distinct_tuples(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = Vec::new();
+        for (t, _) in &self.rows {
+            if !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Is a tuple certain? Decided by enumerating the joint worlds of
+    /// all x-tuples occurring in the lineages of its derivations
+    /// (exponential in that number — Trio's expensive confidence
+    /// computation; `None` when above the budget).
+    pub fn is_certain(&self, xdb: &XDb, t: &Tuple, budget: u32) -> Option<bool> {
+        let derivations: Vec<&Lineage> =
+            self.rows.iter().filter(|(t2, _)| t2 == t).map(|(_, l)| l).collect();
+        if derivations.is_empty() {
+            return Some(false);
+        }
+        // x-tuples involved
+        let mut keys: Vec<(String, usize)> = Vec::new();
+        for lin in &derivations {
+            for k in lin.keys() {
+                if !keys.contains(k) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+        // options per x-tuple: alternative index, or usize::MAX = absent
+        let mut options: Vec<Vec<usize>> = Vec::new();
+        let mut total: u64 = 1;
+        for (rel, xi) in &keys {
+            let x = &xdb.get(rel)?.xtuples[*xi];
+            let mut opts: Vec<usize> = (0..x.alternatives.len()).collect();
+            if x.is_optional() {
+                opts.push(usize::MAX);
+            }
+            total = total.saturating_mul(opts.len() as u64);
+            if total > budget as u64 {
+                return None;
+            }
+            options.push(opts);
+        }
+        // enumerate assignments; the tuple is certain iff every
+        // assignment satisfies at least one derivation
+        let mut idx = vec![0usize; keys.len()];
+        loop {
+            let satisfied = derivations.iter().any(|lin| {
+                lin.iter().all(|(k, alt)| {
+                    let pos = keys.iter().position(|x| x == k).unwrap();
+                    options[pos][idx[pos]] == *alt
+                })
+            });
+            if !satisfied {
+                return Some(false);
+            }
+            // odometer
+            let mut i = 0;
+            loop {
+                if i == keys.len() {
+                    return Some(true);
+                }
+                idx[i] += 1;
+                if idx[i] < options[i].len() {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Per-group aggregate bounds à la Trio: only x-tuples whose group-by
+/// attribute is *certain* contribute; groups keyed by that value.
+/// Returns `(group, lb, ub)` triples.
+pub fn trio_aggregate(
+    x: &XRelation,
+    group_col: Option<usize>,
+    func: AggFunc,
+    val_col: usize,
+) -> Result<Vec<(Option<Value>, Value, Value)>, EvalError> {
+    #[derive(Default)]
+    struct Acc {
+        sum_lo: f64,
+        sum_hi: f64,
+        cnt_lo: u64,
+        cnt_hi: u64,
+        min_lo: Option<Value>,
+        min_hi: Option<Value>,
+        max_lo: Option<Value>,
+        max_hi: Option<Value>,
+    }
+    let mut groups: BTreeMap<Option<Value>, Acc> = BTreeMap::new();
+    for xt in &x.xtuples {
+        let g = match group_col {
+            None => None,
+            Some(c) => {
+                let first = &xt.alternatives[0].0 .0[c];
+                if !xt.alternatives.iter().all(|(t, _)| t.0[c].value_eq(first)) {
+                    // uncertain group-by: Trio returns no result for it
+                    continue;
+                }
+                Some(first.clone())
+            }
+        };
+        let vals: Vec<f64> = xt
+            .alternatives
+            .iter()
+            .map(|(t, _)| t.0[val_col].as_f64().unwrap_or(0.0))
+            .collect();
+        let vmin = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let vmax = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let optional = xt.is_optional();
+        let acc = groups.entry(g).or_default();
+        acc.sum_lo += if optional { vmin.min(0.0) } else { vmin };
+        acc.sum_hi += if optional { vmax.max(0.0) } else { vmax };
+        acc.cnt_lo += (!optional) as u64;
+        acc.cnt_hi += 1;
+        let vminv = Value::float(vmin);
+        let vmaxv = Value::float(vmax);
+        // min bounds: lo = min over all possible values; hi only
+        // constrained by tuples that certainly exist
+        acc.min_lo = Some(match acc.min_lo.take() {
+            None => vminv.clone(),
+            Some(m) => Value::min_of(m, vminv.clone()),
+        });
+        if !optional {
+            acc.min_hi = Some(match acc.min_hi.take() {
+                None => vmaxv.clone(),
+                Some(m) => Value::min_of(m, vmaxv.clone()),
+            });
+            acc.max_lo = Some(match acc.max_lo.take() {
+                None => vminv.clone(),
+                Some(m) => Value::max_of(m, vminv.clone()),
+            });
+        }
+        acc.max_hi = Some(match acc.max_hi.take() {
+            None => vmaxv,
+            Some(m) => Value::max_of(m, vmaxv),
+        });
+    }
+    let mut out = Vec::new();
+    for (g, acc) in groups {
+        let (lo, hi) = match func {
+            AggFunc::Sum => (Value::float(acc.sum_lo), Value::float(acc.sum_hi)),
+            AggFunc::Count => (Value::Int(acc.cnt_lo as i64), Value::Int(acc.cnt_hi as i64)),
+            AggFunc::Avg => {
+                let cl = acc.cnt_lo.max(1) as f64;
+                let ch = acc.cnt_hi.max(1) as f64;
+                let cands =
+                    [acc.sum_lo / cl, acc.sum_lo / ch, acc.sum_hi / cl, acc.sum_hi / ch];
+                (
+                    Value::float(cands.iter().cloned().fold(f64::INFINITY, f64::min)),
+                    Value::float(cands.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+                )
+            }
+            AggFunc::Min => (
+                acc.min_lo.clone().unwrap_or(Value::Null),
+                acc.min_hi.or(acc.min_lo).unwrap_or(Value::MaxVal),
+            ),
+            AggFunc::Max => (
+                acc.max_lo.or(acc.max_hi.clone()).unwrap_or(Value::MinVal),
+                acc.max_hi.unwrap_or(Value::Null),
+            ),
+        };
+        out.push((g, lo, hi));
+    }
+    Ok(out)
+}
+
+/// Chainable variant: materialize each group's bounds as an x-tuple with
+/// two alternatives `{lb, ub}`. This is lossy — exactly the
+/// not-closed-under-queries behaviour the paper observes for Trio.
+pub fn trio_aggregate_chain(
+    x: &XRelation,
+    group_col: Option<usize>,
+    func: AggFunc,
+    val_col: usize,
+) -> Result<XRelation, EvalError> {
+    use audb_incomplete::XTuple;
+    let bounds = trio_aggregate(x, group_col, func, val_col)?;
+    let schema = match group_col {
+        Some(_) => Schema::named(&["g", "agg"]),
+        None => Schema::named(&["agg"]),
+    };
+    let mut xtuples = Vec::with_capacity(bounds.len());
+    for (g, lo, hi) in bounds {
+        let mk = |v: Value| -> Tuple {
+            match &g {
+                Some(gv) => Tuple::new(vec![gv.clone(), v]),
+                None => Tuple::new(vec![v]),
+            }
+        };
+        if lo == hi {
+            xtuples.push(XTuple::certain(mk(lo)));
+        } else {
+            xtuples.push(XTuple::new(vec![(mk(lo), 0.5), (mk(hi), 0.5)]));
+        }
+    }
+    Ok(XRelation::new(schema, xtuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+    use audb_incomplete::XTuple;
+    use audb_query::table;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    fn xdb() -> XDb {
+        let mut db = XDb::default();
+        db.insert(
+            "r",
+            XRelation::new(
+                Schema::named(&["g", "v"]),
+                vec![
+                    XTuple::certain(it(&[1, 10])),
+                    XTuple::new(vec![(it(&[1, 20]), 0.5), (it(&[1, 30]), 0.5)]),
+                    XTuple::new(vec![(it(&[2, 5]), 0.4)]),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn lineage_tracks_alternatives() {
+        let db = xdb();
+        let out = eval_trio(&db, &table("r")).unwrap();
+        assert_eq!(out.rows.len(), 4);
+    }
+
+    #[test]
+    fn self_join_prunes_inconsistent_lineage() {
+        let db = xdb();
+        // join r with itself on g: alternative 20 cannot pair with 30
+        let q = table("r").join_on(table("r"), col(0).eq(col(2)));
+        let out = eval_trio(&db, &q).unwrap();
+        assert!(!out
+            .rows
+            .iter()
+            .any(|(t, _)| t.0[1] == Value::Int(20) && t.0[3] == Value::Int(30)));
+        // but 10 pairs with both alternatives
+        assert!(out
+            .rows
+            .iter()
+            .any(|(t, _)| t.0[1] == Value::Int(10) && t.0[3] == Value::Int(20)));
+    }
+
+    #[test]
+    fn certainty_via_lineage_worlds() {
+        let db = xdb();
+        let out = eval_trio(&db, &table("r").project(vec![(col(0), "g")])).unwrap();
+        // g=1 derives from a certain x-tuple → certain
+        assert_eq!(out.is_certain(&db, &it(&[1]), 1024), Some(true));
+        // g=2 derives from an optional x-tuple → not certain
+        assert_eq!(out.is_certain(&db, &it(&[2]), 1024), Some(false));
+    }
+
+    #[test]
+    fn aggregate_bounds_certain_groups_only() {
+        let db = xdb();
+        let r = db.get("r").unwrap();
+        let out = trio_aggregate(r, Some(0), AggFunc::Sum, 1).unwrap();
+        // group 1: sum ∈ [30, 40]; group 2: optional tuple → [0, 5]
+        let g1 = out.iter().find(|(g, _, _)| g == &Some(Value::Int(1))).unwrap();
+        assert_eq!(g1.1, Value::float(30.0));
+        assert_eq!(g1.2, Value::float(40.0));
+        let g2 = out.iter().find(|(g, _, _)| g == &Some(Value::Int(2))).unwrap();
+        assert_eq!(g2.1, Value::float(0.0));
+        assert_eq!(g2.2, Value::float(5.0));
+    }
+
+    #[test]
+    fn uncertain_group_by_dropped() {
+        let x = XRelation::new(
+            Schema::named(&["g", "v"]),
+            vec![XTuple::new(vec![(it(&[1, 7]), 0.5), (it(&[2, 7]), 0.5)])],
+        );
+        let out = trio_aggregate(&x, Some(0), AggFunc::Sum, 1).unwrap();
+        assert!(out.is_empty(), "Trio drops groups with uncertain group-by");
+    }
+
+    #[test]
+    fn chained_aggregation_is_lossy_but_runs() {
+        let db = xdb();
+        let r = db.get("r").unwrap();
+        let step1 = trio_aggregate_chain(r, Some(0), AggFunc::Sum, 1).unwrap();
+        let step2 = trio_aggregate(&step1, None, AggFunc::Sum, 1).unwrap();
+        assert_eq!(step2.len(), 1);
+        let (_, lo, hi) = &step2[0];
+        // bounds of bounds: [30, 40] + [0, 5] → [30, 45]
+        assert_eq!(lo, &Value::float(30.0));
+        assert_eq!(hi, &Value::float(45.0));
+        // selection predicates still run against chained output
+        let _ = lit(0i64);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the core primitives: range expression
+//! evaluation, `⊛_M`, compression, the SG-combiner, and the max-flow
+//! bound checker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_core::{col, lit, AuAnnot, RangeValue};
+use audb_query::au::aggregate::{boxtimes, Monoid};
+use audb_query::au::combine::sg_combine;
+use audb_query::opt::compress;
+use audb_workloads::{gen_micro_au, MicroConfig};
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_ops");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+
+    let expr = col(0).add(col(1)).mul(lit(2i64)).leq(col(2));
+    let tuple = vec![
+        RangeValue::range(1i64, 5i64, 9i64),
+        RangeValue::range(0i64, 2i64, 4i64),
+        RangeValue::range(10i64, 15i64, 30i64),
+    ];
+    g.bench_function("range_expr_eval", |b| {
+        b.iter(|| black_box(expr.eval_range(black_box(&tuple)).unwrap()))
+    });
+
+    let k = AuAnnot::triple(1, 2, 3);
+    let m = RangeValue::range(-5i64, 1i64, 7i64);
+    g.bench_function("boxtimes_sum", |b| {
+        b.iter(|| black_box(boxtimes(Monoid::Sum, black_box(&k), black_box(&m)).unwrap()))
+    });
+
+    let rel = gen_micro_au(&MicroConfig::new(2000, 5).uncertainty(0.1).seed(1));
+    g.bench_function("compress_ct32", |b| b.iter(|| black_box(compress(&rel, 0, 32))));
+    g.bench_function("sg_combine_2k", |b| b.iter(|| black_box(sg_combine(&rel))));
+
+    g.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    use audb_incomplete::relation_bounds_world;
+    let rel = gen_micro_au(&MicroConfig::new(200, 3).uncertainty(0.2).seed(2));
+    let world = rel.sg_world();
+    let mut g = c.benchmark_group("bound_checking");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.bench_function("flow_check_200", |b| {
+        b.iter(|| black_box(relation_bounds_world(black_box(&rel), black_box(&world))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_core, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 10 (criterion form): PDBench SPJ queries over uncertain TPC-H
+//! for Det, UA-DB and AU-DB at a small fixed scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_bench::xdb_to_ua;
+use audb_query::{eval_au, eval_det, eval_ua, AuConfig};
+use audb_workloads::{gen_tpch, inject_uncertainty, pdbench_queries, TpchConfig};
+
+fn bench(c: &mut Criterion) {
+    let db = gen_tpch(TpchConfig::new(0.2, 7));
+    let xdb = inject_uncertainty(&db, 0.02, 8, 8);
+    let audb = xdb.to_au();
+    let uadb = xdb_to_ua(&xdb);
+    let sg = xdb.sg_world();
+    let cfg = AuConfig::compressed(64);
+    let queries = pdbench_queries();
+
+    let mut g = c.benchmark_group("fig10_pdbench");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for (name, q) in &queries {
+        g.bench_function(format!("det_{name}"), |b| {
+            b.iter(|| black_box(eval_det(&sg, q).unwrap()))
+        });
+        g.bench_function(format!("uadb_{name}"), |b| {
+            b.iter(|| black_box(eval_ua(&uadb, q).unwrap()))
+        });
+        g.bench_function(format!("audb_{name}"), |b| {
+            b.iter(|| black_box(eval_au(&audb, q, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 11 (criterion form): chained aggregation for Det vs AU-DB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_core::col;
+use audb_query::{eval_au, eval_det, table, AggFunc, AggSpec, AuConfig, Query};
+use audb_workloads::{micro_au_db, MicroConfig};
+
+fn chain(levels: usize) -> Query {
+    // group by a0 summing a1, then repeatedly re-aggregate
+    let mut q = table("t").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+    for _ in 1..levels {
+        q = q.aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+    }
+    q
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = MicroConfig::new(2000, 3).uncertainty(0.02).seed(11);
+    let (audb, db) = micro_au_db(&cfg);
+    let aucfg = AuConfig::compressed(32);
+    let mut g = c.benchmark_group("fig11_agg_chain");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for k in [1usize, 3, 5] {
+        let q = chain(k);
+        g.bench_function(format!("det_{k}ops"), |b| {
+            b.iter(|| black_box(eval_det(&db, &q).unwrap()))
+        });
+        g.bench_function(format!("audb_{k}ops"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

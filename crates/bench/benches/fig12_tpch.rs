@@ -1,0 +1,31 @@
+//! Figure 12 (criterion form): TPC-H queries Q1/Q3 for Det vs AU-DB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_query::{eval_au, eval_det, AuConfig};
+use audb_workloads::{gen_tpch, inject_uncertainty, tpch_queries, TpchConfig};
+
+fn bench(c: &mut Criterion) {
+    let db = gen_tpch(TpchConfig::new(0.2, 21));
+    let xdb = inject_uncertainty(&db, 0.02, 8, 22);
+    let audb = xdb.to_au();
+    let sg = xdb.sg_world();
+    let cfg = AuConfig::compressed(64);
+    let mut g = c.benchmark_group("fig12_tpch");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for (name, q) in tpch_queries().into_iter().take(2) {
+        g.bench_function(format!("det_{name}"), |b| {
+            b.iter(|| black_box(eval_det(&sg, &q).unwrap()))
+        });
+        g.bench_function(format!("audb_{name}"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 13 (criterion form): aggregation micro-benchmarks — varying
+//! group-by width, aggregate count, and compression budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_core::col;
+use audb_query::{eval_au, eval_det, table, AggFunc, AggSpec, AuConfig};
+use audb_workloads::{micro_au_db, MicroConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = MicroConfig::new(3000, 20).uncertainty(0.05).seed(13);
+    let (audb, db) = micro_au_db(&cfg);
+    let mut g = c.benchmark_group("fig13_micro_agg");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+
+    for nb in [1usize, 5, 10] {
+        let q = table("t")
+            .aggregate((0..nb).collect(), vec![AggSpec::new(AggFunc::Sum, col(19), "s")]);
+        let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25) };
+        g.bench_function(format!("audb_groupby{nb}"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
+        });
+        g.bench_function(format!("det_groupby{nb}"), |b| {
+            b.iter(|| black_box(eval_det(&db, &q).unwrap()))
+        });
+    }
+
+    let q = table("t").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+    for ct in [4usize, 64, 1024] {
+        let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+        g.bench_function(format!("audb_ct{ct}"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

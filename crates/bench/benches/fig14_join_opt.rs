@@ -1,0 +1,31 @@
+//! Figure 14 (criterion form): unoptimized vs compressed joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_core::col;
+use audb_query::{eval_au, table, AuConfig};
+use audb_workloads::{micro_join_db, MicroConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = MicroConfig::new(500, 3).uncertainty(0.03).range_frac(0.02).seed(14);
+    let (audb, _) = micro_join_db(&cfg);
+    let q = table("t1").join_on(table("t2"), col(0).eq(col(3)));
+    let mut g = c.benchmark_group("fig14_join_opt");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.bench_function("join_nonop_500", |b| {
+        b.iter(|| black_box(eval_au(&audb, &q, &AuConfig::precise()).unwrap()))
+    });
+    for ct in [4usize, 32, 256] {
+        let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+        g.bench_function(format!("join_ct{ct}_500"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 16 (criterion form): chained joins under compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_core::col;
+use audb_query::{eval_au, table, AuConfig, Query};
+use audb_storage::AuDatabase;
+use audb_workloads::{micro::gen_micro_pair, MicroConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut audb = AuDatabase::new();
+    for i in 0..4u64 {
+        let cfg = MicroConfig::new(400, 2)
+            .uncertainty(0.03)
+            .range_frac(0.02)
+            .domain(400)
+            .seed(16 + i);
+        let (au, _) = gen_micro_pair(&cfg);
+        audb.insert(format!("t{i}"), au);
+    }
+    let mut g = c.benchmark_group("fig16_multi_join");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for joins in [1usize, 2, 3] {
+        let mut q: Query = table("t0");
+        let mut arity = 2;
+        for i in 1..=joins {
+            q = q.join_on(table(&format!("t{i}")), col(0).eq(col(arity)));
+            arity += 2;
+        }
+        let aucfg = AuConfig { join_compress: Some(16), agg_compress: Some(16) };
+        g.bench_function(format!("chain_{joins}_ct16"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 17 (criterion form): real-world key-repair workloads for
+//! AU-DB vs Det vs UA-DB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_bench::xdb_to_ua;
+use audb_query::{eval_au, eval_det, eval_ua, AuConfig};
+use audb_workloads::all_cases;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_realworld");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for case in all_cases(500, 17) {
+        let audb = case.xdb.to_au();
+        let sg = case.xdb.sg_world();
+        let uadb = xdb_to_ua(&case.xdb);
+        let cfg = AuConfig::compressed(64);
+        for (name, q) in [&case.spj, &case.groupby] {
+            g.bench_function(format!("det_{name}"), |b| {
+                b.iter(|| black_box(eval_det(&sg, q).unwrap()))
+            });
+            g.bench_function(format!("audb_{name}"), |b| {
+                b.iter(|| black_box(eval_au(&audb, q, &cfg).unwrap()))
+            });
+            g.bench_function(format!("uadb_{name}"), |b| {
+                b.iter(|| black_box(eval_ua(&uadb, q).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! # audb-bench
+//!
+//! Shared helpers for the experiment harness (`src/bin/experiments.rs`)
+//! that regenerates every table and figure of the paper's Section 12,
+//! and for the criterion micro-benchmarks under `benches/`.
+
+use std::time::Instant;
+
+use audb_core::UaAnnot;
+use audb_incomplete::XDb;
+use audb_storage::{UaDatabase, UaRelation};
+
+/// Wall-clock one invocation.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Median wall-clock over `runs` invocations (first result returned).
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(runs >= 1);
+    let (out, first) = time(&mut f);
+    let mut samples = vec![first];
+    for _ in 1..runs {
+        samples.push(time(&mut f).1);
+    }
+    samples.sort_by(f64::total_cmp);
+    (out, samples[samples.len() / 2])
+}
+
+/// Convert an x-database into a UA-database: tuples take their
+/// selected-guess values; a tuple is marked certain only when the whole
+/// x-tuple is certain (single alternative, non-optional) — the setup of
+/// Section 12.1 ("mark all tuples with at least one uncertain value as
+/// uncertain").
+pub fn xdb_to_ua(xdb: &XDb) -> UaDatabase {
+    let mut out = UaDatabase::new();
+    for (name, rel) in &xdb.relations {
+        let mut ua = UaRelation::empty(rel.schema.clone());
+        for xt in &rel.xtuples {
+            if !xt.sg_present() {
+                continue;
+            }
+            let certain = !xt.is_uncertain();
+            ua.push(xt.pick_max().clone(), UaAnnot::new(certain as u64, 1));
+        }
+        ua.normalize();
+        out.insert(name.clone(), ua);
+    }
+    out
+}
+
+/// Fixed-width row printer for paper-shaped tables.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = *w));
+    }
+    println!("{}", line.trim_end());
+}
+
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Format seconds with 3 significant decimals (matching the paper's
+/// second-granularity tables).
+pub fn fmt_s(secs: f64) -> String {
+    if secs < 0.0005 {
+        format!("{:.1}ms", secs * 1000.0)
+    } else {
+        format!("{secs:.3}")
+    }
+}
+
+/// Format a ratio like the paper's "runtime / Det-runtime" plots.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_incomplete::{XRelation, XTuple};
+    use audb_storage::{Schema, Tuple};
+
+    #[test]
+    fn ua_conversion_marks_uncertain() {
+        let t1: Tuple = [1i64].into_iter().collect();
+        let t2a: Tuple = [2i64].into_iter().collect();
+        let t2b: Tuple = [3i64].into_iter().collect();
+        let mut xdb = XDb::default();
+        xdb.insert(
+            "r",
+            XRelation::new(
+                Schema::named(&["a"]),
+                vec![
+                    XTuple::certain(t1.clone()),
+                    XTuple::new(vec![(t2a.clone(), 0.6), (t2b, 0.4)]),
+                ],
+            ),
+        );
+        let ua = xdb_to_ua(&xdb);
+        let rel = ua.get("r").unwrap();
+        assert_eq!(rel.annotation(&t1), UaAnnot::new(1, 1));
+        assert_eq!(rel.annotation(&t2a), UaAnnot::new(0, 1));
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let (v, s) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+        let (v, s) = time_median(3, || 1 + 1);
+        assert_eq!(v, 2);
+        assert!(s >= 0.0);
+    }
+}

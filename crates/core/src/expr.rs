@@ -1,0 +1,617 @@
+//! Scalar expressions (paper Section 5): syntax (Definition 3),
+//! deterministic semantics (Definition 4), incomplete semantics over sets
+//! of valuations (Definition 5), and range-annotated semantics
+//! (Definition 9) which is proven bound-preserving (Theorem 1).
+//!
+//! Variables are column references (`Expr::Col`) resolved positionally
+//! against a tuple, which plays the role of the valuation `φ`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::EvalError;
+use crate::range::RangeValue;
+use crate::value::Value;
+
+/// Expression AST (Definition 3 plus the derived operators `≠ ≥ < > -`
+/// the paper notes are expressible).
+///
+/// The same expression evaluates deterministically against plain tuples
+/// and — bound-preservingly (Theorem 1) — against range-annotated ones:
+///
+/// ```
+/// use audb_core::{col, lit, RangeValue, Value};
+///
+/// let e = col(0).add(lit(10i64));
+/// assert_eq!(e.eval(&[Value::Int(5)]).unwrap(), Value::Int(15));
+/// assert_eq!(
+///     e.eval_range(&[RangeValue::range(1i64, 5i64, 9i64)]).unwrap(),
+///     RangeValue::range(11i64, 15i64, 19i64),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable: reference to the i-th attribute of the input tuple.
+    Col(usize),
+    Const(Value),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Eq(Box<Expr>, Box<Expr>),
+    Neq(Box<Expr>, Box<Expr>),
+    Leq(Box<Expr>, Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+    Geq(Box<Expr>, Box<Expr>),
+    Gt(Box<Expr>, Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// The `MakeUncertain(e↓, e^sg, e↑)` lens construct (Section 11.4,
+    /// Example 16): introduces attribute-level uncertainty from within a
+    /// query. Deterministic evaluation sees only the selected guess;
+    /// range-annotated evaluation produces `[e↓ / e^sg / e↑]` (widened
+    /// so the triple stays ordered).
+    Uncertain(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+// ---- constructor helpers (builder style) --------------------------------
+
+pub fn col(i: usize) -> Expr {
+    Expr::Col(i)
+}
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Const(v.into())
+}
+
+impl Expr {
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+    pub fn neq(self, other: Expr) -> Expr {
+        Expr::Neq(Box::new(self), Box::new(other))
+    }
+    pub fn leq(self, other: Expr) -> Expr {
+        Expr::Leq(Box::new(self), Box::new(other))
+    }
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(other))
+    }
+    pub fn geq(self, other: Expr) -> Expr {
+        Expr::Geq(Box::new(self), Box::new(other))
+    }
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Gt(Box::new(self), Box::new(other))
+    }
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(other))
+    }
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+    pub fn if_then_else(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(els))
+    }
+    /// `MakeUncertain(lb, sg, ub)` (Example 16).
+    pub fn make_uncertain(lb: Expr, sg: Expr, ub: Expr) -> Expr {
+        Expr::Uncertain(Box::new(lb), Box::new(sg), Box::new(ub))
+    }
+
+    /// Conjunction of a list of expressions (`true` when empty).
+    pub fn conj(mut exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => lit(true),
+            1 => exprs.pop().unwrap(),
+            _ => {
+                let mut it = exprs.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, e| acc.and(e))
+            }
+        }
+    }
+
+    /// `vars(e)`: the set of referenced columns.
+    pub fn columns(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Expr::Col(i) => {
+                out.insert(*i);
+            }
+            Expr::Const(_) => {}
+            Expr::Not(a) | Expr::Neg(a) => a.collect_columns(out),
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Neq(a, b)
+            | Expr::Leq(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Geq(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::If(c, t, e) | Expr::Uncertain(c, t, e) => {
+                c.collect_columns(out);
+                t.collect_columns(out);
+                e.collect_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite column references through a mapping (used by the rewrite
+    /// middleware and by plan composition).
+    pub fn remap_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(f(*i)),
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Not(a) => Expr::Not(Box::new(a.remap_columns(f))),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.remap_columns(f))),
+            Expr::And(a, b) => Expr::And(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Eq(a, b) => Expr::Eq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Neq(a, b) => Expr::Neq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Leq(a, b) => Expr::Leq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Lt(a, b) => Expr::Lt(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Geq(a, b) => Expr::Geq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Gt(a, b) => Expr::Gt(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Add(a, b) => Expr::Add(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(c.remap_columns(f)),
+                Box::new(t.remap_columns(f)),
+                Box::new(e.remap_columns(f)),
+            ),
+            Expr::Uncertain(l, s, u) => Expr::Uncertain(
+                Box::new(l.remap_columns(f)),
+                Box::new(s.remap_columns(f)),
+                Box::new(u.remap_columns(f)),
+            ),
+        }
+    }
+
+    /// Extract the column pairs of a conjunctive equi-join predicate
+    /// `⋀ Col(l_i) = Col(r_i)` where `l_i < split ≤ r_i`.
+    /// Returns `None` if the predicate has any other shape.
+    pub fn equi_join_columns(&self, split: usize) -> Option<Vec<(usize, usize)>> {
+        let mut pairs = Vec::new();
+        if self.collect_equi_pairs(split, &mut pairs) {
+            Some(pairs)
+        } else {
+            None
+        }
+    }
+
+    fn collect_equi_pairs(&self, split: usize, out: &mut Vec<(usize, usize)>) -> bool {
+        match self {
+            Expr::And(a, b) => a.collect_equi_pairs(split, out) && b.collect_equi_pairs(split, out),
+            Expr::Eq(a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(l), Expr::Col(r)) if *l < split && *r >= split => {
+                    out.push((*l, *r - split));
+                    true
+                }
+                (Expr::Col(r), Expr::Col(l)) if *l < split && *r >= split => {
+                    out.push((*l, *r - split));
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    // ---- deterministic semantics (Definition 4) -------------------------
+
+    /// Evaluate against a deterministic tuple (valuation).
+    pub fn eval(&self, tuple: &[Value]) -> Result<Value, EvalError> {
+        match self {
+            Expr::Col(i) => tuple.get(*i).cloned().ok_or(EvalError::UnknownColumn(*i)),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::And(a, b) => Ok(Value::Bool(a.eval(tuple)?.as_bool()? && b.eval(tuple)?.as_bool()?)),
+            Expr::Or(a, b) => Ok(Value::Bool(a.eval(tuple)?.as_bool()? || b.eval(tuple)?.as_bool()?)),
+            Expr::Not(a) => Ok(Value::Bool(!a.eval(tuple)?.as_bool()?)),
+            Expr::Eq(a, b) => Ok(Value::Bool(a.eval(tuple)?.value_eq(&b.eval(tuple)?))),
+            Expr::Neq(a, b) => Ok(Value::Bool(!a.eval(tuple)?.value_eq(&b.eval(tuple)?))),
+            Expr::Leq(a, b) => {
+                let (x, y) = (a.eval(tuple)?, b.eval(tuple)?);
+                Ok(Value::Bool(x <= y || x.value_eq(&y)))
+            }
+            Expr::Lt(a, b) => {
+                // `<` must agree with value_eq (Int 2 < Float 2.0 is false)
+                let (x, y) = (a.eval(tuple)?, b.eval(tuple)?);
+                Ok(Value::Bool(x < y && !x.value_eq(&y)))
+            }
+            Expr::Geq(a, b) => {
+                let (x, y) = (a.eval(tuple)?, b.eval(tuple)?);
+                Ok(Value::Bool(x >= y || x.value_eq(&y)))
+            }
+            Expr::Gt(a, b) => {
+                let (x, y) = (a.eval(tuple)?, b.eval(tuple)?);
+                Ok(Value::Bool(x > y && !x.value_eq(&y)))
+            }
+            Expr::Add(a, b) => a.eval(tuple)?.add(&b.eval(tuple)?),
+            Expr::Sub(a, b) => a.eval(tuple)?.sub(&b.eval(tuple)?),
+            Expr::Mul(a, b) => a.eval(tuple)?.mul(&b.eval(tuple)?),
+            Expr::Div(a, b) => a.eval(tuple)?.div(&b.eval(tuple)?),
+            Expr::Neg(a) => a.eval(tuple)?.neg(),
+            Expr::If(c, t, e) => {
+                if c.eval(tuple)?.as_bool()? {
+                    t.eval(tuple)
+                } else {
+                    e.eval(tuple)
+                }
+            }
+            // deterministic engines see only the selected guess
+            Expr::Uncertain(_, sg, _) => sg.eval(tuple),
+        }
+    }
+
+    /// Boolean shortcut for predicates.
+    pub fn eval_bool(&self, tuple: &[Value]) -> Result<bool, EvalError> {
+        self.eval(tuple)?.as_bool()
+    }
+
+    // ---- incomplete semantics (Definition 5) -----------------------------
+
+    /// Evaluate over an *incomplete valuation* — a set of possible tuples —
+    /// yielding the set of possible results.
+    pub fn eval_incomplete(&self, worlds: &[Vec<Value>]) -> Result<BTreeSet<Value>, EvalError> {
+        worlds.iter().map(|w| self.eval(w)).collect()
+    }
+
+    // ---- range-annotated semantics (Definition 9) ------------------------
+
+    /// Evaluate against a range-annotated tuple. Bound-preserving
+    /// (Theorem 1): if the input tuple bounds an incomplete valuation,
+    /// the result bounds all possible outcomes.
+    pub fn eval_range(&self, tuple: &[RangeValue]) -> Result<RangeValue, EvalError> {
+        match self {
+            Expr::Col(i) => tuple.get(*i).cloned().ok_or(EvalError::UnknownColumn(*i)),
+            Expr::Const(v) => Ok(RangeValue::certain(v.clone())),
+            Expr::And(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                let (xl, xs, xu) = x.as_bool3()?;
+                let (yl, ys, yu) = y.as_bool3()?;
+                Ok(bool_range(xl && yl, xs && ys, xu && yu))
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                let (xl, xs, xu) = x.as_bool3()?;
+                let (yl, ys, yu) = y.as_bool3()?;
+                Ok(bool_range(xl || yl, xs || ys, xu || yu))
+            }
+            Expr::Not(a) => {
+                let x = a.eval_range(tuple)?;
+                let (xl, xs, xu) = x.as_bool3()?;
+                Ok(bool_range(!xu, !xs, !xl))
+            }
+            Expr::Eq(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                // certainly equal iff both are certain and equal
+                let lb = x.ub.value_eq(&y.lb) && y.ub.value_eq(&x.lb);
+                // possibly equal iff the ranges overlap
+                let ub = x.overlaps(&y);
+                Ok(bool_range(lb, x.sg.value_eq(&y.sg), ub))
+            }
+            Expr::Neq(a, b) => Expr::Eq(a.clone(), b.clone()).not().eval_range(tuple),
+            Expr::Leq(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                Ok(bool_range(leq(&x.ub, &y.lb), leq(&x.sg, &y.sg), leq(&x.lb, &y.ub)))
+            }
+            Expr::Lt(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                Ok(bool_range(lt(&x.ub, &y.lb), lt(&x.sg, &y.sg), lt(&x.lb, &y.ub)))
+            }
+            Expr::Geq(a, b) => Expr::Leq(b.clone(), a.clone()).eval_range(tuple),
+            Expr::Gt(a, b) => Expr::Lt(b.clone(), a.clone()).eval_range(tuple),
+            Expr::Add(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                RangeValue::new(x.lb.add(&y.lb)?, x.sg.add(&y.sg)?, x.ub.add(&y.ub)?)
+            }
+            Expr::Sub(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                RangeValue::new(x.lb.sub(&y.ub)?, x.sg.sub(&y.sg)?, x.ub.sub(&y.lb)?)
+            }
+            Expr::Mul(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                let combos = [
+                    x.lb.mul(&y.lb)?,
+                    x.lb.mul(&y.ub)?,
+                    x.ub.mul(&y.lb)?,
+                    x.ub.mul(&y.ub)?,
+                ];
+                let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
+                let hi = combos.into_iter().reduce(Value::max_of).unwrap();
+                RangeValue::new(lo, x.sg.mul(&y.sg)?, hi)
+            }
+            Expr::Div(a, b) => {
+                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
+                // Undefined when the denominator may be 0 (Definition 9).
+                if y.bounds(&Value::Int(0)) || y.bounds(&Value::float(0.0)) {
+                    return Err(EvalError::RangeDivisionSpansZero);
+                }
+                let combos = [
+                    x.lb.div(&y.lb)?,
+                    x.lb.div(&y.ub)?,
+                    x.ub.div(&y.lb)?,
+                    x.ub.div(&y.ub)?,
+                ];
+                let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
+                let hi = combos.into_iter().reduce(Value::max_of).unwrap();
+                RangeValue::new(lo, x.sg.div(&y.sg)?, hi)
+            }
+            Expr::Neg(a) => {
+                let x = a.eval_range(tuple)?;
+                RangeValue::new(x.ub.neg()?, x.sg.neg()?, x.lb.neg()?)
+            }
+            Expr::If(c, t, e) => {
+                let cond = c.eval_range(tuple)?;
+                let (cl, cs, cu) = cond.as_bool3()?;
+                let tv = t.eval_range(tuple)?;
+                let ev = e.eval_range(tuple)?;
+                if cl && cu {
+                    Ok(tv)
+                } else if !cl && !cu {
+                    Ok(ev)
+                } else {
+                    let sg = if cs { tv.sg.clone() } else { ev.sg.clone() };
+                    RangeValue::new(
+                        Value::min_of(tv.lb, ev.lb),
+                        sg,
+                        Value::max_of(tv.ub, ev.ub),
+                    )
+                }
+            }
+            Expr::Uncertain(l, s, u) => {
+                let lv = l.eval_range(tuple)?;
+                let sv = s.eval_range(tuple)?;
+                let uv = u.eval_range(tuple)?;
+                // widen so the triple stays ordered even if the three
+                // sub-expressions disagree
+                RangeValue::new(
+                    Value::min_of(lv.lb, sv.sg.clone()),
+                    sv.sg.clone(),
+                    Value::max_of(uv.ub, sv.sg),
+                )
+            }
+        }
+    }
+
+    /// Range-annotated predicate evaluation: boolean triple.
+    pub fn eval_range_bool3(&self, tuple: &[RangeValue]) -> Result<(bool, bool, bool), EvalError> {
+        self.eval_range(tuple)?.as_bool3()
+    }
+}
+
+fn bool_range(lb: bool, sg: bool, ub: bool) -> RangeValue {
+    // The boolean order is false < true; a comparison's components always
+    // satisfy lb => sg => ub by construction.
+    RangeValue::new_unchecked(Value::Bool(lb), Value::Bool(sg), Value::Bool(ub))
+}
+
+fn leq(a: &Value, b: &Value) -> bool {
+    a <= b || a.value_eq(b)
+}
+fn lt(a: &Value, b: &Value) -> bool {
+    a < b && !a.value_eq(b)
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Expr::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Expr::Not(a) => write!(f, "¬{a}"),
+            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expr::Neq(a, b) => write!(f, "({a} ≠ {b})"),
+            Expr::Leq(a, b) => write!(f, "({a} ≤ {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Geq(a, b) => write!(f, "({a} ≥ {b})"),
+            Expr::Gt(a, b) => write!(f, "({a} > {b})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} · {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Neg(a) => write!(f, "-{a}"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::Uncertain(l, s, u) => write!(f, "uncertain({l}, {s}, {u})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn deterministic_eval_example_4() {
+        // e := x + y over {(1,4), (2,4), (1,5)} yields {5, 6}
+        let e = col(0).add(col(1));
+        let worlds = vec![ints(&[1, 4]), ints(&[2, 4]), ints(&[1, 5])];
+        let out = e.eval_incomplete(&worlds).unwrap();
+        let expect: BTreeSet<Value> = [Value::Int(5), Value::Int(6)].into();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn range_addition() {
+        let e = col(0).add(col(1));
+        let t = vec![RangeValue::range(1i64, 2i64, 3i64), RangeValue::range(10i64, 10i64, 20i64)];
+        assert_eq!(e.eval_range(&t).unwrap(), RangeValue::range(11i64, 12i64, 23i64));
+    }
+
+    #[test]
+    fn range_subtraction_crosses_bounds() {
+        let e = col(0).sub(col(1));
+        let t = vec![RangeValue::range(1i64, 2i64, 3i64), RangeValue::range(1i64, 1i64, 5i64)];
+        assert_eq!(e.eval_range(&t).unwrap(), RangeValue::range(-4i64, 1i64, 2i64));
+    }
+
+    #[test]
+    fn range_multiplication_negative() {
+        let e = col(0).mul(col(1));
+        let t = vec![
+            RangeValue::range(-2i64, 1i64, 3i64),
+            RangeValue::range(-5i64, -5i64, 4i64),
+        ];
+        // combos: 10, -8, -15, 12 → [-15, 12]
+        assert_eq!(e.eval_range(&t).unwrap(), RangeValue::range(-15i64, -5i64, 12i64));
+    }
+
+    #[test]
+    fn range_comparison() {
+        let e = col(0).leq(col(1));
+        // certainly true
+        let t = vec![RangeValue::range(1i64, 2i64, 3i64), RangeValue::range(3i64, 4i64, 5i64)];
+        assert_eq!(
+            e.eval_range(&t).unwrap().as_bool3().unwrap(),
+            (true, true, true)
+        );
+        // uncertain
+        let t = vec![RangeValue::range(1i64, 2i64, 6i64), RangeValue::range(3i64, 4i64, 5i64)];
+        assert_eq!(
+            e.eval_range(&t).unwrap().as_bool3().unwrap(),
+            (false, true, true)
+        );
+        // certainly false
+        let t = vec![RangeValue::range(7i64, 8i64, 9i64), RangeValue::range(3i64, 4i64, 5i64)];
+        assert_eq!(
+            e.eval_range(&t).unwrap().as_bool3().unwrap(),
+            (false, false, false)
+        );
+    }
+
+    #[test]
+    fn range_equality_example_9() {
+        // [1/2/3] = [2/2/2]  evaluates to [F/T/T]
+        let e = col(0).eq(lit(2i64));
+        let t = vec![RangeValue::range(1i64, 2i64, 3i64)];
+        assert_eq!(
+            e.eval_range(&t).unwrap().as_bool3().unwrap(),
+            (false, true, true)
+        );
+    }
+
+    #[test]
+    fn range_negation_flips() {
+        let e = col(0).lt(lit(5i64)).not();
+        let t = vec![RangeValue::range(1i64, 2i64, 9i64)];
+        // x < 5 is [F/T/T]; negation is [F/F/T]
+        assert_eq!(
+            e.eval_range(&t).unwrap().as_bool3().unwrap(),
+            (false, false, true)
+        );
+    }
+
+    #[test]
+    fn range_if_then_else_merges() {
+        let e = Expr::if_then_else(col(0).leq(lit(0i64)), lit(10i64), lit(20i64));
+        let t = vec![RangeValue::range(-1i64, 0i64, 1i64)];
+        assert_eq!(e.eval_range(&t).unwrap(), RangeValue::range(10i64, 10i64, 20i64));
+        // certain condition picks one branch exactly
+        let t = vec![RangeValue::certain(Value::Int(-3))];
+        assert_eq!(e.eval_range(&t).unwrap(), RangeValue::certain(Value::Int(10)));
+    }
+
+    #[test]
+    fn range_division_guard() {
+        let e = lit(1i64).div(col(0));
+        let spans_zero = vec![RangeValue::range(-1i64, 1i64, 2i64)];
+        assert_eq!(
+            e.eval_range(&spans_zero).unwrap_err(),
+            EvalError::RangeDivisionSpansZero
+        );
+        let pos = vec![RangeValue::range(2i64, 4i64, 8i64)];
+        assert_eq!(
+            e.eval_range(&pos).unwrap(),
+            RangeValue::range(0.125f64, 0.25f64, 0.5f64)
+        );
+    }
+
+    #[test]
+    fn equi_join_detection() {
+        let p = col(0).eq(col(3)).and(col(5).eq(col(1)));
+        assert_eq!(p.equi_join_columns(3), Some(vec![(0, 0), (1, 2)]));
+        let notequi = col(0).leq(col(3));
+        assert_eq!(notequi.equi_join_columns(3), None);
+    }
+
+    #[test]
+    fn columns_collects_vars() {
+        let e = col(0).add(col(2)).leq(col(5));
+        assert_eq!(e.columns(), BTreeSet::from([0, 2, 5]));
+    }
+
+    /// Theorem 1 smoke check: brute-force an expression over small
+    /// incomplete valuations and verify the range result bounds every
+    /// possible outcome.
+    #[test]
+    fn theorem1_bound_preservation_smoke() {
+        let exprs = vec![
+            col(0).add(col(1)),
+            col(0).mul(col(1)),
+            col(0).sub(col(1)).mul(col(0)),
+            Expr::if_then_else(col(0).leq(col(1)), col(0), col(1).add(lit(1i64))),
+            col(0).leq(col(1)),
+            col(0).eq(col(1)),
+        ];
+        let ranges = vec![RangeValue::range(-2i64, 1i64, 3i64), RangeValue::range(0i64, 0i64, 2i64)];
+        // enumerate all deterministic tuples bounded by `ranges` where the
+        // sg tuple is included (Definition 8)
+        let mut worlds = vec![];
+        for a in -2..=3i64 {
+            for b in 0..=2i64 {
+                worlds.push(vec![Value::Int(a), Value::Int(b)]);
+            }
+        }
+        for e in exprs {
+            let bound = e.eval_range(&ranges).unwrap();
+            for w in &worlds {
+                let v = e.eval(w).unwrap();
+                assert!(
+                    bound.bounds(&v),
+                    "{e}: {bound} does not bound {v} at {w:?}"
+                );
+            }
+            // sg component must equal deterministic evaluation on sg tuple
+            let sg_tuple: Vec<Value> = ranges.iter().map(|r| r.sg.clone()).collect();
+            assert_eq!(bound.sg, e.eval(&sg_tuple).unwrap());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Minimal generic K-relations (Section 3.1): positive relational algebra
+//! over an arbitrary commutative semiring, used to validate the semiring
+//! framework (homomorphisms commute with `RA+` queries) independently of
+//! the bag-specialized engine in `audb-query`.
+
+use crate::error::EvalError;
+use crate::expr::Expr;
+use crate::semiring::Semiring;
+use crate::value::Value;
+
+/// A K-relation: tuples annotated with semiring elements. Tuples absent
+/// from `rows` are implicitly annotated with `0_K`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KRelation<K: Semiring> {
+    pub arity: usize,
+    pub rows: Vec<(Vec<Value>, K)>,
+}
+
+impl<K: Semiring> KRelation<K> {
+    pub fn new(arity: usize) -> Self {
+        KRelation { arity, rows: Vec::new() }
+    }
+
+    pub fn from_rows(arity: usize, rows: Vec<(Vec<Value>, K)>) -> Self {
+        let mut r = KRelation { arity, rows };
+        r.normalize();
+        r
+    }
+
+    /// Merge duplicate tuples with `+_K` and drop zero annotations, so the
+    /// relation is a function from tuples to annotations.
+    pub fn normalize(&mut self) {
+        let mut merged: Vec<(Vec<Value>, K)> = Vec::with_capacity(self.rows.len());
+        'outer: for (t, k) in self.rows.drain(..) {
+            for (t2, k2) in merged.iter_mut() {
+                if *t2 == t {
+                    *k2 = k2.plus(&k);
+                    continue 'outer;
+                }
+            }
+            merged.push((t, k));
+        }
+        merged.retain(|(_, k)| !k.is_zero());
+        self.rows = merged;
+    }
+
+    /// `R(t)`: the annotation of a tuple.
+    pub fn annotation(&self, t: &[Value]) -> K {
+        self.rows
+            .iter()
+            .find(|(t2, _)| t2.as_slice() == t)
+            .map(|(_, k)| k.clone())
+            .unwrap_or_else(K::zero)
+    }
+
+    /// Selection `σ_θ(R)(t) = R(t) · θ(t)` with `θ(t) ∈ {0_K, 1_K}`.
+    pub fn select(&self, theta: &Expr) -> Result<Self, EvalError> {
+        let mut rows = Vec::new();
+        for (t, k) in &self.rows {
+            if theta.eval_bool(t)? {
+                rows.push((t.clone(), k.clone()));
+            }
+        }
+        Ok(KRelation::from_rows(self.arity, rows))
+    }
+
+    /// Projection `π_U(R)(t) = Σ_{t = t'[U]} R(t')`.
+    pub fn project(&self, cols: &[usize]) -> Self {
+        let rows = self
+            .rows
+            .iter()
+            .map(|(t, k)| (cols.iter().map(|c| t[*c].clone()).collect(), k.clone()))
+            .collect();
+        KRelation::from_rows(cols.len(), rows)
+    }
+
+    /// Natural product (cross product with annotation `·_K`).
+    pub fn join(&self, other: &Self) -> Self {
+        let mut rows = Vec::new();
+        for (t1, k1) in &self.rows {
+            for (t2, k2) in &other.rows {
+                let mut t = t1.clone();
+                t.extend(t2.iter().cloned());
+                rows.push((t, k1.times(k2)));
+            }
+        }
+        KRelation::from_rows(self.arity + other.arity, rows)
+    }
+
+    /// Union `(R1 ∪ R2)(t) = R1(t) + R2(t)`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        KRelation::from_rows(self.arity, rows)
+    }
+
+    /// Lift a semiring homomorphism to the relation (apply to every
+    /// annotation).
+    pub fn map_annotations<K2: Semiring>(&self, h: impl Fn(&K) -> K2) -> KRelation<K2> {
+        KRelation::from_rows(
+            self.arity,
+            self.rows.iter().map(|(t, k)| (t.clone(), h(k))).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::semiring::PolyNX;
+    use std::collections::BTreeMap;
+
+    fn iv(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn bag_semantics_basics() {
+        let r = KRelation::<u64>::from_rows(1, vec![(iv(&[1]), 2), (iv(&[2]), 3), (iv(&[1]), 1)]);
+        assert_eq!(r.annotation(&iv(&[1])), 3);
+        let s = r.select(&col(0).eq(lit(1i64))).unwrap();
+        assert_eq!(s.annotation(&iv(&[1])), 3);
+        assert_eq!(s.annotation(&iv(&[2])), 0);
+    }
+
+    #[test]
+    fn projection_sums() {
+        let r = KRelation::<u64>::from_rows(
+            2,
+            vec![(iv(&[1, 10]), 2), (iv(&[1, 20]), 3), (iv(&[2, 10]), 1)],
+        );
+        let p = r.project(&[0]);
+        assert_eq!(p.annotation(&iv(&[1])), 5);
+        assert_eq!(p.annotation(&iv(&[2])), 1);
+    }
+
+    #[test]
+    fn join_multiplies() {
+        let r = KRelation::<u64>::from_rows(1, vec![(iv(&[1]), 2)]);
+        let s = KRelation::<u64>::from_rows(1, vec![(iv(&[7]), 3)]);
+        let j = r.join(&s);
+        assert_eq!(j.annotation(&iv(&[1, 7])), 6);
+    }
+
+    /// Queries commute with semiring homomorphisms (Section 3.1):
+    /// `h(Q(D)) = Q(h(D))` for an `RA+` query over `N[X]` and the
+    /// evaluation homomorphism into `N`.
+    #[test]
+    fn homomorphisms_commute_with_queries() {
+        let x1 = PolyNX::var("x1");
+        let x2 = PolyNX::var("x2");
+        let x3 = PolyNX::var("x3");
+        let r = KRelation::<PolyNX>::from_rows(
+            2,
+            vec![
+                (iv(&[1, 10]), x1.clone()),
+                (iv(&[1, 20]), x2.clone()),
+                (iv(&[2, 20]), x3.clone()),
+            ],
+        );
+        let assignment = BTreeMap::from([
+            ("x1".to_string(), 2u64),
+            ("x2".to_string(), 0u64),
+            ("x3".to_string(), 5u64),
+        ]);
+        let h = |p: &PolyNX| p.eval_hom(&assignment);
+
+        let q = |r: &KRelation<PolyNX>| -> KRelation<PolyNX> {
+            r.select(&col(1).geq(lit(10i64)))
+                .unwrap()
+                .join(r)
+                .project(&[0, 3])
+        };
+        let q_n = |r: &KRelation<u64>| -> KRelation<u64> {
+            r.select(&col(1).geq(lit(10i64)))
+                .unwrap()
+                .join(r)
+                .project(&[0, 3])
+        };
+
+        let lhs = q(&r).map_annotations(h);
+        let rhs = q_n(&r.map_annotations(h));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,30 @@
+//! # audb-core
+//!
+//! Core data model for **AU-DBs** (attribute-annotated uncertain
+//! databases), reproducing *"Efficient Uncertainty Tracking for Complex
+//! Queries with Attribute-level Bounds"* (SIGMOD 2021):
+//!
+//! * [`value`] — the totally ordered universal value domain `D`;
+//! * [`range`] — range-annotated values `[lb/sg/ub]` (`D_I`, Definition 6);
+//! * [`expr`] — scalar expressions with deterministic, incomplete and
+//!   bound-preserving range-annotated semantics (Section 5, Theorem 1);
+//! * [`semiring`] — commutative semirings, natural orders, l-semirings,
+//!   monus, provenance polynomials (Section 3.1);
+//! * [`annot`] — tuple annotations `K_UA = K²` and `K_AU ⊂ K³`
+//!   (Definitions 2 and 11);
+//! * [`krelation`] — minimal generic K-relations validating the framework.
+
+pub mod annot;
+pub mod error;
+pub mod expr;
+pub mod krelation;
+pub mod range;
+pub mod semiring;
+pub mod value;
+
+pub use annot::{AuAnnot, UaAnnot};
+pub use error::EvalError;
+pub use expr::{col, lit, Expr};
+pub use range::RangeValue;
+pub use semiring::{delta, LSemiring, MonusSemiring, Nat, NaturallyOrdered, PolyNX, Prod, Semiring};
+pub use value::{Value, F64};

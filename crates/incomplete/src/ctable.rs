@@ -1,0 +1,348 @@
+//! C-tables (Imielinski & Lipski, Section 11.3): tuples over constants
+//! and variables, with local conditions per tuple and a global condition,
+//! over *finite* variable domains.
+//!
+//! The paper uses a constraint solver to derive attribute bounds and
+//! tautology/satisfiability of conditions; our substitute is a
+//! brute-force finite-domain valuation enumerator (exact on test-sized
+//! inputs — the same answers a solver would give, with exponential cost,
+//! which is also what makes the `Symb` baseline slow).
+
+
+
+use audb_core::{AuAnnot, EvalError, Expr, RangeValue, Value};
+use audb_storage::{AuRelation, Database, RangeTuple, Relation, Schema, Tuple};
+
+use crate::worlds::IncompleteDb;
+
+/// A cell: a constant or a named variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CVal {
+    Const(Value),
+    Var(String),
+}
+
+/// A C-table: rows with local conditions, a global condition, and finite
+/// variable domains. Conditions are [`Expr`]s whose `Col(i)` references
+/// index into the ordered variable list.
+#[derive(Debug, Clone)]
+pub struct CTable {
+    pub schema: Schema,
+    pub rows: Vec<(Vec<CVal>, Expr)>,
+    pub global: Expr,
+    /// variable name → finite domain (ordered registration)
+    pub vars: Vec<(String, Vec<Value>)>,
+}
+
+impl CTable {
+    pub fn new(schema: Schema) -> Self {
+        CTable { schema, rows: Vec::new(), global: audb_core::lit(true), vars: Vec::new() }
+    }
+
+    pub fn add_var(&mut self, name: impl Into<String>, domain: Vec<Value>) -> usize {
+        self.vars.push((name.into(), domain));
+        self.vars.len() - 1
+    }
+
+    pub fn var_index(&self, name: &str) -> Result<usize, EvalError> {
+        self.vars
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| EvalError::NotFound(format!("variable {name}")))
+    }
+
+    pub fn add_row(&mut self, cells: Vec<CVal>, condition: Expr) {
+        assert_eq!(cells.len(), self.schema.arity());
+        self.rows.push((cells, condition));
+    }
+
+    /// Total number of valuations.
+    pub fn valuation_count(&self) -> usize {
+        self.vars.iter().map(|(_, d)| d.len().max(1)).product()
+    }
+
+    /// Enumerate all valuations (assignments variable → value).
+    pub fn valuations(&self) -> Vec<Vec<Value>> {
+        let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+        for (_, domain) in &self.vars {
+            let mut next = Vec::with_capacity(out.len() * domain.len());
+            for v in &out {
+                for d in domain {
+                    let mut v2 = v.clone();
+                    v2.push(d.clone());
+                    next.push(v2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn instantiate(&self, cells: &[CVal], valuation: &[Value]) -> Result<Tuple, EvalError> {
+        let mut vals = Vec::with_capacity(cells.len());
+        for c in cells {
+            vals.push(match c {
+                CVal::Const(v) => v.clone(),
+                CVal::Var(name) => valuation[self.var_index(name)?].clone(),
+            });
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// The world induced by one valuation (set semantics: condition-true
+    /// rows, duplicates merged additively as in the bag embedding).
+    pub fn world_for(&self, valuation: &[Value]) -> Result<Option<Relation>, EvalError> {
+        if !self.global.eval_bool(valuation)? {
+            return Ok(None);
+        }
+        let mut rows = Vec::new();
+        for (cells, cond) in &self.rows {
+            if cond.eval_bool(valuation)? {
+                rows.push((self.instantiate(cells, valuation)?, 1u64));
+            }
+        }
+        Ok(Some(Relation::from_rows(self.schema.clone(), rows)))
+    }
+
+    /// Enumerate all worlds. The chosen SG valuation is the first one
+    /// satisfying the global condition (`μ_SG`).
+    pub fn worlds(&self, max_worlds: usize) -> Result<Option<Vec<Relation>>, EvalError> {
+        if self.valuation_count() > max_worlds {
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        for v in self.valuations() {
+            if let Some(w) = self.world_for(&v)? {
+                out.push(w);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// The SG valuation `μ_SG`: first valuation satisfying the global
+    /// condition.
+    pub fn sg_valuation(&self) -> Result<Option<Vec<Value>>, EvalError> {
+        for v in self.valuations() {
+            if self.global.eval_bool(&v)? {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// `isTautology(φ)` over satisfying valuations of the global
+    /// condition (solver substitute).
+    pub fn is_tautology(&self, cond: &Expr) -> Result<bool, EvalError> {
+        for v in self.valuations() {
+            if self.global.eval_bool(&v)? && !cond.eval_bool(&v)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// `isSatisfiable(φ)` (conjoined with the global condition).
+    pub fn is_satisfiable(&self, cond: &Expr) -> Result<bool, EvalError> {
+        for v in self.valuations() {
+            if self.global.eval_bool(&v)? && cond.eval_bool(&v)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// `trans_C` (Section 11.3): per-row attribute bounds via
+    /// enumeration over valuations satisfying the row's local condition;
+    /// tuple annotations via tautology/satisfiability.
+    pub fn to_au(&self) -> Result<AuRelation, EvalError> {
+        let sg_val = self
+            .sg_valuation()?
+            .ok_or_else(|| EvalError::Unsupported("unsatisfiable global condition".into()))?;
+        let mut out = AuRelation::empty(self.schema.clone());
+        for (cells, cond) in &self.rows {
+            if !self.is_satisfiable(cond)? {
+                continue;
+            }
+            // bounds over valuations where the row exists
+            let mut lo: Option<Tuple> = None;
+            let mut hi: Option<Tuple> = None;
+            for v in self.valuations() {
+                if !self.global.eval_bool(&v)? || !cond.eval_bool(&v)? {
+                    continue;
+                }
+                let t = self.instantiate(cells, &v)?;
+                lo = Some(match lo {
+                    None => t.clone(),
+                    Some(l) => Tuple::new(
+                        l.0.into_iter()
+                            .zip(&t.0)
+                            .map(|(a, b)| Value::min_of(a, b.clone()))
+                            .collect(),
+                    ),
+                });
+                hi = Some(match hi {
+                    None => t.clone(),
+                    Some(h) => Tuple::new(
+                        h.0.into_iter()
+                            .zip(&t.0)
+                            .map(|(a, b)| Value::max_of(a, b.clone()))
+                            .collect(),
+                    ),
+                });
+            }
+            let (lo, hi) = (lo.unwrap(), hi.unwrap());
+            let sg = self.instantiate(cells, &sg_val)?;
+            let in_sg = cond.eval_bool(&sg_val)?;
+            let mut ranges = Vec::with_capacity(cells.len());
+            for i in 0..cells.len() {
+                // the SG instantiation may fall outside the satisfying
+                // bounds when the row is absent from the SGW; widen.
+                let l = Value::min_of(lo.0[i].clone(), sg.0[i].clone());
+                let h = Value::max_of(hi.0[i].clone(), sg.0[i].clone());
+                ranges.push(RangeValue::new(l, sg.0[i].clone(), h)?);
+            }
+            let lb = self.is_tautology(cond)? as u64;
+            let annot = AuAnnot::triple(lb.min(in_sg as u64), in_sg as u64, 1);
+            out.push(RangeTuple::new(ranges), annot);
+        }
+        Ok(out.normalized())
+    }
+
+    /// Explicit possible worlds (single-relation database named `name`).
+    pub fn to_incomplete(
+        &self,
+        name: &str,
+        max_worlds: usize,
+    ) -> Result<Option<IncompleteDb>, EvalError> {
+        let Some(mut worlds) = self.worlds(max_worlds)? else {
+            return Ok(None);
+        };
+        let sg_val = self
+            .sg_valuation()?
+            .ok_or_else(|| EvalError::Unsupported("unsatisfiable global condition".into()))?;
+        let sg_world = self.world_for(&sg_val)?.unwrap().normalized();
+        let sg_index = worlds
+            .iter()
+            .position(|w| w.normalized() == sg_world)
+            .unwrap_or_else(|| {
+                worlds.push(sg_world.clone());
+                worlds.len() - 1
+            });
+        let dbs = worlds
+            .into_iter()
+            .map(|w| {
+                let mut db = Database::new();
+                db.insert(name.to_string(), w);
+                db
+            })
+            .collect();
+        Ok(Some(IncompleteDb::new(dbs, sg_index)))
+    }
+}
+
+/// Build the 3-colorability C-table of Theorem 2's reduction for a graph
+/// — used to exhibit why maximally tight bounds are intractable.
+pub fn three_coloring_ctable(vertices: usize, edges: &[(usize, usize)]) -> CTable {
+    let mut ct = CTable::new(Schema::named(&["one"]));
+    let colors: Vec<Value> = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+    for v in 0..vertices {
+        ct.add_var(format!("x{v}"), colors.clone());
+    }
+    // global: each variable already ranges over {r, g, b} via its domain
+    let mut local = Vec::new();
+    for (a, b) in edges {
+        local.push(audb_core::col(*a).neq(audb_core::col(*b)));
+    }
+    ct.add_row(vec![CVal::Const(Value::Int(1))], Expr::conj(local));
+    ct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::database_bounds_incomplete;
+    use audb_core::{col, lit};
+
+    fn sample() -> CTable {
+        let mut ct = CTable::new(Schema::named(&["a", "b"]));
+        ct.add_var("x", vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        ct.add_var("y", vec![Value::Int(0), Value::Int(1)]);
+        // row 1: (x, 10) exists iff x ≤ 2
+        ct.add_row(
+            vec![CVal::Var("x".into()), CVal::Const(Value::Int(10))],
+            col(0).leq(lit(2i64)),
+        );
+        // row 2: (5, y) always exists
+        ct.add_row(vec![CVal::Const(Value::Int(5)), CVal::Var("y".into())], lit(true));
+        ct
+    }
+
+    #[test]
+    fn world_enumeration() {
+        let ct = sample();
+        assert_eq!(ct.valuation_count(), 6);
+        let worlds = ct.worlds(100).unwrap().unwrap();
+        assert_eq!(worlds.len(), 6);
+    }
+
+    #[test]
+    fn tautology_and_satisfiability() {
+        let ct = sample();
+        assert!(ct.is_tautology(&lit(true)).unwrap());
+        assert!(!ct.is_tautology(&col(0).leq(lit(2i64))).unwrap());
+        assert!(ct.is_satisfiable(&col(0).leq(lit(2i64))).unwrap());
+        assert!(!ct.is_satisfiable(&col(0).gt(lit(9i64))).unwrap());
+    }
+
+    /// Theorem 11: `trans_C(D)` bounds `D`.
+    #[test]
+    fn translation_bounds_input() {
+        let ct = sample();
+        let au = ct.to_au().unwrap();
+        let mut audb = audb_storage::AuDatabase::new();
+        audb.insert("r", au);
+        let inc = ct.to_incomplete("r", 100).unwrap().unwrap();
+        assert!(database_bounds_incomplete(&audb, &inc));
+    }
+
+    #[test]
+    fn bounds_reflect_conditions() {
+        let ct = sample();
+        let au = ct.to_au().unwrap();
+        // row 1 exists only when x ≤ 2 → a ∈ [1, 2]; not a tautology → lb 0
+        let row1 = au
+            .rows()
+            .iter()
+            .find(|(t, _)| t.0[1].sg == Value::Int(10))
+            .unwrap();
+        assert_eq!(row1.0 .0[0].lb, Value::Int(1));
+        assert_eq!(row1.0 .0[0].ub, Value::Int(2));
+        assert_eq!(row1.1.lb, 0);
+        // row 2 is certain with b ∈ [0, 1]
+        let row2 = au
+            .rows()
+            .iter()
+            .find(|(t, _)| t.0[0].sg == Value::Int(5))
+            .unwrap();
+        assert_eq!(row2.1.lb, 1);
+        assert_eq!(row2.0 .0[1].lb, Value::Int(0));
+        assert_eq!(row2.0 .0[1].ub, Value::Int(1));
+    }
+
+    /// Theorem 2's reduction: the tuple is possible iff the graph is
+    /// 3-colorable.
+    #[test]
+    fn three_coloring_reduction() {
+        // triangle: 3-colorable
+        let ct = three_coloring_ctable(3, &[(0, 1), (1, 2), (0, 2)]);
+        let au = ct.to_au().unwrap();
+        assert_eq!(au.len(), 1, "tight upper bound 1 iff colorable");
+        // K4: not 3-colorable → tuple never exists → absent from the AU-DB
+        let k4 = three_coloring_ctable(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        let au = k4.to_au().unwrap();
+        assert!(au.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! V-tables / Codd tables: tuples with labeled nulls, each null ranging
+//! over a finite domain. Input model for the Libkin-style
+//! certain-answer under-approximation baseline and a source of AU-DBs
+//! (nulls become domain-wide ranges).
+
+use audb_core::{AuAnnot, RangeValue, Value};
+use audb_storage::{AuRelation, Database, RangeTuple, Relation, Schema, Tuple};
+
+use crate::worlds::IncompleteDb;
+
+/// A cell of a V-table: a constant or a labeled null (`Var(id)`); equal
+/// ids denote the same unknown value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VCell {
+    Const(Value),
+    Var(usize),
+}
+
+/// A V-table with a shared finite domain for all labeled nulls.
+#[derive(Debug, Clone)]
+pub struct VTable {
+    pub schema: Schema,
+    pub rows: Vec<Vec<VCell>>,
+    /// Domain that labeled nulls range over.
+    pub null_domain: Vec<Value>,
+    /// Number of distinct labeled nulls.
+    pub var_count: usize,
+}
+
+impl VTable {
+    pub fn new(schema: Schema, null_domain: Vec<Value>) -> Self {
+        VTable { schema, rows: Vec::new(), null_domain, var_count: 0 }
+    }
+
+    pub fn fresh_var(&mut self) -> usize {
+        self.var_count += 1;
+        self.var_count - 1
+    }
+
+    pub fn add_row(&mut self, cells: Vec<VCell>) {
+        assert_eq!(cells.len(), self.schema.arity());
+        for c in &cells {
+            if let VCell::Var(v) = c {
+                assert!(*v < self.var_count, "register nulls via fresh_var");
+            }
+        }
+        self.rows.push(cells);
+    }
+
+    fn instantiate(&self, valuation: &[Value]) -> Relation {
+        let rows = self
+            .rows
+            .iter()
+            .map(|cells| {
+                let vals: Vec<Value> = cells
+                    .iter()
+                    .map(|c| match c {
+                        VCell::Const(v) => v.clone(),
+                        VCell::Var(i) => valuation[*i].clone(),
+                    })
+                    .collect();
+                (Tuple::new(vals), 1u64)
+            })
+            .collect();
+        Relation::from_rows(self.schema.clone(), rows)
+    }
+
+    /// Enumerate possible worlds (domain^var_count; test-sized only).
+    pub fn worlds(&self, max_worlds: usize) -> Option<Vec<Relation>> {
+        let count = self.null_domain.len().checked_pow(self.var_count as u32)?;
+        if count > max_worlds {
+            return None;
+        }
+        let mut valuations: Vec<Vec<Value>> = vec![Vec::new()];
+        for _ in 0..self.var_count {
+            let mut next = Vec::with_capacity(valuations.len() * self.null_domain.len());
+            for v in &valuations {
+                for d in &self.null_domain {
+                    let mut v2 = v.clone();
+                    v2.push(d.clone());
+                    next.push(v2);
+                }
+            }
+            valuations = next;
+        }
+        Some(valuations.iter().map(|v| self.instantiate(v)).collect())
+    }
+
+    /// SG valuation: the first domain value for every null.
+    pub fn sg_world(&self) -> Relation {
+        let valuation: Vec<Value> =
+            (0..self.var_count).map(|_| self.null_domain[0].clone()).collect();
+        self.instantiate(&valuation)
+    }
+
+    /// Translate into an AU-relation: labeled nulls become ranges over
+    /// the null domain with the SG valuation's value as selected guess.
+    pub fn to_au(&self) -> AuRelation {
+        let lo = self.null_domain.iter().cloned().reduce(Value::min_of).unwrap_or(Value::MinVal);
+        let hi = self.null_domain.iter().cloned().reduce(Value::max_of).unwrap_or(Value::MaxVal);
+        let mut out = AuRelation::empty(self.schema.clone());
+        for cells in &self.rows {
+            let ranges: Vec<RangeValue> = cells
+                .iter()
+                .map(|c| match c {
+                    VCell::Const(v) => RangeValue::certain(v.clone()),
+                    VCell::Var(_) => RangeValue::new(
+                        lo.clone(),
+                        self.null_domain[0].clone(),
+                        hi.clone(),
+                    )
+                    .expect("domain ordered"),
+                })
+                .collect();
+            out.push(RangeTuple::new(ranges), AuAnnot::certain_one());
+        }
+        out.normalized()
+    }
+
+    /// Explicit possible worlds as a single-relation database.
+    pub fn to_incomplete(&self, name: &str, max_worlds: usize) -> Option<IncompleteDb> {
+        let worlds = self.worlds(max_worlds)?;
+        let sg = self.sg_world().normalized();
+        let sg_index = worlds.iter().position(|w| w.normalized() == sg)?;
+        let dbs = worlds
+            .into_iter()
+            .map(|w| {
+                let mut db = Database::new();
+                db.insert(name.to_string(), w);
+                db
+            })
+            .collect();
+        Some(IncompleteDb::new(dbs, sg_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounding::database_bounds_incomplete;
+
+    fn sample() -> VTable {
+        let mut vt = VTable::new(
+            Schema::named(&["a", "b"]),
+            vec![Value::Int(1), Value::Int(2)],
+        );
+        let x = vt.fresh_var();
+        vt.add_row(vec![VCell::Const(Value::Int(7)), VCell::Var(x)]);
+        vt.add_row(vec![VCell::Var(x), VCell::Const(Value::Int(9))]);
+        vt
+    }
+
+    #[test]
+    fn shared_nulls_correlate_worlds() {
+        let vt = sample();
+        let worlds = vt.worlds(16).unwrap();
+        // one shared null over a 2-value domain: 2 worlds
+        assert_eq!(worlds.len(), 2);
+        for w in &worlds {
+            let rows = w.rows();
+            // in every world, row1.b == row2.a (same labeled null)
+            let b = rows.iter().find(|(t, _)| t.0[0] == Value::Int(7)).unwrap().0 .0[1].clone();
+            assert!(rows.iter().any(|(t, _)| t.0[0] == b && t.0[1] == Value::Int(9)));
+        }
+    }
+
+    #[test]
+    fn translation_bounds_input() {
+        let vt = sample();
+        let mut audb = audb_storage::AuDatabase::new();
+        audb.insert("r", vt.to_au());
+        let inc = vt.to_incomplete("r", 16).unwrap();
+        assert!(database_bounds_incomplete(&audb, &inc));
+    }
+
+    #[test]
+    fn nulls_become_domain_ranges() {
+        let vt = sample();
+        let au = vt.to_au();
+        let row = au
+            .rows()
+            .iter()
+            .find(|(t, _)| t.0[0].sg == Value::Int(7))
+            .unwrap();
+        assert_eq!(row.0 .0[1].lb, Value::Int(1));
+        assert_eq!(row.0 .0[1].ub, Value::Int(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Incomplete K-databases as explicit sets of possible worlds
+//! (Section 3.2) with certain/possible annotations (glb/lub over the
+//! natural order — for bags: min/max multiplicity across worlds).
+
+use std::collections::BTreeSet;
+
+use audb_core::EvalError;
+use audb_storage::{Database, Relation, Tuple};
+
+use audb_query::{eval_det, Query};
+
+/// An incomplete database: a non-empty set of possible worlds, one of
+/// which is designated the selected-guess world.
+#[derive(Debug, Clone)]
+pub struct IncompleteDb {
+    pub worlds: Vec<Database>,
+    /// Index of the selected-guess world in `worlds`.
+    pub sg_index: usize,
+}
+
+impl IncompleteDb {
+    pub fn new(worlds: Vec<Database>, sg_index: usize) -> Self {
+        assert!(!worlds.is_empty(), "an incomplete database has at least one world");
+        assert!(sg_index < worlds.len());
+        IncompleteDb { worlds, sg_index }
+    }
+
+    pub fn sg_world(&self) -> &Database {
+        &self.worlds[self.sg_index]
+    }
+
+    /// Possible-worlds query semantics (Definition 1 / Equation 2):
+    /// evaluate in every world.
+    pub fn eval(&self, q: &Query) -> Result<IncompleteRelation, EvalError> {
+        let worlds: Result<Vec<Relation>, _> =
+            self.worlds.iter().map(|w| eval_det(w, q)).collect();
+        Ok(IncompleteRelation { worlds: worlds?, sg_index: self.sg_index })
+    }
+}
+
+/// A relation-valued possible-worlds set (query result).
+#[derive(Debug, Clone)]
+pub struct IncompleteRelation {
+    pub worlds: Vec<Relation>,
+    pub sg_index: usize,
+}
+
+impl IncompleteRelation {
+    pub fn sg_world(&self) -> &Relation {
+        &self.worlds[self.sg_index]
+    }
+
+    /// All tuples appearing in any world.
+    pub fn all_tuples(&self) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        for w in &self.worlds {
+            for (t, _) in w.rows() {
+                out.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// `cert_N(D, t)` — glb (min) of the tuple's multiplicity across all
+    /// worlds (Section 3.2.1).
+    pub fn certain_multiplicity(&self, t: &Tuple) -> u64 {
+        self.worlds.iter().map(|w| w.multiplicity(t)).min().unwrap_or(0)
+    }
+
+    /// `poss_N(D, t)` — lub (max) multiplicity across all worlds.
+    pub fn possible_multiplicity(&self, t: &Tuple) -> u64 {
+        self.worlds.iter().map(|w| w.multiplicity(t)).max().unwrap_or(0)
+    }
+
+    /// Certain tuples (certain multiplicity > 0).
+    pub fn certain_tuples(&self) -> BTreeSet<Tuple> {
+        self.all_tuples()
+            .into_iter()
+            .filter(|t| self.certain_multiplicity(t) > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+    use audb_query::table;
+    use audb_storage::Schema;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    fn two_worlds() -> IncompleteDb {
+        // Example 3's incomplete N-database
+        let schema = Schema::named(&["state"]);
+        let mut d1 = Database::new();
+        d1.insert(
+            "r",
+            Relation::from_rows(schema.clone(), vec![(it(&[1]), 2), (it(&[2]), 2)]),
+        );
+        let mut d2 = Database::new();
+        d2.insert(
+            "r",
+            Relation::from_rows(schema, vec![(it(&[1]), 3), (it(&[2]), 1), (it(&[3]), 5)]),
+        );
+        IncompleteDb::new(vec![d1, d2], 1)
+    }
+
+    #[test]
+    fn certain_and_possible_annotations_example_3() {
+        let db = two_worlds();
+        let r = db.eval(&table("r")).unwrap();
+        assert_eq!(r.certain_multiplicity(&it(&[1])), 2);
+        assert_eq!(r.possible_multiplicity(&it(&[1])), 3);
+        assert_eq!(r.certain_multiplicity(&it(&[3])), 0);
+        assert_eq!(r.possible_multiplicity(&it(&[3])), 5);
+        assert_eq!(r.certain_tuples().len(), 2);
+    }
+
+    #[test]
+    fn query_distributes_over_worlds() {
+        let db = two_worlds();
+        let q = table("r").select(col(0).geq(lit(2i64)));
+        let r = db.eval(&q).unwrap();
+        assert_eq!(r.worlds.len(), 2);
+        assert_eq!(r.certain_multiplicity(&it(&[2])), 1);
+        assert_eq!(r.possible_multiplicity(&it(&[2])), 2);
+    }
+}

@@ -1,0 +1,728 @@
+//! Bound-preserving aggregation over AU-relations (Section 9).
+//!
+//! Aggregation functions are monoids (`SUM`, `MIN`, `MAX`; `COUNT` is
+//! `SUM` over 1, `AVG` derives from `SUM`/`COUNT`). Tuple annotations are
+//! folded into aggregate values with the bound-preserving operation
+//! `⊛_M` (Definition 23) — a true `N_AU`-semimodule cannot be bound
+//! preserving (Lemma 3), so `⊛_M` takes min/max over the pairwise
+//! combinations of value and multiplicity bounds instead.
+//!
+//! Grouping follows the *default grouping strategy* (Definition 24): one
+//! output tuple per selected-guess group; every input tuple is assigned
+//! (`α`) to the output of its SG group; group-by bounds are the bounding
+//! box over assigned tuples (Definition 25); aggregate bounds range over
+//! the tuples that may fall into the output's box (Definition 26).
+//!
+//! ### Deviations from the paper's literal Definition 26 (soundness fixes)
+//!
+//! Two adjustments, both matching the paper's own rewrite implementation
+//! (Section 10.2) and its Section 9.6 discussion rather than the literal
+//! definition — the literal definition (and its Example 10) produces
+//! bounds that violate Definition 16 when an output's group-by box spans
+//! several groups:
+//!
+//! 1. a tuple contributes *unguarded* (without the `min(0_M,·)` /
+//!    `max(0_M,·)` neutral-element guard) only when its group-by values
+//!    are certain, it certainly exists, **and the output's group-by box
+//!    is exactly that certain group** (the rewrite's `θ_c` predicate).
+//!    Otherwise the output may be matched to a different group that the
+//!    tuple does not belong to, and its unguarded contribution would
+//!    corrupt the bound.
+//! 2. tuples whose group-by values are certain but differ from the
+//!    output's SG group are excluded from the membership set `ð(g)`:
+//!    a tuple-matching cover can always route the groups they pin down
+//!    to their own output (they justify it), so they never constrain
+//!    this output. This tightens bounds and matches Figure 7's values.
+
+use std::collections::HashMap;
+
+use audb_core::{AuAnnot, EvalError, Expr, RangeValue, Value};
+use audb_storage::{AuRelation, RangeTuple, Schema, Tuple};
+
+use crate::algebra::{AggFunc, AggSpec};
+use crate::opt;
+
+/// Aggregation monoids (Section 9.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monoid {
+    Sum,
+    Min,
+    Max,
+}
+
+impl Monoid {
+    /// The neutral element `0_M`, embedded into the value domain
+    /// (`MIN`'s `∞` is the domain-top sentinel, `MAX`'s `-∞` the bottom).
+    pub fn neutral(&self) -> Value {
+        match self {
+            Monoid::Sum => Value::Int(0),
+            Monoid::Min => Value::MaxVal,
+            Monoid::Max => Value::MinVal,
+        }
+    }
+
+    /// Monoid addition `+_M`.
+    pub fn combine(&self, a: &Value, b: &Value) -> Result<Value, EvalError> {
+        match self {
+            Monoid::Sum => a.add(b),
+            Monoid::Min => Ok(Value::min_of(a.clone(), b.clone())),
+            Monoid::Max => Ok(Value::max_of(a.clone(), b.clone())),
+        }
+    }
+
+    /// The semimodule action `k ∗_{N,M} m` (Section 9.2): `SUM` scales by
+    /// the multiplicity; `MIN`/`MAX` are the identity unless `k = 0`, in
+    /// which case the tuple contributes the neutral element.
+    pub fn star(&self, k: u64, m: &Value) -> Result<Value, EvalError> {
+        match self {
+            Monoid::Sum => m.mul_count(k),
+            Monoid::Min | Monoid::Max => Ok(if k == 0 { self.neutral() } else { m.clone() }),
+        }
+    }
+}
+
+/// `⊛_M` (Definition 23): combine an `N_AU` annotation with a
+/// range-annotated value, taking min/max over all pairwise combinations
+/// of bounds. Returns `(lower, sg, upper)`.
+pub fn boxtimes(
+    monoid: Monoid,
+    k: &AuAnnot,
+    m: &RangeValue,
+) -> Result<(Value, Value, Value), EvalError> {
+    let candidates = [
+        monoid.star(k.lb, &m.lb)?,
+        monoid.star(k.lb, &m.ub)?,
+        monoid.star(k.ub, &m.lb)?,
+        monoid.star(k.ub, &m.ub)?,
+    ];
+    let lo = candidates.iter().cloned().reduce(Value::min_of).unwrap();
+    let hi = candidates.into_iter().reduce(Value::max_of).unwrap();
+    let sg = monoid.star(k.sg, &m.sg)?;
+    Ok((lo, sg, hi))
+}
+
+fn clamp(v: Value, lb: &Value, ub: &Value) -> Value {
+    Value::max_of(lb.clone(), Value::min_of(v, ub.clone()))
+}
+
+/// Derived `avg` over range triples: `sum / count` with the denominator
+/// clamped to at least 1 (a group only has an average if it has a
+/// member). The same formula is generated as scalar expressions by the
+/// rewrite middleware, keeping the two evaluators in lockstep.
+pub fn avg_range(sum: &RangeValue, cnt: &RangeValue) -> Result<RangeValue, EvalError> {
+    let one = Value::Int(1);
+    let cl = Value::max_of(one.clone(), cnt.lb.clone());
+    let cu = Value::max_of(one.clone(), cnt.ub.clone());
+    let cs = Value::max_of(one, cnt.sg.clone());
+    let combos = [
+        sum.lb.div(&cl)?,
+        sum.lb.div(&cu)?,
+        sum.ub.div(&cl)?,
+        sum.ub.div(&cu)?,
+    ];
+    let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
+    let hi = combos.into_iter().reduce(Value::max_of).unwrap();
+    let sg = clamp(sum.sg.div(&cs)?, &lo, &hi);
+    RangeValue::new(lo, sg, hi)
+}
+
+struct GroupState {
+    /// Bounding box over the group-by attributes of α-assigned tuples
+    /// (Definition 25).
+    bbox: RangeTuple,
+    /// Indices of α-assigned input rows.
+    alpha: Vec<usize>,
+}
+
+/// Aggregate an AU-relation (Definitions 24–28). With
+/// `compress = Some(ct)`, possible-side contributions are drawn from a
+/// `ct`-tuple compression of the input (Section 10.5) instead of the
+/// input itself — faster, with looser (but still sound) bounds.
+pub fn aggregate_au(
+    rel: &AuRelation,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    compress: Option<usize>,
+) -> Result<AuRelation, EvalError> {
+    let mut names: Vec<String> =
+        group_by.iter().map(|c| rel.schema.column_name(*c).to_string()).collect();
+    names.extend(aggs.iter().map(|a| a.name.clone()));
+    let schema = Schema::new(names);
+
+    // ---- empty input ----------------------------------------------------
+    if rel.is_empty() {
+        if !group_by.is_empty() {
+            return Ok(AuRelation::empty(schema));
+        }
+        // Aggregation without group-by over an empty relation yields the
+        // deterministic neutral row with certainty.
+        let mut vals = Vec::with_capacity(aggs.len());
+        for spec in aggs {
+            let v = match spec.func {
+                AggFunc::Sum | AggFunc::Count => RangeValue::certain(Value::Int(0)),
+                AggFunc::Min | AggFunc::Max | AggFunc::Avg => RangeValue::certain(Value::Null),
+            };
+            vals.push(v);
+        }
+        return Ok(AuRelation::from_rows(
+            schema,
+            vec![(RangeTuple::new(vals), AuAnnot::certain_one())],
+        ));
+    }
+
+    // ---- default grouping strategy (Definition 24) ------------------------
+    let mut groups: HashMap<Tuple, GroupState> = HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for (i, (t, _)) in rel.rows().iter().enumerate() {
+        let gproj = t.project(group_by);
+        let key = gproj.sg();
+        match groups.get_mut(&key) {
+            Some(st) => {
+                st.bbox = st.bbox.merge_keep_sg(&gproj);
+                st.alpha.push(i);
+            }
+            None => {
+                order.push(key.clone());
+                groups.insert(key, GroupState { bbox: gproj, alpha: vec![i] });
+            }
+        }
+    }
+
+    // ---- membership sources (the aggregation analog of the join's
+    // split, Section 10.5): rows with *certain* group-by values can only
+    // ever belong to their own group — index them by group key so each
+    // output reads exactly its own certain members. Rows with uncertain
+    // group-by values are the possible side; with `compress = Some(ct)`
+    // they are compacted into at most `ct` bounding-box buckets before
+    // the per-group overlap scan.
+    let mut certain_by_group: HashMap<Tuple, Vec<usize>> = HashMap::new();
+    let mut uncertain_rows: Vec<usize> = Vec::new();
+    if !group_by.is_empty() {
+        for (i, (t, _)) in rel.rows().iter().enumerate() {
+            let gp = t.project(group_by);
+            if gp.is_certain() {
+                certain_by_group.entry(gp.sg()).or_default().push(i);
+            } else {
+                uncertain_rows.push(i);
+            }
+        }
+    }
+    let uncertain_source: Vec<(RangeTuple, AuAnnot)> = {
+        let raw: Vec<(RangeTuple, AuAnnot)> =
+            uncertain_rows.iter().map(|&i| rel.rows()[i].clone()).collect();
+        match compress {
+            Some(ct) if !group_by.is_empty() => opt::compress_rows(&raw, group_by[0], ct),
+            _ => raw,
+        }
+    };
+
+    // For aggregation without group-by, the single output row exists in
+    // *every* world — including worlds where the input is empty, where
+    // the deterministic MIN/MAX/AVG is Null. Track whether the input may
+    // be empty (no certainly-existing row) and whether the SG world is
+    // empty, to extend bounds / set the SG component accordingly.
+    let possibly_empty =
+        group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.lb == 0);
+    let sg_world_empty =
+        group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.sg == 0);
+
+    let mut out = AuRelation::empty(schema);
+    for key in &order {
+        let st = &groups[key];
+        let bbox_certain = st.bbox.is_certain();
+
+        // ð(g): possible members — this group's own certain rows plus
+        // every uncertain-group source whose group-by ranges overlap the
+        // output's box. (Tuples pinned to another certain group are
+        // excluded by construction — deviation 2 in the module docs.)
+        let mut members: Vec<&(RangeTuple, AuAnnot)> = Vec::new();
+        if group_by.is_empty() {
+            members.extend(rel.rows().iter());
+        } else {
+            if let Some(own) = certain_by_group.get(key) {
+                members.extend(own.iter().map(|&i| &rel.rows()[i]));
+            }
+            members.extend(
+                uncertain_source
+                    .iter()
+                    .filter(|(t, _)| t.project(group_by).overlaps(&st.bbox)),
+            );
+        }
+
+        // ---- aggregate value bounds --------------------------------------
+        let one = audb_core::lit(1i64);
+        let mut agg_vals = Vec::with_capacity(aggs.len());
+        for spec in aggs {
+            let v = match spec.func {
+                AggFunc::Sum => agg_bounds(
+                    rel, st, key, group_by, &members, Monoid::Sum, &spec.input, bbox_certain,
+                )?,
+                AggFunc::Count => agg_bounds(
+                    rel, st, key, group_by, &members, Monoid::Sum, &one, bbox_certain,
+                )?,
+                AggFunc::Min => agg_bounds(
+                    rel, st, key, group_by, &members, Monoid::Min, &spec.input, bbox_certain,
+                )?,
+                AggFunc::Max => agg_bounds(
+                    rel, st, key, group_by, &members, Monoid::Max, &spec.input, bbox_certain,
+                )?,
+                AggFunc::Avg => {
+                    let sum = agg_bounds(
+                        rel, st, key, group_by, &members, Monoid::Sum, &spec.input, bbox_certain,
+                    )?;
+                    let cnt = agg_bounds(
+                        rel, st, key, group_by, &members, Monoid::Sum, &one, bbox_certain,
+                    )?;
+                    avg_range(&sum, &cnt)?
+                }
+            };
+            let v = if group_by.is_empty() {
+                adjust_for_possible_empty(v, spec.func, possibly_empty, sg_world_empty)?
+            } else {
+                v
+            };
+            agg_vals.push(v);
+        }
+
+        // ---- row annotation (Definition 28 + the Section 9.6 improved
+        // group-count bound: α-assigned tuples with *certain* group-by
+        // values can only ever form the single group `g`, so they
+        // contribute one possible group in total; each uncertain tuple
+        // may spawn up to `ub` distinct groups of its own) -----------------
+        let mut lb_any_certain = false;
+        let mut sg_sum = 0u64;
+        let mut any_certain_group = false;
+        let mut uncertain_ub_sum = 0u64;
+        for &i in &st.alpha {
+            let (t, k) = &rel.rows()[i];
+            let certain_g = t.project(group_by).is_certain();
+            if certain_g {
+                any_certain_group = true;
+                if k.lb > 0 {
+                    lb_any_certain = true;
+                }
+            } else {
+                uncertain_ub_sum += k.ub;
+            }
+            sg_sum += k.sg;
+        }
+        // Without group-by the single output row exists in every world
+        // (Definition 27); with group-by, Definition 28 + the improved
+        // group-count bound apply.
+        let annot = if group_by.is_empty() {
+            AuAnnot::certain_one()
+        } else {
+            AuAnnot::triple(
+                lb_any_certain as u64,
+                if sg_sum > 0 { 1 } else { 0 },
+                (any_certain_group as u64 + uncertain_ub_sum)
+                    .max(if sg_sum > 0 { 1 } else { 0 }),
+            )
+        };
+
+        let mut tvals = st.bbox.0.clone();
+        tvals.extend(agg_vals);
+        out.push(RangeTuple::new(tvals), annot);
+    }
+    Ok(out.normalized())
+}
+
+/// Widen a no-group-by aggregate for worlds with an empty input:
+/// `MIN`/`MAX`/`AVG` over an empty relation is `Null`, so when the
+/// input may be empty the lower bound must extend down to `Null`, and
+/// when the SG world is empty the SG component *is* `Null` (matching
+/// deterministic evaluation). `SUM`/`COUNT` need no widening — their
+/// empty value 0 is already inside the guarded bounds.
+fn adjust_for_possible_empty(
+    v: RangeValue,
+    func: AggFunc,
+    possibly_empty: bool,
+    sg_world_empty: bool,
+) -> Result<RangeValue, EvalError> {
+    match func {
+        AggFunc::Sum | AggFunc::Count => Ok(v),
+        AggFunc::Min | AggFunc::Max | AggFunc::Avg => {
+            let lb = if possibly_empty {
+                Value::min_of(v.lb, Value::Null)
+            } else {
+                v.lb
+            };
+            let sg = if sg_world_empty { Value::Null } else { v.sg };
+            RangeValue::new(lb, sg, v.ub)
+        }
+    }
+}
+
+/// Compute the `[lb / sg / ub]` of one monoid aggregate for one output
+/// group (Definition 26, with the rewrite-consistent `ug` predicate —
+/// see module docs).
+#[allow(clippy::too_many_arguments)]
+fn agg_bounds(
+    rel: &AuRelation,
+    st: &GroupState,
+    gkey: &Tuple,
+    group_by: &[usize],
+    members: &[&(RangeTuple, AuAnnot)],
+    monoid: Monoid,
+    input: &Expr,
+    bbox_certain: bool,
+) -> Result<RangeValue, EvalError> {
+    let neutral = monoid.neutral();
+    let mut lb_acc = neutral.clone();
+    let mut ub_acc = neutral.clone();
+
+    for (t, k) in members {
+        let m = input.eval_range(t.values())?;
+        let (lo, _, hi) = boxtimes(monoid, k, &m)?;
+        let gproj = t.project(group_by);
+        let non_ug = k.lb > 0 && bbox_certain && gproj.is_certain() && gproj.sg() == *gkey;
+        let (lbc, ubc) = if non_ug {
+            (lo, hi)
+        } else {
+            (
+                Value::min_of(neutral.clone(), lo),
+                Value::max_of(neutral.clone(), hi),
+            )
+        };
+        lb_acc = monoid.combine(&lb_acc, &lbc)?;
+        ub_acc = monoid.combine(&ub_acc, &ubc)?;
+    }
+
+    // SG component: deterministic aggregation over the SG world —
+    // α-assigned original tuples only (the rewrite's `θ_sg` guard).
+    let mut sg_acc = neutral;
+    for &i in &st.alpha {
+        let (t, k) = &rel.rows()[i];
+        let m = input.eval_range(t.values())?;
+        let (_, sgv, _) = boxtimes(monoid, k, &m)?;
+        sg_acc = monoid.combine(&sg_acc, &sgv)?;
+    }
+
+    let sg = clamp(sg_acc, &lb_acc, &ub_acc);
+    RangeValue::new(lb_acc, sg, ub_acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::col;
+    use audb_storage::au_row;
+
+    fn r2(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::range(lb, sg, ub)
+    }
+
+    /// Example 10 (with the soundness fix): sum of A grouped by B over
+    /// ⟨[3/5/10], 3⟩ and ⟨[-4/-3/-3], [2/3/4]⟩, both annotated (1,2,2).
+    /// The output group's box is [2/3/4] — not certain — so *both* rows
+    /// are guarded: lb = min(0,3) + min(0,-8) = -8. (The paper's example
+    /// computes -5 by leaving the first row unguarded, which is unsound
+    /// when the output may be matched to group 2 or 4: a world where the
+    /// second tuple lands in group 2 with sum -8 must be bounded.)
+    #[test]
+    fn example_10_sum_lower_bound_sound() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            vec![
+                au_row(vec![r2(3, 5, 10), RangeValue::certain(Value::Int(3))], 1, 2, 2),
+                au_row(vec![r2(-4, -3, -3), r2(2, 3, 4)], 1, 2, 2),
+            ],
+        );
+        let out = aggregate_au(
+            &rel,
+            &[1],
+            &[AggSpec::new(AggFunc::Sum, col(0), "s")],
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, _) = &out.rows()[0];
+        let sum = &t.0[1];
+        assert_eq!(sum.lb, Value::Int(-8));
+        // SG: both tuples in SGW group 3: 5·2 + (-3)·2 = 4
+        assert_eq!(sum.sg, Value::Int(4));
+        // upper bound: max(0, 20) + max(0, -3) = 20
+        assert_eq!(sum.ub, Value::Int(20));
+    }
+
+    /// When every group-by value is certain, bounds are exact per group
+    /// (matching Example 10's intent for fully certain grouping).
+    #[test]
+    fn certain_groups_exact_contributions() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            vec![
+                au_row(vec![r2(3, 5, 10), RangeValue::certain(Value::Int(3))], 1, 2, 2),
+                au_row(vec![r2(-4, -3, -3), RangeValue::certain(Value::Int(3))], 1, 2, 2),
+            ],
+        );
+        let out =
+            aggregate_au(&rel, &[1], &[AggSpec::new(AggFunc::Sum, col(0), "s")], None).unwrap();
+        let sum = &out.rows()[0].0 .0[1];
+        // lb: 3·1 + (-4)·2 = -5; sg: 10 − 6 = 4; ub: 10·2 + (-3)·1 = 17
+        assert_eq!(sum.lb, Value::Int(-5));
+        assert_eq!(sum.sg, Value::Int(4));
+        assert_eq!(sum.ub, Value::Int(17));
+    }
+
+    /// Figure 7(c): count(*) grouped by street (street of the second
+    /// address is unknown). Values match the figure except where the
+    /// figure's bounds are unsound/conditional (see module docs):
+    /// Canal's count lower bound and Monroe's conditional bounds.
+    #[test]
+    fn figure_7_count_by_street() {
+        let street = |s: &str| RangeValue::certain(Value::str(s));
+        let unknown_street = |sg: &str| RangeValue::unknown(Value::str(sg));
+        let rel = AuRelation::from_rows(
+            Schema::named(&["street", "number"]),
+            vec![
+                au_row(vec![street("Canal"), r2(165, 165, 165)], 1, 1, 2),
+                au_row(vec![unknown_street("Canal"), r2(153, 153, 156)], 1, 1, 1),
+                au_row(vec![street("State"), r2(623, 623, 629)], 2, 2, 3),
+                au_row(vec![street("Monroe"), r2(3550, 3574, 3585)], 0, 0, 1),
+            ],
+        );
+        let out = aggregate_au(&rel, &[0], &[AggSpec::count("cnt")], None).unwrap();
+        let mut by_street = std::collections::HashMap::new();
+        for (t, k) in out.rows() {
+            by_street.insert(format!("{}", t.0[0].sg), (t.0[1].clone(), *k));
+        }
+        // Canal: its box covers the whole domain (unknown street merged
+        // in), so both member rows are guarded: [0/2/3], annot (1,1,2).
+        let (canal_cnt, canal_annot) = &by_street["Canal"];
+        assert_eq!(canal_cnt.lb, Value::Int(0));
+        assert_eq!(canal_cnt.sg, Value::Int(2));
+        assert_eq!(canal_cnt.ub, Value::Int(3));
+        assert_eq!(*canal_annot, AuAnnot::triple(1, 1, 2));
+        // State: certain box; the unknown-street row may join: [2/2/4],
+        // annot (1,1,1) — exactly the figure.
+        let (state_cnt, state_annot) = &by_street["State"];
+        assert_eq!(state_cnt.lb, Value::Int(2));
+        assert_eq!(state_cnt.sg, Value::Int(2));
+        assert_eq!(state_cnt.ub, Value::Int(4));
+        assert_eq!(*state_annot, AuAnnot::triple(1, 1, 1));
+        // Monroe: possible-only row → row annotation (0,0,1); count is
+        // [0/0/2] (the figure reports the conditional bound [1/1/2]).
+        let (monroe_cnt, monroe_annot) = &by_street["Monroe"];
+        assert_eq!(monroe_cnt.lb, Value::Int(0));
+        assert_eq!(monroe_cnt.ub, Value::Int(2));
+        assert_eq!(*monroe_annot, AuAnnot::triple(0, 0, 1));
+    }
+
+    /// Figure 7(b): aggregation without group-by sums everything,
+    /// guarding possible-only tuples with the neutral element.
+    #[test]
+    fn figure_7_sum_no_groupby() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["inhab"]),
+            vec![
+                au_row(vec![r2(1, 1, 1)], 1, 1, 2),
+                au_row(vec![r2(1, 2, 2)], 1, 1, 1),
+                au_row(vec![r2(2, 2, 2)], 2, 2, 3),
+                au_row(vec![r2(2, 3, 4)], 0, 0, 1),
+            ],
+        );
+        let out =
+            aggregate_au(&rel, &[], &[AggSpec::new(AggFunc::Sum, col(0), "pop")], None).unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, k) = &out.rows()[0];
+        // lb: 1 + 1 + 4 + min(0,2·0) = 6; sg: 1 + 2 + 4 + 0 = 7
+        // ub: 2 + 2 + 6 + max(0,4) = 14 — matches Figure 7(b) [6/7/14].
+        assert_eq!(t.0[0], r2(6, 7, 14));
+        assert_eq!(*k, AuAnnot::certain_one());
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                au_row(vec![RangeValue::certain(Value::Int(1)), r2(5, 6, 7)], 1, 1, 1),
+                au_row(vec![r2(1, 1, 2), r2(2, 3, 4)], 0, 1, 1),
+            ],
+        );
+        let out = aggregate_au(
+            &rel,
+            &[0],
+            &[
+                AggSpec::new(AggFunc::Min, col(1), "lo"),
+                AggSpec::new(AggFunc::Max, col(1), "hi"),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, _) = &out.rows()[0];
+        let (lo, hi) = (&t.0[1], &t.0[2]);
+        // The output box [1/1/2] is uncertain: the output may represent
+        // group 2 (second row only), so the first row's values cannot
+        // tighten the aggregate's outer bounds.
+        assert_eq!(lo.lb, Value::Int(2));
+        assert_eq!(lo.sg, Value::Int(3)); // SGW: min(6, 3) = 3
+        assert_eq!(lo.ub, Value::MaxVal);
+        assert_eq!(hi.lb, Value::MinVal);
+        assert_eq!(hi.sg, Value::Int(6));
+        assert_eq!(hi.ub, Value::Int(7));
+    }
+
+    #[test]
+    fn min_max_certain_group_tight() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                au_row(vec![RangeValue::certain(Value::Int(1)), r2(5, 6, 7)], 1, 1, 1),
+                au_row(vec![RangeValue::certain(Value::Int(1)), r2(2, 3, 4)], 0, 1, 1),
+            ],
+        );
+        let out = aggregate_au(
+            &rel,
+            &[0],
+            &[
+                AggSpec::new(AggFunc::Min, col(1), "lo"),
+                AggSpec::new(AggFunc::Max, col(1), "hi"),
+            ],
+            None,
+        )
+        .unwrap();
+        let (t, k) = &out.rows()[0];
+        let (lo, hi) = (&t.0[1], &t.0[2]);
+        // group is certain: row 1 contributes exactly; row 2 might not
+        // exist (lb 0) so it cannot raise the min's lower bound above 2
+        // nor guarantee the max exceeds 7.
+        assert_eq!(*lo, r2(2, 3, 7));
+        assert_eq!(*hi, r2(5, 6, 7));
+        assert_eq!(*k, AuAnnot::triple(1, 1, 1));
+    }
+
+    #[test]
+    fn avg_derived_from_sum_count() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["v"]),
+            vec![
+                au_row(vec![r2(10, 10, 10)], 1, 1, 1),
+                au_row(vec![r2(20, 20, 20)], 0, 1, 1),
+            ],
+        );
+        let out =
+            aggregate_au(&rel, &[], &[AggSpec::new(AggFunc::Avg, col(0), "a")], None).unwrap();
+        let (t, _) = &out.rows()[0];
+        let avg = &t.0[0];
+        // sum ∈ [10, 30], count ∈ [1, 2] → avg ∈ [5, 30]; SG: 30/2 = 15
+        assert_eq!(avg.lb, Value::float(5.0));
+        assert_eq!(avg.sg, Value::float(15.0));
+        assert_eq!(avg.ub, Value::float(30.0));
+    }
+
+    #[test]
+    fn empty_input_no_groupby_neutral_row() {
+        let rel = AuRelation::empty(Schema::named(&["v"]));
+        let out = aggregate_au(
+            &rel,
+            &[],
+            &[
+                AggSpec::new(AggFunc::Sum, col(0), "s"),
+                AggSpec::new(AggFunc::Min, col(0), "m"),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, k) = &out.rows()[0];
+        assert_eq!(t.0[0], RangeValue::certain(Value::Int(0)));
+        assert_eq!(t.0[1], RangeValue::certain(Value::Null));
+        assert_eq!(*k, AuAnnot::certain_one());
+    }
+
+    #[test]
+    fn empty_input_with_groupby_empty_result() {
+        let rel = AuRelation::empty(Schema::named(&["g", "v"]));
+        let out =
+            aggregate_au(&rel, &[0], &[AggSpec::new(AggFunc::Sum, col(1), "s")], None).unwrap();
+        assert!(out.is_empty());
+    }
+
+    /// SGW extraction commutes with aggregation: the SG components of the
+    /// AU aggregate equal deterministic aggregation over the SG world.
+    #[test]
+    fn sg_commutes_with_aggregation() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                au_row(vec![r2(1, 1, 3), r2(5, 10, 20)], 1, 2, 2),
+                au_row(vec![r2(1, 2, 2), r2(0, 4, 8)], 0, 1, 3),
+                au_row(vec![RangeValue::certain(Value::Int(2)), r2(-5, -1, 0)], 1, 1, 1),
+            ],
+        );
+        let out = aggregate_au(
+            &rel,
+            &[0],
+            &[AggSpec::new(AggFunc::Sum, col(1), "s"), AggSpec::count("c")],
+            None,
+        )
+        .unwrap();
+        let sgw_agg = out.sg_world();
+        let det = crate::det::aggregate_det(
+            &rel.sg_world(),
+            &[0],
+            &[AggSpec::new(AggFunc::Sum, col(1), "s"), AggSpec::count("c")],
+        )
+        .unwrap();
+        assert_eq!(sgw_agg, det.normalized());
+    }
+
+    /// Compression keeps bounds sound but looser (Lemma 10.2 shape).
+    #[test]
+    fn compressed_aggregation_subsumes_precise() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                au_row(vec![r2(1, 1, 2), r2(5, 10, 20)], 1, 1, 1),
+                au_row(vec![r2(1, 2, 3), r2(0, 4, 8)], 0, 1, 2),
+                au_row(vec![r2(2, 3, 3), r2(-5, -1, 0)], 1, 1, 1),
+                au_row(vec![r2(3, 3, 4), r2(2, 2, 2)], 1, 1, 1),
+            ],
+        );
+        let aggs = [AggSpec::new(AggFunc::Sum, col(1), "s")];
+        let precise = aggregate_au(&rel, &[0], &aggs, None).unwrap();
+        let compressed = aggregate_au(&rel, &[0], &aggs, Some(2)).unwrap();
+        assert_eq!(precise.sg_world(), compressed.sg_world());
+        // every precise tuple's bounds are inside the compressed ones
+        for (tp, kp) in precise.rows() {
+            let (tc, kc) = compressed
+                .rows()
+                .iter()
+                .find(|(tc, _)| tc.sg() == tp.sg())
+                .expect("group preserved");
+            for (rp, rc) in tp.0.iter().zip(&tc.0) {
+                assert!(rc.lb <= rp.lb && rp.ub <= rc.ub, "{rc} should contain {rp}");
+            }
+            assert!(kc.lb <= kp.lb && kp.ub <= kc.ub);
+        }
+    }
+
+    /// Tuples pinned to a different certain group do not pollute this
+    /// group's bounds (deviation 2 / Figure 7's State row).
+    #[test]
+    fn foreign_certain_tuples_excluded() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                // group 1 with a wide box due to an uncertain member
+                au_row(vec![r2(1, 1, 9), r2(0, 1, 1)], 1, 1, 1),
+                // certainly group 5 — inside group 1's box but pinned
+                au_row(vec![RangeValue::certain(Value::Int(5)), r2(100, 100, 100)], 1, 1, 1),
+            ],
+        );
+        let out =
+            aggregate_au(&rel, &[0], &[AggSpec::new(AggFunc::Sum, col(1), "s")], None).unwrap();
+        let g1 = out
+            .rows()
+            .iter()
+            .find(|(t, _)| t.0[0].sg == Value::Int(1))
+            .unwrap();
+        let sum = &g1.0 .0[1];
+        // without the exclusion the foreign row's +100 would leak in
+        assert_eq!(sum.ub, Value::Int(1));
+        assert_eq!(sum.lb, Value::Int(0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Bound-preserving set difference over AU-relations (Section 8,
+//! Definition 22, Theorem 4).
+//!
+//! The naive pointwise monus does not preserve bounds: because of the
+//! negation, a lower bound on the left must be reduced by an *upper*
+//! bound of everything on the right that may coincide with it (`≃`,
+//! attribute ranges overlap), while the upper bound is only reduced by
+//! right tuples that are *certainly* equal (`≡`).
+
+use audb_core::EvalError;
+use audb_storage::AuRelation;
+
+use super::combine::sg_combine;
+
+/// `R1 − R2` (Definition 22). The left input is first `Ψ`-combined so
+/// each SGW tuple is represented once.
+pub fn difference_au(l: &AuRelation, r: &AuRelation) -> Result<AuRelation, EvalError> {
+    l.schema.check_union_compatible(&r.schema)?;
+    let left = sg_combine(l);
+    let mut out = AuRelation::empty(left.schema.clone());
+    for (t, k) in left.rows() {
+        let t_sg = t.sg();
+        let mut sub_overlap_ub = 0u64; // Σ_{t ≃ t'} R2(t')↑
+        let mut sub_sg = 0u64; //          Σ_{t^sg = t'^sg} R2(t')^sg
+        let mut sub_cert_lb = 0u64; //     Σ_{t ≡ t'} R2(t')↓
+        for (t2, k2) in r.rows() {
+            if t.overlaps(t2) {
+                sub_overlap_ub += k2.ub;
+            }
+            if t_sg == t2.sg() {
+                sub_sg += k2.sg;
+            }
+            if t.certainly_equal(t2) {
+                sub_cert_lb += k2.lb;
+            }
+        }
+        let annot = k.monus_bounds(sub_overlap_ub, sub_sg, sub_cert_lb);
+        out.push(t.clone(), annot);
+    }
+    Ok(out.normalized())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{AuAnnot, RangeValue};
+    use audb_storage::{au_row, certain_row, RangeTuple, Schema};
+
+    fn schema() -> Schema {
+        Schema::named(&["A"])
+    }
+
+    /// The Section 8.2 running example (without attribute uncertainty):
+    /// R(1) ↦ (1,2,2), S(1) ↦ (0,0,3): lower bound must drop to 0.
+    #[test]
+    fn bounds_cross_when_subtracting() {
+        let r = AuRelation::from_rows(schema(), vec![certain_row(&[1], 1, 2, 2)]);
+        let s = AuRelation::from_rows(schema(), vec![certain_row(&[1], 0, 0, 3)]);
+        let out = difference_au(&r, &s).unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(0, 2, 2));
+    }
+
+    /// The D2 example of Section 8.2: the SGW tuple (1) is encoded by two
+    /// AU tuples; Ψ must merge them before subtracting.
+    #[test]
+    fn combiner_prevents_over_reduction() {
+        let r = AuRelation::from_rows(
+            schema(),
+            vec![
+                certain_row(&[1], 1, 1, 1),
+                au_row(vec![RangeValue::range(1i64, 1i64, 2i64)], 1, 1, 1),
+            ],
+        );
+        let s = AuRelation::from_rows(
+            schema(),
+            vec![au_row(vec![RangeValue::range(1i64, 1i64, 2i64)], 1, 1, 3)],
+        );
+        let out = difference_au(&r, &s).unwrap();
+        // Ψ(R) = ([1/1/2]) ↦ (2,2,2); subtract: lb: 2 − 3 = 0,
+        // sg: 2 − 1 = 1, ub: 2 − 0 = 2 (S tuple is not certain, so no
+        // certain reduction of the upper bound).
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(0, 1, 2));
+    }
+
+    #[test]
+    fn certain_equal_reduces_upper_bound() {
+        let r = AuRelation::from_rows(schema(), vec![certain_row(&[5], 2, 3, 4)]);
+        let s = AuRelation::from_rows(schema(), vec![certain_row(&[5], 1, 1, 1)]);
+        let out = difference_au(&r, &s).unwrap();
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(1, 2, 3));
+    }
+
+    #[test]
+    fn non_overlapping_right_is_ignored() {
+        let r = AuRelation::from_rows(schema(), vec![certain_row(&[5], 2, 2, 2)]);
+        let s = AuRelation::from_rows(schema(), vec![certain_row(&[9], 5, 5, 5)]);
+        let out = difference_au(&r, &s).unwrap();
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(2, 2, 2));
+    }
+
+    #[test]
+    fn overlap_only_reduces_lower_bound() {
+        let r = AuRelation::from_rows(schema(), vec![certain_row(&[5], 2, 2, 2)]);
+        let s = AuRelation::from_rows(
+            schema(),
+            vec![au_row(vec![RangeValue::range(4i64, 6i64, 7i64)], 1, 1, 1)],
+        );
+        let out = difference_au(&r, &s).unwrap();
+        // S's tuple may be 5 (overlap) but is not certainly 5 and its SG
+        // is 6 ≠ 5: lb 2−1=1, sg 2−0=2, ub 2−0=2.
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(1, 2, 2));
+    }
+
+    #[test]
+    fn fully_subtracted_tuples_vanish() {
+        let r = AuRelation::from_rows(schema(), vec![certain_row(&[5], 1, 1, 1)]);
+        let s = AuRelation::from_rows(schema(), vec![certain_row(&[5], 2, 2, 2)]);
+        let out = difference_au(&r, &s).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sgw_commutes_with_difference() {
+        use audb_core::Value;
+        let r = AuRelation::from_rows(
+            schema(),
+            vec![
+                au_row(vec![RangeValue::range(1i64, 2i64, 3i64)], 0, 2, 4),
+                certain_row(&[7], 1, 1, 1),
+            ],
+        );
+        let s = AuRelation::from_rows(
+            schema(),
+            vec![au_row(vec![RangeValue::range(2i64, 2i64, 9i64)], 0, 1, 2)],
+        );
+        let out = difference_au(&r, &s).unwrap();
+        // SG worlds: R^sg = {2↦2, 7↦1}, S^sg = {2↦1} → {2↦1, 7↦1}
+        let sgw = out.sg_world();
+        assert_eq!(sgw.multiplicity(&[Value::Int(2)].into_iter().collect()), 1);
+        assert_eq!(sgw.multiplicity(&[Value::Int(7)].into_iter().collect()), 1);
+        let _ = RangeTuple::certain; // silence potential unused warnings in cfg combos
+    }
+}

@@ -1,0 +1,352 @@
+//! Native AU-DB query semantics (Sections 7–9): bound-preserving
+//! evaluation of `RA^agg` directly over [`AuRelation`]s.
+//!
+//! * `RA+` (Section 7): standard `K_AU`-relational semantics where
+//!   selection conditions evaluate to boolean triples mapped into
+//!   annotations by `M_K` (Definition 19);
+//! * set difference (Section 8) via the SG-combiner `Ψ`;
+//! * grouping/aggregation (Section 9) with the default grouping
+//!   strategy;
+//! * optional compaction (Section 10.4/10.5) configured per query.
+
+pub mod aggregate;
+pub mod combine;
+pub mod difference;
+
+use audb_core::{AuAnnot, EvalError, Expr, Semiring};
+use audb_storage::{AuDatabase, AuRelation, Schema};
+
+use crate::algebra::Query;
+use crate::opt;
+
+/// Evaluation options: `None` disables an optimization, `Some(ct)` bounds
+/// the compressed possible-side of joins/aggregation to `ct` tuples
+/// (the paper's "CT" knob in Figures 13–16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuConfig {
+    /// Apply the split/compress join optimization (Section 10.4).
+    pub join_compress: Option<usize>,
+    /// Apply the compressed-possible-side aggregation optimization
+    /// (Section 10.5).
+    pub agg_compress: Option<usize>,
+}
+
+impl AuConfig {
+    /// Fully precise evaluation (the formal semantics, no compaction).
+    pub fn precise() -> Self {
+        AuConfig::default()
+    }
+
+    /// Compact intermediate results to at most `ct` possible tuples.
+    pub fn compressed(ct: usize) -> Self {
+        AuConfig { join_compress: Some(ct), agg_compress: Some(ct) }
+    }
+}
+
+/// Evaluate a query over an AU-database.
+pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
+    Ok(eval_inner(db, q, cfg)?.normalized())
+}
+
+fn eval_inner(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
+    match q {
+        Query::Table(name) => Ok(db.get(name)?.clone()),
+        Query::Select { input, predicate } => {
+            let rel = eval_inner(db, input, cfg)?;
+            select_au(&rel, predicate)
+        }
+        Query::Project { input, exprs } => {
+            let rel = eval_inner(db, input, cfg)?;
+            project_au(&rel, exprs)
+        }
+        Query::Join { left, right, predicate } => {
+            let l = eval_inner(db, left, cfg)?;
+            let r = eval_inner(db, right, cfg)?;
+            match cfg.join_compress {
+                Some(ct) => opt::optimized_join(&l, &r, predicate.as_ref(), ct),
+                None => join_au(&l, &r, predicate.as_ref()),
+            }
+        }
+        Query::Union { left, right } => {
+            let l = eval_inner(db, left, cfg)?;
+            let r = eval_inner(db, right, cfg)?;
+            union_au(&l, &r)
+        }
+        Query::Difference { left, right } => {
+            let l = eval_inner(db, left, cfg)?;
+            let r = eval_inner(db, right, cfg)?;
+            difference::difference_au(&l, &r)
+        }
+        Query::Distinct { input } => {
+            // δ is aggregation grouping on all columns with no aggregates;
+            // this inherits the treatment of uncertain "group" membership.
+            let rel = eval_inner(db, input, cfg)?;
+            let all: Vec<usize> = (0..rel.schema.arity()).collect();
+            aggregate::aggregate_au(&rel, &all, &[], cfg.agg_compress)
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            let rel = eval_inner(db, input, cfg)?;
+            aggregate::aggregate_au(&rel, group_by, aggs, cfg.agg_compress)
+        }
+    }
+}
+
+/// Selection (Definition 20): multiply each tuple's annotation with
+/// `M_N(⟦θ⟧)` of the range-annotated condition result.
+pub fn select_au(rel: &AuRelation, predicate: &Expr) -> Result<AuRelation, EvalError> {
+    let mut out = AuRelation::empty(rel.schema.clone());
+    for (t, k) in rel.rows() {
+        let (lb, sg, ub) = predicate.eval_range_bool3(t.values())?;
+        if !ub {
+            continue; // certainly false in all worlds
+        }
+        let m = AuAnnot::from_bool3(lb, sg, ub);
+        out.push(t.clone(), k.times(&m));
+    }
+    Ok(out)
+}
+
+/// Generalized projection: evaluate each projection expression with the
+/// range-annotated semantics; identical range tuples merge on normalize.
+pub fn project_au(rel: &AuRelation, exprs: &[(Expr, String)]) -> Result<AuRelation, EvalError> {
+    let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+    let mut out = AuRelation::empty(schema);
+    for (t, k) in rel.rows() {
+        let vals: Result<Vec<_>, _> = exprs.iter().map(|(e, _)| e.eval_range(t.values())).collect();
+        out.push(audb_storage::RangeTuple::new(vals?), *k);
+    }
+    Ok(out.normalized())
+}
+
+/// Theta-join: cross product with annotation multiplication, filtered by
+/// the range-annotated predicate. This is the *unoptimized* path — range
+/// predicates degenerate to interval-overlap tests, hence nested loops
+/// (the bottleneck Section 10.4 addresses).
+pub fn join_au(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+) -> Result<AuRelation, EvalError> {
+    let schema = l.schema.concat(&r.schema);
+    let mut out = AuRelation::empty(schema);
+    for (tl, kl) in l.rows() {
+        for (tr, kr) in r.rows() {
+            let t = tl.concat(tr);
+            let mut k = kl.times(kr);
+            if let Some(p) = predicate {
+                let (plb, psg, pub_) = p.eval_range_bool3(t.values())?;
+                if !pub_ {
+                    continue;
+                }
+                k = k.times(&AuAnnot::from_bool3(plb, psg, pub_));
+            }
+            out.push(t, k);
+        }
+    }
+    Ok(out)
+}
+
+/// Bag union: annotation addition in `N_AU`.
+pub fn union_au(l: &AuRelation, r: &AuRelation) -> Result<AuRelation, EvalError> {
+    l.schema.check_union_compatible(&r.schema)?;
+    let mut rows = l.rows().to_vec();
+    rows.extend(r.rows().iter().cloned());
+    Ok(AuRelation::from_rows(l.schema.clone(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit, RangeValue, Value};
+    use audb_storage::{au_row, certain_row, RangeTuple};
+
+    fn schema_a() -> Schema {
+        Schema::named(&["A"])
+    }
+
+    /// Example 9: σ_{A=2} over ([1/2/3]) annotated (1,2,3) yields (0,2,3).
+    #[test]
+    fn selection_example_9() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            vec![au_row(
+                vec![RangeValue::range(1i64, 2i64, 3i64), RangeValue::certain(Value::Int(2))],
+                1,
+                2,
+                3,
+            )],
+        );
+        let out = select_au(&rel, &col(0).eq(lit(2i64))).unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(0, 2, 3));
+    }
+
+    #[test]
+    fn selection_drops_certainly_false() {
+        let rel = AuRelation::from_rows(
+            schema_a(),
+            vec![au_row(vec![RangeValue::range(1i64, 2i64, 3i64)], 1, 1, 1)],
+        );
+        let out = select_au(&rel, &col(0).gt(lit(10i64))).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn projection_merges_tuples() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            vec![
+                certain_row(&[1, 10], 1, 1, 1),
+                certain_row(&[1, 20], 0, 1, 2),
+            ],
+        );
+        let out = project_au(&rel, &[(col(0), "A".to_string())]).unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(1, 2, 3));
+    }
+
+    #[test]
+    fn projection_computes_ranges() {
+        let rel = AuRelation::from_rows(
+            schema_a(),
+            vec![au_row(vec![RangeValue::range(1i64, 2i64, 3i64)], 1, 1, 1)],
+        );
+        let out = project_au(&rel, &[(col(0).add(lit(10i64)), "x".to_string())]).unwrap();
+        assert_eq!(
+            out.rows()[0].0,
+            RangeTuple::new(vec![RangeValue::range(11i64, 12i64, 13i64)])
+        );
+    }
+
+    /// Figure 8: the unoptimized join of uncertain-attribute relations
+    /// degenerates to (near) cross product.
+    #[test]
+    fn join_figure_8() {
+        let r = AuRelation::from_rows(
+            schema_a(),
+            vec![
+                au_row(vec![RangeValue::range(1i64, 1i64, 2i64)], 2, 2, 3),
+                au_row(vec![RangeValue::range(1i64, 2i64, 2i64)], 1, 1, 2),
+            ],
+        );
+        let s = AuRelation::from_rows(
+            Schema::named(&["C"]),
+            vec![
+                au_row(vec![RangeValue::range(1i64, 3i64, 3i64)], 1, 1, 1),
+                au_row(vec![RangeValue::range(1i64, 2i64, 2i64)], 1, 2, 2),
+            ],
+        );
+        let out = join_au(&r, &s, Some(&col(0).eq(col(1)))).unwrap().normalized();
+        assert_eq!(out.len(), 4, "all interval pairs overlap");
+        // The SG-matching pair keeps its SG multiplicity:
+        // ([1/2/2],[1/2/2]) ↦ (0,2,4). (Figure 8d prints lb = 1, but the
+        // pair is not *certainly* equal under Definition 9 — a world may
+        // assign 1 to one side and 2 to the other — so the certain
+        // multiplicity is 0.)
+        let sg_pair = RangeTuple::new(vec![
+            RangeValue::range(1i64, 2i64, 2i64),
+            RangeValue::range(1i64, 2i64, 2i64),
+        ]);
+        assert_eq!(out.annotation(&sg_pair), AuAnnot::triple(0, 2, 4));
+        // SGW of the join result equals the join of the SGWs:
+        // R^sg = {1↦2, 2↦1}, S^sg = {3↦1, 2↦2} → only 2=2 joins, 1·2 = 2.
+        let sgw = out.sg_world();
+        assert_eq!(sgw.total_count(), 2);
+    }
+
+    #[test]
+    fn union_adds_annotations() {
+        let rel = AuRelation::from_rows(schema_a(), vec![certain_row(&[1], 1, 1, 1)]);
+        let out = union_au(&rel, &rel).unwrap();
+        assert_eq!(out.rows()[0].1, AuAnnot::triple(2, 2, 2));
+    }
+
+    #[test]
+    fn eval_table_and_select() {
+        let mut db = AuDatabase::new();
+        db.insert(
+            "r",
+            AuRelation::from_rows(schema_a(), vec![certain_row(&[5], 1, 1, 1)]),
+        );
+        let q = crate::algebra::table("r").select(col(0).geq(lit(5i64)));
+        let out = eval_au(&db, &q, &AuConfig::precise()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod lens_tests {
+    use super::*;
+    use crate::algebra::table;
+    use audb_core::{col, lit, Expr, RangeValue, Value};
+    use audb_storage::certain_row;
+
+    /// Example 16: a key-repair lens implemented *inside a query* via
+    /// `MakeUncertain(min, sg, max)` — projecting pre-aggregated
+    /// (key, numB, minB, maxB) rows into range-annotated values.
+    #[test]
+    fn make_uncertain_lens_example_16() {
+        let mut db = AuDatabase::new();
+        db.insert(
+            "keys",
+            AuRelation::from_rows(
+                Schema::named(&["a", "numB", "minB", "maxB"]),
+                vec![
+                    certain_row(&[1, 1, 10, 10], 1, 1, 1),
+                    certain_row(&[2, 3, 5, 9], 1, 1, 1),
+                ],
+            ),
+        );
+        let b = Expr::if_then_else(
+            col(1).gt(lit(1i64)),
+            Expr::make_uncertain(col(2), col(2), col(3)),
+            col(2),
+        );
+        let q = table("keys").project(vec![(col(0), "a"), (b, "b")]);
+        let out = eval_au(&db, &q, &AuConfig::precise()).unwrap();
+        let row1 = out.rows().iter().find(|(t, _)| t.0[0].sg == Value::Int(1)).unwrap();
+        assert_eq!(row1.0 .0[1], RangeValue::certain(Value::Int(10)));
+        let row2 = out.rows().iter().find(|(t, _)| t.0[0].sg == Value::Int(2)).unwrap();
+        assert_eq!(row2.0 .0[1], RangeValue::range(5i64, 5i64, 9i64));
+    }
+
+    /// Deterministic engines see only the selected guess.
+    #[test]
+    fn make_uncertain_invisible_to_det() {
+        let e = Expr::make_uncertain(lit(0i64), lit(5i64), lit(9i64));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Int(5));
+        assert_eq!(
+            e.eval_range(&[]).unwrap(),
+            RangeValue::range(0i64, 5i64, 9i64)
+        );
+    }
+
+    /// Disagreeing sub-expressions are widened, never invalid.
+    #[test]
+    fn make_uncertain_widens_to_stay_ordered() {
+        let e = Expr::make_uncertain(lit(7i64), lit(5i64), lit(2i64));
+        let r = e.eval_range(&[]).unwrap();
+        assert_eq!(r.sg, Value::Int(5));
+        assert!(r.lb <= r.sg && r.sg <= r.ub);
+    }
+
+    /// The rewrite middleware supports the construct too.
+    #[test]
+    fn make_uncertain_through_rewrite() {
+        let mut db = AuDatabase::new();
+        db.insert(
+            "r",
+            AuRelation::from_rows(
+                Schema::named(&["a", "b"]),
+                vec![certain_row(&[1, 4], 1, 1, 1), certain_row(&[2, 8], 0, 1, 2)],
+            ),
+        );
+        let q = table("r").project(vec![
+            (col(0), "a"),
+            (Expr::make_uncertain(lit(0i64), col(1), col(1).mul(lit(2i64))), "b"),
+        ]);
+        let native = eval_au(&db, &q, &AuConfig::precise()).unwrap();
+        let via = crate::rewrite::eval_via_rewrite(&db, &q).unwrap();
+        assert_eq!(native, via);
+    }
+}

@@ -1,0 +1,393 @@
+//! Deterministic bag-semantics evaluation of `RA^agg` — the
+//! conventional-DBMS substrate (selected-guess query processing runs
+//! here, and the rewrite middleware of Section 10 executes its rewritten
+//! plans on this engine).
+
+use std::collections::HashMap;
+
+use audb_core::{EvalError, Expr, Value};
+use audb_storage::{Database, Relation, Schema, Tuple};
+
+use crate::algebra::{AggFunc, AggSpec, Query};
+
+/// Evaluate a query over a deterministic database.
+pub fn eval_det(db: &Database, q: &Query) -> Result<Relation, EvalError> {
+    let rel = eval_inner(db, q)?;
+    Ok(rel.normalized())
+}
+
+fn eval_inner(db: &Database, q: &Query) -> Result<Relation, EvalError> {
+    match q {
+        Query::Table(name) => Ok(db.get(name)?.clone()),
+        Query::Select { input, predicate } => {
+            let rel = eval_inner(db, input)?;
+            let mut out = Relation::empty(rel.schema.clone());
+            for (t, k) in rel.rows() {
+                if predicate.eval_bool(t.values())? {
+                    out.push(t.clone(), *k);
+                }
+            }
+            Ok(out)
+        }
+        Query::Project { input, exprs } => {
+            let rel = eval_inner(db, input)?;
+            let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+            let mut out = Relation::empty(schema);
+            for (t, k) in rel.rows() {
+                let vals: Result<Vec<Value>, EvalError> =
+                    exprs.iter().map(|(e, _)| e.eval(t.values())).collect();
+                out.push(Tuple::new(vals?), *k);
+            }
+            Ok(out)
+        }
+        Query::Join { left, right, predicate } => {
+            let l = eval_inner(db, left)?;
+            let r = eval_inner(db, right)?;
+            join_det(&l, &r, predicate.as_ref())
+        }
+        Query::Union { left, right } => {
+            let l = eval_inner(db, left)?;
+            let r = eval_inner(db, right)?;
+            l.schema.check_union_compatible(&r.schema)?;
+            let mut out = l;
+            for (t, k) in r.rows() {
+                out.push(t.clone(), *k);
+            }
+            Ok(out)
+        }
+        Query::Difference { left, right } => {
+            let l = eval_inner(db, left)?;
+            let r = eval_inner(db, right)?;
+            l.schema.check_union_compatible(&r.schema)?;
+            let mut rmap: HashMap<Tuple, u64> = HashMap::new();
+            for (t, k) in r.rows() {
+                *rmap.entry(t.clone()).or_insert(0) += k;
+            }
+            let mut out = Relation::empty(l.schema.clone());
+            for (t, k) in l.normalized().rows() {
+                let sub = rmap.get(t).copied().unwrap_or(0);
+                out.push(t.clone(), k.saturating_sub(sub));
+            }
+            Ok(out)
+        }
+        Query::Distinct { input } => {
+            let rel = eval_inner(db, input)?.normalized();
+            let mut out = Relation::empty(rel.schema.clone());
+            for (t, _) in rel.rows() {
+                out.push(t.clone(), 1);
+            }
+            Ok(out)
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            let rel = eval_inner(db, input)?;
+            aggregate_det(&rel, group_by, aggs)
+        }
+    }
+}
+
+/// Canonical key for hash matching: numeric values hash as floats so that
+/// `Int 2` and `Float 2.0` land in the same bucket (matching the
+/// `value_eq` semantics of `Expr::Eq`). Test data keeps keys well within
+/// f64's exact-integer range.
+fn join_key(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::float(*i as f64),
+        other => other.clone(),
+    }
+}
+
+fn join_det(l: &Relation, r: &Relation, predicate: Option<&Expr>) -> Result<Relation, EvalError> {
+    let schema = l.schema.concat(&r.schema);
+    let mut out = Relation::empty(schema);
+    let split = l.schema.arity();
+
+    // Hash fast-path for pure conjunctive equi-joins.
+    if let Some(pairs) = predicate.and_then(|p| p.equi_join_columns(split)) {
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, (t, _)) in r.rows().iter().enumerate() {
+            let key: Vec<Value> = pairs.iter().map(|(_, rc)| join_key(&t.0[*rc])).collect();
+            index.entry(key).or_default().push(i);
+        }
+        for (tl, kl) in l.rows() {
+            let key: Vec<Value> = pairs.iter().map(|(lc, _)| join_key(&tl.0[*lc])).collect();
+            if let Some(matches) = index.get(&key) {
+                for &i in matches {
+                    let (tr, kr) = &r.rows()[i];
+                    out.push(tl.concat(tr), kl * kr);
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    for (tl, kl) in l.rows() {
+        for (tr, kr) in r.rows() {
+            let t = tl.concat(tr);
+            let keep = match predicate {
+                Some(p) => p.eval_bool(t.values())?,
+                None => true,
+            };
+            if keep {
+                out.push(t, kl * kr);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shared scalar `avg` from sum and count (Section 10.2 derivation).
+pub fn avg_value(sum: &Value, count: u64) -> Result<Value, EvalError> {
+    if count == 0 {
+        return Ok(Value::Null);
+    }
+    sum.div(&Value::Int(count as i64))
+}
+
+struct AggAcc {
+    sum: Value,
+    count: u64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggAcc {
+    fn new() -> Self {
+        AggAcc { sum: Value::Int(0), count: 0, min: None, max: None }
+    }
+
+    fn add(&mut self, v: &Value, mult: u64) -> Result<(), EvalError> {
+        if mult == 0 {
+            return Ok(());
+        }
+        self.sum = self.sum.add(&v.mul_count(mult)?)?;
+        self.count += mult;
+        self.min = Some(match self.min.take() {
+            None => v.clone(),
+            Some(m) => Value::min_of(m, v.clone()),
+        });
+        self.max = Some(match self.max.take() {
+            None => v.clone(),
+            Some(m) => Value::max_of(m, v.clone()),
+        });
+        Ok(())
+    }
+
+    fn extract(&self, f: AggFunc) -> Result<Value, EvalError> {
+        Ok(match f {
+            AggFunc::Sum => self.sum.clone(),
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => avg_value(&self.sum, self.count)?,
+        })
+    }
+}
+
+pub(crate) fn aggregate_det(
+    rel: &Relation,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+) -> Result<Relation, EvalError> {
+    let mut names: Vec<String> =
+        group_by.iter().map(|c| rel.schema.column_name(*c).to_string()).collect();
+    names.extend(aggs.iter().map(|a| a.name.clone()));
+    let schema = Schema::new(names);
+
+    // group key → one accumulator per aggregate
+    let mut groups: HashMap<Tuple, Vec<AggAcc>> = HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for (t, k) in rel.rows() {
+        if *k == 0 {
+            continue;
+        }
+        let key = t.project(group_by);
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|_| AggAcc::new()).collect()
+        });
+        for (spec, acc) in aggs.iter().zip(accs.iter_mut()) {
+            let v = spec.input.eval(t.values())?;
+            acc.add(&v, *k)?;
+        }
+    }
+
+    // Aggregation without group-by always yields exactly one row.
+    if group_by.is_empty() && groups.is_empty() {
+        let empty: Vec<Value> = aggs
+            .iter()
+            .map(|a| AggAcc::new().extract(a.func))
+            .collect::<Result<_, _>>()?;
+        return Ok(Relation::from_rows(schema, vec![(Tuple::new(empty), 1)]));
+    }
+
+    let mut out = Relation::empty(schema);
+    for key in order {
+        let accs = &groups[&key];
+        let mut vals = key.0.clone();
+        for (spec, acc) in aggs.iter().zip(accs) {
+            vals.push(acc.extract(spec.func)?);
+        }
+        out.push(Tuple::new(vals), 1);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::table;
+    use audb_core::{col, lit};
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "r",
+            Relation::from_rows(
+                Schema::named(&["a", "b"]),
+                vec![(it(&[1, 10]), 2), (it(&[2, 20]), 1), (it(&[3, 20]), 3)],
+            ),
+        );
+        db.insert(
+            "s",
+            Relation::from_rows(Schema::named(&["c"]), vec![(it(&[1]), 1), (it(&[3]), 2)]),
+        );
+        db
+    }
+
+    #[test]
+    fn select_filters_bag() {
+        let db = db();
+        let q = table("r").select(col(1).eq(lit(20i64)));
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.total_count(), 4);
+        assert_eq!(out.multiplicity(&it(&[3, 20])), 3);
+    }
+
+    #[test]
+    fn project_sums_multiplicities() {
+        let db = db();
+        let q = table("r").project(vec![(col(1), "b")]);
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[20])), 4);
+        assert_eq!(out.multiplicity(&it(&[10])), 2);
+    }
+
+    #[test]
+    fn equi_join_hash_path() {
+        let db = db();
+        let q = table("r").join_on(table("s"), col(0).eq(col(2)));
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[1, 10, 1])), 2);
+        assert_eq!(out.multiplicity(&it(&[3, 20, 3])), 6);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn theta_join_nested_loop_matches_hash() {
+        let db = db();
+        // same predicate but written so the equi detector cannot fire
+        let q1 = table("r").join_on(table("s"), col(0).eq(col(2)));
+        let q2 = table("r").join_on(table("s"), col(0).leq(col(2)).and(col(2).leq(col(0))));
+        assert_eq!(eval_det(&db, &q1).unwrap(), eval_det(&db, &q2).unwrap());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let db = db();
+        let q = table("s").union(table("s"));
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[3])), 4);
+
+        let q = table("s").union(table("s")).difference(table("s"));
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[3])), 2);
+        assert_eq!(out.multiplicity(&it(&[1])), 1);
+
+        // monus truncates at zero
+        let q = table("s").difference(table("s").union(table("s")));
+        let out = eval_det(&db, &q).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn distinct_resets_multiplicities() {
+        let db = db();
+        let q = table("r").project(vec![(col(1), "b")]).distinct();
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[20])), 1);
+        assert_eq!(out.total_count(), 2);
+    }
+
+    #[test]
+    fn aggregate_with_groups() {
+        let db = db();
+        let q = table("r").aggregate(
+            vec![1],
+            vec![
+                AggSpec::new(AggFunc::Sum, col(0), "s"),
+                AggSpec::count("c"),
+                AggSpec::new(AggFunc::Min, col(0), "lo"),
+                AggSpec::new(AggFunc::Max, col(0), "hi"),
+            ],
+        );
+        let out = eval_det(&db, &q).unwrap();
+        // group 20: rows (2,20)x1, (3,20)x3 → sum 2+9=11, count 4, min 2, max 3
+        assert_eq!(out.multiplicity(&it(&[20, 11, 4, 2, 3])), 1);
+        assert_eq!(out.multiplicity(&it(&[10, 2, 2, 1, 1])), 1);
+    }
+
+    #[test]
+    fn aggregate_multiplicity_weights_sum() {
+        // sum over A with multiplicities: 30↦2, 40↦3 → 180 (Section 9.2)
+        let rel = Relation::from_rows(
+            Schema::named(&["a"]),
+            vec![(it(&[30]), 2), (it(&[40]), 3)],
+        );
+        let mut db = Database::new();
+        db.insert("t", rel);
+        let q = table("t").aggregate(vec![], vec![AggSpec::new(AggFunc::Sum, col(0), "s")]);
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[180])), 1);
+    }
+
+    #[test]
+    fn aggregate_empty_no_groupby() {
+        let mut db = Database::new();
+        db.insert("t", Relation::empty(Schema::named(&["a"])));
+        let q = table("t").aggregate(
+            vec![],
+            vec![
+                AggSpec::new(AggFunc::Sum, col(0), "s"),
+                AggSpec::count("c"),
+                AggSpec::new(AggFunc::Min, col(0), "m"),
+                AggSpec::new(AggFunc::Avg, col(0), "avg"),
+            ],
+        );
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.rows().len(), 1);
+        let t = &out.rows()[0].0;
+        assert_eq!(t.0, vec![Value::Int(0), Value::Int(0), Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn aggregate_avg() {
+        let db = db();
+        let q = table("r").aggregate(vec![], vec![AggSpec::new(AggFunc::Avg, col(1), "avg")]);
+        let out = eval_det(&db, &q).unwrap();
+        // values: 10×2, 20×1, 20×3 → (20+20+60)/6 ≈ 16.666...
+        let expect = (10.0 * 2.0 + 20.0 + 20.0 * 3.0) / 6.0;
+        assert_eq!(out.rows()[0].0 .0[0], Value::float(expect));
+    }
+
+    #[test]
+    fn empty_group_by_on_nonempty_single_row() {
+        let db = db();
+        let q = table("r").aggregate(vec![], vec![AggSpec::count("c")]);
+        let out = eval_det(&db, &q).unwrap();
+        assert_eq!(out.multiplicity(&it(&[6])), 1);
+    }
+}

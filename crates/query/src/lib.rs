@@ -1,0 +1,29 @@
+//! # audb-query
+//!
+//! `RA^agg` evaluation over the three database flavours:
+//!
+//! * [`det`] — deterministic bag semantics (the conventional engine,
+//!   also used for selected-guess query processing);
+//! * [`au`] — native bound-preserving AU-DB semantics (Sections 7–9)
+//!   with the compaction optimizations of Section 10.4/10.5 ([`opt`]);
+//! * [`ua`] — UA-DB semantics (the predecessor model);
+//! * [`rewrite`] — the relational-encoding middleware (Section 10):
+//!   `Enc`/`Dec` plus query rewriting executed on the deterministic
+//!   engine, proven equivalent to the native semantics by differential
+//!   tests (Theorem 8);
+//! * [`sql`] — a SQL front-end lowering `SELECT`-`FROM`-`WHERE`-
+//!   `GROUP BY` (+`UNION`/`EXCEPT`/`CASE`/`make_uncertain`) to plans.
+
+pub mod algebra;
+pub mod au;
+pub mod det;
+pub mod opt;
+pub mod rewrite;
+pub mod sql;
+pub mod ua;
+
+pub use algebra::{table, AggFunc, AggSpec, Catalog, Query};
+pub use au::{eval_au, AuConfig};
+pub use det::eval_det;
+pub use sql::parse_sql;
+pub use ua::eval_ua;

@@ -1,0 +1,296 @@
+//! Compaction optimizations (Sections 10.4–10.5): `split` and `Cpr`.
+//!
+//! Joins over AU-relations degenerate to interval-overlap joins (nested
+//! loops, potentially quadratic output). The optimized join splits each
+//! input into
+//!
+//! * `split_sg(R)` — the SGW content with attribute-level uncertainty
+//!   removed (certain attribute values, no possible over-approximation),
+//!   which equi-joins efficiently, and
+//! * `split↑(R)` — the possible over-approximation only (annotations
+//!   `(0, 0, ub)`), which is *compressed* to at most `ct` tuples by
+//!   bucketing on a join attribute before the quadratic overlap join.
+//!
+//! `split_sg(R) ∪ split↑(R)` bounds everything `R` bounds (Lemma 6);
+//! `Cpr` preserves bounds (Lemma 7); hence the optimized join preserves
+//! bounds with precision traded for performance (Lemma 10.1).
+
+use std::collections::HashMap;
+
+use audb_core::{AuAnnot, EvalError, Expr, Semiring, Value};
+use audb_storage::{AuRelation, RangeTuple};
+
+use crate::au::join_au;
+
+/// `split_sg(R)` (Section 10.4): one certain-attribute tuple per SGW
+/// tuple. The lower bound survives only for tuples without attribute
+/// uncertainty; the upper bound collapses to the SG multiplicity.
+pub fn split_sg(rel: &AuRelation) -> AuRelation {
+    let mut out = AuRelation::empty(rel.schema.clone());
+    for (t, k) in rel.rows() {
+        if k.sg == 0 {
+            continue;
+        }
+        let lb = if t.is_certain() { k.lb } else { 0 };
+        out.push(
+            RangeTuple::certain(&t.sg()),
+            AuAnnot::triple(lb.min(k.sg), k.sg, k.sg),
+        );
+    }
+    out.normalized()
+}
+
+/// `split↑(R)` (Section 10.4): the possible over-approximation —
+/// original ranges, annotations `(0, 0, ub)`.
+pub fn split_up(rel: &AuRelation) -> AuRelation {
+    let mut out = AuRelation::empty(rel.schema.clone());
+    for (t, k) in rel.rows() {
+        out.push(t.clone(), AuAnnot::triple(0, 0, k.ub));
+    }
+    out.normalized()
+}
+
+/// `Cpr_{A,n}` (Section 10.4) over raw rows: partition into at most `n`
+/// buckets by the selected-guess value of attribute `attr` (equi-depth),
+/// merging each bucket into a single tuple with the bucket's bounding
+/// box and the sum of upper-bound multiplicities.
+pub fn compress_rows(
+    rows: &[(RangeTuple, AuAnnot)],
+    attr: usize,
+    n: usize,
+) -> Vec<(RangeTuple, AuAnnot)> {
+    let n = n.max(1);
+    if rows.len() <= n {
+        return rows
+            .iter()
+            .map(|(t, k)| (t.clone(), AuAnnot::triple(0, 0, k.ub)))
+            .collect();
+    }
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|a, b| rows[*a].0 .0[attr].sg.cmp(&rows[*b].0 .0[attr].sg));
+
+    let mut out = Vec::with_capacity(n);
+    let chunk = rows.len().div_ceil(n);
+    for bucket in order.chunks(chunk) {
+        let mut it = bucket.iter();
+        let first = *it.next().unwrap();
+        let mut bbox = rows[first].0.clone();
+        let mut ub = rows[first].1.ub;
+        for &i in it {
+            bbox = bbox.merge_keep_sg(&rows[i].0);
+            ub = ub.saturating_add(rows[i].1.ub);
+        }
+        out.push((bbox, AuAnnot::triple(0, 0, ub)));
+    }
+    out
+}
+
+/// `Cpr_{A,n}` as a relation-level operator.
+pub fn compress(rel: &AuRelation, attr: usize, n: usize) -> AuRelation {
+    AuRelation::from_rows(rel.schema.clone(), compress_rows(rel.rows(), attr, n))
+}
+
+/// The optimized join `opt(Q1 ⋈_θ Q2)` (Section 10.4):
+/// `(split_sg(L) ⋈_θsg split_sg(R)) ∪ (Cpr(split↑(L)) ⋈_θ Cpr(split↑(R)))`.
+pub fn optimized_join(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+    ct: usize,
+) -> Result<AuRelation, EvalError> {
+    let schema = l.schema.concat(&r.schema);
+    let split = l.schema.arity();
+
+    // ---- SG part: certain tuples, deterministic predicate ---------------
+    let lsg = split_sg(l);
+    let rsg = split_sg(r);
+    let mut out = AuRelation::empty(schema);
+
+    if let Some(pairs) = predicate.and_then(|p| p.equi_join_columns(split)) {
+        // hash equi-join on the certain SG values
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, (t, _)) in rsg.rows().iter().enumerate() {
+            let key: Vec<Value> = pairs.iter().map(|(_, rc)| join_key(&t.0[*rc].sg)).collect();
+            index.entry(key).or_default().push(i);
+        }
+        for (tl, kl) in lsg.rows() {
+            let key: Vec<Value> = pairs.iter().map(|(lc, _)| join_key(&tl.0[*lc].sg)).collect();
+            if let Some(matches) = index.get(&key) {
+                for &i in matches {
+                    let (tr, kr) = &rsg.rows()[i];
+                    out.push(tl.concat(tr), kl.times(kr));
+                }
+            }
+        }
+    } else {
+        for (tl, kl) in lsg.rows() {
+            for (tr, kr) in rsg.rows() {
+                let t = tl.concat(tr);
+                let keep = match predicate {
+                    // tuples are certain: deterministic evaluation
+                    Some(p) => p.eval_bool(&t.sg().0)?,
+                    None => true,
+                };
+                if keep {
+                    out.push(t, kl.times(kr));
+                }
+            }
+        }
+    }
+
+    // ---- possible part: compressed overlap join --------------------------
+    let (la, ra) = predicate
+        .and_then(|p| p.equi_join_columns(split))
+        .and_then(|pairs| pairs.first().copied())
+        .unwrap_or((0, 0));
+    let lup = compress(&split_up(l), la, ct);
+    let rup = compress(&split_up(r), ra, ct);
+    let pos = join_au(&lup, &rup, predicate)?;
+    for (t, k) in pos.rows() {
+        out.push(t.clone(), *k);
+    }
+
+    Ok(out.normalized())
+}
+
+/// Canonical numeric key (matches `det::join_key` semantics).
+fn join_key(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::float(*i as f64),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, RangeValue};
+    use audb_storage::{au_row, Schema, Tuple};
+
+    fn r2(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::range(lb, sg, ub)
+    }
+
+    fn figure_9_inputs() -> (AuRelation, AuRelation) {
+        let r = AuRelation::from_rows(
+            Schema::named(&["A"]),
+            vec![
+                au_row(vec![r2(1, 1, 2)], 2, 2, 3),
+                au_row(vec![r2(1, 2, 2)], 1, 1, 2),
+            ],
+        );
+        let s = AuRelation::from_rows(
+            Schema::named(&["C"]),
+            vec![
+                au_row(vec![r2(1, 3, 3)], 1, 1, 1),
+                au_row(vec![r2(1, 2, 2)], 1, 2, 2),
+            ],
+        );
+        (r, s)
+    }
+
+    /// Figure 9: split_sg removes attribute uncertainty and possible
+    /// over-approximation.
+    #[test]
+    fn split_sg_figure_9() {
+        let (r, _) = figure_9_inputs();
+        let out = split_sg(&r);
+        assert_eq!(out.len(), 2);
+        let one = RangeTuple::certain(&[1i64].into_iter().collect::<Tuple>());
+        let two = RangeTuple::certain(&[2i64].into_iter().collect::<Tuple>());
+        assert_eq!(out.annotation(&one), AuAnnot::triple(0, 2, 2));
+        assert_eq!(out.annotation(&two), AuAnnot::triple(0, 1, 1));
+    }
+
+    #[test]
+    fn split_up_figure_9() {
+        let (r, _) = figure_9_inputs();
+        let out = split_up(&r);
+        assert_eq!(out.len(), 2);
+        for (_, k) in out.rows() {
+            assert_eq!((k.lb, k.sg), (0, 0));
+        }
+        assert_eq!(out.possible_size(), 5);
+    }
+
+    #[test]
+    fn split_union_preserves_sgw() {
+        let (r, _) = figure_9_inputs();
+        let both = crate::au::union_au(&split_sg(&r), &split_up(&r)).unwrap();
+        assert_eq!(both.sg_world(), r.sg_world());
+    }
+
+    /// Cpr_{A,1} merges everything into one bucket (Figure 9e/9f).
+    #[test]
+    fn compress_to_single_bucket() {
+        let (r, _) = figure_9_inputs();
+        let out = compress(&split_up(&r), 0, 1);
+        assert_eq!(out.len(), 1);
+        let (t, k) = &out.rows()[0];
+        assert_eq!(t.0[0].lb, Value::Int(1));
+        assert_eq!(t.0[0].ub, Value::Int(2));
+        assert_eq!(*k, AuAnnot::triple(0, 0, 5));
+    }
+
+    #[test]
+    fn compress_respects_bucket_count() {
+        let rows: Vec<_> = (0..100i64)
+            .map(|i| au_row(vec![r2(i, i, i + 1)], 0, 1, 2))
+            .collect();
+        let rel = AuRelation::from_rows(Schema::named(&["A"]), rows);
+        for ct in [1usize, 4, 16, 64, 128] {
+            let c = compress(&rel, 0, ct);
+            assert!(c.len() <= ct.max(1).min(100));
+            assert_eq!(c.possible_size(), rel.possible_size());
+        }
+    }
+
+    /// Figure 9g: the optimized join keeps the SGW exact while bounding
+    /// the possible results with (at most) CT² compressed tuples.
+    #[test]
+    fn optimized_join_figure_9() {
+        let (r, s) = figure_9_inputs();
+        let pred = col(0).eq(col(1));
+        let naive = join_au(&r, &s, Some(&pred)).unwrap();
+        let opt = optimized_join(&r, &s, Some(&pred), 1).unwrap();
+        // SGW preserved exactly
+        assert_eq!(opt.sg_world(), naive.sg_world());
+        // possible size bounded by the compression: sg-part + 1 bucket pair
+        assert!(opt.len() <= naive.len() + 1);
+        // the compressed possible tuple covers the cross of bounding boxes
+        let pos: Vec<_> = opt.rows().iter().filter(|(_, k)| k.lb == 0 && k.sg == 0).collect();
+        assert_eq!(pos.len(), 1);
+        assert_eq!(pos[0].1.ub, 5 * 3);
+    }
+
+    #[test]
+    fn optimized_join_certain_data_equals_naive() {
+        // with fully certain inputs the optimization is lossless
+        let r = AuRelation::from_rows(
+            Schema::named(&["A"]),
+            vec![au_row(vec![r2(1, 1, 1)], 1, 1, 1), au_row(vec![r2(2, 2, 2)], 2, 2, 2)],
+        );
+        let s = AuRelation::from_rows(
+            Schema::named(&["B"]),
+            vec![au_row(vec![r2(1, 1, 1)], 3, 3, 3)],
+        );
+        let pred = col(0).eq(col(1));
+        let naive = join_au(&r, &s, Some(&pred)).unwrap();
+        let opt = optimized_join(&r, &s, Some(&pred), 4).unwrap();
+        assert_eq!(naive.sg_world(), opt.sg_world());
+        // same certain content: the optimized result's sg part matches
+        for (t, k) in naive.rows() {
+            let ko = opt.annotation(t);
+            assert!(ko.ub >= k.ub || ko.sg == k.sg);
+        }
+    }
+
+    #[test]
+    fn optimized_join_theta_fallback() {
+        let (r, s) = figure_9_inputs();
+        let pred = col(0).leq(col(1));
+        let naive = join_au(&r, &s, Some(&pred)).unwrap();
+        let opt = optimized_join(&r, &s, Some(&pred), 2).unwrap();
+        assert_eq!(opt.sg_world(), naive.sg_world());
+    }
+}

@@ -1,0 +1,282 @@
+//! AU-relations and AU-databases (Definition 12): functions from
+//! range-annotated tuples to `N_AU` annotations, stored as normalized
+//! row lists.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use audb_core::{AuAnnot, EvalError, RangeValue, Semiring, Value};
+
+use crate::relation::{Database, Relation};
+use crate::schema::Schema;
+use crate::tuple::RangeTuple;
+
+/// An `N_AU`-relation (Definition 12): range tuples annotated with
+/// `(lb, sg, ub)` multiplicity triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuRelation {
+    pub schema: Schema,
+    rows: Vec<(RangeTuple, AuAnnot)>,
+}
+
+impl AuRelation {
+    pub fn empty(schema: Schema) -> Self {
+        AuRelation { schema, rows: Vec::new() }
+    }
+
+    /// Build from rows; merges identical range tuples (summing
+    /// annotations in `N_AU`) and drops zero annotations.
+    pub fn from_rows(schema: Schema, rows: Vec<(RangeTuple, AuAnnot)>) -> Self {
+        let mut r = AuRelation { schema, rows };
+        r.normalize();
+        r
+    }
+
+    /// Lift a deterministic relation into a fully certain AU-relation
+    /// (the degenerate case: SGQP "as an AU-DB").
+    pub fn from_certain(rel: &Relation) -> Self {
+        let rows = rel
+            .rows()
+            .iter()
+            .map(|(t, k)| (RangeTuple::certain(t), AuAnnot::triple(*k, *k, *k)))
+            .collect();
+        AuRelation::from_rows(rel.schema.clone(), rows)
+    }
+
+    pub fn rows(&self) -> &[(RangeTuple, AuAnnot)] {
+        &self.rows
+    }
+
+    pub fn push(&mut self, t: RangeTuple, k: AuAnnot) {
+        if !k.is_zero() {
+            self.rows.push((t, k));
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Merge identical range tuples with `+_{N_AU}`, drop `(0,0,0)`
+    /// annotations, sort canonically. Keeps the AU-relation a function
+    /// `D_I^n → N_AU`.
+    pub fn normalize(&mut self) {
+        let mut map: HashMap<RangeTuple, AuAnnot> = HashMap::with_capacity(self.rows.len());
+        for (t, k) in self.rows.drain(..) {
+            if !k.is_zero() {
+                let e = map.entry(t).or_insert_with(AuAnnot::zero);
+                *e = e.plus(&k);
+            }
+        }
+        let mut rows: Vec<(RangeTuple, AuAnnot)> = map.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        self.rows = rows;
+    }
+
+    pub fn normalized(&self) -> AuRelation {
+        let mut r = self.clone();
+        r.normalize();
+        r
+    }
+
+    /// Annotation `R(t)` of a specific range tuple.
+    pub fn annotation(&self, t: &RangeTuple) -> AuAnnot {
+        self.rows
+            .iter()
+            .filter(|(t2, _)| t2 == t)
+            .fold(AuAnnot::zero(), |acc, (_, k)| acc.plus(k))
+    }
+
+    /// Extract the selected-guess world `R^sg` (Definition 13): group
+    /// tuples by their SG values and sum the SG annotations.
+    pub fn sg_world(&self) -> Relation {
+        let rows = self
+            .rows
+            .iter()
+            .filter(|(_, k)| k.sg > 0)
+            .map(|(t, k)| (t.sg(), k.sg))
+            .collect();
+        Relation::from_rows(self.schema.clone(), rows)
+    }
+
+    /// Total upper-bound multiplicity — the "possible size" accuracy
+    /// metric of Figure 14b.
+    pub fn possible_size(&self) -> u64 {
+        self.rows.iter().map(|(_, k)| k.ub).sum()
+    }
+
+    /// Mean width of attribute ranges (tightness metric, Figure 13d).
+    pub fn mean_range_width(&self, domain_halfwidth: f64) -> f64 {
+        let mut n = 0usize;
+        let mut total = 0.0;
+        for (t, _) in &self.rows {
+            for r in t.values() {
+                total += r.width(domain_halfwidth);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+impl fmt::Display for AuRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (t, k) in &self.rows {
+            writeln!(f, "  {t} ↦ {k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An AU-database: a catalog of named AU-relations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuDatabase {
+    relations: BTreeMap<String, AuRelation>,
+}
+
+impl AuDatabase {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lift a deterministic database into a certain AU-database.
+    pub fn from_certain(db: &Database) -> Self {
+        let mut out = AuDatabase::new();
+        for (name, rel) in db.iter() {
+            out.insert(name.clone(), AuRelation::from_certain(rel));
+        }
+        out
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, rel: AuRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    pub fn get(&self, name: &str) -> Result<&AuRelation, EvalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| EvalError::NotFound(format!("AU relation {name}")))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &AuRelation)> {
+        self.relations.iter()
+    }
+
+    /// The selected-guess world of the whole database.
+    pub fn sg_world(&self) -> Database {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(name.clone(), rel.sg_world());
+        }
+        db
+    }
+}
+
+/// Convenience builder for AU rows used across tests and generators.
+pub fn au_row(ranges: Vec<RangeValue>, lb: u64, sg: u64, ub: u64) -> (RangeTuple, AuAnnot) {
+    (RangeTuple::new(ranges), AuAnnot::triple(lb, sg, ub))
+}
+
+/// Convenience: certain int tuple row.
+pub fn certain_row(vals: &[i64], lb: u64, sg: u64, ub: u64) -> (RangeTuple, AuAnnot) {
+    (
+        RangeTuple::new(vals.iter().map(|v| RangeValue::certain(Value::Int(*v))).collect()),
+        AuAnnot::triple(lb, sg, ub),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    /// Example 7 / Figure 5: SG-world extraction sums annotations of
+    /// tuples with identical SG values.
+    #[test]
+    fn sg_world_extraction_example_7() {
+        let schema = Schema::named(&["A", "B"]);
+        let r = AuRelation::from_rows(
+            schema,
+            vec![
+                au_row(
+                    vec![RangeValue::certain(Value::Int(1)), RangeValue::certain(Value::Int(1))],
+                    2,
+                    2,
+                    3,
+                ),
+                au_row(
+                    vec![
+                        RangeValue::certain(Value::Int(1)),
+                        RangeValue::range(1i64, 1i64, 3i64),
+                    ],
+                    2,
+                    3,
+                    3,
+                ),
+                au_row(
+                    vec![
+                        RangeValue::range(1i64, 2i64, 2i64),
+                        RangeValue::certain(Value::Int(3)),
+                    ],
+                    1,
+                    1,
+                    1,
+                ),
+            ],
+        );
+        let sgw = r.sg_world();
+        let t11: Tuple = [1i64, 1].into_iter().collect();
+        let t23: Tuple = [2i64, 3].into_iter().collect();
+        assert_eq!(sgw.multiplicity(&t11), 5);
+        assert_eq!(sgw.multiplicity(&t23), 1);
+    }
+
+    #[test]
+    fn normalize_merges_identical_range_tuples() {
+        let schema = Schema::named(&["A"]);
+        let row = vec![RangeValue::range(1i64, 2i64, 3i64)];
+        let r = AuRelation::from_rows(
+            schema,
+            vec![
+                au_row(row.clone(), 1, 1, 1),
+                au_row(row.clone(), 0, 1, 2),
+                au_row(vec![RangeValue::certain(Value::Int(9))], 0, 0, 0),
+            ],
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.annotation(&RangeTuple::new(row)), AuAnnot::triple(1, 2, 3));
+    }
+
+    #[test]
+    fn from_certain_round_trip() {
+        let rel = Relation::from_rows(
+            Schema::named(&["A"]),
+            vec![([1i64].into_iter().collect(), 2), ([2i64].into_iter().collect(), 1)],
+        );
+        let au = AuRelation::from_certain(&rel);
+        assert_eq!(au.sg_world(), rel.normalized());
+        // all annotations are exact triples (k,k,k)
+        for (_, k) in au.rows() {
+            assert_eq!(k.lb, k.ub);
+        }
+    }
+
+    #[test]
+    fn possible_size_counts_upper_bounds() {
+        let schema = Schema::named(&["A"]);
+        let r = AuRelation::from_rows(
+            schema,
+            vec![certain_row(&[1], 0, 1, 4), certain_row(&[2], 1, 1, 2)],
+        );
+        assert_eq!(r.possible_size(), 6);
+    }
+}

@@ -1,0 +1,22 @@
+//! # audb-storage
+//!
+//! Data structures for the three database flavours the paper deals with:
+//!
+//! * deterministic bag ([`Relation`]/[`Database`]) — the conventional-DBMS
+//!   substrate and the representation of possible worlds;
+//! * UA-relations ([`UaRelation`]) — tuple-level certain/SG annotations
+//!   (the predecessor model, Section 3.3);
+//! * AU-relations ([`AuRelation`]) — range tuples with `N_AU` annotations
+//!   (the paper's contribution, Section 6).
+
+pub mod au;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod ua;
+
+pub use au::{au_row, certain_row, AuDatabase, AuRelation};
+pub use relation::{Database, Relation};
+pub use schema::Schema;
+pub use tuple::{RangeTuple, Tuple};
+pub use ua::{UaDatabase, UaRelation};

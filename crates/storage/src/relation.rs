@@ -1,0 +1,172 @@
+//! Deterministic bag relations (`N`-relations) and databases — the
+//! conventional-DBMS substrate the paper's middleware runs on.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use audb_core::EvalError;
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// An `N`-relation: a bag of tuples, each with a multiplicity > 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    pub schema: Schema,
+    rows: Vec<(Tuple, u64)>,
+}
+
+impl Relation {
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Build from rows; merges duplicates and drops zero multiplicities.
+    pub fn from_rows(schema: Schema, rows: Vec<(Tuple, u64)>) -> Self {
+        let mut r = Relation { schema, rows };
+        r.normalize();
+        r
+    }
+
+    /// Build from plain tuples, each with multiplicity 1.
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        Self::from_rows(schema, tuples.into_iter().map(|t| (t, 1)).collect())
+    }
+
+    pub fn rows(&self) -> &[(Tuple, u64)] {
+        &self.rows
+    }
+
+    pub fn push(&mut self, t: Tuple, k: u64) {
+        if k > 0 {
+            self.rows.push((t, k));
+        }
+    }
+
+    /// Merge duplicate tuples (sum multiplicities), drop zeros, and sort
+    /// for canonical comparisons.
+    pub fn normalize(&mut self) {
+        let mut map: HashMap<Tuple, u64> = HashMap::with_capacity(self.rows.len());
+        for (t, k) in self.rows.drain(..) {
+            if k > 0 {
+                *map.entry(t).or_insert(0) += k;
+            }
+        }
+        let mut rows: Vec<(Tuple, u64)> = map.into_iter().collect();
+        rows.sort();
+        self.rows = rows;
+    }
+
+    /// Multiplicity `R(t)`.
+    pub fn multiplicity(&self, t: &Tuple) -> u64 {
+        self.rows.iter().filter(|(t2, _)| t2 == t).map(|(_, k)| *k).sum()
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total multiplicity (bag cardinality).
+    pub fn total_count(&self) -> u64 {
+        self.rows.iter().map(|(_, k)| *k).sum()
+    }
+
+    /// Canonical (normalized) clone for equality comparisons.
+    pub fn normalized(&self) -> Relation {
+        let mut r = self.clone();
+        r.normalize();
+        r
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (t, k) in &self.rows {
+            writeln!(f, "  {t} ↦ {k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic database: a catalog of named relations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    pub fn get(&self, name: &str) -> Result<&Relation, EvalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| EvalError::NotFound(format!("relation {name}")))
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &String> {
+        self.relations.keys()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    pub fn normalized(&self) -> Database {
+        Database {
+            relations: self
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.normalized()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    #[test]
+    fn normalize_merges_and_drops_zero() {
+        let r = Relation::from_rows(
+            Schema::named(&["a"]),
+            vec![(it(&[1]), 2), (it(&[1]), 3), (it(&[2]), 0), (it(&[3]), 1)],
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.multiplicity(&it(&[1])), 5);
+        assert_eq!(r.multiplicity(&it(&[2])), 0);
+        assert_eq!(r.total_count(), 6);
+    }
+
+    #[test]
+    fn database_catalog() {
+        let mut db = Database::new();
+        db.insert("r", Relation::from_tuples(Schema::named(&["a"]), vec![it(&[1])]));
+        assert!(db.get("r").is_ok());
+        assert!(db.get("s").is_err());
+    }
+}

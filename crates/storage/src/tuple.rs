@@ -1,0 +1,198 @@
+//! Deterministic tuples and range-annotated tuples.
+
+use std::fmt;
+
+use audb_core::{RangeValue, Value};
+
+/// A deterministic tuple: an element of `D^n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project onto the given columns.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|c| self.0[*c].clone()).collect())
+    }
+
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().cloned());
+        Tuple(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<T: IntoIterator<Item = V>>(iter: T) -> Self {
+        Tuple(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// A range-annotated tuple: an element of `D_I^n` (Definition 12's tuple
+/// part). Each AU-DB tuple *may encode many deterministic tuples*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RangeTuple(pub Vec<RangeValue>);
+
+impl RangeTuple {
+    pub fn new(values: Vec<RangeValue>) -> Self {
+        RangeTuple(values)
+    }
+
+    /// A certain range tuple from a deterministic tuple.
+    pub fn certain(t: &Tuple) -> Self {
+        RangeTuple(t.0.iter().cloned().map(RangeValue::certain).collect())
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn values(&self) -> &[RangeValue] {
+        &self.0
+    }
+
+    /// The selected-guess tuple `t^sg` (Definition 13).
+    pub fn sg(&self) -> Tuple {
+        Tuple(self.0.iter().map(|r| r.sg.clone()).collect())
+    }
+
+    /// Are all attribute values certain?
+    pub fn is_certain(&self) -> bool {
+        self.0.iter().all(RangeValue::is_certain)
+    }
+
+    /// Tuple bounding `t ⊑ t` (Definition 14): every attribute of `t`
+    /// falls within the corresponding range.
+    pub fn bounds(&self, t: &Tuple) -> bool {
+        self.arity() == t.arity() && self.0.iter().zip(&t.0).all(|(r, v)| r.bounds(v))
+    }
+
+    /// Attribute-wise range overlap `t ⊓ t'` (Section 9.6) — the two
+    /// range tuples may denote the same deterministic tuple in some world.
+    pub fn overlaps(&self, other: &RangeTuple) -> bool {
+        self.arity() == other.arity()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.overlaps(b))
+    }
+
+    /// `t ≡ t'` (Definition 22): equal and both certain.
+    pub fn certainly_equal(&self, other: &RangeTuple) -> bool {
+        self.is_certain() && other.is_certain() && self.sg() == other.sg()
+    }
+
+    /// Minimum bounding box, keeping `self`'s selected-guess values
+    /// (the `Comb` operation of Definition 21).
+    pub fn merge_keep_sg(&self, other: &RangeTuple) -> RangeTuple {
+        RangeTuple(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.merge_keep_sg(b))
+                .collect(),
+        )
+    }
+
+    pub fn project(&self, cols: &[usize]) -> RangeTuple {
+        RangeTuple(cols.iter().map(|c| self.0[*c].clone()).collect())
+    }
+
+    pub fn concat(&self, other: &RangeTuple) -> RangeTuple {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().cloned());
+        RangeTuple(v)
+    }
+}
+
+impl fmt::Display for RangeTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl From<Tuple> for RangeTuple {
+    fn from(t: Tuple) -> Self {
+        RangeTuple::certain(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    #[test]
+    fn bounding_definition_14() {
+        let rt = RangeTuple(vec![
+            RangeValue::range(1i64, 2i64, 3i64),
+            RangeValue::certain(Value::Int(7)),
+        ]);
+        assert!(rt.bounds(&it(&[2, 7])));
+        assert!(rt.bounds(&it(&[1, 7])));
+        assert!(!rt.bounds(&it(&[4, 7])));
+        assert!(!rt.bounds(&it(&[2, 8])));
+    }
+
+    #[test]
+    fn overlap_and_certain_equality() {
+        let a = RangeTuple(vec![RangeValue::range(1i64, 2i64, 3i64)]);
+        let b = RangeTuple(vec![RangeValue::range(2i64, 3i64, 5i64)]);
+        let c = RangeTuple(vec![RangeValue::certain(Value::Int(2))]);
+        assert!(a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(!b.overlaps(&RangeTuple(vec![RangeValue::certain(Value::Int(7))])));
+        assert!(!a.certainly_equal(&b));
+        assert!(c.certainly_equal(&RangeTuple(vec![RangeValue::certain(Value::Int(2))])));
+    }
+
+    #[test]
+    fn sg_extraction() {
+        let rt = RangeTuple(vec![
+            RangeValue::range(1i64, 2i64, 3i64),
+            RangeValue::range(0i64, 0i64, 9i64),
+        ]);
+        assert_eq!(rt.sg(), it(&[2, 0]));
+    }
+
+    #[test]
+    fn merge_keeps_left_sg() {
+        let a = RangeTuple(vec![RangeValue::range(1i64, 2i64, 2i64)]);
+        let b = RangeTuple(vec![RangeValue::range(2i64, 2i64, 4i64)]);
+        assert_eq!(
+            a.merge_keep_sg(&b),
+            RangeTuple(vec![RangeValue::range(1i64, 2i64, 4i64)])
+        );
+    }
+}

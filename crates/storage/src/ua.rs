@@ -1,0 +1,167 @@
+//! UA-relations (Section 3.3, Feng et al. 2019): the predecessor model
+//! AU-DBs extend. Tuples are deterministic (taken from the SGW); each is
+//! annotated with `[certain, sg] ∈ N²` — an under-approximation of its
+//! certain multiplicity plus its SGW multiplicity.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use audb_core::{EvalError, Semiring, UaAnnot};
+
+use crate::relation::{Database, Relation};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// An `N_UA`-relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UaRelation {
+    pub schema: Schema,
+    rows: Vec<(Tuple, UaAnnot)>,
+}
+
+impl UaRelation {
+    pub fn empty(schema: Schema) -> Self {
+        UaRelation { schema, rows: Vec::new() }
+    }
+
+    pub fn from_rows(schema: Schema, rows: Vec<(Tuple, UaAnnot)>) -> Self {
+        let mut r = UaRelation { schema, rows };
+        r.normalize();
+        r
+    }
+
+    /// From a deterministic SGW relation where every tuple is certain.
+    pub fn from_certain(rel: &Relation) -> Self {
+        UaRelation::from_rows(
+            rel.schema.clone(),
+            rel.rows().iter().map(|(t, k)| (t.clone(), UaAnnot::new(*k, *k))).collect(),
+        )
+    }
+
+    pub fn rows(&self) -> &[(Tuple, UaAnnot)] {
+        &self.rows
+    }
+
+    pub fn push(&mut self, t: Tuple, k: UaAnnot) {
+        if !k.is_zero() {
+            self.rows.push((t, k));
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn normalize(&mut self) {
+        let mut map: HashMap<Tuple, UaAnnot> = HashMap::with_capacity(self.rows.len());
+        for (t, k) in self.rows.drain(..) {
+            if !k.is_zero() {
+                let e = map.entry(t).or_insert_with(UaAnnot::zero);
+                *e = e.plus(&k);
+            }
+        }
+        let mut rows: Vec<(Tuple, UaAnnot)> = map.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        self.rows = rows;
+    }
+
+    pub fn annotation(&self, t: &Tuple) -> UaAnnot {
+        self.rows
+            .iter()
+            .filter(|(t2, _)| t2 == t)
+            .fold(UaAnnot::zero(), |acc, (_, k)| acc.plus(k))
+    }
+
+    /// The SGW encoded by the UA-relation.
+    pub fn sg_world(&self) -> Relation {
+        Relation::from_rows(
+            self.schema.clone(),
+            self.rows.iter().filter(|(_, k)| k.sg > 0).map(|(t, k)| (t.clone(), k.sg)).collect(),
+        )
+    }
+}
+
+impl fmt::Display for UaRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (t, k) in &self.rows {
+            writeln!(f, "  {t} ↦ {k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A UA-database.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UaDatabase {
+    relations: BTreeMap<String, UaRelation>,
+}
+
+impl UaDatabase {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, rel: UaRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    pub fn get(&self, name: &str) -> Result<&UaRelation, EvalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| EvalError::NotFound(format!("UA relation {name}")))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &UaRelation)> {
+        self.relations.iter()
+    }
+
+    pub fn sg_world(&self) -> Database {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(name.clone(), rel.sg_world());
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    /// Example 3: the N_UA database bounding {D1, D2}.
+    #[test]
+    fn example_3_bag_ua_db() {
+        let schema = Schema::named(&["state"]);
+        let il: Tuple = ["IL"].into_iter().collect();
+        let az: Tuple = ["AZ"].into_iter().collect();
+        let ind: Tuple = ["IN"].into_iter().collect();
+        let r = UaRelation::from_rows(
+            schema,
+            vec![
+                (il.clone(), UaAnnot::new(2, 3)),
+                (az.clone(), UaAnnot::new(1, 1)),
+                (ind.clone(), UaAnnot::new(0, 5)),
+            ],
+        );
+        assert_eq!(r.annotation(&il), UaAnnot::new(2, 3));
+        let sgw = r.sg_world();
+        assert_eq!(sgw.multiplicity(&il), 3);
+        assert_eq!(sgw.multiplicity(&ind), 5);
+    }
+
+    #[test]
+    fn normalize_and_round_trip() {
+        let rel = Relation::from_rows(Schema::named(&["a"]), vec![(it(&[1]), 2), (it(&[5]), 1)]);
+        let ua = UaRelation::from_certain(&rel);
+        assert_eq!(ua.sg_world(), rel.normalized());
+    }
+}

@@ -1,0 +1,27 @@
+//! # audb-workloads
+//!
+//! Workload generators and accuracy metrics for the paper's evaluation
+//! (Section 12):
+//!
+//! * [`tpch`] — PDBench-style uncertain TPC-H (schema-shaped generator,
+//!   cell-level uncertainty injection, queries Q1/Q3/Q5/Q7/Q10 and the
+//!   PDBench SPJ queries);
+//! * [`micro`] — wide synthetic tables with tunable uncertainty and
+//!   range widths (Figures 13–16);
+//! * [`realworld`] — key-violation datasets shaped like the paper's
+//!   Netflix / Crimes / Healthcare data (Figure 17);
+//! * [`metrics`] — recall, bound tightness, over-grouping and range
+//!   over-estimation with exact ground truths.
+
+pub mod metrics;
+pub mod micro;
+pub mod realworld;
+pub mod tpch;
+
+pub use metrics::{
+    au_certain_tuples, au_covers, exact_group_agg, exact_spj, over_grouping_pct,
+    range_overestimation_factor, recall, spj_accuracy, GroupInfo, SpjAccuracy,
+};
+pub use micro::{gen_micro_au, gen_micro_det, gen_micro_xdb, micro_au_db, micro_join_db, MicroConfig};
+pub use realworld::{all_cases, RealWorldCase};
+pub use tpch::{gen_tpch, inject_uncertainty, pdbench_queries, tpch_queries, TpchConfig};

@@ -1,0 +1,423 @@
+//! Accuracy metrics for the evaluation (Sections 12.2–12.3): recall of
+//! certain/possible tuples, tightness of attribute-level bounds,
+//! over-grouping, and aggregate-range over-estimation. Ground truth is
+//! computed exactly — by lineage evaluation for SPJ queries and by
+//! per-x-tuple analysis (valid thanks to block independence) for
+//! single-table aggregates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use audb_baselines::trio::eval_trio;
+use audb_core::{EvalError, Expr, Value};
+use audb_incomplete::{XDb, XRelation};
+use audb_query::{AggFunc, Query};
+use audb_storage::{AuRelation, Tuple};
+
+/// Fraction of `exact` found in `found` (1.0 when `exact` is empty).
+pub fn recall(found: &BTreeSet<Tuple>, exact: &BTreeSet<Tuple>) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    exact.iter().filter(|t| found.contains(*t)).count() as f64 / exact.len() as f64
+}
+
+/// Certain tuples reported by an AU result: rows with certain attribute
+/// values and a positive lower-bound multiplicity.
+pub fn au_certain_tuples(rel: &AuRelation) -> BTreeSet<Tuple> {
+    rel.rows()
+        .iter()
+        .filter(|(t, k)| k.lb > 0 && t.is_certain())
+        .map(|(t, _)| t.sg())
+        .collect()
+}
+
+/// Does the AU result cover (bound) a possible tuple?
+pub fn au_covers(rel: &AuRelation, t: &Tuple) -> bool {
+    rel.rows().iter().any(|(rt, k)| k.ub > 0 && rt.bounds(t))
+}
+
+/// SPJ accuracy report (a Figure 17 row for one system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpjAccuracy {
+    pub certain_recall: f64,
+    pub possible_recall_by_id: f64,
+    pub possible_recall_by_value: f64,
+    pub tightness_min: f64,
+    pub tightness_max: f64,
+}
+
+/// Exact possible/certain answers of an SPJ query over an x-DB, via
+/// lineage evaluation (block independence makes this exact).
+pub fn exact_spj(
+    xdb: &XDb,
+    q: &Query,
+    certainty_budget: u32,
+) -> Result<(BTreeSet<Tuple>, BTreeSet<Tuple>), EvalError> {
+    let trio = eval_trio(xdb, q)?;
+    let possible: BTreeSet<Tuple> = trio.distinct_tuples().into_iter().collect();
+    let certain = possible
+        .iter()
+        .filter(|t| trio.is_certain(xdb, t, certainty_budget).unwrap_or(false))
+        .cloned()
+        .collect();
+    Ok((possible, certain))
+}
+
+/// Score an AU result of an SPJ query against the exact answers.
+/// `key_cols` identify result tuples for the by-id metrics.
+pub fn spj_accuracy(
+    xdb: &XDb,
+    q: &Query,
+    au_result: &AuRelation,
+    key_cols: &[usize],
+) -> Result<SpjAccuracy, EvalError> {
+    let (possible, certain) = exact_spj(xdb, q, 4096)?;
+    let found_certain = au_certain_tuples(au_result);
+    let certain_recall = recall(&found_certain, &certain);
+
+    let covered: BTreeSet<Tuple> =
+        possible.iter().filter(|t| au_covers(au_result, t)).cloned().collect();
+    let possible_recall_by_value = if possible.is_empty() {
+        1.0
+    } else {
+        covered.len() as f64 / possible.len() as f64
+    };
+
+    // by-id: a key is covered if any of its possible tuples is covered
+    let mut ids: BTreeMap<Tuple, bool> = BTreeMap::new();
+    for t in &possible {
+        let id = t.project(key_cols);
+        let e = ids.entry(id).or_insert(false);
+        *e = *e || covered.contains(t);
+    }
+    let possible_recall_by_id = if ids.is_empty() {
+        1.0
+    } else {
+        ids.values().filter(|c| **c).count() as f64 / ids.len() as f64
+    };
+
+    // attribute-bound tightness over certain result rows: AU width vs
+    // exact per-id value spread, averaged per row ((w+1)/(w*+1) ≥ 1)
+    let mut exact_bounds: BTreeMap<Tuple, Vec<(Value, Value)>> = BTreeMap::new();
+    for t in &possible {
+        let id = t.project(key_cols);
+        let e = exact_bounds
+            .entry(id)
+            .or_insert_with(|| t.0.iter().map(|v| (v.clone(), v.clone())).collect());
+        for (i, v) in t.0.iter().enumerate() {
+            e[i].0 = Value::min_of(e[i].0.clone(), v.clone());
+            e[i].1 = Value::max_of(e[i].1.clone(), v.clone());
+        }
+    }
+    let mut tmin = f64::INFINITY;
+    let mut tmax = f64::NEG_INFINITY;
+    for (t, k) in au_result.rows() {
+        if k.lb == 0 {
+            continue;
+        }
+        let id = t.project(key_cols).sg();
+        let Some(exact) = exact_bounds.get(&id) else { continue };
+        let mut total = 0.0;
+        let mut n = 0;
+        for (r, (lo, hi)) in t.0.iter().zip(exact) {
+            let wau = numeric_width(&r.lb, &r.ub);
+            let wex = numeric_width(lo, hi);
+            total += (wau + 1.0) / (wex + 1.0);
+            n += 1;
+        }
+        if n > 0 {
+            let avg = total / n as f64;
+            tmin = tmin.min(avg);
+            tmax = tmax.max(avg);
+        }
+    }
+    if !tmin.is_finite() {
+        tmin = 1.0;
+        tmax = 1.0;
+    }
+    Ok(SpjAccuracy {
+        certain_recall,
+        possible_recall_by_id,
+        possible_recall_by_value,
+        tightness_min: tmin,
+        tightness_max: tmax,
+    })
+}
+
+fn numeric_width(lo: &Value, hi: &Value) -> f64 {
+    match (lo.as_f64(), hi.as_f64()) {
+        (Some(a), Some(b)) => (b - a).max(0.0),
+        _ => {
+            if lo == hi {
+                0.0
+            } else {
+                1.0 // non-numeric mismatch counts one unit
+            }
+        }
+    }
+}
+
+/// Exact information about one possible group of a single-table
+/// aggregate over an x-relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupInfo {
+    /// the group certainly exists (some tuple is certainly in it)
+    pub certain: bool,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// Exact per-group aggregate bounds for `γ_{g; f(v)}(σ_sel(x))` —
+/// computable tuple-locally because x-tuples are independent.
+/// Supports `Sum`, `Count`, `Min`, `Max`.
+pub fn exact_group_agg(
+    x: &XRelation,
+    sel: Option<&Expr>,
+    group_col: usize,
+    func: AggFunc,
+    val_col: usize,
+) -> Result<BTreeMap<Value, GroupInfo>, EvalError> {
+    // collect possible groups
+    let mut groups: BTreeSet<Value> = BTreeSet::new();
+    for xt in &x.xtuples {
+        for (t, _) in &xt.alternatives {
+            let pass = match sel {
+                Some(p) => p.eval_bool(t.values())?,
+                None => true,
+            };
+            if pass {
+                groups.insert(t.0[group_col].clone());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for g in groups {
+        let mut certain = false;
+        let mut sum_lo = 0.0;
+        let mut sum_hi = 0.0;
+        let mut cnt_lo = 0u64;
+        let mut cnt_hi = 0u64;
+        let mut min_hi: Option<f64> = None; // upper bound on the min
+        let mut min_lo: Option<f64> = None;
+        let mut max_lo: Option<f64> = None;
+        let mut max_hi: Option<f64> = None;
+        for xt in &x.xtuples {
+            // choices: alternatives passing sel, partitioned by group
+            let mut in_g: Vec<f64> = Vec::new();
+            let mut escapable = xt.is_optional();
+            for (t, _) in &xt.alternatives {
+                let pass = match sel {
+                    Some(p) => p.eval_bool(t.values())?,
+                    None => true,
+                };
+                if pass && t.0[group_col].value_eq(&g) {
+                    in_g.push(t.0[val_col].as_f64().unwrap_or(0.0));
+                } else {
+                    escapable = true;
+                }
+            }
+            if in_g.is_empty() {
+                continue;
+            }
+            let vmin = in_g.iter().cloned().fold(f64::INFINITY, f64::min);
+            let vmax = in_g.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if !escapable {
+                certain = true;
+                sum_lo += vmin;
+                sum_hi += vmax;
+                cnt_lo += 1;
+                cnt_hi += 1;
+                min_hi = Some(min_hi.map_or(vmax, |m: f64| m.min(vmax)));
+                max_lo = Some(max_lo.map_or(vmin, |m: f64| m.max(vmin)));
+            } else {
+                sum_lo += vmin.min(0.0);
+                sum_hi += vmax.max(0.0);
+                cnt_hi += 1;
+            }
+            min_lo = Some(min_lo.map_or(vmin, |m: f64| m.min(vmin)));
+            max_hi = Some(max_hi.map_or(vmax, |m: f64| m.max(vmax)));
+        }
+        let info = match func {
+            AggFunc::Sum => GroupInfo { certain, lo: sum_lo, hi: sum_hi },
+            AggFunc::Count => {
+                GroupInfo { certain, lo: cnt_lo as f64, hi: cnt_hi as f64 }
+            }
+            AggFunc::Min => GroupInfo {
+                certain,
+                lo: min_lo.unwrap_or(0.0),
+                hi: min_hi.or(min_lo).unwrap_or(0.0),
+            },
+            AggFunc::Max => GroupInfo {
+                certain,
+                lo: max_lo.or(max_hi).unwrap_or(0.0),
+                hi: max_hi.unwrap_or(0.0),
+            },
+            AggFunc::Avg => {
+                return Err(EvalError::Unsupported("exact avg bounds".into()));
+            }
+        };
+        out.insert(g, info);
+    }
+    Ok(out)
+}
+
+/// Over-grouping (Figure 15a): how many extra input tuples each output
+/// group's box pulls in, relative to the α-assigned tuples:
+/// `(Σ|ð(g)| − Σ|α⁻¹(g)|) / Σ|α⁻¹(g)| · 100%` — mirrors the membership
+/// rule of the aggregation semantics.
+pub fn over_grouping_pct(rel: &AuRelation, group_by: &[usize]) -> f64 {
+    use std::collections::HashMap;
+    let mut groups: HashMap<Tuple, (audb_storage::RangeTuple, usize)> = HashMap::new();
+    for (t, _) in rel.rows() {
+        let gp = t.project(group_by);
+        let key = gp.sg();
+        groups
+            .entry(key)
+            .and_modify(|(bbox, n)| {
+                *bbox = bbox.merge_keep_sg(&gp);
+                *n += 1;
+            })
+            .or_insert((gp, 1));
+    }
+    let mut alpha_total = 0usize;
+    let mut member_total = 0usize;
+    for (key, (bbox, n)) in &groups {
+        alpha_total += n;
+        member_total += rel
+            .rows()
+            .iter()
+            .filter(|(t, _)| {
+                let gp = t.project(group_by);
+                gp.overlaps(bbox) && !(gp.is_certain() && gp.sg() != *key)
+            })
+            .count();
+    }
+    if alpha_total == 0 {
+        0.0
+    } else {
+        (member_total as f64 - alpha_total as f64) / alpha_total as f64 * 100.0
+    }
+}
+
+/// Aggregate-range over-estimation factor (Figure 15b): mean ratio of
+/// the AU result's aggregate range width to the exact (tight) width,
+/// over groups present in both (widths stabilized by +1).
+pub fn range_overestimation_factor(
+    au_result: &AuRelation,
+    group_out_col: usize,
+    agg_out_col: usize,
+    exact: &BTreeMap<Value, GroupInfo>,
+) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (t, _) in au_result.rows() {
+        let g = &t.0[group_out_col].sg;
+        let Some(info) = exact.get(g) else { continue };
+        let r = &t.0[agg_out_col];
+        let wau = numeric_width(&r.lb, &r.ub);
+        let wex = (info.hi - info.lo).max(0.0);
+        total += (wau + 1.0) / (wex + 1.0);
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+    use audb_incomplete::XTuple;
+    use audb_query::{eval_au, table, AggSpec, AuConfig};
+    use audb_storage::Schema;
+
+    fn it(vs: &[i64]) -> Tuple {
+        vs.iter().copied().collect()
+    }
+
+    fn xdb() -> XDb {
+        let mut db = XDb::default();
+        db.insert(
+            "r",
+            XRelation::new(
+                Schema::named(&["id", "g", "v"]),
+                vec![
+                    XTuple::certain(it(&[1, 1, 10])),
+                    XTuple::new(vec![(it(&[2, 1, 20]), 0.5), (it(&[2, 2, 30]), 0.5)]),
+                    XTuple::new(vec![(it(&[3, 2, 5]), 0.4)]),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn exact_spj_matches_world_enumeration() {
+        let db = xdb();
+        let q = table("r").select(col(1).eq(lit(1i64)));
+        let (possible, certain) = exact_spj(&db, &q, 1024).unwrap();
+        let inc = db.to_incomplete(64).unwrap();
+        let res = inc.eval(&q).unwrap();
+        assert_eq!(possible, res.all_tuples());
+        assert_eq!(certain, res.certain_tuples());
+    }
+
+    #[test]
+    fn au_spj_has_full_recall() {
+        let db = xdb();
+        let q = table("r").select(col(1).eq(lit(1i64)));
+        let au = eval_au(&db.to_au(), &q, &AuConfig::precise()).unwrap();
+        let acc = spj_accuracy(&db, &q, &au, &[0]).unwrap();
+        assert_eq!(acc.certain_recall, 1.0);
+        assert_eq!(acc.possible_recall_by_id, 1.0);
+        assert_eq!(acc.possible_recall_by_value, 1.0);
+        assert!(acc.tightness_min >= 1.0);
+    }
+
+    #[test]
+    fn exact_group_agg_vs_enumeration() {
+        let db = xdb();
+        let x = db.get("r").unwrap();
+        let exact = exact_group_agg(x, None, 1, AggFunc::Sum, 2).unwrap();
+        // group 1: tuple1 certain 10; tuple2 may add 20 → [10, 30]
+        let g1 = &exact[&Value::Int(1)];
+        assert!(g1.certain);
+        assert_eq!((g1.lo, g1.hi), (10.0, 30.0));
+        // group 2: optional 5, alternative 30 → [0, 35]
+        let g2 = &exact[&Value::Int(2)];
+        assert!(!g2.certain);
+        assert_eq!((g2.lo, g2.hi), (0.0, 35.0));
+    }
+
+    #[test]
+    fn au_agg_bounds_contain_exact() {
+        let db = xdb();
+        let x = db.get("r").unwrap();
+        let q = table("r").aggregate(vec![1], vec![AggSpec::new(AggFunc::Sum, col(2), "s")]);
+        let au = eval_au(&db.to_au(), &q, &AuConfig::precise()).unwrap();
+        let exact = exact_group_agg(x, None, 1, AggFunc::Sum, 2).unwrap();
+        let factor = range_overestimation_factor(&au, 0, 1, &exact);
+        assert!(factor >= 1.0, "AU ranges at least as wide as exact: {factor}");
+        for (t, _) in au.rows() {
+            if let Some(info) = exact.get(&t.0[0].sg) {
+                let lo = t.0[1].lb.as_f64().unwrap();
+                let hi = t.0[1].ub.as_f64().unwrap();
+                assert!(lo <= info.lo + 1e-9 && info.hi <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn over_grouping_zero_for_certain_groups() {
+        let db = xdb();
+        let au = db.to_au();
+        let rel = au.get("r").unwrap();
+        let pct = over_grouping_pct(rel, &[0]); // ids are certain
+        assert_eq!(pct, 0.0);
+        let pct_g = over_grouping_pct(rel, &[1]); // group col is uncertain
+        assert!(pct_g > 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Microbenchmark generators (Section 12.2): wide synthetic tables with
+//! tunable row count, attribute count, uncertainty percentage and
+//! attribute-range width — the knobs behind Figures 13–16.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use audb_core::{AuAnnot, RangeValue, Value};
+use audb_incomplete::{XDb, XRelation, XTuple};
+use audb_storage::{AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema, Tuple};
+
+/// Configuration for a synthetic table.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    pub rows: usize,
+    pub cols: usize,
+    /// values are uniform in `[0, domain)`
+    pub domain: i64,
+    /// fraction of rows that carry attribute uncertainty
+    pub uncert_pct: f64,
+    /// width of uncertain ranges as a fraction of the domain
+    pub range_frac: f64,
+    pub seed: u64,
+}
+
+impl MicroConfig {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        MicroConfig { rows, cols, domain: 1000, uncert_pct: 0.05, range_frac: 0.05, seed: 42 }
+    }
+    pub fn domain(mut self, d: i64) -> Self {
+        self.domain = d;
+        self
+    }
+    pub fn uncertainty(mut self, pct: f64) -> Self {
+        self.uncert_pct = pct;
+        self
+    }
+    pub fn range_frac(mut self, f: f64) -> Self {
+        self.range_frac = f;
+        self
+    }
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    pub fn schema(&self) -> Schema {
+        Schema::new((0..self.cols).map(|i| format!("a{i}")).collect())
+    }
+}
+
+/// Generate the deterministic table (the SGW).
+pub fn gen_micro_det(cfg: &MicroConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let rows = (0..cfg.rows)
+        .map(|_| {
+            Tuple::new(
+                (0..cfg.cols).map(|_| Value::Int(rng.gen_range(0..cfg.domain))).collect(),
+            )
+        })
+        .map(|t| (t, 1))
+        .collect();
+    Relation::from_rows(cfg.schema(), rows)
+}
+
+/// Generate the AU table directly: uncertain rows get ranges of width
+/// `range_frac · domain` centred on the SG value (clamped to the domain).
+pub fn gen_micro_au(cfg: &MicroConfig) -> AuRelation {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let half = ((cfg.domain as f64 * cfg.range_frac) / 2.0).ceil() as i64;
+    let mut out = AuRelation::empty(cfg.schema());
+    for _ in 0..cfg.rows {
+        let vals: Vec<i64> = (0..cfg.cols).map(|_| rng.gen_range(0..cfg.domain)).collect();
+        let uncertain = rng.gen_bool(cfg.uncert_pct);
+        let ranges: Vec<RangeValue> = vals
+            .iter()
+            .map(|v| {
+                if uncertain && half > 0 {
+                    RangeValue::range(
+                        (*v - half).max(0),
+                        *v,
+                        (*v + half).min(cfg.domain - 1).max(*v),
+                    )
+                } else {
+                    RangeValue::certain(Value::Int(*v))
+                }
+            })
+            .collect();
+        out.push(RangeTuple::new(ranges), AuAnnot::certain_one());
+    }
+    out.normalized()
+}
+
+/// Matching pair: the same data as `gen_micro_au` plus its SGW — use for
+/// AU-DB vs Det comparisons on identical content.
+pub fn gen_micro_pair(cfg: &MicroConfig) -> (AuRelation, Relation) {
+    let au = gen_micro_au(cfg);
+    let sg = au.sg_world();
+    (au, sg)
+}
+
+/// Databases wrapping the single table `t`.
+pub fn micro_au_db(cfg: &MicroConfig) -> (AuDatabase, Database) {
+    let (au, sg) = gen_micro_pair(cfg);
+    let mut audb = AuDatabase::new();
+    audb.insert("t", au);
+    let mut db = Database::new();
+    db.insert("t", sg);
+    (audb, db)
+}
+
+/// Two join tables `t1`, `t2` over a shared key domain (Figures 14/16).
+pub fn micro_join_db(cfg: &MicroConfig) -> (AuDatabase, Database) {
+    let mut audb = AuDatabase::new();
+    let mut db = Database::new();
+    for (i, name) in ["t1", "t2"].iter().enumerate() {
+        let (au, sg) = gen_micro_pair(&MicroConfig { seed: cfg.seed + i as u64, ..*cfg });
+        audb.insert(*name, au);
+        db.insert(*name, sg);
+    }
+    (audb, db)
+}
+
+/// x-DB variant for accuracy experiments (Figure 15): uncertain rows
+/// become x-tuples with `alts` alternatives drawn from the range window.
+pub fn gen_micro_xdb(cfg: &MicroConfig, alts: usize) -> XDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let half = ((cfg.domain as f64 * cfg.range_frac) / 2.0).ceil() as i64;
+    let mut xtuples = Vec::with_capacity(cfg.rows);
+    for _ in 0..cfg.rows {
+        let vals: Vec<i64> = (0..cfg.cols).map(|_| rng.gen_range(0..cfg.domain)).collect();
+        let base = Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect());
+        if rng.gen_bool(cfg.uncert_pct) && half > 0 {
+            let n = alts.max(2);
+            let mut alternatives = vec![base.clone()];
+            for _ in 1..n {
+                let alt: Vec<Value> = vals
+                    .iter()
+                    .map(|v| {
+                        Value::Int(
+                            rng.gen_range((*v - half).max(0)..=(*v + half).min(cfg.domain - 1).max(*v)),
+                        )
+                    })
+                    .collect();
+                alternatives.push(Tuple::new(alt));
+            }
+            let p = 1.0 / alternatives.len() as f64;
+            let mut weighted: Vec<(Tuple, f64)> =
+                alternatives.into_iter().map(|a| (a, p)).collect();
+            weighted[0].1 += 1e-9;
+            let norm: f64 = weighted.iter().map(|(_, q)| q).sum();
+            for w in weighted.iter_mut() {
+                w.1 /= norm;
+            }
+            xtuples.push(XTuple::new(weighted));
+        } else {
+            xtuples.push(XTuple::certain(base));
+        }
+    }
+    let mut out = XDb::default();
+    out.insert("t", XRelation::new(cfg.schema(), xtuples));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::col;
+    use audb_query::{eval_au, eval_det, table, AggFunc, AggSpec, AuConfig};
+
+    #[test]
+    fn deterministic_and_au_share_sgw() {
+        let cfg = MicroConfig::new(200, 5).uncertainty(0.2).seed(7);
+        let (au, sg) = gen_micro_pair(&cfg);
+        assert_eq!(au.sg_world(), sg);
+        assert_eq!(sg.total_count(), 200);
+    }
+
+    #[test]
+    fn uncertainty_rate_close_to_target() {
+        let cfg = MicroConfig::new(2000, 3).uncertainty(0.1).seed(8);
+        let au = gen_micro_au(&cfg);
+        let uncertain = au.rows().iter().filter(|(t, _)| !t.is_certain()).count();
+        let rate = uncertain as f64 / au.len() as f64;
+        assert!((rate - 0.1).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn range_width_scales_with_config() {
+        let narrow = gen_micro_au(&MicroConfig::new(500, 2).range_frac(0.02).uncertainty(1.0));
+        let wide = gen_micro_au(&MicroConfig::new(500, 2).range_frac(0.5).uncertainty(1.0));
+        assert!(wide.mean_range_width(500.0) > narrow.mean_range_width(500.0) * 5.0);
+    }
+
+    #[test]
+    fn micro_aggregation_runs_both_engines() {
+        let cfg = MicroConfig::new(300, 4).uncertainty(0.05).seed(9);
+        let (audb, db) = micro_au_db(&cfg);
+        let q = table("t").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+        let det = eval_det(&db, &q).unwrap();
+        let au = eval_au(&audb, &q, &AuConfig::compressed(25)).unwrap();
+        assert_eq!(au.sg_world(), det);
+    }
+
+    #[test]
+    fn xdb_variant_bounded_by_au_translation() {
+        let cfg = MicroConfig::new(12, 2).uncertainty(0.5).range_frac(0.1).seed(10);
+        let xdb = gen_micro_xdb(&cfg, 3);
+        if let Some(inc) = xdb.to_incomplete(4096) {
+            let au = xdb.to_au();
+            assert!(audb_incomplete::database_bounds_incomplete(&au, &inc));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Real-world-shaped datasets (Section 12.3): synthetic stand-ins for
+//! the paper's Netflix / Chicago Crimes / Hospital Compare datasets,
+//! generated with the *same key-violation structure* the paper reports
+//! (percentage of uncertain tuples, average possibilities per uncertain
+//! tuple — Figure 17's dataset annotations), repaired with the
+//! key-repair lens of Section 11.4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use audb_core::{col, lit, Value};
+use audb_incomplete::{key_repair_lens, XDb};
+use audb_query::{table, AggFunc, AggSpec, Query};
+use audb_storage::{Relation, Schema, Tuple};
+
+/// One benchmark dataset: a dirty relation, its repair as an x-DB, and
+/// the two queries (SPJ + group-by) run against it.
+pub struct RealWorldCase {
+    pub name: &'static str,
+    pub table: &'static str,
+    pub xdb: XDb,
+    pub spj: (&'static str, Query),
+    pub groupby: (&'static str, Query),
+}
+
+fn weighted_extra_rows(rng: &mut StdRng, violation_rate: f64, avg_possibilities: f64) -> usize {
+    if rng.gen_bool(violation_rate) {
+        // 2.x possibilities on average: mostly 2, sometimes 3-4
+        let extra = avg_possibilities - 1.0;
+        let base = extra.floor() as usize;
+        base + rng.gen_bool(extra - base as f64) as usize
+    } else {
+        0
+    }
+}
+
+/// Netflix-shaped: `(show_id, title, director, release_year)`,
+/// ~1.9% violations, ~2.1 possibilities.
+pub fn netflix(rows: usize, seed: u64) -> XDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::named(&["show_id", "title", "director", "release_year"]);
+    let mut data = Vec::new();
+    for i in 0..rows {
+        let director = format!("Director {}", rng.gen_range(0..(rows / 4).max(1)));
+        let year = rng.gen_range(1990..=2021i64);
+        let base = Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::str(format!("Show {i}")),
+            Value::str(director.clone()),
+            Value::Int(year),
+        ]);
+        data.push((base.clone(), 1));
+        for _ in 0..weighted_extra_rows(&mut rng, 0.019, 2.1) {
+            // conflicting source: same show id, different year/director
+            data.push((
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("Show {i}")),
+                    Value::str(format!("Director {}", rng.gen_range(0..(rows / 4).max(1)))),
+                    Value::Int(year + rng.gen_range(-2..=2)),
+                ]),
+                1,
+            ));
+        }
+    }
+    let rel = Relation::from_rows(schema, data);
+    let mut out = XDb::default();
+    out.insert("netflix", key_repair_lens(&rel, &[0]));
+    out
+}
+
+/// Crimes-shaped: `(id, year, district, primary_type, arrest)`,
+/// ~0.1% violations, ~3.2 possibilities.
+pub fn crimes(rows: usize, seed: u64) -> XDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let types = ["THEFT", "BATTERY", "HOMICIDE", "NARCOTICS", "ASSAULT"];
+    let schema = Schema::named(&["id", "year", "district", "primary_type", "arrest"]);
+    let mut data = Vec::new();
+    for i in 0..rows {
+        let year = rng.gen_range(2001..=2017i64);
+        let district = rng.gen_range(1..=25i64);
+        let ptype = types[rng.gen_range(0..types.len())];
+        let arrest = if rng.gen_bool(0.3) { "True" } else { "False" };
+        data.push((
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(year),
+                Value::Int(district),
+                Value::str(ptype),
+                Value::str(arrest),
+            ]),
+            1,
+        ));
+        for _ in 0..weighted_extra_rows(&mut rng, 0.001, 3.2) {
+            data.push((
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::Int(year + rng.gen_range(0..=1)),
+                    Value::Int(rng.gen_range(1..=25)),
+                    Value::str(types[rng.gen_range(0..types.len())]),
+                    Value::str(if rng.gen_bool(0.5) { "True" } else { "False" }),
+                ]),
+                1,
+            ));
+        }
+    }
+    let rel = Relation::from_rows(schema, data);
+    let mut out = XDb::default();
+    out.insert("crimes", key_repair_lens(&rel, &[0]));
+    out
+}
+
+/// Healthcare-shaped: `(id, facility, state, measure, score)`,
+/// ~1.0% violations, ~2.7 possibilities.
+pub fn healthcare(rows: usize, seed: u64) -> XDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let states = ["TX", "CA", "NY", "IL", "FL", "OH"];
+    let measures = ["HAI_1_SIR", "HAI_2_SIR", "MORT_30", "READM_30"];
+    let schema = Schema::named(&["id", "facility", "state", "measure", "score"]);
+    let mut data = Vec::new();
+    for i in 0..rows {
+        let facility = format!("Facility {}", rng.gen_range(0..(rows / 8).max(1)));
+        data.push((
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::str(facility.clone()),
+                Value::str(states[rng.gen_range(0..states.len())]),
+                Value::str(measures[rng.gen_range(0..measures.len())]),
+                Value::Int(rng.gen_range(0..=100)),
+            ]),
+            1,
+        ));
+        for _ in 0..weighted_extra_rows(&mut rng, 0.010, 2.7) {
+            data.push((
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::str(facility.clone()),
+                    Value::str(states[rng.gen_range(0..states.len())]),
+                    Value::str(measures[rng.gen_range(0..measures.len())]),
+                    Value::Int(rng.gen_range(0..=100)),
+                ]),
+                1,
+            ));
+        }
+    }
+    let rel = Relation::from_rows(schema, data);
+    let mut out = XDb::default();
+    out.insert("healthcare", key_repair_lens(&rel, &[0]));
+    out
+}
+
+/// Q_{n,1}: shows released before 2017.
+pub fn qn1() -> Query {
+    table("netflix").select(col(3).lt(lit(2017i64))).project(vec![
+        (col(1), "title"),
+        (col(3), "release_year"),
+        (col(2), "director"),
+    ])
+}
+
+/// Q_{n,2}: most recent show per director.
+pub fn qn2() -> Query {
+    table("netflix").aggregate(vec![2], vec![AggSpec::new(AggFunc::Max, col(3), "latest")])
+}
+
+/// Q_{c,1}: un-arrested homicides.
+pub fn qc1() -> Query {
+    table("crimes")
+        .select(col(3).eq(lit("HOMICIDE")).and(col(4).eq(lit("False"))))
+        .project(vec![(col(1), "year"), (col(2), "district")])
+}
+
+/// Q_{c,2}: crimes per year.
+pub fn qc2() -> Query {
+    table("crimes").aggregate(vec![1], vec![AggSpec::count("cnt")])
+}
+
+/// Q_{h,1}: HAI_1_SIR scores outside TX/CA.
+pub fn qh1() -> Query {
+    table("healthcare")
+        .select(
+            col(2)
+                .neq(lit("TX"))
+                .and(col(2).neq(lit("CA")))
+                .and(col(3).eq(lit("HAI_1_SIR"))),
+        )
+        .project(vec![(col(1), "facility"), (col(3), "measure"), (col(4), "score")])
+}
+
+/// Q_{h,2}: total score per facility.
+pub fn qh2() -> Query {
+    table("healthcare").aggregate(vec![1], vec![AggSpec::new(AggFunc::Sum, col(4), "total")])
+}
+
+/// All six (dataset, query) cases of Figure 17.
+pub fn all_cases(rows: usize, seed: u64) -> Vec<RealWorldCase> {
+    vec![
+        RealWorldCase {
+            name: "Netflix",
+            table: "netflix",
+            xdb: netflix(rows, seed),
+            spj: ("Qn1", qn1()),
+            groupby: ("Qn2", qn2()),
+        },
+        RealWorldCase {
+            name: "Crimes",
+            table: "crimes",
+            xdb: crimes(rows, seed + 1),
+            spj: ("Qc1", qc1()),
+            groupby: ("Qc2", qc2()),
+        },
+        RealWorldCase {
+            name: "Healthcare",
+            table: "healthcare",
+            xdb: healthcare(rows, seed + 2),
+            spj: ("Qh1", qh1()),
+            groupby: ("Qh2", qh2()),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_incomplete::repair_stats;
+    use audb_query::{eval_au, eval_det, AuConfig};
+
+    #[test]
+    fn violation_rates_match_figure_17() {
+        let x = netflix(4000, 1);
+        let stats = repair_stats(&x.get("netflix").unwrap().clone());
+        let rate = stats.violating_keys as f64 / stats.total_keys as f64;
+        assert!((rate - 0.019).abs() < 0.01, "netflix violation rate {rate}");
+        assert!((stats.avg_possibilities - 2.1).abs() < 0.4);
+
+        let x = healthcare(4000, 2);
+        let stats = repair_stats(&x.get("healthcare").unwrap().clone());
+        let rate = stats.violating_keys as f64 / stats.total_keys as f64;
+        assert!((rate - 0.010).abs() < 0.006, "healthcare violation rate {rate}");
+    }
+
+    #[test]
+    fn queries_run_on_all_cases() {
+        for case in all_cases(300, 3) {
+            let au = case.xdb.to_au();
+            let sg = case.xdb.sg_world();
+            for (name, q) in [&case.spj, &case.groupby] {
+                let det = eval_det(&sg, q).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let auout = eval_au(&au, q, &AuConfig::compressed(32))
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(auout.sg_world(), det, "{name} SGW mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_tuples_are_certain() {
+        let x = netflix(500, 4);
+        let au = x.to_au();
+        let rel = au.get("netflix").unwrap();
+        assert!(rel.rows().iter().all(|(_, k)| k.lb == 1));
+    }
+}

@@ -1,0 +1,387 @@
+//! PDBench-style uncertain TPC-H (Section 12.1): a scaled-down TPC-H
+//! data generator with the same schema shape, plus PDBench's uncertainty
+//! injection — a percentage of cells is replaced by up to 8 random
+//! alternatives drawn uniformly from the attribute's domain, yielding an
+//! x-DB (block-independent database).
+//!
+//! Substitution note (DESIGN.md): scale factors map to row counts
+//! (SF 1 ≈ 6k lineitems here instead of 6M) — every reported effect is a
+//! *relative* measurement, which the generator preserves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use audb_core::{col, lit, Value};
+use audb_incomplete::{XDb, XRelation, XTuple};
+use audb_query::{table, AggFunc, AggSpec, Query};
+use audb_storage::{Database, Relation, Schema, Tuple};
+
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+pub const LINE_STATUS: [&str; 2] = ["O", "F"];
+/// Dates are day numbers in [1, 2557] (the 7 TPC-H years).
+pub const MAX_DATE: i64 = 2557;
+
+/// Generator configuration. `scale = 1.0` ≈ 150 customers / 1.5k orders
+/// / 6k lineitems (a 1000× linear shrink of TPC-H SF1).
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    pub fn new(scale: f64, seed: u64) -> Self {
+        TpchConfig { scale, seed }
+    }
+
+    pub fn customers(&self) -> usize {
+        ((150.0 * self.scale) as usize).max(5)
+    }
+    pub fn orders(&self) -> usize {
+        self.customers() * 10
+    }
+    pub fn lineitems(&self) -> usize {
+        self.orders() * 4
+    }
+    /// At least one supplier per nation so "local supplier" joins (Q5)
+    /// stay non-empty at small scales.
+    pub fn suppliers(&self) -> usize {
+        ((50.0 * self.scale) as usize).max(25)
+    }
+}
+
+pub fn customer_schema() -> Schema {
+    Schema::named(&["c_key", "c_nationkey", "c_acctbal", "c_mktsegment"])
+}
+pub fn orders_schema() -> Schema {
+    Schema::named(&["o_key", "o_custkey", "o_totalprice", "o_orderdate", "o_shippriority"])
+}
+pub fn lineitem_schema() -> Schema {
+    Schema::named(&[
+        "l_orderkey",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_suppkey",
+    ])
+}
+pub fn supplier_schema() -> Schema {
+    Schema::named(&["s_key", "s_nationkey"])
+}
+pub fn nation_schema() -> Schema {
+    Schema::named(&["n_key", "n_name", "n_regionkey"])
+}
+pub fn region_schema() -> Schema {
+    Schema::named(&["r_key", "r_name"])
+}
+
+/// Generate the deterministic base database.
+pub fn gen_tpch(cfg: TpchConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+
+    let regions: Vec<Tuple> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Tuple::new(vec![Value::Int(i as i64), Value::str(*name)]))
+        .collect();
+    db.insert("region", Relation::from_tuples(region_schema(), regions));
+
+    let nations: Vec<Tuple> = (0..25)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i),
+                Value::str(format!("NATION_{i:02}")),
+                Value::Int(i % 5),
+            ])
+        })
+        .collect();
+    db.insert("nation", Relation::from_tuples(nation_schema(), nations));
+
+    let suppliers: Vec<Tuple> = (0..cfg.suppliers())
+        .map(|i| Tuple::new(vec![Value::Int(i as i64), Value::Int(i as i64 % 25)]))
+        .collect();
+    db.insert("supplier", Relation::from_tuples(supplier_schema(), suppliers));
+
+    let customers: Vec<Tuple> = (0..cfg.customers())
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..25)),
+                Value::float((rng.gen_range(-99999..999999) as f64) / 100.0),
+                Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            ])
+        })
+        .collect();
+    db.insert("customer", Relation::from_tuples(customer_schema(), customers));
+
+    let n_cust = cfg.customers() as i64;
+    let orders: Vec<Tuple> = (0..cfg.orders())
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_cust)),
+                Value::float((rng.gen_range(100_00..500_000_00) as f64) / 100.0),
+                Value::Int(rng.gen_range(1..=MAX_DATE)),
+                Value::Int(rng.gen_range(0..2)),
+            ])
+        })
+        .collect();
+    db.insert("orders", Relation::from_tuples(orders_schema(), orders));
+
+    let n_orders = cfg.orders() as i64;
+    let n_supp = cfg.suppliers() as i64;
+    let lineitems: Vec<Tuple> = (0..cfg.lineitems())
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..n_orders)),
+                Value::Int(rng.gen_range(1..=50)),
+                Value::float((rng.gen_range(900_00..10_500_000) as f64) / 100.0),
+                Value::float(rng.gen_range(0..=10) as f64 / 100.0),
+                Value::float(rng.gen_range(0..=8) as f64 / 100.0),
+                Value::str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())]),
+                Value::str(LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())]),
+                Value::Int(rng.gen_range(1..=MAX_DATE)),
+                Value::Int(rng.gen_range(0..n_supp)),
+            ])
+        })
+        .collect();
+    db.insert("lineitem", Relation::from_tuples(lineitem_schema(), lineitems));
+
+    db
+}
+
+/// PDBench uncertainty injection: each cell of the fact tables is
+/// uncertain with probability `cell_pct`; an uncertain row becomes an
+/// x-tuple with up to `max_alts` alternatives whose uncertain cells are
+/// redrawn uniformly from the column's observed domain (a worst case for
+/// range bounds, as the paper notes). Dimension tables stay certain.
+pub fn inject_uncertainty(
+    db: &Database,
+    cell_pct: f64,
+    max_alts: usize,
+    seed: u64,
+) -> XDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = XDb::default();
+    for (name, rel) in db.iter() {
+        let keep_certain = matches!(name.as_str(), "nation" | "region");
+        // per-column sample pools for alternative values
+        let arity = rel.schema.arity();
+        let mut pools: Vec<Vec<Value>> = vec![Vec::new(); arity];
+        for (t, _) in rel.rows().iter().take(512) {
+            for (i, v) in t.0.iter().enumerate() {
+                pools[i].push(v.clone());
+            }
+        }
+        let mut xtuples = Vec::with_capacity(rel.rows().len());
+        for (t, k) in rel.rows() {
+            for _ in 0..*k {
+                if keep_certain {
+                    xtuples.push(XTuple::certain(t.clone()));
+                    continue;
+                }
+                // key columns (index 0) stay certain to keep joins sane
+                let uncertain_cells: Vec<usize> =
+                    (1..arity).filter(|_| rng.gen_bool(cell_pct)).collect();
+                if uncertain_cells.is_empty() {
+                    xtuples.push(XTuple::certain(t.clone()));
+                    continue;
+                }
+                let alts = rng.gen_range(2..=max_alts.max(2));
+                let mut alternatives = vec![t.clone()];
+                for _ in 1..alts {
+                    let mut alt = t.clone();
+                    for &c in &uncertain_cells {
+                        alt.0[c] = pools[c][rng.gen_range(0..pools[c].len())].clone();
+                    }
+                    alternatives.push(alt);
+                }
+                let p = 1.0 / alternatives.len() as f64;
+                let mut weighted: Vec<(Tuple, f64)> =
+                    alternatives.into_iter().map(|a| (a, p)).collect();
+                // make the original row the selected guess
+                weighted[0].1 += 1e-9;
+                let norm: f64 = weighted.iter().map(|(_, q)| q).sum();
+                for w in weighted.iter_mut() {
+                    w.1 /= norm;
+                }
+                xtuples.push(XTuple::new(weighted));
+            }
+        }
+        out.insert(name.clone(), XRelation::new(rel.schema.clone(), xtuples));
+    }
+    out
+}
+
+fn revenue(price_col: usize, disc_col: usize) -> audb_core::Expr {
+    col(price_col).mul(lit(1.0f64).sub(col(disc_col)))
+}
+
+/// TPC-H Q1 (pricing summary): aggregation with certain group-by over
+/// uncertain measures.
+pub fn q1() -> Query {
+    table("lineitem").select(col(7).leq(lit(MAX_DATE - 90))).aggregate(
+        vec![5, 6],
+        vec![
+            AggSpec::new(AggFunc::Sum, col(1), "sum_qty"),
+            AggSpec::new(AggFunc::Sum, col(2), "sum_base_price"),
+            AggSpec::new(AggFunc::Sum, revenue(2, 3), "sum_disc_price"),
+            AggSpec::new(AggFunc::Avg, col(1), "avg_qty"),
+            AggSpec::new(AggFunc::Avg, col(2), "avg_price"),
+            AggSpec::count("count_order"),
+        ],
+    )
+}
+
+/// TPC-H Q3 (shipping priority): 3-way join + aggregation.
+pub fn q3() -> Query {
+    table("customer")
+        .select(col(3).eq(lit("BUILDING")))
+        .join_on(table("orders"), col(0).eq(col(5)))
+        .select(col(7).lt(lit(MAX_DATE / 2)))
+        .join_on(table("lineitem"), col(4).eq(col(9)))
+        .select(col(16).gt(lit(MAX_DATE / 2)))
+        .aggregate(vec![4, 7, 8], vec![AggSpec::new(AggFunc::Sum, revenue(11, 12), "revenue")])
+}
+
+/// TPC-H Q5 (local supplier volume): 6-way join + aggregation.
+pub fn q5() -> Query {
+    table("region")
+        .select(col(1).eq(lit("ASIA")))
+        .join_on(table("nation"), col(0).eq(col(4)))
+        .join_on(table("customer"), col(2).eq(col(6)))
+        .join_on(table("orders"), col(5).eq(col(10)))
+        .select(col(12).lt(lit(MAX_DATE / 3)))
+        .join_on(table("lineitem"), col(9).eq(col(14)))
+        .join_on(
+            table("supplier"),
+            col(22).eq(col(23)).and(col(24).eq(col(2))),
+        )
+        .aggregate(vec![3], vec![AggSpec::new(AggFunc::Sum, revenue(16, 17), "revenue")])
+}
+
+/// TPC-H Q7 (volume shipping): join + grouping by nation pair.
+pub fn q7() -> Query {
+    table("supplier")
+        .join_on(table("lineitem"), col(0).eq(col(10)))
+        .join_on(table("orders"), col(2).eq(col(11)))
+        .join_on(table("customer"), col(12).eq(col(16)))
+        .select(
+            col(9)
+                .geq(lit(MAX_DATE / 4))
+                .and(col(9).leq(lit(3 * MAX_DATE / 4)))
+                .and(col(1).neq(col(17))),
+        )
+        .aggregate(vec![1, 17], vec![AggSpec::new(AggFunc::Sum, revenue(4, 5), "revenue")])
+}
+
+/// TPC-H Q10 (returned item reporting).
+pub fn q10() -> Query {
+    table("lineitem")
+        .select(col(5).eq(lit("R")))
+        .join_on(table("orders"), col(0).eq(col(9)))
+        .select(col(12).geq(lit(MAX_DATE / 2)).and(col(12).lt(lit(MAX_DATE / 2 + 400))))
+        .join_on(table("customer"), col(10).eq(col(14)))
+        .aggregate(vec![14], vec![AggSpec::new(AggFunc::Sum, revenue(2, 3), "revenue")])
+}
+
+/// The TPC-H queries of Figure 12.
+pub fn tpch_queries() -> Vec<(&'static str, Query)> {
+    vec![("Q1", q1()), ("Q3", q3()), ("Q5", q5()), ("Q7", q7()), ("Q10", q10())]
+}
+
+/// The three PDBench SPJ queries (Figure 10's workload).
+pub fn pdbench_queries() -> Vec<(&'static str, Query)> {
+    let p1 = table("lineitem")
+        .select(col(1).geq(lit(30i64)).and(col(7).leq(lit(MAX_DATE / 2))))
+        .project(vec![(col(0), "l_orderkey"), (col(1), "l_quantity"), (col(2), "l_extendedprice")]);
+    let p2 = table("customer")
+        .join_on(table("orders"), col(0).eq(col(5)))
+        .select(col(3).eq(lit("BUILDING")))
+        .project(vec![(col(0), "c_key"), (col(4), "o_key"), (col(6), "o_totalprice")]);
+    let p3 = table("customer")
+        .join_on(table("orders"), col(0).eq(col(5)))
+        .join_on(table("lineitem"), col(4).eq(col(9)))
+        .select(col(10).geq(lit(25i64)))
+        .project(vec![(col(0), "c_key"), (col(4), "o_key"), (col(11), "l_extendedprice")]);
+    vec![("P1", p1), ("P2", p2), ("P3", p3)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_query::{eval_au, eval_det, AuConfig};
+
+    #[test]
+    fn generator_produces_consistent_sizes() {
+        let cfg = TpchConfig::new(0.1, 1);
+        let db = gen_tpch(cfg);
+        assert_eq!(db.get("customer").unwrap().total_count() as usize, cfg.customers());
+        assert_eq!(db.get("orders").unwrap().total_count() as usize, cfg.orders());
+        assert_eq!(db.get("lineitem").unwrap().total_count() as usize, cfg.lineitems());
+        assert_eq!(db.get("region").unwrap().total_count(), 5);
+        assert_eq!(db.get("nation").unwrap().total_count(), 25);
+    }
+
+    #[test]
+    fn schemas_resolve_query_columns() {
+        let db = gen_tpch(TpchConfig::new(0.05, 2));
+        for (name, q) in tpch_queries().iter().chain(pdbench_queries().iter()) {
+            let schema = q.schema(&db).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(schema.arity() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn queries_run_deterministically() {
+        let db = gen_tpch(TpchConfig::new(0.05, 3));
+        for (name, q) in tpch_queries() {
+            let out = eval_det(&db, &q).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!out.is_empty(), "{name} should produce rows");
+        }
+        for (name, q) in pdbench_queries() {
+            let _ = eval_det(&db, &q).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn uncertainty_injection_hits_target_rate() {
+        let db = gen_tpch(TpchConfig::new(0.1, 4));
+        let xdb = inject_uncertainty(&db, 0.10, 8, 5);
+        let li = xdb.get("lineitem").unwrap();
+        let ratio = li.uncertain_ratio();
+        // ~8 non-key cells at 10% each ⇒ roughly half the rows uncertain
+        assert!(ratio > 0.3 && ratio < 0.8, "ratio {ratio}");
+        // SG world of the x-DB equals the base database (originals picked)
+        assert_eq!(xdb.sg_world().get("lineitem").unwrap(), &db.get("lineitem").unwrap().normalized());
+    }
+
+    #[test]
+    fn au_translation_preserves_sgw_through_queries() {
+        let db = gen_tpch(TpchConfig::new(0.03, 6));
+        let xdb = inject_uncertainty(&db, 0.02, 4, 7);
+        let au = xdb.to_au();
+        let q = pdbench_queries().remove(0).1;
+        let native = eval_au(&au, &q, &AuConfig::compressed(16)).unwrap();
+        let det = eval_det(&db, &q).unwrap();
+        assert_eq!(native.sg_world(), det);
+    }
+
+    #[test]
+    fn aggregation_query_sgw_matches_det() {
+        let db = gen_tpch(TpchConfig::new(0.03, 8));
+        let xdb = inject_uncertainty(&db, 0.02, 4, 9);
+        let au = xdb.to_au();
+        let q = q1();
+        let native = eval_au(&au, &q, &AuConfig::compressed(32)).unwrap();
+        let det = eval_det(&db, &q).unwrap();
+        assert_eq!(native.sg_world(), det);
+    }
+}

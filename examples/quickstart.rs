@@ -1,0 +1,78 @@
+//! Quickstart: build an AU-DB by hand, run selection / join /
+//! aggregation, and read the bounds off the results.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use audb::prelude::*;
+
+fn main() {
+    // ---- 1. build an AU-relation -----------------------------------------
+    // Each attribute is a [lower / selected-guess / upper] triple; each
+    // tuple carries (lower, sg, upper) multiplicity bounds.
+    let items = AuRelation::from_rows(
+        Schema::named(&["item", "qty", "warehouse"]),
+        vec![
+            // fully certain row
+            au_row(
+                vec![
+                    RangeValue::certain(Value::str("bolt")),
+                    RangeValue::certain(Value::Int(100)),
+                    RangeValue::certain(Value::Int(1)),
+                ],
+                1,
+                1,
+                1,
+            ),
+            // quantity only known to be 40–60 (guess: 50)
+            au_row(
+                vec![
+                    RangeValue::certain(Value::str("nut")),
+                    RangeValue::range(40i64, 50i64, 60i64),
+                    RangeValue::certain(Value::Int(1)),
+                ],
+                1,
+                1,
+                1,
+            ),
+            // row that may not exist at all (lower multiplicity 0), and
+            // whose warehouse is unknown
+            au_row(
+                vec![
+                    RangeValue::certain(Value::str("washer")),
+                    RangeValue::certain(Value::Int(10)),
+                    RangeValue::range(1i64, 2i64, 3i64),
+                ],
+                0,
+                1,
+                1,
+            ),
+        ],
+    );
+    let mut db = AuDatabase::new();
+    db.insert("items", items);
+    println!("input:\n{}", db.get("items").unwrap());
+
+    // ---- 2. selection over uncertain values --------------------------------
+    // qty >= 50 is certainly true for bolt, maybe true for nut.
+    let q = table("items").select(col(1).geq(lit(50i64)));
+    let out = eval_au(&db, &q, &AuConfig::precise()).unwrap();
+    println!("σ[qty ≥ 50]:\n{out}");
+
+    // ---- 3. aggregation with group-by --------------------------------------
+    // Group by warehouse: washer's group membership is uncertain, which
+    // the output's bounds must (and do) account for.
+    let q = table("items").aggregate(
+        vec![2],
+        vec![AggSpec::new(AggFunc::Sum, col(1), "total_qty"), AggSpec::count("items")],
+    );
+    let out = eval_au(&db, &q, &AuConfig::precise()).unwrap();
+    println!("γ[warehouse; sum(qty), count(*)]:\n{out}");
+
+    // ---- 4. the selected-guess world is always recoverable -----------------
+    // Ignoring the bounds gives exactly what a deterministic engine
+    // would have produced on the selected-guess data.
+    let sgw_result = out.sg_world();
+    let det_result = eval_det(&db.sg_world(), &q).unwrap();
+    assert_eq!(sgw_result, det_result);
+    println!("SGW of the result == deterministic evaluation over the SGW ✓");
+}

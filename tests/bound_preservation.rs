@@ -1,0 +1,180 @@
+//! Property-based validation of the paper's central results: for random
+//! incomplete databases and random `RA^agg` queries, the AU-DB query
+//! result *bounds* the query result in every possible world
+//! (Theorems 3, 4, 6; Corollary 2) — decided exactly by the max-flow
+//! tuple-matching checker (Definitions 15–17). The same properties are
+//! asserted for the compressed evaluation paths (Lemmas 10.1, 10.2).
+
+use proptest::prelude::*;
+
+use audb::prelude::*;
+use audb::incomplete::relation_bounds_world;
+
+// ---------------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------------
+
+/// A small x-tuple over (group, value) pairs with tiny domains so worlds
+/// stay enumerable and collisions are common.
+fn xtuple_strategy() -> impl Strategy<Value = XTuple> {
+    let alt = (0i64..4, -3i64..6).prop_map(|(g, v)| {
+        [Value::Int(g), Value::Int(v)].into_iter().collect::<Tuple>()
+    });
+    (
+        proptest::collection::vec(alt, 1..3),
+        prop_oneof![Just(1.0f64), Just(0.5f64)],
+    )
+        .prop_map(|(alts, total)| {
+            let p = total / alts.len() as f64;
+            let mut weighted: Vec<(Tuple, f64)> = alts.into_iter().map(|t| (t, p)).collect();
+            weighted[0].1 += 1e-9;
+            let norm: f64 = weighted.iter().map(|(_, q)| q).sum::<f64>() / total;
+            for w in weighted.iter_mut() {
+                w.1 /= norm;
+            }
+            XTuple::new(weighted)
+        })
+}
+
+fn xdb_strategy() -> impl Strategy<Value = XDb> {
+    (
+        proptest::collection::vec(xtuple_strategy(), 0..4),
+        proptest::collection::vec(xtuple_strategy(), 0..3),
+    )
+        .prop_map(|(r, s)| {
+            let mut db = XDb::default();
+            db.insert("r", XRelation::new(Schema::named(&["g", "v"]), r));
+            db.insert("s", XRelation::new(Schema::named(&["g", "v"]), s));
+            db
+        })
+}
+
+/// Random `RA^agg` plans, all of output arity 2 so they compose freely.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![Just(table("r")), Just(table("s"))];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            // selection on either column
+            (inner.clone(), 0usize..2, -2i64..5, 0u8..4).prop_map(|(q, c, k, op)| {
+                let pred = match op {
+                    0 => col(c).leq(lit(k)),
+                    1 => col(c).eq(lit(k)),
+                    2 => col(c).gt(lit(k)),
+                    _ => col(0).leq(col(1)),
+                };
+                q.select(pred)
+            }),
+            // projections keeping arity 2
+            inner.clone().prop_map(|q| q.project(vec![(col(1), "a"), (col(0), "b")])),
+            inner
+                .clone()
+                .prop_map(|q| q.project(vec![(col(0), "a"), (col(0).add(col(1)), "b")])),
+            // join on the first column, projected back to arity 2
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                a.join_on(b, col(0).eq(col(2)))
+                    .project(vec![(col(0), "g"), (col(1).add(col(3)), "v")])
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+            inner.clone().prop_map(|q| q.distinct()),
+            // aggregation: group by g, sum + count
+            inner.clone().prop_map(|q| {
+                q.aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")])
+            }),
+            inner.clone().prop_map(|q| {
+                q.aggregate(vec![0], vec![AggSpec::new(AggFunc::Min, col(1), "m")])
+                    .project(vec![(col(0), "g"), (col(1), "m")])
+            }),
+            // aggregation without group-by (padded back to arity 2)
+            inner.prop_map(|q| {
+                q.aggregate(
+                    vec![],
+                    vec![
+                        AggSpec::new(AggFunc::Sum, col(1), "s"),
+                        AggSpec::new(AggFunc::Max, col(0), "m"),
+                    ],
+                )
+            }),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------------
+// the property
+// ---------------------------------------------------------------------------
+
+fn check_bounds(db: &XDb, q: &Query, cfg: &AuConfig) -> Result<(), TestCaseError> {
+    let Some(inc) = db.to_incomplete(512) else {
+        return Ok(()); // too many worlds; skip
+    };
+    let au_in = db.to_au();
+    let out = eval_au(&au_in, q, cfg).expect("AU evaluation");
+    let exact = inc.eval(q).expect("possible-worlds evaluation");
+
+    // Definition 17 condition (5): the result bounds every world
+    for (i, w) in exact.worlds.iter().enumerate() {
+        prop_assert!(
+            relation_bounds_world(&out, w),
+            "world {i} not bounded:\nworld: {w}\nAU result: {out}"
+        );
+    }
+    // Definition 17 condition (6): the SGW is encoded exactly
+    prop_assert_eq!(
+        out.sg_world().normalized(),
+        exact.sg_world().normalized(),
+        "SGW not preserved"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Corollary 2 (precise evaluation).
+    #[test]
+    fn ra_agg_preserves_bounds_precise(db in xdb_strategy(), q in query_strategy()) {
+        check_bounds(&db, &q, &AuConfig::precise())?;
+    }
+
+    /// Lemmas 10.1 / 10.2: the compressed paths still preserve bounds.
+    #[test]
+    fn ra_agg_preserves_bounds_compressed(db in xdb_strategy(), q in query_strategy()) {
+        check_bounds(&db, &q, &AuConfig::compressed(2))?;
+    }
+
+    /// The translations bound their inputs (Theorem 10) even before any
+    /// query runs.
+    #[test]
+    fn translation_bounds_input(db in xdb_strategy()) {
+        if let Some(inc) = db.to_incomplete(512) {
+            let au = db.to_au();
+            prop_assert!(database_bounds_incomplete(&au, &inc));
+        }
+    }
+}
+
+/// Deterministic regression of the classic difference pitfall
+/// (Section 8.2): pointwise monus would under-report; ours must bound.
+#[test]
+fn difference_bounds_regression() {
+    let mut db = XDb::default();
+    db.insert(
+        "r",
+        XRelation::new(
+            Schema::named(&["g", "v"]),
+            vec![XTuple::certain([1i64, 0].into_iter().collect())],
+        ),
+    );
+    db.insert(
+        "s",
+        XRelation::new(
+            Schema::named(&["g", "v"]),
+            vec![XTuple::new(vec![
+                ([1i64, 0].into_iter().collect(), 0.5),
+                ([2i64, 0].into_iter().collect(), 0.5),
+            ])],
+        ),
+    );
+    let q = table("r").difference(table("s"));
+    check_bounds(&db, &q, &AuConfig::precise()).unwrap();
+}

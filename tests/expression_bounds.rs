@@ -1,0 +1,185 @@
+//! Theorem 1 as a property: for random scalar expressions and random
+//! range-annotated valuations, range-annotated evaluation bounds every
+//! deterministic outcome over every bounded valuation — and its SG
+//! component equals deterministic evaluation over the SG valuation.
+//! Also: the compiled deterministic triple of the rewrite middleware
+//! (`compile_range_expr`) computes exactly the same three values.
+
+use proptest::prelude::*;
+
+use audb::core::{col, lit, Expr, RangeValue, Value};
+use audb::query::rewrite::{compile_range_expr, EncLayout};
+
+/// Random integer range triples over a small domain.
+fn range_strategy() -> impl Strategy<Value = RangeValue> {
+    proptest::collection::vec(-3i64..5, 3).prop_map(|mut v| {
+        v.sort_unstable();
+        RangeValue::range(v[0], v[1], v[2])
+    })
+}
+
+/// Random expressions over two integer variables. Division is omitted
+/// (range division is undefined when the denominator may be 0 — its
+/// guard has a dedicated unit test).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(col(0)),
+        Just(col(1)),
+        (-3i64..5).prop_map(lit),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            inner.clone().prop_map(|a| a.neg()),
+            // comparisons produce booleans; wrap back into values with if
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
+                |(a, b, t, e)| Expr::if_then_else(a.leq(b), t, e)
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
+                |(a, b, t, e)| Expr::if_then_else(a.eq(b), t, e)
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
+                |(a, b, t, e)| Expr::if_then_else(
+                    a.clone().lt(b.clone()).or(a.gt(b)),
+                    t,
+                    e
+                )
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
+                |(a, b, t, e)| Expr::if_then_else(
+                    a.clone().leq(b.clone()).and(a.neq(b)).not(),
+                    t,
+                    e
+                )
+            ),
+        ]
+    })
+}
+
+/// Boolean predicates over two variables.
+fn pred_strategy() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        (expr_strategy(), expr_strategy()).prop_map(|(a, b)| a.leq(b)),
+        (expr_strategy(), expr_strategy()).prop_map(|(a, b)| a.eq(b)),
+        (expr_strategy(), expr_strategy()).prop_map(|(a, b)| a.gt(b)),
+        (expr_strategy(), expr_strategy()).prop_map(|(a, b)| a.neq(b)),
+    ];
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// All deterministic valuations bounded by the pair of ranges
+/// (Definition 8's per-variable condition over small integer domains).
+fn bounded_valuations(r0: &RangeValue, r1: &RangeValue) -> Vec<Vec<Value>> {
+    let ints = |r: &RangeValue| -> Vec<i64> {
+        let lo = r.lb.as_f64().unwrap() as i64;
+        let hi = r.ub.as_f64().unwrap() as i64;
+        (lo..=hi).collect()
+    };
+    let mut out = Vec::new();
+    for a in ints(r0) {
+        for b in ints(r1) {
+            out.push(vec![Value::Int(a), Value::Int(b)]);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Theorem 1: range evaluation bounds all possible outcomes.
+    #[test]
+    fn range_eval_bounds_all_worlds(
+        e in expr_strategy(),
+        r0 in range_strategy(),
+        r1 in range_strategy(),
+    ) {
+        let ranges = vec![r0.clone(), r1.clone()];
+        let bound = e.eval_range(&ranges).expect("range eval");
+        for w in bounded_valuations(&r0, &r1) {
+            let v = e.eval(&w).expect("det eval");
+            prop_assert!(
+                bound.bounds(&v),
+                "{e}: {bound} does not bound {v} at {w:?}"
+            );
+        }
+        // SG component = deterministic evaluation over the SG valuation
+        let sg = vec![r0.sg.clone(), r1.sg.clone()];
+        prop_assert_eq!(bound.sg, e.eval(&sg).unwrap());
+    }
+
+    /// Predicates: certainly-true implies true everywhere; possibly-false
+    /// implies false somewhere (and vice versa).
+    #[test]
+    fn predicate_triples_are_sound(
+        p in pred_strategy(),
+        r0 in range_strategy(),
+        r1 in range_strategy(),
+    ) {
+        let ranges = vec![r0.clone(), r1.clone()];
+        let (lb, sg, ub) = p.eval_range_bool3(&ranges).expect("range eval");
+        let worlds = bounded_valuations(&r0, &r1);
+        let truths: Vec<bool> =
+            worlds.iter().map(|w| p.eval_bool(w).unwrap()).collect();
+        if lb {
+            prop_assert!(truths.iter().all(|t| *t), "{p} claimed certainly true");
+        }
+        if !ub {
+            prop_assert!(truths.iter().all(|t| !*t), "{p} claimed certainly false");
+        }
+        let sg_world = vec![r0.sg.clone(), r1.sg.clone()];
+        prop_assert_eq!(sg, p.eval_bool(&sg_world).unwrap());
+    }
+
+    /// The rewrite middleware's compiled `e↓/e^sg/e↑` triple computes
+    /// exactly `eval_range` (Section 10.2's expression translation).
+    #[test]
+    fn compiled_triple_matches_range_eval(
+        e in expr_strategy(),
+        r0 in range_strategy(),
+        r1 in range_strategy(),
+    ) {
+        let ranges = vec![r0.clone(), r1.clone()];
+        let native = e.eval_range(&ranges).unwrap();
+        let lay = EncLayout::new(2);
+        let c = compile_range_expr(&e, lay).unwrap();
+        // encode the tuple: [sg0, sg1, lb0, lb1, ub0, ub1, rows...]
+        let enc = vec![
+            r0.sg.clone(),
+            r1.sg.clone(),
+            r0.lb.clone(),
+            r1.lb.clone(),
+            r0.ub.clone(),
+            r1.ub.clone(),
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(1),
+        ];
+        prop_assert_eq!(c.lb.eval(&enc).unwrap(), native.lb);
+        prop_assert_eq!(c.sg.eval(&enc).unwrap(), native.sg);
+        prop_assert_eq!(c.ub.eval(&enc).unwrap(), native.ub);
+    }
+
+    /// Incomplete expression semantics (Definition 5) agrees with
+    /// per-world deterministic evaluation.
+    #[test]
+    fn incomplete_semantics_is_pointwise(
+        e in expr_strategy(),
+        r0 in range_strategy(),
+        r1 in range_strategy(),
+    ) {
+        let worlds = bounded_valuations(&r0, &r1);
+        let set = e.eval_incomplete(&worlds).unwrap();
+        for w in &worlds {
+            prop_assert!(set.contains(&e.eval(w).unwrap()));
+        }
+    }
+}

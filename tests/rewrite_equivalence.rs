@@ -1,0 +1,116 @@
+//! Theorem 8 as a property: evaluating a query natively over an AU-DB
+//! equals encoding the database relationally, running the rewritten
+//! query on the deterministic engine, and decoding —
+//! `Q(D) = Dec(Q_merge(rewr(Q))(Enc(D)))` — on randomized inputs and
+//! plans.
+
+use proptest::prelude::*;
+
+use audb::prelude::*;
+
+fn range_strategy() -> impl Strategy<Value = RangeValue> {
+    proptest::collection::vec(-4i64..8, 3).prop_map(|mut v| {
+        v.sort_unstable();
+        RangeValue::range(v[0], v[1], v[2])
+    })
+}
+
+fn annot_strategy() -> impl Strategy<Value = AuAnnot> {
+    proptest::collection::vec(0u64..3, 3).prop_map(|mut v| {
+        v.sort_unstable();
+        AuAnnot::triple(v[0], v[1], (v[2]).max(1))
+    })
+}
+
+fn au_relation_strategy(arity: usize) -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec(
+        (proptest::collection::vec(range_strategy(), arity), annot_strategy()),
+        0..5,
+    )
+    .prop_map(move |rows| {
+        let schema = Schema::new((0..arity).map(|i| format!("c{i}")).collect());
+        AuRelation::from_rows(
+            schema,
+            rows.into_iter().map(|(rs, k)| (RangeTuple::new(rs), k)).collect(),
+        )
+    })
+}
+
+fn au_db_strategy() -> impl Strategy<Value = AuDatabase> {
+    (au_relation_strategy(2), au_relation_strategy(2)).prop_map(|(r, s)| {
+        let mut db = AuDatabase::new();
+        db.insert("r", r);
+        db.insert("s", s);
+        db
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![Just(table("r")), Just(table("s"))];
+    leaf.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), -2i64..6).prop_map(|(q, k)| q.select(col(0).leq(lit(k)))),
+            (inner.clone(), -2i64..6).prop_map(|(q, k)| q.select(col(1).eq(lit(k)))),
+            inner
+                .clone()
+                .prop_map(|q| q.project(vec![(col(1), "a"), (col(0).sub(col(1)), "b")])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                a.join_on(b, col(0).eq(col(2)))
+                    .project(vec![(col(0), "a"), (col(3), "b")])
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+            inner.clone().prop_map(|q| q.distinct()),
+            inner.clone().prop_map(|q| {
+                q.aggregate(
+                    vec![0],
+                    vec![
+                        AggSpec::new(AggFunc::Sum, col(1), "s"),
+                        AggSpec::count("c"),
+                    ],
+                )
+                .project(vec![(col(0), "a"), (col(1), "b")])
+            }),
+            inner.clone().prop_map(|q| {
+                q.aggregate(
+                    vec![1],
+                    vec![
+                        AggSpec::new(AggFunc::Min, col(0), "lo"),
+                        AggSpec::new(AggFunc::Max, col(0), "hi"),
+                    ],
+                )
+                .project(vec![(col(1), "a"), (col(2), "b")])
+            }),
+            inner.prop_map(|q| {
+                q.aggregate(
+                    vec![],
+                    vec![
+                        AggSpec::new(AggFunc::Avg, col(1), "a"),
+                        AggSpec::new(AggFunc::Sum, col(0), "s"),
+                    ],
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn native_equals_rewrite(db in au_db_strategy(), q in query_strategy()) {
+        let native = eval_au(&db, &q, &AuConfig::precise()).expect("native");
+        let via = eval_via_rewrite(&db, &q).expect("rewrite");
+        prop_assert_eq!(&native, &via, "mismatch for {}", q);
+    }
+
+    /// Enc/Dec is lossless on arbitrary AU-relations (Theorem 8's
+    /// invertibility part).
+    #[test]
+    fn enc_dec_roundtrip(rel in au_relation_strategy(3)) {
+        use audb::query::rewrite::{dec_relation, enc_relation};
+        let enc = enc_relation(&rel);
+        let dec = dec_relation(&enc, &rel.schema).unwrap();
+        prop_assert_eq!(dec, rel);
+    }
+}

@@ -1,0 +1,275 @@
+//! Cross-crate semantic checks: the paper's running examples end to end,
+//! and the relationships between AU-DBs and every baseline
+//! (under-approximation, over-approximation, exactness) on shared inputs.
+
+use proptest::prelude::*;
+
+use audb::baselines::{
+    eval_libkin, run_maybms, run_symb, trio::eval_trio, xrelation_to_vtable, VDatabase,
+};
+use audb::incomplete::relation_bounds_world;
+use audb::prelude::*;
+use audb::workloads::{exact_spj, over_grouping_pct};
+
+// ---------------------------------------------------------------------------
+// the paper's Figure 1 example, end to end
+// ---------------------------------------------------------------------------
+
+/// Figure 1: the COVID example — group-average over data with uncertain
+/// attributes, verified against full world enumeration.
+#[test]
+fn figure_1_covid_example() {
+    // model sizes ordinally: 0=village, 1=town, 2=city, 3=metro;
+    // rates in tenths of a percent. Small domains keep the worlds
+    // enumerable; this is a faithful scaled-down Figure 1.
+    let mk = |rates: &[i64], sizes: &[i64]| -> XTuple {
+        let mut alts = Vec::new();
+        for r in rates {
+            for s in sizes {
+                alts.push([Value::Int(*r), Value::Int(*s)].into_iter().collect::<Tuple>());
+            }
+        }
+        let p = 1.0 / alts.len() as f64;
+        let mut weighted: Vec<(Tuple, f64)> = alts.into_iter().map(|t| (t, p)).collect();
+        weighted[0].1 += 1e-9;
+        let norm: f64 = weighted.iter().map(|(_, q)| q).sum();
+        for w in weighted.iter_mut() {
+            w.1 /= norm;
+        }
+        XTuple::new(weighted)
+    };
+    let mut xdb = XDb::default();
+    xdb.insert(
+        "locales",
+        XRelation::new(
+            Schema::named(&["rate", "size"]),
+            vec![
+                mk(&[30, 40], &[3]),     // Los Angeles: rate in {3%, 4%}
+                mk(&[180], &[2, 3]),     // Austin: city or metro
+                mk(&[140], &[3]),        // Houston
+                mk(&[10, 30], &[1, 2]),  // Berlin
+                mk(&[10], &[0, 1, 3]),   // Sacramento: size unknown
+                mk(&[0, 50, 100], &[1]), // Springfield: rate unknown
+            ],
+        ),
+    );
+    let q = table("locales").aggregate(
+        vec![1],
+        vec![AggSpec::new(AggFunc::Avg, audb::core::col(0), "rate")],
+    );
+    let au = eval_au(&xdb.to_au(), &q, &AuConfig::precise()).unwrap();
+    let inc = xdb.to_incomplete(1 << 12).expect("enumerable");
+    let exact = inc.eval(&q).unwrap();
+    for w in &exact.worlds {
+        assert!(relation_bounds_world(&au, w));
+    }
+    assert_eq!(au.sg_world().normalized(), exact.sg_world().normalized());
+    // the metro group certainly exists (Houston is certainly a metro)
+    let metro = au
+        .rows()
+        .iter()
+        .find(|(t, _)| t.0[0].sg == Value::Int(3))
+        .expect("metro group");
+    assert!(metro.1.lb >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// baseline relationships on random inputs
+// ---------------------------------------------------------------------------
+
+fn xtuple_strategy() -> impl Strategy<Value = XTuple> {
+    let alt = (0i64..3, 0i64..5).prop_map(|(g, v)| {
+        [Value::Int(g), Value::Int(v)].into_iter().collect::<Tuple>()
+    });
+    (proptest::collection::vec(alt, 1..3), prop_oneof![Just(1.0f64), Just(0.5f64)]).prop_map(
+        |(alts, total)| {
+            let p = total / alts.len() as f64;
+            let mut weighted: Vec<(Tuple, f64)> = alts.into_iter().map(|t| (t, p)).collect();
+            weighted[0].1 += 1e-9;
+            let norm: f64 = weighted.iter().map(|(_, q)| q).sum::<f64>() / total;
+            for w in weighted.iter_mut() {
+                w.1 /= norm;
+            }
+            XTuple::new(weighted)
+        },
+    )
+}
+
+fn xdb_strategy() -> impl Strategy<Value = XDb> {
+    proptest::collection::vec(xtuple_strategy(), 0..4).prop_map(|r| {
+        let mut db = XDb::default();
+        db.insert("r", XRelation::new(Schema::named(&["g", "v"]), r));
+        db
+    })
+}
+
+fn spj_query_strategy() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        Just(table("r")),
+        (-1i64..5).prop_map(|k| table("r").select(audb::core::col(0).leq(audb::core::lit(k)))),
+        (-1i64..5).prop_map(|k| {
+            table("r")
+                .select(audb::core::col(1).gt(audb::core::lit(k)))
+                .project(vec![(audb::core::col(0), "g"), (audb::core::col(1), "v")])
+        }),
+        Just(
+            table("r")
+                .join_on(table("r"), audb::core::col(0).eq(audb::core::col(2)))
+                .project(vec![(audb::core::col(0), "g"), (audb::core::col(3), "v")])
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Libkin's certain-answer under-approximation really is an
+    /// under-approximation: every null-free answer it returns is a
+    /// certain answer under possible-worlds semantics.
+    #[test]
+    fn libkin_under_approximates(db in xdb_strategy(), q in spj_query_strategy()) {
+        let Some(inc) = db.to_incomplete(512) else { return Ok(()) };
+        let mut vdb = VDatabase::default();
+        // V-tables cannot express optionality: restrict to databases
+        // where every x-tuple certainly exists.
+        if db.relations.iter().any(|(_, r)| r.xtuples.iter().any(|x| x.is_optional())) {
+            return Ok(());
+        }
+        vdb.insert("r", xrelation_to_vtable(db.get("r").unwrap(), vec![Value::Int(0)]));
+        let (_, rows) = eval_libkin(&vdb, &q).expect("libkin");
+        let exact = inc.eval(&q).unwrap();
+        let certain = exact.certain_tuples();
+        for row in &rows {
+            let consts: Option<Tuple> = row
+                .iter()
+                .map(|c| match c {
+                    audb::incomplete::VCell::Const(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>()
+                .map(Tuple::new);
+            if let Some(t) = consts {
+                prop_assert!(certain.contains(&t), "{t} returned but not certain");
+            }
+        }
+    }
+
+    /// MayBMS-style expansion over-approximates the possible answers.
+    #[test]
+    fn maybms_over_approximates(db in xdb_strategy(), q in spj_query_strategy()) {
+        let Some(inc) = db.to_incomplete(512) else { return Ok(()) };
+        let poss = run_maybms(&db, &q).expect("maybms");
+        let exact = inc.eval(&q).unwrap();
+        for t in exact.all_tuples() {
+            prop_assert!(poss.multiplicity(&t) > 0, "possible {t} missed");
+        }
+    }
+
+    /// Trio's lineage evaluation is *exact* for SPJ: its distinct tuples
+    /// are precisely the possible answers, and its certainty test agrees
+    /// with world enumeration.
+    #[test]
+    fn trio_is_exact_for_spj(db in xdb_strategy(), q in spj_query_strategy()) {
+        let Some(inc) = db.to_incomplete(512) else { return Ok(()) };
+        let trio = eval_trio(&db, &q).expect("trio");
+        let exact = inc.eval(&q).unwrap();
+        let possible = exact.all_tuples();
+        let trio_tuples: std::collections::BTreeSet<Tuple> =
+            trio.distinct_tuples().into_iter().collect();
+        prop_assert_eq!(&trio_tuples, &possible);
+        let certain = exact.certain_tuples();
+        for t in &possible {
+            if let Some(c) = trio.is_certain(&db, t, 4096) {
+                prop_assert_eq!(c, certain.contains(t), "certainty of {}", t);
+            }
+        }
+    }
+
+    /// Symb (exhaustive enumeration) produces exactly the per-key bounds
+    /// of the true possible worlds for an aggregate query.
+    #[test]
+    fn symb_is_exact(db in xdb_strategy()) {
+        let Some(inc) = db.to_incomplete(512) else { return Ok(()) };
+        let q = table("r").aggregate(
+            vec![0],
+            vec![AggSpec::new(AggFunc::Sum, audb::core::col(1), "s")],
+        );
+        let Some(bounds) = run_symb(&db, &q, &[0], 1, 4096).expect("symb") else {
+            return Ok(());
+        };
+        let exact = inc.eval(&q).unwrap();
+        for (key, (lo, hi, _)) in &bounds.per_key {
+            let mut wmin: Option<Value> = None;
+            let mut wmax: Option<Value> = None;
+            for w in &exact.worlds {
+                for (t, _) in w.rows() {
+                    if &t.project(&[0]) == key {
+                        let v = t.0[1].clone();
+                        wmin = Some(wmin.map_or(v.clone(), |m| Value::min_of(m, v.clone())));
+                        wmax = Some(wmax.map_or(v.clone(), |m| Value::max_of(m, v)));
+                    }
+                }
+            }
+            prop_assert_eq!(Some(lo.clone()), wmin);
+            prop_assert_eq!(Some(hi.clone()), wmax);
+        }
+    }
+
+    /// `exact_spj`'s ground truth agrees with world enumeration (it is
+    /// what Figure 17's accuracy metrics are computed against).
+    #[test]
+    fn exact_spj_agrees_with_enumeration(db in xdb_strategy(), q in spj_query_strategy()) {
+        let Some(inc) = db.to_incomplete(512) else { return Ok(()) };
+        let (possible, certain) = exact_spj(&db, &q, 4096).expect("exact");
+        let exact = inc.eval(&q).unwrap();
+        prop_assert_eq!(possible, exact.all_tuples());
+        prop_assert_eq!(certain, exact.certain_tuples());
+    }
+
+    /// UA-DB evaluation under-approximates certain multiplicities for
+    /// RA+ (the Feng et al. 2019 guarantee our baseline relies on).
+    #[test]
+    fn uadb_certain_under_approximates(db in xdb_strategy(), q in spj_query_strategy()) {
+        let Some(inc) = db.to_incomplete(512) else { return Ok(()) };
+        // build the UA-DB: SG tuples, certain iff the x-tuple is certain
+        let mut ua = UaDatabase::new();
+        for (name, rel) in &db.relations {
+            let mut r = UaRelation::empty(rel.schema.clone());
+            for xt in &rel.xtuples {
+                if xt.sg_present() {
+                    r.push(
+                        xt.pick_max().clone(),
+                        UaAnnot::new((!xt.is_uncertain()) as u64, 1),
+                    );
+                }
+            }
+            r.normalize();
+            ua.insert(name.clone(), r);
+        }
+        let out = eval_ua(&ua, &q).expect("ua");
+        let exact = inc.eval(&q).unwrap();
+        for (t, k) in out.rows() {
+            prop_assert!(
+                k.certain <= exact.certain_multiplicity(t),
+                "UA certain {} exceeds true certain {} for {}",
+                k.certain,
+                exact.certain_multiplicity(t),
+                t
+            );
+        }
+    }
+
+    /// Over-grouping is zero exactly when all group-by values are
+    /// certain.
+    #[test]
+    fn over_grouping_sanity(db in xdb_strategy()) {
+        let au = db.to_au();
+        let rel = au.get("r").unwrap();
+        let pct = over_grouping_pct(rel, &[0]);
+        prop_assert!(pct >= 0.0);
+        let all_certain = rel.rows().iter().all(|(t, _)| t.0[0].is_certain());
+        if all_certain {
+            prop_assert_eq!(pct, 0.0);
+        }
+    }
+}
