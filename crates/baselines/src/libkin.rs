@@ -237,9 +237,8 @@ pub fn eval_libkin(db: &VDatabase, q: &Query) -> Result<(Schema, Vec<VRow>), Eva
             let (ls, lrows) = eval_libkin(db, left)?;
             let (_, rrows) = eval_libkin(db, right)?;
             // keep left rows that are possibly-equal to no right row
-            let possibly_eq = |a: &VRow, b: &VRow| {
-                a.iter().zip(b).all(|(x, y)| cell_eq(x, y) != TV::False)
-            };
+            let possibly_eq =
+                |a: &VRow, b: &VRow| a.iter().zip(b).all(|(x, y)| cell_eq(x, y) != TV::False);
             let out: Vec<VRow> =
                 lrows.into_iter().filter(|l| !rrows.iter().any(|r| possibly_eq(l, r))).collect();
             Ok((ls, out))
@@ -322,8 +321,7 @@ mod tests {
     /// a certain answer of the possible-worlds semantics.
     #[test]
     fn under_approximates_certain_answers() {
-        let mut vt =
-            VTable::new(Schema::named(&["a"]), vec![Value::Int(1), Value::Int(2)]);
+        let mut vt = VTable::new(Schema::named(&["a"]), vec![Value::Int(1), Value::Int(2)]);
         let x = vt.fresh_var();
         vt.add_row(vec![VCell::Const(Value::Int(1))]);
         vt.add_row(vec![VCell::Var(x)]);

@@ -42,9 +42,9 @@ pub fn run_maybms(xdb: &XDb, q: &Query) -> Result<Relation, EvalError> {
 fn check_positive(q: &Query) -> Result<(), EvalError> {
     match q {
         Query::Table(_) => Ok(()),
-        Query::Select { input, .. }
-        | Query::Project { input, .. }
-        | Query::Distinct { input } => check_positive(input),
+        Query::Select { input, .. } | Query::Project { input, .. } | Query::Distinct { input } => {
+            check_positive(input)
+        }
         Query::Join { left, right, .. } | Query::Union { left, right } => {
             check_positive(left)?;
             check_positive(right)
@@ -52,9 +52,9 @@ fn check_positive(q: &Query) -> Result<(), EvalError> {
         Query::Difference { .. } => Err(EvalError::Unsupported(
             "set difference in possible-answer expansion (non-monotone)".into(),
         )),
-        Query::Aggregate { .. } => Err(EvalError::Unsupported(
-            "aggregation in possible-answer expansion".into(),
-        )),
+        Query::Aggregate { .. } => {
+            Err(EvalError::Unsupported("aggregation in possible-answer expansion".into()))
+        }
     }
 }
 

@@ -82,12 +82,7 @@ pub fn for_each_world(
                 if total > max_worlds {
                     return Ok(false);
                 }
-                slots.push(Slot {
-                    rel: ri,
-                    xt: xi,
-                    options: opts,
-                    optional: xt.is_optional(),
-                });
+                slots.push(Slot { rel: ri, xt: xi, options: opts, optional: xt.is_optional() });
             }
         }
     }
@@ -99,10 +94,7 @@ pub fn for_each_world(
         for (ri, (name, rel)) in xdb.relations.iter().enumerate() {
             let mut rows = Vec::new();
             for (xi, xt) in rel.xtuples.iter().enumerate() {
-                let choice = match slots
-                    .iter()
-                    .position(|s| s.rel == ri && s.xt == xi)
-                {
+                let choice = match slots.iter().position(|s| s.rel == ri && s.xt == xi) {
                     Some(si) => {
                         let c = idx[si];
                         if slots[si].optional && c == slots[si].options - 1 {

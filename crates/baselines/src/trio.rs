@@ -32,9 +32,8 @@ pub struct TrioRelation {
 pub fn eval_trio(xdb: &XDb, q: &Query) -> Result<TrioRelation, EvalError> {
     match q {
         Query::Table(name) => {
-            let rel = xdb
-                .get(name)
-                .ok_or_else(|| EvalError::NotFound(format!("x-relation {name}")))?;
+            let rel =
+                xdb.get(name).ok_or_else(|| EvalError::NotFound(format!("x-relation {name}")))?;
             let mut rows = Vec::new();
             for (xi, xt) in rel.xtuples.iter().enumerate() {
                 for (ai, (t, _)) in xt.alternatives.iter().enumerate() {
@@ -222,11 +221,8 @@ pub fn trio_aggregate(
                 Some(first.clone())
             }
         };
-        let vals: Vec<f64> = xt
-            .alternatives
-            .iter()
-            .map(|(t, _)| t.0[val_col].as_f64().unwrap_or(0.0))
-            .collect();
+        let vals: Vec<f64> =
+            xt.alternatives.iter().map(|(t, _)| t.0[val_col].as_f64().unwrap_or(0.0)).collect();
         let vmin = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let vmax = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let optional = xt.is_optional();
@@ -266,8 +262,7 @@ pub fn trio_aggregate(
             AggFunc::Avg => {
                 let cl = acc.cnt_lo.max(1) as f64;
                 let ch = acc.cnt_hi.max(1) as f64;
-                let cands =
-                    [acc.sum_lo / cl, acc.sum_lo / ch, acc.sum_hi / cl, acc.sum_hi / ch];
+                let cands = [acc.sum_lo / cl, acc.sum_lo / ch, acc.sum_hi / cl, acc.sum_hi / ch];
                 (
                     Value::float(cands.iter().cloned().fold(f64::INFINITY, f64::min)),
                     Value::float(cands.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
@@ -364,10 +359,7 @@ mod tests {
             .iter()
             .any(|(t, _)| t.0[1] == Value::Int(20) && t.0[3] == Value::Int(30)));
         // but 10 pairs with both alternatives
-        assert!(out
-            .rows
-            .iter()
-            .any(|(t, _)| t.0[1] == Value::Int(10) && t.0[3] == Value::Int(20)));
+        assert!(out.rows.iter().any(|(t, _)| t.0[1] == Value::Int(10) && t.0[3] == Value::Int(20)));
     }
 
     #[test]

@@ -17,8 +17,8 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(1200));
 
     for nb in [1usize, 5, 10] {
-        let q = table("t")
-            .aggregate((0..nb).collect(), vec![AggSpec::new(AggFunc::Sum, col(19), "s")]);
+        let q =
+            table("t").aggregate((0..nb).collect(), vec![AggSpec::new(AggFunc::Sum, col(19), "s")]);
         let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25) };
         g.bench_function(format!("audb_groupby{nb}"), |b| {
             b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))

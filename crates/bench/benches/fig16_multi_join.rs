@@ -11,11 +11,8 @@ use audb_workloads::{micro::gen_micro_pair, MicroConfig};
 fn bench(c: &mut Criterion) {
     let mut audb = AuDatabase::new();
     for i in 0..4u64 {
-        let cfg = MicroConfig::new(400, 2)
-            .uncertainty(0.03)
-            .range_frac(0.02)
-            .domain(400)
-            .seed(16 + i);
+        let cfg =
+            MicroConfig::new(400, 2).uncertainty(0.03).range_frac(0.02).domain(400).seed(16 + i);
         let (au, _) = gen_micro_pair(&cfg);
         audb.insert(format!("t{i}"), au);
     }
@@ -27,7 +24,7 @@ fn bench(c: &mut Criterion) {
         let mut q: Query = table("t0");
         let mut arity = 2;
         for i in 1..=joins {
-            q = q.join_on(table(&format!("t{i}")), col(0).eq(col(arity)));
+            q = q.join_on(table(format!("t{i}")), col(0).eq(col(arity)));
             arity += 2;
         }
         let aucfg = AuConfig { join_compress: Some(16), agg_compress: Some(16) };

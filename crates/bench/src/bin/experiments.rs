@@ -143,8 +143,7 @@ fn fig10a(opts: Opts) {
     let base = gen_tpch(TpchConfig::new(scale, opts.seed));
     let widths = [8, 10, 8, 8, 8, 8, 8];
     print_row(
-        &["uncert", "Det(s)", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"]
-            .map(str::to_string),
+        &["uncert", "Det(s)", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"].map(str::to_string),
         &widths,
     );
     for pct in [0.02, 0.05, 0.10, 0.30] {
@@ -171,8 +170,7 @@ fn fig10b(opts: Opts) {
     let base_scale = opts.pick(0.15, 0.3, 1.0);
     let widths = [8, 10, 8, 8, 8, 8, 8];
     print_row(
-        &["size", "Det(s)", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"]
-            .map(str::to_string),
+        &["size", "Det(s)", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"].map(str::to_string),
         &widths,
     );
     for (label, mult) in [("0.1x", 0.1), ("1x", 1.0), ("10x", 10.0)] {
@@ -225,10 +223,8 @@ fn chain_data(rows: usize, hier: usize, uncertain: usize, seed: u64) -> XDb {
 
 fn chain_query(levels: usize, hier: usize) -> Query {
     assert!(levels >= 1 && levels <= hier);
-    let mut q = table("t").aggregate(
-        (0..hier).collect(),
-        vec![AggSpec::new(AggFunc::Sum, col(hier), "s")],
-    );
+    let mut q =
+        table("t").aggregate((0..hier).collect(), vec![AggSpec::new(AggFunc::Sum, col(hier), "s")]);
     let mut arity = hier + 1; // group cols + s
     for _ in 1..levels {
         q = q.aggregate(
@@ -266,19 +262,11 @@ fn fig11(opts: Opts) {
         });
         let final_arity = hier + 1 - (k - 1);
         let keys: Vec<usize> = (0..final_arity - 1).collect();
-        let (_, symb) =
-            time(|| run_symb(&xdb, &q, &keys, final_arity - 1, 1 << 14).unwrap());
+        let (_, symb) = time(|| run_symb(&xdb, &q, &keys, final_arity - 1, 1 << 14).unwrap());
         let mut rng = StdRng::seed_from_u64(opts.seed + k as u64);
         let (_, mcdb) = time(|| run_mcdb(&xdb, &q, 10, &mut rng).unwrap());
         print_row(
-            &[
-                k.to_string(),
-                fmt_s(det),
-                fmt_s(au),
-                fmt_s(trio),
-                fmt_s(symb),
-                fmt_s(mcdb),
-            ],
+            &[k.to_string(), fmt_s(det), fmt_s(au), fmt_s(trio), fmt_s(symb), fmt_s(mcdb)],
             &widths,
         );
     }
@@ -319,11 +307,7 @@ fn fig12(opts: Opts) {
         }
     }
     for (qi, (name, _)) in queries.iter().enumerate() {
-        for (sys, pickf) in [
-            ("AU-DB", 0usize),
-            ("Det", 1),
-            ("MCDB", 2),
-        ] {
+        for (sys, pickf) in [("AU-DB", 0usize), ("Det", 1), ("MCDB", 2)] {
             let mut rowv = vec![name.to_string(), sys.to_string()];
             for (au, det, mcdb) in &results[qi] {
                 let v = match pickf {
@@ -348,16 +332,11 @@ fn fig13a(opts: Opts) {
     let widths = [10, 10, 10, 8];
     print_row(&["#groupby", "AUDB", "Det", "ratio"].map(str::to_string), &widths);
     for g in [1usize, 5, 10, 20, 40, 60, 80, 99] {
-        let q = table("t").aggregate(
-            (0..g).collect(),
-            vec![AggSpec::new(AggFunc::Sum, col(99), "s")],
-        );
+        let q =
+            table("t").aggregate((0..g).collect(), vec![AggSpec::new(AggFunc::Sum, col(99), "s")]);
         let (_, au) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
         let (_, det) = time(|| eval_det(&db, &q).unwrap());
-        print_row(
-            &[g.to_string(), fmt_s(au), fmt_s(det), fmt_ratio(au / det)],
-            &widths,
-        );
+        print_row(&[g.to_string(), fmt_s(au), fmt_s(det), fmt_ratio(au / det)], &widths);
     }
 }
 
@@ -377,10 +356,7 @@ fn fig13b(opts: Opts) {
         let q = table("t").aggregate(vec![0], aggs);
         let (_, au) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
         let (_, det) = time(|| eval_det(&db, &q).unwrap());
-        print_row(
-            &[n.to_string(), fmt_s(au), fmt_s(det), fmt_ratio(au / det)],
-            &widths,
-        );
+        print_row(&[n.to_string(), fmt_s(au), fmt_s(det), fmt_ratio(au / det)], &widths);
     }
 }
 
@@ -453,11 +429,8 @@ fn fig14(opts: Opts) {
         &widths,
     );
     for &n in sizes {
-        let cfg = MicroConfig::new(n, 3)
-            .uncertainty(0.03)
-            .range_frac(0.02)
-            .domain(1000)
-            .seed(opts.seed);
+        let cfg =
+            MicroConfig::new(n, 3).uncertainty(0.03).range_frac(0.02).domain(1000).seed(opts.seed);
         let (audb, _) = micro_join_db(&cfg);
         let q = table("t1").join_on(table("t2"), col(0).eq(col(3)));
         let mut cells = vec![n.to_string()];
@@ -547,7 +520,7 @@ fn fig16(opts: Opts) {
                 let mut q = table("t0");
                 let mut arity = 2;
                 for i in 1..=joins {
-                    q = q.join_on(table(&format!("t{i}")), col(0).eq(col(arity)));
+                    q = q.join_on(table(format!("t{i}")), col(0).eq(col(arity)));
                     arity += 2;
                 }
                 let aucfg = AuConfig { join_compress: *comp, agg_compress: *comp };
@@ -614,8 +587,7 @@ fn fig17(opts: Opts) {
         let pv = if possible.is_empty() {
             1.0
         } else {
-            possible.iter().filter(|t| seen.contains_key(*t)).count() as f64
-                / possible.len() as f64
+            possible.iter().filter(|t| seen.contains_key(*t)).count() as f64 / possible.len() as f64
         };
         print_row(
             &[
@@ -678,10 +650,9 @@ fn fig17(opts: Opts) {
             certain_groups.iter().filter(|g| found_certain.contains(*g)).count() as f64
                 / certain_groups.len() as f64
         };
-        let covered_groups = exact
-            .keys()
-            .filter(|g| auout.rows().iter().any(|(t, _)| t.0[0].bounds(g)))
-            .count() as f64;
+        let covered_groups =
+            exact.keys().filter(|g| auout.rows().iter().any(|(t, _)| t.0[0].bounds(g))).count()
+                as f64;
         let factor = range_overestimation_factor(&auout, 0, 1, &exact);
         print_row(
             &[
@@ -757,7 +728,9 @@ fn fig17(opts: Opts) {
             &widths,
         );
     }
-    println!("(tight: attribute-bound width relative to exact; pos.id/pos.val: possible-answer recall)");
+    println!(
+        "(tight: attribute-bound width relative to exact; pos.id/pos.val: possible-answer recall)"
+    );
 }
 
 /// Ablations called out in DESIGN.md: split-only vs split+compress for
@@ -765,11 +738,8 @@ fn fig17(opts: Opts) {
 fn ablation(opts: Opts) {
     header("Ablation — split vs split+compress (join), precise vs compressed (aggregation)");
     let rows = opts.pick(300, 1500, 4000);
-    let cfg = MicroConfig::new(rows, 3)
-        .uncertainty(0.05)
-        .range_frac(0.02)
-        .domain(1000)
-        .seed(opts.seed);
+    let cfg =
+        MicroConfig::new(rows, 3).uncertainty(0.05).range_frac(0.02).domain(1000).seed(opts.seed);
     let (audb, _) = micro_join_db(&cfg);
     let q = table("t1").join_on(table("t2"), col(0).eq(col(3)));
     let widths = [22, 10, 14];

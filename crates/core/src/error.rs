@@ -6,9 +6,16 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
     /// Operand has the wrong type for the operator.
-    TypeError { expected: &'static str, found: String },
+    TypeError {
+        expected: &'static str,
+        found: String,
+    },
     /// Binary operator applied to incompatible operands.
-    BinOpTypeError { op: &'static str, left: String, right: String },
+    BinOpTypeError {
+        op: &'static str,
+        left: String,
+        right: String,
+    },
     DivisionByZero,
     /// Range division where the denominator interval contains 0 (Def. 9).
     RangeDivisionSpansZero,

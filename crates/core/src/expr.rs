@@ -66,6 +66,10 @@ pub fn lit(v: impl Into<Value>) -> Expr {
     Expr::Const(v.into())
 }
 
+// Builder methods deliberately mirror the operator names of the paper's
+// expression syntax rather than implementing `std::ops` (they build AST
+// nodes, not values).
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     pub fn and(self, other: Expr) -> Expr {
         Expr::And(Box::new(self), Box::new(other))
@@ -175,18 +179,34 @@ impl Expr {
             Expr::Const(v) => Expr::Const(v.clone()),
             Expr::Not(a) => Expr::Not(Box::new(a.remap_columns(f))),
             Expr::Neg(a) => Expr::Neg(Box::new(a.remap_columns(f))),
-            Expr::And(a, b) => Expr::And(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
             Expr::Or(a, b) => Expr::Or(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
             Expr::Eq(a, b) => Expr::Eq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Neq(a, b) => Expr::Neq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Leq(a, b) => Expr::Leq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Neq(a, b) => {
+                Expr::Neq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
+            Expr::Leq(a, b) => {
+                Expr::Leq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
             Expr::Lt(a, b) => Expr::Lt(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Geq(a, b) => Expr::Geq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Geq(a, b) => {
+                Expr::Geq(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
             Expr::Gt(a, b) => Expr::Gt(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Add(a, b) => Expr::Add(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Sub(a, b) => Expr::Sub(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Mul(a, b) => Expr::Mul(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
-            Expr::Div(a, b) => Expr::Div(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f))),
+            Expr::Add(a, b) => {
+                Expr::Add(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
+            Expr::Sub(a, b) => {
+                Expr::Sub(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
+            Expr::Mul(a, b) => {
+                Expr::Mul(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
+            Expr::Div(a, b) => {
+                Expr::Div(Box::new(a.remap_columns(f)), Box::new(b.remap_columns(f)))
+            }
             Expr::If(c, t, e) => Expr::If(
                 Box::new(c.remap_columns(f)),
                 Box::new(t.remap_columns(f)),
@@ -237,8 +257,12 @@ impl Expr {
         match self {
             Expr::Col(i) => tuple.get(*i).cloned().ok_or(EvalError::UnknownColumn(*i)),
             Expr::Const(v) => Ok(v.clone()),
-            Expr::And(a, b) => Ok(Value::Bool(a.eval(tuple)?.as_bool()? && b.eval(tuple)?.as_bool()?)),
-            Expr::Or(a, b) => Ok(Value::Bool(a.eval(tuple)?.as_bool()? || b.eval(tuple)?.as_bool()?)),
+            Expr::And(a, b) => {
+                Ok(Value::Bool(a.eval(tuple)?.as_bool()? && b.eval(tuple)?.as_bool()?))
+            }
+            Expr::Or(a, b) => {
+                Ok(Value::Bool(a.eval(tuple)?.as_bool()? || b.eval(tuple)?.as_bool()?))
+            }
             Expr::Not(a) => Ok(Value::Bool(!a.eval(tuple)?.as_bool()?)),
             Expr::Eq(a, b) => Ok(Value::Bool(a.eval(tuple)?.value_eq(&b.eval(tuple)?))),
             Expr::Neq(a, b) => Ok(Value::Bool(!a.eval(tuple)?.value_eq(&b.eval(tuple)?))),
@@ -319,8 +343,10 @@ impl Expr {
                 let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
                 // certainly equal iff both are certain and equal
                 let lb = x.ub.value_eq(&y.lb) && y.ub.value_eq(&x.lb);
-                // possibly equal iff the ranges overlap
-                let ub = x.overlaps(&y);
+                // possibly equal iff the ranges overlap; `value_eq`-aware
+                // so `Int 2` vs `Float 2.0` endpoints count as touching
+                // (keeps the triple ordered with the value_eq-based lb)
+                let ub = leq(&x.lb, &y.ub) && leq(&y.lb, &x.ub);
                 Ok(bool_range(lb, x.sg.value_eq(&y.sg), ub))
             }
             Expr::Neq(a, b) => Expr::Eq(a.clone(), b.clone()).not().eval_range(tuple),
@@ -344,12 +370,8 @@ impl Expr {
             }
             Expr::Mul(a, b) => {
                 let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                let combos = [
-                    x.lb.mul(&y.lb)?,
-                    x.lb.mul(&y.ub)?,
-                    x.ub.mul(&y.lb)?,
-                    x.ub.mul(&y.ub)?,
-                ];
+                let combos =
+                    [x.lb.mul(&y.lb)?, x.lb.mul(&y.ub)?, x.ub.mul(&y.lb)?, x.ub.mul(&y.ub)?];
                 let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
                 let hi = combos.into_iter().reduce(Value::max_of).unwrap();
                 RangeValue::new(lo, x.sg.mul(&y.sg)?, hi)
@@ -360,12 +382,8 @@ impl Expr {
                 if y.bounds(&Value::Int(0)) || y.bounds(&Value::float(0.0)) {
                     return Err(EvalError::RangeDivisionSpansZero);
                 }
-                let combos = [
-                    x.lb.div(&y.lb)?,
-                    x.lb.div(&y.ub)?,
-                    x.ub.div(&y.lb)?,
-                    x.ub.div(&y.ub)?,
-                ];
+                let combos =
+                    [x.lb.div(&y.lb)?, x.lb.div(&y.ub)?, x.ub.div(&y.lb)?, x.ub.div(&y.ub)?];
                 let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
                 let hi = combos.into_iter().reduce(Value::max_of).unwrap();
                 RangeValue::new(lo, x.sg.div(&y.sg)?, hi)
@@ -385,11 +403,7 @@ impl Expr {
                     Ok(ev)
                 } else {
                     let sg = if cs { tv.sg.clone() } else { ev.sg.clone() };
-                    RangeValue::new(
-                        Value::min_of(tv.lb, ev.lb),
-                        sg,
-                        Value::max_of(tv.ub, ev.ub),
-                    )
+                    RangeValue::new(Value::min_of(tv.lb, ev.lb), sg, Value::max_of(tv.ub, ev.ub))
                 }
             }
             Expr::Uncertain(l, s, u) => {
@@ -486,10 +500,7 @@ mod tests {
     #[test]
     fn range_multiplication_negative() {
         let e = col(0).mul(col(1));
-        let t = vec![
-            RangeValue::range(-2i64, 1i64, 3i64),
-            RangeValue::range(-5i64, -5i64, 4i64),
-        ];
+        let t = vec![RangeValue::range(-2i64, 1i64, 3i64), RangeValue::range(-5i64, -5i64, 4i64)];
         // combos: 10, -8, -15, 12 → [-15, 12]
         assert_eq!(e.eval_range(&t).unwrap(), RangeValue::range(-15i64, -5i64, 12i64));
     }
@@ -499,22 +510,13 @@ mod tests {
         let e = col(0).leq(col(1));
         // certainly true
         let t = vec![RangeValue::range(1i64, 2i64, 3i64), RangeValue::range(3i64, 4i64, 5i64)];
-        assert_eq!(
-            e.eval_range(&t).unwrap().as_bool3().unwrap(),
-            (true, true, true)
-        );
+        assert_eq!(e.eval_range(&t).unwrap().as_bool3().unwrap(), (true, true, true));
         // uncertain
         let t = vec![RangeValue::range(1i64, 2i64, 6i64), RangeValue::range(3i64, 4i64, 5i64)];
-        assert_eq!(
-            e.eval_range(&t).unwrap().as_bool3().unwrap(),
-            (false, true, true)
-        );
+        assert_eq!(e.eval_range(&t).unwrap().as_bool3().unwrap(), (false, true, true));
         // certainly false
         let t = vec![RangeValue::range(7i64, 8i64, 9i64), RangeValue::range(3i64, 4i64, 5i64)];
-        assert_eq!(
-            e.eval_range(&t).unwrap().as_bool3().unwrap(),
-            (false, false, false)
-        );
+        assert_eq!(e.eval_range(&t).unwrap().as_bool3().unwrap(), (false, false, false));
     }
 
     #[test]
@@ -522,10 +524,7 @@ mod tests {
         // [1/2/3] = [2/2/2]  evaluates to [F/T/T]
         let e = col(0).eq(lit(2i64));
         let t = vec![RangeValue::range(1i64, 2i64, 3i64)];
-        assert_eq!(
-            e.eval_range(&t).unwrap().as_bool3().unwrap(),
-            (false, true, true)
-        );
+        assert_eq!(e.eval_range(&t).unwrap().as_bool3().unwrap(), (false, true, true));
     }
 
     #[test]
@@ -533,10 +532,7 @@ mod tests {
         let e = col(0).lt(lit(5i64)).not();
         let t = vec![RangeValue::range(1i64, 2i64, 9i64)];
         // x < 5 is [F/T/T]; negation is [F/F/T]
-        assert_eq!(
-            e.eval_range(&t).unwrap().as_bool3().unwrap(),
-            (false, false, true)
-        );
+        assert_eq!(e.eval_range(&t).unwrap().as_bool3().unwrap(), (false, false, true));
     }
 
     #[test]
@@ -553,15 +549,9 @@ mod tests {
     fn range_division_guard() {
         let e = lit(1i64).div(col(0));
         let spans_zero = vec![RangeValue::range(-1i64, 1i64, 2i64)];
-        assert_eq!(
-            e.eval_range(&spans_zero).unwrap_err(),
-            EvalError::RangeDivisionSpansZero
-        );
+        assert_eq!(e.eval_range(&spans_zero).unwrap_err(), EvalError::RangeDivisionSpansZero);
         let pos = vec![RangeValue::range(2i64, 4i64, 8i64)];
-        assert_eq!(
-            e.eval_range(&pos).unwrap(),
-            RangeValue::range(0.125f64, 0.25f64, 0.5f64)
-        );
+        assert_eq!(e.eval_range(&pos).unwrap(), RangeValue::range(0.125f64, 0.25f64, 0.5f64));
     }
 
     #[test]
@@ -591,7 +581,8 @@ mod tests {
             col(0).leq(col(1)),
             col(0).eq(col(1)),
         ];
-        let ranges = vec![RangeValue::range(-2i64, 1i64, 3i64), RangeValue::range(0i64, 0i64, 2i64)];
+        let ranges =
+            vec![RangeValue::range(-2i64, 1i64, 3i64), RangeValue::range(0i64, 0i64, 2i64)];
         // enumerate all deterministic tuples bounded by `ranges` where the
         // sg tuple is included (Definition 8)
         let mut worlds = vec![];
@@ -604,10 +595,7 @@ mod tests {
             let bound = e.eval_range(&ranges).unwrap();
             for w in &worlds {
                 let v = e.eval(w).unwrap();
-                assert!(
-                    bound.bounds(&v),
-                    "{e}: {bound} does not bound {v} at {w:?}"
-                );
+                assert!(bound.bounds(&v), "{e}: {bound} does not bound {v} at {w:?}");
             }
             // sg component must equal deterministic evaluation on sg tuple
             let sg_tuple: Vec<Value> = ranges.iter().map(|r| r.sg.clone()).collect();

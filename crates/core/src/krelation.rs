@@ -97,10 +97,7 @@ impl<K: Semiring> KRelation<K> {
     /// Lift a semiring homomorphism to the relation (apply to every
     /// annotation).
     pub fn map_annotations<K2: Semiring>(&self, h: impl Fn(&K) -> K2) -> KRelation<K2> {
-        KRelation::from_rows(
-            self.arity,
-            self.rows.iter().map(|(t, k)| (t.clone(), h(k))).collect(),
-        )
+        KRelation::from_rows(self.arity, self.rows.iter().map(|(t, k)| (t.clone(), h(k))).collect())
     }
 }
 
@@ -167,16 +164,10 @@ mod tests {
         let h = |p: &PolyNX| p.eval_hom(&assignment);
 
         let q = |r: &KRelation<PolyNX>| -> KRelation<PolyNX> {
-            r.select(&col(1).geq(lit(10i64)))
-                .unwrap()
-                .join(r)
-                .project(&[0, 3])
+            r.select(&col(1).geq(lit(10i64))).unwrap().join(r).project(&[0, 3])
         };
         let q_n = |r: &KRelation<u64>| -> KRelation<u64> {
-            r.select(&col(1).geq(lit(10i64)))
-                .unwrap()
-                .join(r)
-                .project(&[0, 3])
+            r.select(&col(1).geq(lit(10i64))).unwrap().join(r).project(&[0, 3])
         };
 
         let lhs = q(&r).map_annotations(h);

@@ -26,5 +26,7 @@ pub use annot::{AuAnnot, UaAnnot};
 pub use error::EvalError;
 pub use expr::{col, lit, Expr};
 pub use range::RangeValue;
-pub use semiring::{delta, LSemiring, MonusSemiring, Nat, NaturallyOrdered, PolyNX, Prod, Semiring};
+pub use semiring::{
+    delta, LSemiring, MonusSemiring, Nat, NaturallyOrdered, PolyNX, Prod, Semiring,
+};
 pub use value::{Value, F64};

@@ -102,11 +102,11 @@ impl RangeValue {
     /// Interval width as a float, for tightness metrics. Sentinel bounds
     /// count as the provided domain half-width.
     pub fn width(&self, domain_halfwidth: f64) -> f64 {
-        let lo = self.lb.as_f64().unwrap_or_else(|| match self.lb {
+        let lo = self.lb.as_f64().unwrap_or(match self.lb {
             Value::MinVal => -domain_halfwidth,
             _ => 0.0,
         });
-        let hi = self.ub.as_f64().unwrap_or_else(|| match self.ub {
+        let hi = self.ub.as_f64().unwrap_or(match self.ub {
             Value::MaxVal => domain_halfwidth,
             _ => 0.0,
         });

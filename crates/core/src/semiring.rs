@@ -246,11 +246,7 @@ mod tests {
                 for c in samples {
                     assert_eq!(a.plus(&b.plus(c)), a.plus(b).plus(c), "assoc +");
                     assert_eq!(a.times(&b.times(c)), a.times(b).times(c), "assoc ·");
-                    assert_eq!(
-                        a.times(&b.plus(c)),
-                        a.times(b).plus(&a.times(c)),
-                        "distributivity"
-                    );
+                    assert_eq!(a.times(&b.plus(c)), a.times(b).plus(&a.times(c)), "distributivity");
                 }
             }
         }
@@ -268,12 +264,8 @@ mod tests {
 
     #[test]
     fn prod_semiring_laws() {
-        let samples: Vec<Prod<u64, bool>> = vec![
-            Prod(0, false),
-            Prod(1, true),
-            Prod(2, false),
-            Prod(3, true),
-        ];
+        let samples: Vec<Prod<u64, bool>> =
+            vec![Prod(0, false), Prod(1, true), Prod(2, false), Prod(3, true)];
         check_semiring_laws(&samples);
     }
 
@@ -307,8 +299,8 @@ mod tests {
     #[test]
     fn bool_lattice_matches_certain_possible() {
         // certain = glb = ∧, possible = lub = ∨ (Section 3.2.1)
-        assert_eq!(true.glb(&false), false);
-        assert_eq!(true.lub(&false), true);
+        assert!(!true.glb(&false));
+        assert!(true.lub(&false));
         assert_eq!(u64::glb(&2, &3), 2);
         assert_eq!(u64::lub(&2, &3), 3);
     }

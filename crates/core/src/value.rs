@@ -226,9 +226,9 @@ impl Value {
                 Some(s) => Value::Int(s),
                 None => Value::float(*a as f64 + *b as f64),
             }),
-            (a, b) if a.is_numeric() && b.is_numeric() => Ok(Value::Float(F64::try_new(
-                a.as_f64().unwrap() + b.as_f64().unwrap(),
-            )?)),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                Ok(Value::Float(F64::try_new(a.as_f64().unwrap() + b.as_f64().unwrap())?))
+            }
             (a, b) => Err(EvalError::binop_type_error("+", a, b)),
         }
     }
@@ -273,9 +273,9 @@ impl Value {
                 Some(p) => Value::Int(p),
                 None => Value::float(*a as f64 * *b as f64),
             }),
-            (a, b) if a.is_numeric() && b.is_numeric() => Ok(Value::Float(F64::try_new(
-                a.as_f64().unwrap() * b.as_f64().unwrap(),
-            )?)),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                Ok(Value::Float(F64::try_new(a.as_f64().unwrap() * b.as_f64().unwrap())?))
+            }
             (a, b) => Err(EvalError::binop_type_error("*", a, b)),
         }
     }
@@ -299,9 +299,9 @@ impl Value {
                 a.signum()?; // type check
                 Ok(Value::float(0.0))
             }
-            (a, b) if a.is_numeric() && b.is_numeric() => Ok(Value::Float(F64::try_new(
-                a.as_f64().unwrap() / b.as_f64().unwrap(),
-            )?)),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                Ok(Value::Float(F64::try_new(a.as_f64().unwrap() / b.as_f64().unwrap())?))
+            }
             (a, b) => Err(EvalError::binop_type_error("/", a, b)),
         }
     }
@@ -311,11 +311,23 @@ impl Value {
     pub fn mul_count(&self, k: u64) -> Result<Value, EvalError> {
         self.mul(&Value::Int(k as i64))
     }
+
+    /// Canonical hash-join key: integers collapse to their float
+    /// representation so that `value_eq`-equal values (`Int 2` and
+    /// `Float 2.0`) produce identical keys. Exact for integers within
+    /// f64's exact-integer range, which join keys are assumed to stay in
+    /// (shared by the deterministic and AU join paths).
+    pub fn join_key(&self) -> Value {
+        match self {
+            Value::Int(i) => Value::float(*i as f64),
+            other => other.clone(),
+        }
+    }
 }
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Value {
@@ -410,15 +422,9 @@ mod tests {
     fn arithmetic_basic() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(Value::Int(2).mul(&Value::Int(3)).unwrap(), Value::Int(6));
-        assert_eq!(
-            Value::Int(2).add(&Value::float(0.5)).unwrap(),
-            Value::float(2.5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::float(0.5)).unwrap(), Value::float(2.5));
         assert_eq!(Value::Int(7).sub(&Value::Int(9)).unwrap(), Value::Int(-2));
-        assert_eq!(
-            Value::Int(1).div(&Value::Int(4)).unwrap(),
-            Value::float(0.25)
-        );
+        assert_eq!(Value::Int(1).div(&Value::Int(4)).unwrap(), Value::float(0.25));
     }
 
     #[test]

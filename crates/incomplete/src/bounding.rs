@@ -34,12 +34,7 @@ pub fn relation_bounds_world(au: &AuRelation, world: &Relation) -> bool {
         edges.push(BoundedEdge { from: s, to: wbase + i, lower: *mult, upper: *mult });
         for (j, (rt, _)) in a.iter().enumerate() {
             if rt.bounds(tup) {
-                edges.push(BoundedEdge {
-                    from: wbase + i,
-                    to: abase + j,
-                    lower: 0,
-                    upper: *mult,
-                });
+                edges.push(BoundedEdge { from: wbase + i, to: abase + j, lower: 0, upper: *mult });
             }
         }
     }
@@ -113,10 +108,7 @@ mod tests {
                 ),
             ],
         );
-        let d1 = Relation::from_rows(
-            schema.clone(),
-            vec![(it(&[1, 1]), 5), (it(&[2, 3]), 1)],
-        );
+        let d1 = Relation::from_rows(schema.clone(), vec![(it(&[1, 1]), 5), (it(&[2, 3]), 1)]);
         let d2 = Relation::from_rows(
             schema.clone(),
             vec![(it(&[1, 1]), 2), (it(&[1, 3]), 2), (it(&[2, 4]), 1)],
@@ -126,10 +118,8 @@ mod tests {
         assert!(!relation_bounds_world(&au, &d2));
         // the paper's D2 has (2,4) — but tuple 3's B is certain 3, so the
         // world is only bounded if the last tuple is (2,3):
-        let d2fix = Relation::from_rows(
-            schema,
-            vec![(it(&[1, 1]), 2), (it(&[1, 3]), 2), (it(&[2, 3]), 1)],
-        );
+        let d2fix =
+            Relation::from_rows(schema, vec![(it(&[1, 1]), 2), (it(&[1, 3]), 2), (it(&[2, 3]), 1)]);
         assert!(relation_bounds_world(&au, &d2fix));
     }
 

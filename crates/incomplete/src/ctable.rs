@@ -8,8 +8,6 @@
 //! inputs — the same answers a solver would give, with exponential cost,
 //! which is also what makes the `Symb` baseline slow).
 
-
-
 use audb_core::{AuAnnot, EvalError, Expr, RangeValue, Value};
 use audb_storage::{AuRelation, Database, RangeTuple, Relation, Schema, Tuple};
 
@@ -221,10 +219,8 @@ impl CTable {
             .sg_valuation()?
             .ok_or_else(|| EvalError::Unsupported("unsatisfiable global condition".into()))?;
         let sg_world = self.world_for(&sg_val)?.unwrap().normalized();
-        let sg_index = worlds
-            .iter()
-            .position(|w| w.normalized() == sg_world)
-            .unwrap_or_else(|| {
+        let sg_index =
+            worlds.iter().position(|w| w.normalized() == sg_world).unwrap_or_else(|| {
                 worlds.push(sg_world.clone());
                 worlds.len() - 1
             });
@@ -268,10 +264,7 @@ mod tests {
         ct.add_var("x", vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
         ct.add_var("y", vec![Value::Int(0), Value::Int(1)]);
         // row 1: (x, 10) exists iff x ≤ 2
-        ct.add_row(
-            vec![CVal::Var("x".into()), CVal::Const(Value::Int(10))],
-            col(0).leq(lit(2i64)),
-        );
+        ct.add_row(vec![CVal::Var("x".into()), CVal::Const(Value::Int(10))], col(0).leq(lit(2i64)));
         // row 2: (5, y) always exists
         ct.add_row(vec![CVal::Const(Value::Int(5)), CVal::Var("y".into())], lit(true));
         ct
@@ -310,20 +303,12 @@ mod tests {
         let ct = sample();
         let au = ct.to_au().unwrap();
         // row 1 exists only when x ≤ 2 → a ∈ [1, 2]; not a tautology → lb 0
-        let row1 = au
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[1].sg == Value::Int(10))
-            .unwrap();
+        let row1 = au.rows().iter().find(|(t, _)| t.0[1].sg == Value::Int(10)).unwrap();
         assert_eq!(row1.0 .0[0].lb, Value::Int(1));
         assert_eq!(row1.0 .0[0].ub, Value::Int(2));
         assert_eq!(row1.1.lb, 0);
         // row 2 is certain with b ∈ [0, 1]
-        let row2 = au
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[0].sg == Value::Int(5))
-            .unwrap();
+        let row2 = au.rows().iter().find(|(t, _)| t.0[0].sg == Value::Int(5)).unwrap();
         assert_eq!(row2.1.lb, 1);
         assert_eq!(row2.0 .0[1].lb, Value::Int(0));
         assert_eq!(row2.0 .0[1].ub, Value::Int(1));
@@ -338,10 +323,7 @@ mod tests {
         let au = ct.to_au().unwrap();
         assert_eq!(au.len(), 1, "tight upper bound 1 iff colorable");
         // K4: not 3-colorable → tuple never exists → absent from the AU-DB
-        let k4 = three_coloring_ctable(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let k4 = three_coloring_ctable(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let au = k4.to_au().unwrap();
         assert!(au.is_empty());
     }

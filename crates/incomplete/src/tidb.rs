@@ -29,13 +29,8 @@ impl TiRelation {
     /// Enumerate all possible worlds (exponential — test-sized inputs
     /// only; guarded by `max_worlds`).
     pub fn worlds(&self, max_worlds: usize) -> Option<Vec<Relation>> {
-        let optional: Vec<usize> = self
-            .tuples
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, p))| *p < 1.0)
-            .map(|(i, _)| i)
-            .collect();
+        let optional: Vec<usize> =
+            self.tuples.iter().enumerate().filter(|(_, (_, p))| *p < 1.0).map(|(i, _)| i).collect();
         if optional.len() > 20 || (1usize << optional.len()) > max_worlds {
             return None;
         }
@@ -75,14 +70,7 @@ impl TiRelation {
             .iter()
             .filter(|(_, p)| *p > 0.0)
             .map(|(t, p)| {
-                (
-                    RangeTuple::certain(t),
-                    AuAnnot::triple(
-                        (*p >= 1.0) as u64,
-                        (*p >= 0.5) as u64,
-                        1,
-                    ),
-                )
+                (RangeTuple::certain(t), AuAnnot::triple((*p >= 1.0) as u64, (*p >= 0.5) as u64, 1))
             })
             .collect();
         AuRelation::from_rows(self.schema.clone(), rows)
@@ -163,7 +151,7 @@ mod tests {
         let db = sample();
         let inc = db.to_incomplete(64).unwrap();
         assert_eq!(inc.worlds.len(), 4); // two optional tuples
-        // SG world: p ≥ 0.5 → tuples 1, 2
+                                         // SG world: p ≥ 0.5 → tuples 1, 2
         let sgw = inc.sg_world().get("r").unwrap();
         assert_eq!(sgw.multiplicity(&it(&[1])), 1);
         assert_eq!(sgw.multiplicity(&it(&[2])), 1);

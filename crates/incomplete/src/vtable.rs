@@ -104,12 +104,10 @@ impl VTable {
                 .iter()
                 .map(|c| match c {
                     VCell::Const(v) => RangeValue::certain(v.clone()),
-                    VCell::Var(_) => RangeValue::new(
-                        lo.clone(),
-                        self.null_domain[0].clone(),
-                        hi.clone(),
-                    )
-                    .expect("domain ordered"),
+                    VCell::Var(_) => {
+                        RangeValue::new(lo.clone(), self.null_domain[0].clone(), hi.clone())
+                            .expect("domain ordered")
+                    }
                 })
                 .collect();
             out.push(RangeTuple::new(ranges), AuAnnot::certain_one());
@@ -140,10 +138,7 @@ mod tests {
     use crate::bounding::database_bounds_incomplete;
 
     fn sample() -> VTable {
-        let mut vt = VTable::new(
-            Schema::named(&["a", "b"]),
-            vec![Value::Int(1), Value::Int(2)],
-        );
+        let mut vt = VTable::new(Schema::named(&["a", "b"]), vec![Value::Int(1), Value::Int(2)]);
         let x = vt.fresh_var();
         vt.add_row(vec![VCell::Const(Value::Int(7)), VCell::Var(x)]);
         vt.add_row(vec![VCell::Var(x), VCell::Const(Value::Int(9))]);
@@ -177,11 +172,7 @@ mod tests {
     fn nulls_become_domain_ranges() {
         let vt = sample();
         let au = vt.to_au();
-        let row = au
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[0].sg == Value::Int(7))
-            .unwrap();
+        let row = au.rows().iter().find(|(t, _)| t.0[0].sg == Value::Int(7)).unwrap();
         assert_eq!(row.0 .0[1].lb, Value::Int(1));
         assert_eq!(row.0 .0[1].ub, Value::Int(2));
     }

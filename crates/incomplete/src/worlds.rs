@@ -32,8 +32,7 @@ impl IncompleteDb {
     /// Possible-worlds query semantics (Definition 1 / Equation 2):
     /// evaluate in every world.
     pub fn eval(&self, q: &Query) -> Result<IncompleteRelation, EvalError> {
-        let worlds: Result<Vec<Relation>, _> =
-            self.worlds.iter().map(|w| eval_det(w, q)).collect();
+        let worlds: Result<Vec<Relation>, _> = self.worlds.iter().map(|w| eval_det(w, q)).collect();
         Ok(IncompleteRelation { worlds: worlds?, sg_index: self.sg_index })
     }
 }
@@ -74,10 +73,7 @@ impl IncompleteRelation {
 
     /// Certain tuples (certain multiplicity > 0).
     pub fn certain_tuples(&self) -> BTreeSet<Tuple> {
-        self.all_tuples()
-            .into_iter()
-            .filter(|t| self.certain_multiplicity(t) > 0)
-            .collect()
+        self.all_tuples().into_iter().filter(|t| self.certain_multiplicity(t) > 0).collect()
     }
 }
 
@@ -96,10 +92,7 @@ mod tests {
         // Example 3's incomplete N-database
         let schema = Schema::named(&["state"]);
         let mut d1 = Database::new();
-        d1.insert(
-            "r",
-            Relation::from_rows(schema.clone(), vec![(it(&[1]), 2), (it(&[2]), 2)]),
-        );
+        d1.insert("r", Relation::from_rows(schema.clone(), vec![(it(&[1]), 2), (it(&[2]), 2)]));
         let mut d2 = Database::new();
         d2.insert(
             "r",

@@ -54,11 +54,7 @@ impl XTuple {
     /// Is `pickMax` part of the SGW? Yes iff existing is at least as
     /// likely as being absent: `1 − P(τ) ≤ P(pickMax)`.
     pub fn sg_present(&self) -> bool {
-        let pm = self
-            .alternatives
-            .iter()
-            .map(|(_, p)| *p)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let pm = self.alternatives.iter().map(|(_, p)| *p).fold(f64::NEG_INFINITY, f64::max);
         1.0 - self.total_prob() <= pm + 1e-12
     }
 }
@@ -122,10 +118,7 @@ impl XRelation {
             worlds = next;
         }
         Some(
-            worlds
-                .into_iter()
-                .map(|rows| Relation::from_rows(self.schema.clone(), rows))
-                .collect(),
+            worlds.into_iter().map(|rows| Relation::from_rows(self.schema.clone(), rows)).collect(),
         )
     }
 

@@ -158,10 +158,8 @@ impl Query {
             }
             Query::Aggregate { input, group_by, aggs } => {
                 let in_schema = input.schema(catalog)?;
-                let mut cols: Vec<String> = group_by
-                    .iter()
-                    .map(|c| in_schema.column_name(*c).to_string())
-                    .collect();
+                let mut cols: Vec<String> =
+                    group_by.iter().map(|c| in_schema.column_name(*c).to_string()).collect();
                 cols.extend(aggs.iter().map(|a| a.name.clone()));
                 Ok(Schema::new(cols))
             }
@@ -175,8 +173,7 @@ impl fmt::Display for Query {
             Query::Table(n) => write!(f, "{n}"),
             Query::Select { input, predicate } => write!(f, "σ[{predicate}]({input})"),
             Query::Project { input, exprs } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e}→{n}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e}→{n}")).collect();
                 write!(f, "π[{}]({input})", cols.join(", "))
             }
             Query::Join { left, right, predicate: Some(p) } => {
@@ -228,10 +225,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.insert(
-            "r",
-            Relation::empty(Schema::named(&["a", "b"])),
-        );
+        db.insert("r", Relation::empty(Schema::named(&["a", "b"])));
         db.insert("s", Relation::empty(Schema::named(&["c"])));
         db
     }

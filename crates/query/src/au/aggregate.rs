@@ -114,12 +114,7 @@ pub fn avg_range(sum: &RangeValue, cnt: &RangeValue) -> Result<RangeValue, EvalE
     let cl = Value::max_of(one.clone(), cnt.lb.clone());
     let cu = Value::max_of(one.clone(), cnt.ub.clone());
     let cs = Value::max_of(one, cnt.sg.clone());
-    let combos = [
-        sum.lb.div(&cl)?,
-        sum.lb.div(&cu)?,
-        sum.ub.div(&cl)?,
-        sum.ub.div(&cu)?,
-    ];
+    let combos = [sum.lb.div(&cl)?, sum.lb.div(&cu)?, sum.ub.div(&cl)?, sum.ub.div(&cu)?];
     let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
     let hi = combos.into_iter().reduce(Value::max_of).unwrap();
     let sg = clamp(sum.sg.div(&cs)?, &lo, &hi);
@@ -221,10 +216,8 @@ pub fn aggregate_au(
     // the deterministic MIN/MAX/AVG is Null. Track whether the input may
     // be empty (no certainly-existing row) and whether the SG world is
     // empty, to extend bounds / set the SG component accordingly.
-    let possibly_empty =
-        group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.lb == 0);
-    let sg_world_empty =
-        group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.sg == 0);
+    let possibly_empty = group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.lb == 0);
+    let sg_world_empty = group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.sg == 0);
 
     let mut out = AuRelation::empty(schema);
     for key in &order {
@@ -243,9 +236,7 @@ pub fn aggregate_au(
                 members.extend(own.iter().map(|&i| &rel.rows()[i]));
             }
             members.extend(
-                uncertain_source
-                    .iter()
-                    .filter(|(t, _)| t.project(group_by).overlaps(&st.bbox)),
+                uncertain_source.iter().filter(|(t, _)| t.project(group_by).overlaps(&st.bbox)),
             );
         }
 
@@ -255,23 +246,58 @@ pub fn aggregate_au(
         for spec in aggs {
             let v = match spec.func {
                 AggFunc::Sum => agg_bounds(
-                    rel, st, key, group_by, &members, Monoid::Sum, &spec.input, bbox_certain,
+                    rel,
+                    st,
+                    key,
+                    group_by,
+                    &members,
+                    Monoid::Sum,
+                    &spec.input,
+                    bbox_certain,
                 )?,
-                AggFunc::Count => agg_bounds(
-                    rel, st, key, group_by, &members, Monoid::Sum, &one, bbox_certain,
-                )?,
+                AggFunc::Count => {
+                    agg_bounds(rel, st, key, group_by, &members, Monoid::Sum, &one, bbox_certain)?
+                }
                 AggFunc::Min => agg_bounds(
-                    rel, st, key, group_by, &members, Monoid::Min, &spec.input, bbox_certain,
+                    rel,
+                    st,
+                    key,
+                    group_by,
+                    &members,
+                    Monoid::Min,
+                    &spec.input,
+                    bbox_certain,
                 )?,
                 AggFunc::Max => agg_bounds(
-                    rel, st, key, group_by, &members, Monoid::Max, &spec.input, bbox_certain,
+                    rel,
+                    st,
+                    key,
+                    group_by,
+                    &members,
+                    Monoid::Max,
+                    &spec.input,
+                    bbox_certain,
                 )?,
                 AggFunc::Avg => {
                     let sum = agg_bounds(
-                        rel, st, key, group_by, &members, Monoid::Sum, &spec.input, bbox_certain,
+                        rel,
+                        st,
+                        key,
+                        group_by,
+                        &members,
+                        Monoid::Sum,
+                        &spec.input,
+                        bbox_certain,
                     )?;
                     let cnt = agg_bounds(
-                        rel, st, key, group_by, &members, Monoid::Sum, &one, bbox_certain,
+                        rel,
+                        st,
+                        key,
+                        group_by,
+                        &members,
+                        Monoid::Sum,
+                        &one,
+                        bbox_certain,
                     )?;
                     avg_range(&sum, &cnt)?
                 }
@@ -315,8 +341,7 @@ pub fn aggregate_au(
             AuAnnot::triple(
                 lb_any_certain as u64,
                 if sg_sum > 0 { 1 } else { 0 },
-                (any_certain_group as u64 + uncertain_ub_sum)
-                    .max(if sg_sum > 0 { 1 } else { 0 }),
+                (any_certain_group as u64 + uncertain_ub_sum).max(if sg_sum > 0 { 1 } else { 0 }),
             )
         };
 
@@ -342,11 +367,7 @@ fn adjust_for_possible_empty(
     match func {
         AggFunc::Sum | AggFunc::Count => Ok(v),
         AggFunc::Min | AggFunc::Max | AggFunc::Avg => {
-            let lb = if possibly_empty {
-                Value::min_of(v.lb, Value::Null)
-            } else {
-                v.lb
-            };
+            let lb = if possibly_empty { Value::min_of(v.lb, Value::Null) } else { v.lb };
             let sg = if sg_world_empty { Value::Null } else { v.sg };
             RangeValue::new(lb, sg, v.ub)
         }
@@ -379,10 +400,7 @@ fn agg_bounds(
         let (lbc, ubc) = if non_ug {
             (lo, hi)
         } else {
-            (
-                Value::min_of(neutral.clone(), lo),
-                Value::max_of(neutral.clone(), hi),
-            )
+            (Value::min_of(neutral.clone(), lo), Value::max_of(neutral.clone(), hi))
         };
         lb_acc = monoid.combine(&lb_acc, &lbc)?;
         ub_acc = monoid.combine(&ub_acc, &ubc)?;
@@ -428,13 +446,8 @@ mod tests {
                 au_row(vec![r2(-4, -3, -3), r2(2, 3, 4)], 1, 2, 2),
             ],
         );
-        let out = aggregate_au(
-            &rel,
-            &[1],
-            &[AggSpec::new(AggFunc::Sum, col(0), "s")],
-            None,
-        )
-        .unwrap();
+        let out =
+            aggregate_au(&rel, &[1], &[AggSpec::new(AggFunc::Sum, col(0), "s")], None).unwrap();
         assert_eq!(out.len(), 1);
         let (t, _) = &out.rows()[0];
         let sum = &t.0[1];
@@ -544,10 +557,7 @@ mod tests {
         let out = aggregate_au(
             &rel,
             &[0],
-            &[
-                AggSpec::new(AggFunc::Min, col(1), "lo"),
-                AggSpec::new(AggFunc::Max, col(1), "hi"),
-            ],
+            &[AggSpec::new(AggFunc::Min, col(1), "lo"), AggSpec::new(AggFunc::Max, col(1), "hi")],
             None,
         )
         .unwrap();
@@ -577,10 +587,7 @@ mod tests {
         let out = aggregate_au(
             &rel,
             &[0],
-            &[
-                AggSpec::new(AggFunc::Min, col(1), "lo"),
-                AggSpec::new(AggFunc::Max, col(1), "hi"),
-            ],
+            &[AggSpec::new(AggFunc::Min, col(1), "lo"), AggSpec::new(AggFunc::Max, col(1), "hi")],
             None,
         )
         .unwrap();
@@ -598,10 +605,7 @@ mod tests {
     fn avg_derived_from_sum_count() {
         let rel = AuRelation::from_rows(
             Schema::named(&["v"]),
-            vec![
-                au_row(vec![r2(10, 10, 10)], 1, 1, 1),
-                au_row(vec![r2(20, 20, 20)], 0, 1, 1),
-            ],
+            vec![au_row(vec![r2(10, 10, 10)], 1, 1, 1), au_row(vec![r2(20, 20, 20)], 0, 1, 1)],
         );
         let out =
             aggregate_au(&rel, &[], &[AggSpec::new(AggFunc::Avg, col(0), "a")], None).unwrap();
@@ -619,10 +623,7 @@ mod tests {
         let out = aggregate_au(
             &rel,
             &[],
-            &[
-                AggSpec::new(AggFunc::Sum, col(0), "s"),
-                AggSpec::new(AggFunc::Min, col(0), "m"),
-            ],
+            &[AggSpec::new(AggFunc::Sum, col(0), "s"), AggSpec::new(AggFunc::Min, col(0), "m")],
             None,
         )
         .unwrap();
@@ -715,11 +716,7 @@ mod tests {
         );
         let out =
             aggregate_au(&rel, &[0], &[AggSpec::new(AggFunc::Sum, col(1), "s")], None).unwrap();
-        let g1 = out
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[0].sg == Value::Int(1))
-            .unwrap();
+        let g1 = out.rows().iter().find(|(t, _)| t.0[0].sg == Value::Int(1)).unwrap();
         let sum = &g1.0 .0[1];
         // without the exclusion the foreign row's +100 would leak in
         assert_eq!(sum.ub, Value::Int(1));

@@ -13,11 +13,14 @@ pub mod aggregate;
 pub mod combine;
 pub mod difference;
 
+use std::borrow::Cow;
+
 use audb_core::{AuAnnot, EvalError, Expr, Semiring};
 use audb_storage::{AuDatabase, AuRelation, Schema};
 
 use crate::algebra::Query;
 use crate::opt;
+use crate::planner;
 
 /// Evaluation options: `None` disables an optimization, `Some(ct)` bounds
 /// the compressed possible-side of joins/aggregation to `ct` tuples
@@ -45,49 +48,76 @@ impl AuConfig {
 
 /// Evaluate a query over an AU-database.
 pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
-    Ok(eval_inner(db, q, cfg)?.normalized())
+    Ok(eval_inner(db, q, cfg)?.into_owned().into_normalized())
 }
 
-fn eval_inner(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
-    match q {
-        Query::Table(name) => Ok(db.get(name)?.clone()),
+/// Copy-free evaluation core: base tables are *borrowed* from the
+/// database and only operator outputs are owned, so no whole-table
+/// clone happens anywhere in a plan.
+fn eval_inner<'a>(
+    db: &'a AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+) -> Result<Cow<'a, AuRelation>, EvalError> {
+    Ok(match q {
+        Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
             let rel = eval_inner(db, input, cfg)?;
-            select_au(&rel, predicate)
+            Cow::Owned(select_au(&rel, predicate)?)
         }
         Query::Project { input, exprs } => {
             let rel = eval_inner(db, input, cfg)?;
-            project_au(&rel, exprs)
+            Cow::Owned(project_au(&rel, exprs)?)
         }
         Query::Join { left, right, predicate } => {
             let l = eval_inner(db, left, cfg)?;
             let r = eval_inner(db, right, cfg)?;
-            match cfg.join_compress {
-                Some(ct) => opt::optimized_join(&l, &r, predicate.as_ref(), ct),
-                None => join_au(&l, &r, predicate.as_ref()),
-            }
+            Cow::Owned(match cfg.join_compress {
+                Some(ct) => opt::optimized_join(&l, &r, predicate.as_ref(), ct)?,
+                None => join_au(&l, &r, predicate.as_ref())?,
+            })
         }
         Query::Union { left, right } => {
             let l = eval_inner(db, left, cfg)?;
             let r = eval_inner(db, right, cfg)?;
-            union_au(&l, &r)
+            Cow::Owned(union_cow(l, r)?)
         }
         Query::Difference { left, right } => {
             let l = eval_inner(db, left, cfg)?;
             let r = eval_inner(db, right, cfg)?;
-            difference::difference_au(&l, &r)
+            Cow::Owned(difference::difference_au(&l, &r)?)
         }
         Query::Distinct { input } => {
             // δ is aggregation grouping on all columns with no aggregates;
             // this inherits the treatment of uncertain "group" membership.
             let rel = eval_inner(db, input, cfg)?;
             let all: Vec<usize> = (0..rel.schema.arity()).collect();
-            aggregate::aggregate_au(&rel, &all, &[], cfg.agg_compress)
+            Cow::Owned(aggregate::aggregate_au(&rel, &all, &[], cfg.agg_compress)?)
         }
         Query::Aggregate { input, group_by, aggs } => {
             let rel = eval_inner(db, input, cfg)?;
-            aggregate::aggregate_au(&rel, group_by, aggs, cfg.agg_compress)
+            Cow::Owned(aggregate::aggregate_au(&rel, group_by, aggs, cfg.agg_compress)?)
         }
+    })
+}
+
+/// Union that reuses whichever operand already owns its row buffer;
+/// the left schema wins, matching [`union_au`].
+fn union_cow(l: Cow<'_, AuRelation>, r: Cow<'_, AuRelation>) -> Result<AuRelation, EvalError> {
+    l.schema.check_union_compatible(&r.schema)?;
+    match (l, r) {
+        (Cow::Owned(mut l), r) => {
+            l.extend_from(&r);
+            l.normalize();
+            Ok(l)
+        }
+        (Cow::Borrowed(l), Cow::Owned(mut r)) => {
+            r.schema = l.schema.clone();
+            r.extend_from(l);
+            r.normalize();
+            Ok(r)
+        }
+        (Cow::Borrowed(l), Cow::Borrowed(r)) => union_au(l, r),
     }
 }
 
@@ -118,11 +148,25 @@ pub fn project_au(rel: &AuRelation, exprs: &[(Expr, String)]) -> Result<AuRelati
     Ok(out.normalized())
 }
 
-/// Theta-join: cross product with annotation multiplication, filtered by
-/// the range-annotated predicate. This is the *unoptimized* path — range
-/// predicates degenerate to interval-overlap tests, hence nested loops
-/// (the bottleneck Section 10.4 addresses).
+/// Theta-join with the formal semantics: routed through the join
+/// planner, which picks a hash / interval-sweep strategy when the
+/// predicate admits one and falls back to [`nested_loop_join_au`]
+/// otherwise. All strategies produce the nested-loop rows exactly (up to
+/// normalization).
 pub fn join_au(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+) -> Result<AuRelation, EvalError> {
+    planner::join_au_planned(l, r, predicate)
+}
+
+/// The unoptimized reference join: cross product with annotation
+/// multiplication, filtered by the range-annotated predicate — range
+/// predicates degenerate to interval-overlap tests, hence nested loops
+/// (the bottleneck Section 10.4 addresses). Kept as the planner's
+/// fallback and as the oracle for join equivalence tests.
+pub fn nested_loop_join_au(
     l: &AuRelation,
     r: &AuRelation,
     predicate: Option<&Expr>,
@@ -149,9 +193,10 @@ pub fn join_au(
 /// Bag union: annotation addition in `N_AU`.
 pub fn union_au(l: &AuRelation, r: &AuRelation) -> Result<AuRelation, EvalError> {
     l.schema.check_union_compatible(&r.schema)?;
-    let mut rows = l.rows().to_vec();
-    rows.extend(r.rows().iter().cloned());
-    Ok(AuRelation::from_rows(l.schema.clone(), rows))
+    let mut out = l.clone();
+    out.extend_from(r);
+    out.normalize();
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -195,10 +240,7 @@ mod tests {
     fn projection_merges_tuples() {
         let rel = AuRelation::from_rows(
             Schema::named(&["A", "B"]),
-            vec![
-                certain_row(&[1, 10], 1, 1, 1),
-                certain_row(&[1, 20], 0, 1, 2),
-            ],
+            vec![certain_row(&[1, 10], 1, 1, 1), certain_row(&[1, 20], 0, 1, 2)],
         );
         let out = project_au(&rel, &[(col(0), "A".to_string())]).unwrap();
         assert_eq!(out.rows().len(), 1);
@@ -212,10 +254,7 @@ mod tests {
             vec![au_row(vec![RangeValue::range(1i64, 2i64, 3i64)], 1, 1, 1)],
         );
         let out = project_au(&rel, &[(col(0).add(lit(10i64)), "x".to_string())]).unwrap();
-        assert_eq!(
-            out.rows()[0].0,
-            RangeTuple::new(vec![RangeValue::range(11i64, 12i64, 13i64)])
-        );
+        assert_eq!(out.rows()[0].0, RangeTuple::new(vec![RangeValue::range(11i64, 12i64, 13i64)]));
     }
 
     /// Figure 8: the unoptimized join of uncertain-attribute relations
@@ -264,10 +303,7 @@ mod tests {
     #[test]
     fn eval_table_and_select() {
         let mut db = AuDatabase::new();
-        db.insert(
-            "r",
-            AuRelation::from_rows(schema_a(), vec![certain_row(&[5], 1, 1, 1)]),
-        );
+        db.insert("r", AuRelation::from_rows(schema_a(), vec![certain_row(&[5], 1, 1, 1)]));
         let q = crate::algebra::table("r").select(col(0).geq(lit(5i64)));
         let out = eval_au(&db, &q, &AuConfig::precise()).unwrap();
         assert_eq!(out.len(), 1);
@@ -291,10 +327,7 @@ mod lens_tests {
             "keys",
             AuRelation::from_rows(
                 Schema::named(&["a", "numB", "minB", "maxB"]),
-                vec![
-                    certain_row(&[1, 1, 10, 10], 1, 1, 1),
-                    certain_row(&[2, 3, 5, 9], 1, 1, 1),
-                ],
+                vec![certain_row(&[1, 1, 10, 10], 1, 1, 1), certain_row(&[2, 3, 5, 9], 1, 1, 1)],
             ),
         );
         let b = Expr::if_then_else(
@@ -315,10 +348,7 @@ mod lens_tests {
     fn make_uncertain_invisible_to_det() {
         let e = Expr::make_uncertain(lit(0i64), lit(5i64), lit(9i64));
         assert_eq!(e.eval(&[]).unwrap(), Value::Int(5));
-        assert_eq!(
-            e.eval_range(&[]).unwrap(),
-            RangeValue::range(0i64, 5i64, 9i64)
-        );
+        assert_eq!(e.eval_range(&[]).unwrap(), RangeValue::range(0i64, 5i64, 9i64));
     }
 
     /// Disagreeing sub-expressions are widened, never invalid.

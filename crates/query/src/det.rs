@@ -3,22 +3,25 @@
 //! here, and the rewrite middleware of Section 10 executes its rewritten
 //! plans on this engine).
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use audb_core::{EvalError, Expr, Value};
 use audb_storage::{Database, Relation, Schema, Tuple};
 
 use crate::algebra::{AggFunc, AggSpec, Query};
+use crate::planner;
 
 /// Evaluate a query over a deterministic database.
 pub fn eval_det(db: &Database, q: &Query) -> Result<Relation, EvalError> {
-    let rel = eval_inner(db, q)?;
-    Ok(rel.normalized())
+    Ok(eval_inner(db, q)?.into_owned().into_normalized())
 }
 
-fn eval_inner(db: &Database, q: &Query) -> Result<Relation, EvalError> {
-    match q {
-        Query::Table(name) => Ok(db.get(name)?.clone()),
+/// Copy-free evaluation core: base tables are borrowed from the
+/// database, only operator outputs are owned.
+fn eval_inner<'a>(db: &'a Database, q: &Query) -> Result<Cow<'a, Relation>, EvalError> {
+    Ok(match q {
+        Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
             let rel = eval_inner(db, input)?;
             let mut out = Relation::empty(rel.schema.clone());
@@ -27,7 +30,7 @@ fn eval_inner(db: &Database, q: &Query) -> Result<Relation, EvalError> {
                     out.push(t.clone(), *k);
                 }
             }
-            Ok(out)
+            Cow::Owned(out)
         }
         Query::Project { input, exprs } => {
             let rel = eval_inner(db, input)?;
@@ -38,101 +41,56 @@ fn eval_inner(db: &Database, q: &Query) -> Result<Relation, EvalError> {
                     exprs.iter().map(|(e, _)| e.eval(t.values())).collect();
                 out.push(Tuple::new(vals?), *k);
             }
-            Ok(out)
+            Cow::Owned(out)
         }
         Query::Join { left, right, predicate } => {
             let l = eval_inner(db, left)?;
             let r = eval_inner(db, right)?;
-            join_det(&l, &r, predicate.as_ref())
+            Cow::Owned(join_det(&l, &r, predicate.as_ref())?)
         }
         Query::Union { left, right } => {
             let l = eval_inner(db, left)?;
             let r = eval_inner(db, right)?;
             l.schema.check_union_compatible(&r.schema)?;
-            let mut out = l;
-            for (t, k) in r.rows() {
-                out.push(t.clone(), *k);
-            }
-            Ok(out)
+            let mut out = l.into_owned();
+            out.extend_from(&r);
+            Cow::Owned(out)
         }
         Query::Difference { left, right } => {
             let l = eval_inner(db, left)?;
             let r = eval_inner(db, right)?;
             l.schema.check_union_compatible(&r.schema)?;
-            let mut rmap: HashMap<Tuple, u64> = HashMap::new();
+            let mut rmap: HashMap<&Tuple, u64> = HashMap::new();
             for (t, k) in r.rows() {
-                *rmap.entry(t.clone()).or_insert(0) += k;
+                *rmap.entry(t).or_insert(0) += k;
             }
+            let l = l.into_owned().into_normalized();
             let mut out = Relation::empty(l.schema.clone());
-            for (t, k) in l.normalized().rows() {
+            for (t, k) in l.rows() {
                 let sub = rmap.get(t).copied().unwrap_or(0);
                 out.push(t.clone(), k.saturating_sub(sub));
             }
-            Ok(out)
+            Cow::Owned(out)
         }
         Query::Distinct { input } => {
-            let rel = eval_inner(db, input)?.normalized();
+            let rel = eval_inner(db, input)?.into_owned().into_normalized();
             let mut out = Relation::empty(rel.schema.clone());
             for (t, _) in rel.rows() {
                 out.push(t.clone(), 1);
             }
-            Ok(out)
+            Cow::Owned(out)
         }
         Query::Aggregate { input, group_by, aggs } => {
             let rel = eval_inner(db, input)?;
-            aggregate_det(&rel, group_by, aggs)
+            Cow::Owned(aggregate_det(&rel, group_by, aggs)?)
         }
-    }
+    })
 }
 
-/// Canonical key for hash matching: numeric values hash as floats so that
-/// `Int 2` and `Float 2.0` land in the same bucket (matching the
-/// `value_eq` semantics of `Expr::Eq`). Test data keeps keys well within
-/// f64's exact-integer range.
-fn join_key(v: &Value) -> Value {
-    match v {
-        Value::Int(i) => Value::float(*i as f64),
-        other => other.clone(),
-    }
-}
-
+/// Deterministic theta-join, routed through the join planner (hash
+/// equi-join, endpoint-sweep comparison join, or nested-loop fallback).
 fn join_det(l: &Relation, r: &Relation, predicate: Option<&Expr>) -> Result<Relation, EvalError> {
-    let schema = l.schema.concat(&r.schema);
-    let mut out = Relation::empty(schema);
-    let split = l.schema.arity();
-
-    // Hash fast-path for pure conjunctive equi-joins.
-    if let Some(pairs) = predicate.and_then(|p| p.equi_join_columns(split)) {
-        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (i, (t, _)) in r.rows().iter().enumerate() {
-            let key: Vec<Value> = pairs.iter().map(|(_, rc)| join_key(&t.0[*rc])).collect();
-            index.entry(key).or_default().push(i);
-        }
-        for (tl, kl) in l.rows() {
-            let key: Vec<Value> = pairs.iter().map(|(lc, _)| join_key(&tl.0[*lc])).collect();
-            if let Some(matches) = index.get(&key) {
-                for &i in matches {
-                    let (tr, kr) = &r.rows()[i];
-                    out.push(tl.concat(tr), kl * kr);
-                }
-            }
-        }
-        return Ok(out);
-    }
-
-    for (tl, kl) in l.rows() {
-        for (tr, kr) in r.rows() {
-            let t = tl.concat(tr);
-            let keep = match predicate {
-                Some(p) => p.eval_bool(t.values())?,
-                None => true,
-            };
-            if keep {
-                out.push(t, kl * kr);
-            }
-        }
-    }
-    Ok(out)
+    planner::join_det_planned(l, r, predicate)
 }
 
 /// Shared scalar `avg` from sum and count (Section 10.2 derivation).
@@ -213,10 +171,8 @@ pub(crate) fn aggregate_det(
 
     // Aggregation without group-by always yields exactly one row.
     if group_by.is_empty() && groups.is_empty() {
-        let empty: Vec<Value> = aggs
-            .iter()
-            .map(|a| AggAcc::new().extract(a.func))
-            .collect::<Result<_, _>>()?;
+        let empty: Vec<Value> =
+            aggs.iter().map(|a| AggAcc::new().extract(a.func)).collect::<Result<_, _>>()?;
         return Ok(Relation::from_rows(schema, vec![(Tuple::new(empty), 1)]));
     }
 
@@ -343,10 +299,7 @@ mod tests {
     #[test]
     fn aggregate_multiplicity_weights_sum() {
         // sum over A with multiplicities: 30↦2, 40↦3 → 180 (Section 9.2)
-        let rel = Relation::from_rows(
-            Schema::named(&["a"]),
-            vec![(it(&[30]), 2), (it(&[40]), 3)],
-        );
+        let rel = Relation::from_rows(Schema::named(&["a"]), vec![(it(&[30]), 2), (it(&[40]), 3)]);
         let mut db = Database::new();
         db.insert("t", rel);
         let q = table("t").aggregate(vec![], vec![AggSpec::new(AggFunc::Sum, col(0), "s")]);

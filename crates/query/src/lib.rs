@@ -18,6 +18,7 @@ pub mod algebra;
 pub mod au;
 pub mod det;
 pub mod opt;
+pub mod planner;
 pub mod rewrite;
 pub mod sql;
 pub mod ua;
@@ -25,5 +26,6 @@ pub mod ua;
 pub use algebra::{table, AggFunc, AggSpec, Catalog, Query};
 pub use au::{eval_au, AuConfig};
 pub use det::eval_det;
+pub use planner::{classify, JoinStrategy};
 pub use sql::parse_sql;
 pub use ua::eval_ua;

@@ -15,12 +15,10 @@
 //! `Cpr` preserves bounds (Lemma 7); hence the optimized join preserves
 //! bounds with precision traded for performance (Lemma 10.1).
 
-use std::collections::HashMap;
-
-use audb_core::{AuAnnot, EvalError, Expr, Semiring, Value};
+use audb_core::{AuAnnot, EvalError, Expr};
 use audb_storage::{AuRelation, RangeTuple};
 
-use crate::au::join_au;
+use crate::planner::join_au_planned;
 
 /// `split_sg(R)` (Section 10.4): one certain-attribute tuple per SGW
 /// tuple. The lower bound survives only for tuples without attribute
@@ -32,10 +30,7 @@ pub fn split_sg(rel: &AuRelation) -> AuRelation {
             continue;
         }
         let lb = if t.is_certain() { k.lb } else { 0 };
-        out.push(
-            RangeTuple::certain(&t.sg()),
-            AuAnnot::triple(lb.min(k.sg), k.sg, k.sg),
-        );
+        out.push(RangeTuple::certain(&t.sg()), AuAnnot::triple(lb.min(k.sg), k.sg, k.sg));
     }
     out.normalized()
 }
@@ -61,10 +56,7 @@ pub fn compress_rows(
 ) -> Vec<(RangeTuple, AuAnnot)> {
     let n = n.max(1);
     if rows.len() <= n {
-        return rows
-            .iter()
-            .map(|(t, k)| (t.clone(), AuAnnot::triple(0, 0, k.ub)))
-            .collect();
+        return rows.iter().map(|(t, k)| (t.clone(), AuAnnot::triple(0, 0, k.ub))).collect();
     }
     let mut order: Vec<usize> = (0..rows.len()).collect();
     order.sort_by(|a, b| rows[*a].0 .0[attr].sg.cmp(&rows[*b].0 .0[attr].sg));
@@ -92,51 +84,23 @@ pub fn compress(rel: &AuRelation, attr: usize, n: usize) -> AuRelation {
 
 /// The optimized join `opt(Q1 ⋈_θ Q2)` (Section 10.4):
 /// `(split_sg(L) ⋈_θsg split_sg(R)) ∪ (Cpr(split↑(L)) ⋈_θ Cpr(split↑(R)))`.
+///
+/// Both parts go through the join planner: the SG part consists of
+/// fully certain tuples, so an equality predicate takes the hash
+/// equi-join path and a comparison takes the endpoint sweep; the
+/// compressed possible part has at most `ct` tuples per side.
 pub fn optimized_join(
     l: &AuRelation,
     r: &AuRelation,
     predicate: Option<&Expr>,
     ct: usize,
 ) -> Result<AuRelation, EvalError> {
-    let schema = l.schema.concat(&r.schema);
     let split = l.schema.arity();
 
-    // ---- SG part: certain tuples, deterministic predicate ---------------
+    // ---- SG part: certain tuples, planner-selected strategy -------------
     let lsg = split_sg(l);
     let rsg = split_sg(r);
-    let mut out = AuRelation::empty(schema);
-
-    if let Some(pairs) = predicate.and_then(|p| p.equi_join_columns(split)) {
-        // hash equi-join on the certain SG values
-        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (i, (t, _)) in rsg.rows().iter().enumerate() {
-            let key: Vec<Value> = pairs.iter().map(|(_, rc)| join_key(&t.0[*rc].sg)).collect();
-            index.entry(key).or_default().push(i);
-        }
-        for (tl, kl) in lsg.rows() {
-            let key: Vec<Value> = pairs.iter().map(|(lc, _)| join_key(&tl.0[*lc].sg)).collect();
-            if let Some(matches) = index.get(&key) {
-                for &i in matches {
-                    let (tr, kr) = &rsg.rows()[i];
-                    out.push(tl.concat(tr), kl.times(kr));
-                }
-            }
-        }
-    } else {
-        for (tl, kl) in lsg.rows() {
-            for (tr, kr) in rsg.rows() {
-                let t = tl.concat(tr);
-                let keep = match predicate {
-                    // tuples are certain: deterministic evaluation
-                    Some(p) => p.eval_bool(&t.sg().0)?,
-                    None => true,
-                };
-                if keep {
-                    out.push(t, kl.times(kr));
-                }
-            }
-        }
-    }
+    let mut out = join_au_planned(&lsg, &rsg, predicate)?;
 
     // ---- possible part: compressed overlap join --------------------------
     let (la, ra) = predicate
@@ -145,26 +109,19 @@ pub fn optimized_join(
         .unwrap_or((0, 0));
     let lup = compress(&split_up(l), la, ct);
     let rup = compress(&split_up(r), ra, ct);
-    let pos = join_au(&lup, &rup, predicate)?;
+    let pos = join_au_planned(&lup, &rup, predicate)?;
     for (t, k) in pos.rows() {
         out.push(t.clone(), *k);
     }
 
-    Ok(out.normalized())
-}
-
-/// Canonical numeric key (matches `det::join_key` semantics).
-fn join_key(v: &Value) -> Value {
-    match v {
-        Value::Int(i) => Value::float(*i as f64),
-        other => other.clone(),
-    }
+    Ok(out.into_normalized())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use audb_core::{col, RangeValue};
+    use crate::au::join_au;
+    use audb_core::{col, RangeValue, Value};
     use audb_storage::{au_row, Schema, Tuple};
 
     fn r2(lb: i64, sg: i64, ub: i64) -> RangeValue {
@@ -174,17 +131,11 @@ mod tests {
     fn figure_9_inputs() -> (AuRelation, AuRelation) {
         let r = AuRelation::from_rows(
             Schema::named(&["A"]),
-            vec![
-                au_row(vec![r2(1, 1, 2)], 2, 2, 3),
-                au_row(vec![r2(1, 2, 2)], 1, 1, 2),
-            ],
+            vec![au_row(vec![r2(1, 1, 2)], 2, 2, 3), au_row(vec![r2(1, 2, 2)], 1, 1, 2)],
         );
         let s = AuRelation::from_rows(
             Schema::named(&["C"]),
-            vec![
-                au_row(vec![r2(1, 3, 3)], 1, 1, 1),
-                au_row(vec![r2(1, 2, 2)], 1, 2, 2),
-            ],
+            vec![au_row(vec![r2(1, 3, 3)], 1, 1, 1), au_row(vec![r2(1, 2, 2)], 1, 2, 2)],
         );
         (r, s)
     }
@@ -234,13 +185,11 @@ mod tests {
 
     #[test]
     fn compress_respects_bucket_count() {
-        let rows: Vec<_> = (0..100i64)
-            .map(|i| au_row(vec![r2(i, i, i + 1)], 0, 1, 2))
-            .collect();
+        let rows: Vec<_> = (0..100i64).map(|i| au_row(vec![r2(i, i, i + 1)], 0, 1, 2)).collect();
         let rel = AuRelation::from_rows(Schema::named(&["A"]), rows);
         for ct in [1usize, 4, 16, 64, 128] {
             let c = compress(&rel, 0, ct);
-            assert!(c.len() <= ct.max(1).min(100));
+            assert!(c.len() <= ct.clamp(1, 100));
             assert_eq!(c.possible_size(), rel.possible_size());
         }
     }
@@ -270,10 +219,8 @@ mod tests {
             Schema::named(&["A"]),
             vec![au_row(vec![r2(1, 1, 1)], 1, 1, 1), au_row(vec![r2(2, 2, 2)], 2, 2, 2)],
         );
-        let s = AuRelation::from_rows(
-            Schema::named(&["B"]),
-            vec![au_row(vec![r2(1, 1, 1)], 3, 3, 3)],
-        );
+        let s =
+            AuRelation::from_rows(Schema::named(&["B"]), vec![au_row(vec![r2(1, 1, 1)], 3, 3, 3)]);
         let pred = col(0).eq(col(1));
         let naive = join_au(&r, &s, Some(&pred)).unwrap();
         let opt = optimized_join(&r, &s, Some(&pred), 4).unwrap();

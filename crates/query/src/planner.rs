@@ -1,0 +1,355 @@
+//! Join planning: classify the join predicate and route execution to an
+//! index-backed physical strategy (Section 10.4's observation that
+//! AU-joins are fast exactly when the representation admits standard
+//! index structures).
+//!
+//! Predicate classes and the strategy each one fires:
+//!
+//! * **conjunctive equality** `⋀ Col(l) = Col(r)` → [`JoinStrategy::HashEqui`]:
+//!   hash join on canonical selected-guess keys for rows whose key
+//!   attributes are certain, plus interval plane sweeps
+//!   ([`IntervalIndex::sweep_overlapping`]) that band-filter the
+//!   (typically small) uncertain-key row sets against the other side;
+//! * **single order comparison** `Col θ Col` with `θ ∈ {<, ≤, >, ≥}` →
+//!   [`JoinStrategy::IntervalComparison`]: sorted-endpoint sweep
+//!   ([`IntervalIndex::sweep_lb_below_ub`]) enumerating exactly the
+//!   pairs whose ranges may satisfy the comparison;
+//! * anything else → [`JoinStrategy::NestedLoop`], the formal-semantics
+//!   fallback ([`nested_loop_join_au`]).
+//!
+//! Candidate sets are supersets of the possibly-satisfying pairs; every
+//! candidate is re-checked with the precise range-annotated predicate
+//! semantics, so each strategy produces (after normalization) exactly
+//! the nested-loop result — see `tests/join_equivalence.rs`.
+
+use audb_core::{AuAnnot, EvalError, Expr, Semiring, Value};
+use audb_storage::{AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Relation};
+
+use crate::au::nested_loop_join_au;
+
+/// Which input relation a predicate column belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// The physical strategy chosen for a join predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Conjunctive equality on the given (left, right) column pairs.
+    HashEqui(Vec<(usize, usize)>),
+    /// A single order comparison; the predicate may hold only when the
+    /// lower endpoint of `lo`'s column is ≤ the upper endpoint of
+    /// `hi`'s column. Columns are local to their side.
+    IntervalComparison { lo: (Side, usize), hi: (Side, usize) },
+    /// Cross products and every predicate shape the indexes cannot
+    /// accelerate.
+    NestedLoop,
+}
+
+/// Classify a join predicate over the concatenated schema split at
+/// `split` (the left arity).
+pub fn classify(predicate: Option<&Expr>, split: usize) -> JoinStrategy {
+    let Some(p) = predicate else {
+        return JoinStrategy::NestedLoop;
+    };
+    if let Some(pairs) = p.equi_join_columns(split) {
+        if !pairs.is_empty() {
+            return JoinStrategy::HashEqui(pairs);
+        }
+    }
+    // single comparison: normalize `a θ b` to "lo.lb ≤~ hi.ub possible"
+    let comparison = match p {
+        Expr::Leq(a, b) | Expr::Lt(a, b) => Some((a, b)),
+        Expr::Geq(a, b) | Expr::Gt(a, b) => Some((b, a)),
+        _ => None,
+    };
+    if let Some((lo, hi)) = comparison {
+        if let (Expr::Col(x), Expr::Col(y)) = (lo.as_ref(), hi.as_ref()) {
+            match (*x < split, *y < split) {
+                (true, false) => {
+                    return JoinStrategy::IntervalComparison {
+                        lo: (Side::Left, *x),
+                        hi: (Side::Right, *y - split),
+                    }
+                }
+                (false, true) => {
+                    return JoinStrategy::IntervalComparison {
+                        lo: (Side::Right, *x - split),
+                        hi: (Side::Left, *y),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    JoinStrategy::NestedLoop
+}
+
+/// Theta-join over AU-relations through the planner. Produces the same
+/// rows as [`nested_loop_join_au`] (up to order / normalization).
+pub fn join_au_planned(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+) -> Result<AuRelation, EvalError> {
+    match classify(predicate, l.schema.arity()) {
+        JoinStrategy::HashEqui(pairs) => {
+            hash_equi_join_au(l, r, predicate.expect("equi plan implies predicate"), &pairs)
+        }
+        JoinStrategy::IntervalComparison { lo, hi } => {
+            comparison_join_au(l, r, predicate.expect("comparison plan implies predicate"), lo, hi)
+        }
+        JoinStrategy::NestedLoop => nested_loop_join_au(l, r, predicate),
+    }
+}
+
+/// Row ids whose key attributes are all certain / not all certain.
+fn partition_by_key_certainty(
+    rows: &[(RangeTuple, AuAnnot)],
+    cols: &[usize],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut certain = Vec::with_capacity(rows.len());
+    let mut uncertain = Vec::new();
+    for (i, (t, _)) in rows.iter().enumerate() {
+        if cols.iter().all(|c| t.0[*c].is_certain()) {
+            certain.push(i as u32);
+        } else {
+            uncertain.push(i as u32);
+        }
+    }
+    (certain, uncertain)
+}
+
+/// Multiply annotations with the precise range-annotated predicate
+/// result and append the joined row; short-circuits to `⊗` alone when
+/// the key attributes are structurally equal and certain (predicate
+/// triple is then (T, T, T) by construction).
+fn emit_equi_pair(
+    out: &mut AuRelation,
+    l: &(RangeTuple, AuAnnot),
+    r: &(RangeTuple, AuAnnot),
+    predicate: &Expr,
+    pairs: &[(usize, usize)],
+) -> Result<(), EvalError> {
+    let (tl, kl) = l;
+    let (tr, kr) = r;
+    let fast = pairs.iter().all(|(a, b)| {
+        let (x, y) = (&tl.0[*a], &tr.0[*b]);
+        x.is_certain() && x == y
+    });
+    let t = tl.concat(tr);
+    let mut k = kl.times(kr);
+    if !fast {
+        let (plb, psg, pub_) = predicate.eval_range_bool3(t.values())?;
+        if !pub_ {
+            return Ok(());
+        }
+        k = k.times(&AuAnnot::from_bool3(plb, psg, pub_));
+    }
+    out.push(t, k);
+    Ok(())
+}
+
+fn hash_equi_join_au(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: &Expr,
+    pairs: &[(usize, usize)],
+) -> Result<AuRelation, EvalError> {
+    let mut out = AuRelation::empty(l.schema.concat(&r.schema));
+    let lcols: Vec<usize> = pairs.iter().map(|(a, _)| *a).collect();
+    let rcols: Vec<usize> = pairs.iter().map(|(_, b)| *b).collect();
+    let (lc, lu) = partition_by_key_certainty(l.rows(), &lcols);
+    let (rc, ru) = partition_by_key_certainty(r.rows(), &rcols);
+
+    // certain × certain: hash join on canonical SG keys
+    if !lc.is_empty() && !rc.is_empty() {
+        let index = HashKeyIndex::from_au_sg(r.rows(), &rcols, rc.iter().copied());
+        let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+        for &li in &lc {
+            let row_l = &l.rows()[li as usize];
+            key.clear();
+            key.extend(lcols.iter().map(|c| row_l.0 .0[*c].sg.join_key()));
+            for &ri in index.get(&key) {
+                emit_equi_pair(&mut out, row_l, &r.rows()[ri as usize], predicate, pairs)?;
+            }
+        }
+    }
+
+    // band filtering for uncertain-key rows: plane sweeps on the first
+    // pair's interval indexes cover (uncertain × all) and
+    // (certain × uncertain) without double counting
+    let (c0l, c0r) = pairs[0];
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    if !lu.is_empty() {
+        let li = IntervalIndex::from_au_subset(l.rows(), c0l, &lu);
+        let ri = IntervalIndex::from_au(r.rows(), c0r);
+        IntervalIndex::sweep_overlapping(&li, &ri, |a, b| candidates.push((a, b)));
+    }
+    if !ru.is_empty() && !lc.is_empty() {
+        let li = IntervalIndex::from_au_subset(l.rows(), c0l, &lc);
+        let ri = IntervalIndex::from_au_subset(r.rows(), c0r, &ru);
+        IntervalIndex::sweep_overlapping(&li, &ri, |a, b| candidates.push((a, b)));
+    }
+    for (a, b) in candidates {
+        emit_equi_pair(&mut out, &l.rows()[a as usize], &r.rows()[b as usize], predicate, pairs)?;
+    }
+    Ok(out)
+}
+
+/// Candidate `(left_row, right_row)` pairs of an interval-comparison
+/// plan: one `sweep_lb_below_ub` pass, oriented by which side provides
+/// the lower-endpoint column. Shared by the AU and deterministic join
+/// paths so their sweep semantics cannot drift apart; `index_left`/
+/// `index_right` build the interval index for a column of the
+/// respective input.
+fn comparison_candidates(
+    lo: (Side, usize),
+    hi: (Side, usize),
+    index_left: impl Fn(usize) -> IntervalIndex,
+    index_right: impl Fn(usize) -> IntervalIndex,
+) -> Vec<(u32, u32)> {
+    let mut candidates: Vec<(u32, u32)> = Vec::new();
+    match (lo.0, hi.0) {
+        (Side::Left, Side::Right) => {
+            let li = index_left(lo.1);
+            let ri = index_right(hi.1);
+            IntervalIndex::sweep_lb_below_ub(&li, &ri, |a, b| candidates.push((a, b)));
+        }
+        (Side::Right, Side::Left) => {
+            let loi = index_right(lo.1);
+            let hii = index_left(hi.1);
+            IntervalIndex::sweep_lb_below_ub(&loi, &hii, |a, b| candidates.push((b, a)));
+        }
+        // `classify` only emits cross-side comparisons
+        _ => unreachable!("comparison plan with both columns on one side"),
+    }
+    candidates
+}
+
+fn comparison_join_au(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: &Expr,
+    lo: (Side, usize),
+    hi: (Side, usize),
+) -> Result<AuRelation, EvalError> {
+    let mut out = AuRelation::empty(l.schema.concat(&r.schema));
+    let candidates = comparison_candidates(
+        lo,
+        hi,
+        |c| IntervalIndex::from_au(l.rows(), c),
+        |c| IntervalIndex::from_au(r.rows(), c),
+    );
+    for (a, b) in candidates {
+        let (tl, kl) = &l.rows()[a as usize];
+        let (tr, kr) = &r.rows()[b as usize];
+        let t = tl.concat(tr);
+        let (plb, psg, pub_) = predicate.eval_range_bool3(t.values())?;
+        if !pub_ {
+            continue;
+        }
+        let k = kl.times(kr).times(&AuAnnot::from_bool3(plb, psg, pub_));
+        out.push(t, k);
+    }
+    Ok(out)
+}
+
+/// Theta-join over deterministic relations through the planner.
+pub fn join_det_planned(
+    l: &Relation,
+    r: &Relation,
+    predicate: Option<&Expr>,
+) -> Result<Relation, EvalError> {
+    let mut out = Relation::empty(l.schema.concat(&r.schema));
+    match classify(predicate, l.schema.arity()) {
+        JoinStrategy::HashEqui(pairs) => {
+            // canonical keys match exactly when `value_eq` holds on every
+            // pair, which for a pure conjunctive equality predicate is
+            // the predicate itself — no re-evaluation needed.
+            let lcols: Vec<usize> = pairs.iter().map(|(a, _)| *a).collect();
+            let rcols: Vec<usize> = pairs.iter().map(|(_, b)| *b).collect();
+            let index = HashKeyIndex::from_det(r.rows(), &rcols);
+            let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+            for (tl, kl) in l.rows() {
+                key.clear();
+                key.extend(lcols.iter().map(|c| tl.0[*c].join_key()));
+                for &ri in index.get(&key) {
+                    let (tr, kr) = &r.rows()[ri as usize];
+                    out.push(tl.concat(tr), kl * kr);
+                }
+            }
+        }
+        JoinStrategy::IntervalComparison { lo, hi } => {
+            let p = predicate.expect("comparison plan implies predicate");
+            let candidates = comparison_candidates(
+                lo,
+                hi,
+                |c| IntervalIndex::from_det(l.rows(), c),
+                |c| IntervalIndex::from_det(r.rows(), c),
+            );
+            for (a, b) in candidates {
+                let (tl, kl) = &l.rows()[a as usize];
+                let (tr, kr) = &r.rows()[b as usize];
+                let t = tl.concat(tr);
+                if p.eval_bool(t.values())? {
+                    out.push(t, kl * kr);
+                }
+            }
+        }
+        JoinStrategy::NestedLoop => {
+            for (tl, kl) in l.rows() {
+                for (tr, kr) in r.rows() {
+                    let t = tl.concat(tr);
+                    let keep = match predicate {
+                        Some(p) => p.eval_bool(t.values())?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(t, kl * kr);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audb_core::{col, lit};
+
+    #[test]
+    fn classification_covers_the_three_classes() {
+        let equi = col(0).eq(col(2)).and(col(1).eq(col(3)));
+        assert_eq!(classify(Some(&equi), 2), JoinStrategy::HashEqui(vec![(0, 0), (1, 1)]));
+
+        let cmp = col(0).leq(col(2));
+        assert_eq!(
+            classify(Some(&cmp), 2),
+            JoinStrategy::IntervalComparison { lo: (Side::Left, 0), hi: (Side::Right, 0) }
+        );
+        // flipped operand order and direction
+        let cmp = col(3).gt(col(1));
+        assert_eq!(
+            classify(Some(&cmp), 2),
+            JoinStrategy::IntervalComparison { lo: (Side::Left, 1), hi: (Side::Right, 1) }
+        );
+        let cmp = col(0).geq(col(2));
+        assert_eq!(
+            classify(Some(&cmp), 2),
+            JoinStrategy::IntervalComparison { lo: (Side::Right, 0), hi: (Side::Left, 0) }
+        );
+
+        assert_eq!(classify(None, 2), JoinStrategy::NestedLoop);
+        let theta = col(0).leq(col(2)).and(col(1).leq(col(3)));
+        assert_eq!(classify(Some(&theta), 2), JoinStrategy::NestedLoop);
+        let local = col(0).lt(col(1));
+        assert_eq!(classify(Some(&local), 2), JoinStrategy::NestedLoop);
+        let vs_lit = col(0).eq(lit(3i64));
+        assert_eq!(classify(Some(&vs_lit), 2), JoinStrategy::NestedLoop);
+    }
+}

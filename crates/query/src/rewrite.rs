@@ -245,11 +245,7 @@ pub fn compile_range_expr(e: &Expr, lay: EncLayout) -> Result<RangeExprs, EvalEr
             let ss = compile_range_expr(sg, lay)?;
             let uu = compile_range_expr(u, lay)?;
             // mirror Expr::eval_range's widening exactly
-            RangeExprs {
-                lb: emin(ll.lb, ss.sg.clone()),
-                sg: ss.sg.clone(),
-                ub: emax(uu.ub, ss.sg),
-            }
+            RangeExprs { lb: emin(ll.lb, ss.sg.clone()), sg: ss.sg.clone(), ub: emax(uu.ub, ss.sg) }
         }
         Expr::If(c, t, e2) => {
             let cc = compile_range_expr(c, lay)?;
@@ -305,14 +301,8 @@ fn rewr(q: &Query, catalog: &dyn Catalog) -> Result<(Query, Schema), EvalError> 
             let c = compile_range_expr(predicate, lay)?;
             let filtered = inp.select(c.ub);
             let mut exprs = passthrough(&schema, lay, 0);
-            exprs.push((
-                Expr::if_then_else(c.lb, col(lay.row_lb()), lit(0i64)),
-                "__row_lb".into(),
-            ));
-            exprs.push((
-                Expr::if_then_else(c.sg, col(lay.row_sg()), lit(0i64)),
-                "__row_sg".into(),
-            ));
+            exprs.push((Expr::if_then_else(c.lb, col(lay.row_lb()), lit(0i64)), "__row_lb".into()));
+            exprs.push((Expr::if_then_else(c.sg, col(lay.row_sg()), lit(0i64)), "__row_sg".into()));
             exprs.push((col(lay.row_ub()), "__row_ub".into()));
             Ok((project_named(filtered, exprs), schema))
         }
@@ -320,10 +310,8 @@ fn rewr(q: &Query, catalog: &dyn Catalog) -> Result<(Query, Schema), EvalError> 
             let (inp, in_schema) = rewr(input, catalog)?;
             let lay = EncLayout::new(in_schema.arity());
             let out_schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
-            let compiled: Vec<RangeExprs> = exprs
-                .iter()
-                .map(|(e, _)| compile_range_expr(e, lay))
-                .collect::<Result<_, _>>()?;
+            let compiled: Vec<RangeExprs> =
+                exprs.iter().map(|(e, _)| compile_range_expr(e, lay)).collect::<Result<_, _>>()?;
             let mut p: Vec<(Expr, String)> = Vec::new();
             for (c, (_, name)) in compiled.iter().zip(exprs) {
                 p.push((c.sg.clone(), name.clone()));
@@ -413,7 +401,9 @@ fn rewr(q: &Query, catalog: &dyn Catalog) -> Result<(Query, Schema), EvalError> 
             let all: Vec<usize> = (0..in_schema_probe.arity()).collect();
             rewr(&Query::Aggregate { input: input.clone(), group_by: all, aggs: vec![] }, catalog)
         }
-        Query::Aggregate { input, group_by, aggs } => rewr_aggregate(input, group_by, aggs, catalog),
+        Query::Aggregate { input, group_by, aggs } => {
+            rewr_aggregate(input, group_by, aggs, catalog)
+        }
     }
 }
 
@@ -484,11 +474,8 @@ fn rewr_difference(
     }
     let theta_c = Expr::conj(certeq);
 
-    let matched = Query::Join {
-        left: Box::new(l.clone()),
-        right: Box::new(r),
-        predicate: Some(theta_join),
-    };
+    let matched =
+        Query::Join { left: Box::new(l.clone()), right: Box::new(r), predicate: Some(theta_join) };
 
     // per-pair contribution columns
     let enc = enc_schema(&ls);
@@ -497,14 +484,8 @@ fn rewr_difference(
         pre.push((col(i), enc.column_name(i).to_string()));
     }
     pre.push((col(lw + lay.row_ub()), "__rr_lb".into()));
-    pre.push((
-        Expr::if_then_else(theta_sg, col(lw + lay.row_sg()), lit(0i64)),
-        "__rr_sg".into(),
-    ));
-    pre.push((
-        Expr::if_then_else(theta_c, col(lw + lay.row_lb()), lit(0i64)),
-        "__rr_ub".into(),
-    ));
+    pre.push((Expr::if_then_else(theta_sg, col(lw + lay.row_sg()), lit(0i64)), "__rr_sg".into()));
+    pre.push((Expr::if_then_else(theta_c, col(lw + lay.row_lb()), lit(0i64)), "__rr_ub".into()));
     let preagg = project_named(matched.clone(), pre);
 
     // sum contributions per (distinct) left tuple
@@ -579,18 +560,10 @@ fn boxtimes_exprs(
     match m {
         Monoid::Sum => {
             let p = |k: &Expr, x: &Expr| k.clone().mul(x.clone());
-            let lo = emin4(
-                p(&row_lb, &v.lb),
-                p(&row_lb, &v.ub),
-                p(&row_ub, &v.lb),
-                p(&row_ub, &v.ub),
-            );
-            let hi = emax4(
-                p(&row_lb, &v.lb),
-                p(&row_lb, &v.ub),
-                p(&row_ub, &v.lb),
-                p(&row_ub, &v.ub),
-            );
+            let lo =
+                emin4(p(&row_lb, &v.lb), p(&row_lb, &v.ub), p(&row_ub, &v.lb), p(&row_ub, &v.ub));
+            let hi =
+                emax4(p(&row_lb, &v.lb), p(&row_lb, &v.ub), p(&row_ub, &v.lb), p(&row_ub, &v.ub));
             let sg = row_sg.mul(v.sg.clone());
             (lo, sg, hi)
         }
@@ -686,10 +659,8 @@ fn rewr_aggregate(
     let row_lb_in = col(inoff + lay.row_lb());
     let row_sg_in = col(inoff + lay.row_sg());
     let row_ub_in = col(inoff + lay.row_ub());
-    let non_ug = bbox_cert
-        .and(cert_g_in.clone())
-        .and(theta_sg.clone())
-        .and(row_lb_in.clone().gt(lit(0i64)));
+    let non_ug =
+        bbox_cert.and(cert_g_in.clone()).and(theta_sg.clone()).and(row_lb_in.clone().gt(lit(0i64)));
 
     let mut proj: Vec<(Expr, String)> = Vec::new();
     for i in 0..gw {
@@ -702,9 +673,9 @@ fn rewr_aggregate(
         let is_avg = spec.func == AggFunc::Avg;
         spec_offsets.push((next, is_avg));
         let emit = |proj: &mut Vec<(Expr, String)>,
-                        monoid: crate::au::aggregate::Monoid,
-                        input_expr: &Expr,
-                        tag: &str|
+                    monoid: crate::au::aggregate::Monoid,
+                    input_expr: &Expr,
+                    tag: &str|
          -> Result<(), EvalError> {
             let compiled = compile_range_expr(input_expr, lay)?;
             let shifted = RangeExprs {
@@ -791,8 +762,7 @@ fn rewr_aggregate(
     fold.push(AggSpec::new(AggFunc::Sum, col(row_base + 1), "__r_sg"));
     fold.push(AggSpec::new(AggFunc::Max, col(row_base + 2), "__r_certgrp"));
     fold.push(AggSpec::new(AggFunc::Sum, col(row_base + 3), "__r_uncub"));
-    let qagg =
-        Query::Aggregate { input: Box::new(qproj), group_by: (0..gw).collect(), aggs: fold };
+    let qagg = Query::Aggregate { input: Box::new(qproj), group_by: (0..gw).collect(), aggs: fold };
     // qagg layout: [keys (0..gw), folded spec blocks, cflag, sgsum, certgrp, uncsum]
 
     // ---- final projection into the canonical encoded layout ----------------
@@ -824,11 +794,7 @@ fn rewr_aggregate(
         if g > 0 || matches!(func, AggFunc::Sum | AggFunc::Count) {
             return (lb, sg);
         }
-        let lb = Expr::if_then_else(
-            cflag.clone().gt(lit(0i64)),
-            lb.clone(),
-            emin(lb, nul.clone()),
-        );
+        let lb = Expr::if_then_else(cflag.clone().gt(lit(0i64)), lb.clone(), emin(lb, nul.clone()));
         let sg = Expr::if_then_else(sgsum.clone().gt(lit(0i64)), sg, nul.clone());
         (lb, sg)
     };
@@ -926,10 +892,7 @@ mod tests {
             "s",
             AuRelation::from_rows(
                 Schema::named(&["c"]),
-                vec![
-                    au_row(vec![r2(1, 1, 2)], 1, 1, 1),
-                    au_row(vec![r2(2, 2, 2)], 0, 1, 1),
-                ],
+                vec![au_row(vec![r2(1, 1, 2)], 1, 1, 1), au_row(vec![r2(2, 2, 2)], 0, 1, 1)],
             ),
         );
         db

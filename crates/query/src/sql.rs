@@ -52,16 +52,15 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>, EvalError> {
             }
             out.push(Tok::Ident(chars[start..i].iter().collect()));
         } else if c.is_ascii_digit()
-            || (c == '-' && matches!(out.last(), None | Some(Tok::Sym(_)))
+            || (c == '-'
+                && matches!(out.last(), None | Some(Tok::Sym(_)))
                 && i + 1 < chars.len()
                 && chars[i + 1].is_ascii_digit())
         {
             let start = i;
             i += 1; // first digit or the sign
             let mut is_float = false;
-            while i < chars.len()
-                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !is_float))
-            {
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !is_float)) {
                 if chars[i] == '.' {
                     is_float = true;
                 }
@@ -143,8 +142,7 @@ impl Scope {
             .iter()
             .enumerate()
             .filter(|(_, (t, c))| {
-                c.eq_ignore_ascii_case(col)
-                    && table.map_or(true, |want| t.eq_ignore_ascii_case(want))
+                c.eq_ignore_ascii_case(col) && table.is_none_or(|want| t.eq_ignore_ascii_case(want))
             })
             .map(|(i, _)| i)
             .collect();
@@ -328,30 +326,18 @@ impl<'a> Parser<'a> {
             }
             _ => name.clone(),
         };
-        let cols = schema
-            .columns()
-            .iter()
-            .map(|c| (alias.clone(), c.clone()))
-            .collect();
+        let cols = schema.columns().iter().map(|c| (alias.clone(), c.clone())).collect();
         Ok((crate::algebra::table(name), Scope { cols }))
     }
 
     // ---- select items -----------------------------------------------------
 
-    fn select_items(
-        &mut self,
-        scope: &Scope,
-        end: usize,
-    ) -> Result<Vec<SelectItem>, EvalError> {
+    fn select_items(&mut self, scope: &Scope, end: usize) -> Result<Vec<SelectItem>, EvalError> {
         let mut items = Vec::new();
         if self.peek_sym("*") && self.pos + 1 == end {
             self.eat_sym("*")?;
             for (i, (_, c)) in scope.cols.iter().enumerate() {
-                items.push(SelectItem {
-                    agg: None,
-                    expr: Expr::Col(i),
-                    name: c.clone(),
-                });
+                items.push(SelectItem { agg: None, expr: Expr::Col(i), name: c.clone() });
             }
             return Ok(items);
         }
@@ -449,15 +435,9 @@ impl<'a> Parser<'a> {
                             "non-aggregate select items must be plain group-by columns",
                         ));
                     };
-                    let pos = group_by
-                        .iter()
-                        .position(|g| *g == c)
-                        .ok_or_else(|| {
-                            err(format!(
-                                "column {} is neither aggregated nor grouped",
-                                scope.cols[c].1
-                            ))
-                        })?;
+                    let pos = group_by.iter().position(|g| *g == c).ok_or_else(|| {
+                        err(format!("column {} is neither aggregated nor grouped", scope.cols[c].1))
+                    })?;
                     out_positions.push((pos, item.name.clone()));
                 }
             }
@@ -466,10 +446,7 @@ impl<'a> Parser<'a> {
         // reorder/rename to the written select order
         Ok(Query::Project {
             input: Box::new(agg_plan),
-            exprs: out_positions
-                .into_iter()
-                .map(|(pos, name)| (Expr::Col(pos), name))
-                .collect(),
+            exprs: out_positions.into_iter().map(|(pos, name)| (Expr::Col(pos), name)).collect(),
         })
     }
 
@@ -683,19 +660,12 @@ mod tests {
     #[test]
     fn parses_the_papers_intro_query() {
         let db = det_db();
-        let q = parse_sql(
-            "SELECT size, avg(rate) AS rate FROM locales GROUP BY size",
-            &db,
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT size, avg(rate) AS rate FROM locales GROUP BY size", &db).unwrap();
         let out = eval_det(&db, &q).unwrap();
         assert_eq!(out.schema, Schema::named(&["size", "rate"]));
         // metro group: (3 + 14) / 2 = 8.5
-        let metro = out
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[0] == Value::str("metro"))
-            .unwrap();
+        let metro = out.rows().iter().find(|(t, _)| t.0[0] == Value::str("metro")).unwrap();
         assert_eq!(metro.0 .0[1], Value::float(8.5));
     }
 
@@ -734,11 +704,8 @@ mod tests {
     #[test]
     fn union_except_distinct_star() {
         let db = det_db();
-        let q = parse_sql(
-            "SELECT DISTINCT size FROM locales UNION SELECT size FROM locales",
-            &db,
-        )
-        .unwrap();
+        let q = parse_sql("SELECT DISTINCT size FROM locales UNION SELECT size FROM locales", &db)
+            .unwrap();
         let out = eval_det(&db, &q).unwrap();
         assert_eq!(out.len(), 2); // metro, city (bag union keeps mults)
 
@@ -765,11 +732,7 @@ mod tests {
         )
         .unwrap();
         let out = eval_det(&db, &q).unwrap();
-        let metro = out
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[0] == Value::str("metro"))
-            .unwrap();
+        let metro = out.rows().iter().find(|(t, _)| t.0[0] == Value::str("metro")).unwrap();
         assert_eq!(metro.0 .0[1], Value::Int(2));
         assert_eq!(metro.0 .0[2], Value::Int(1));
     }
@@ -805,11 +768,8 @@ mod tests {
                 ],
             ),
         );
-        let q = parse_sql(
-            "SELECT size, avg(rate) AS rate FROM locales GROUP BY size",
-            &audb,
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT size, avg(rate) AS rate FROM locales GROUP BY size", &audb).unwrap();
         let out = eval_au(&audb, &q, &AuConfig::precise()).unwrap();
         let rate = &out.rows()[0].0 .0[1];
         assert_eq!(rate.lb, Value::float(8.5));
@@ -830,11 +790,7 @@ mod tests {
         // AU evaluation sees the ranges
         let au = audb_storage::AuDatabase::from_certain(&db);
         let out = eval_au(&au, &q, &AuConfig::precise()).unwrap();
-        let la = out
-            .rows()
-            .iter()
-            .find(|(t, _)| t.0[0].sg == Value::str("LA"))
-            .unwrap();
+        let la = out.rows().iter().find(|(t, _)| t.0[0].sg == Value::str("LA")).unwrap();
         assert_eq!(la.0 .0[1], RangeValue::range(2i64, 3i64, 5i64));
     }
 
@@ -854,10 +810,7 @@ mod tests {
             "locales2",
             Relation::from_tuples(Schema::named(&["locale", "x"]), vec![t(&["LA", "1"])]),
         );
-        let q = parse_sql(
-            "SELECT locale FROM locales, locales2",
-            &db,
-        );
+        let q = parse_sql("SELECT locale FROM locales, locales2", &db);
         assert!(q.is_err(), "bare `locale` is ambiguous");
         let q = parse_sql("SELECT locales.locale FROM locales, locales2", &db);
         assert!(q.is_ok());

@@ -98,7 +98,11 @@ fn eval_inner(db: &UaDatabase, q: &Query) -> Result<UaRelation, EvalError> {
     }
 }
 
-fn join_ua(l: &UaRelation, r: &UaRelation, predicate: Option<&Expr>) -> Result<UaRelation, EvalError> {
+fn join_ua(
+    l: &UaRelation,
+    r: &UaRelation,
+    predicate: Option<&Expr>,
+) -> Result<UaRelation, EvalError> {
     let schema = l.schema.concat(&r.schema);
     let split = l.schema.arity();
     let mut out = UaRelation::empty(schema);
@@ -203,6 +207,6 @@ mod tests {
             assert_eq!(k.sg, 1);
         }
         // SGW values match deterministic aggregation
-        assert_eq!(out.annotation(&it(&[20, 11, ])), UaAnnot::new(0, 1));
+        assert_eq!(out.annotation(&it(&[20, 11,])), UaAnnot::new(0, 1));
     }
 }

@@ -13,21 +13,34 @@ use crate::tuple::RangeTuple;
 
 /// An `N_AU`-relation (Definition 12): range tuples annotated with
 /// `(lb, sg, ub)` multiplicity triples.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Tracks whether the row list is in normal form (duplicates merged,
+/// zeros dropped, canonically sorted) so that [`AuRelation::normalize`]
+/// is free on already-normalized relations and
+/// [`AuRelation::annotation`] can binary-search.
+#[derive(Debug, Clone)]
 pub struct AuRelation {
     pub schema: Schema,
     rows: Vec<(RangeTuple, AuAnnot)>,
+    normalized: bool,
 }
+
+impl PartialEq for AuRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+impl Eq for AuRelation {}
 
 impl AuRelation {
     pub fn empty(schema: Schema) -> Self {
-        AuRelation { schema, rows: Vec::new() }
+        AuRelation { schema, rows: Vec::new(), normalized: true }
     }
 
     /// Build from rows; merges identical range tuples (summing
     /// annotations in `N_AU`) and drops zero annotations.
     pub fn from_rows(schema: Schema, rows: Vec<(RangeTuple, AuAnnot)>) -> Self {
-        let mut r = AuRelation { schema, rows };
+        let mut r = AuRelation { schema, rows, normalized: false };
         r.normalize();
         r
     }
@@ -50,7 +63,23 @@ impl AuRelation {
     pub fn push(&mut self, t: RangeTuple, k: AuAnnot) {
         if !k.is_zero() {
             self.rows.push((t, k));
+            self.normalized = false;
         }
+    }
+
+    /// Append clones of another relation's rows (bag union without the
+    /// intermediate `to_vec` the copy-free pipeline avoids).
+    pub fn extend_from(&mut self, other: &AuRelation) {
+        if other.is_empty() {
+            return;
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        self.normalized = false;
+    }
+
+    /// Is the row list known to be in normal form?
+    pub fn is_normalized(&self) -> bool {
+        self.normalized
     }
 
     pub fn len(&self) -> usize {
@@ -63,8 +92,11 @@ impl AuRelation {
 
     /// Merge identical range tuples with `+_{N_AU}`, drop `(0,0,0)`
     /// annotations, sort canonically. Keeps the AU-relation a function
-    /// `D_I^n → N_AU`.
+    /// `D_I^n → N_AU`. Free when the relation is already in normal form.
     pub fn normalize(&mut self) {
+        if self.normalized {
+            return;
+        }
         let mut map: HashMap<RangeTuple, AuAnnot> = HashMap::with_capacity(self.rows.len());
         for (t, k) in self.rows.drain(..) {
             if !k.is_zero() {
@@ -75,6 +107,7 @@ impl AuRelation {
         let mut rows: Vec<(RangeTuple, AuAnnot)> = map.into_iter().collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         self.rows = rows;
+        self.normalized = true;
     }
 
     pub fn normalized(&self) -> AuRelation {
@@ -83,23 +116,32 @@ impl AuRelation {
         r
     }
 
-    /// Annotation `R(t)` of a specific range tuple.
+    /// Consuming normal form — avoids the clone of [`Self::normalized`]
+    /// in the evaluation pipeline.
+    pub fn into_normalized(mut self) -> AuRelation {
+        self.normalize();
+        self
+    }
+
+    /// Annotation `R(t)` of a specific range tuple. Binary-searches the
+    /// canonically sorted rows of a normalized relation; falls back to a
+    /// linear scan otherwise.
     pub fn annotation(&self, t: &RangeTuple) -> AuAnnot {
-        self.rows
-            .iter()
-            .filter(|(t2, _)| t2 == t)
-            .fold(AuAnnot::zero(), |acc, (_, k)| acc.plus(k))
+        if self.normalized {
+            // normal form has at most one entry per range tuple
+            return match self.rows.binary_search_by(|(t2, _)| t2.cmp(t)) {
+                Ok(i) => self.rows[i].1,
+                Err(_) => AuAnnot::zero(),
+            };
+        }
+        self.rows.iter().filter(|(t2, _)| t2 == t).fold(AuAnnot::zero(), |acc, (_, k)| acc.plus(k))
     }
 
     /// Extract the selected-guess world `R^sg` (Definition 13): group
     /// tuples by their SG values and sum the SG annotations.
     pub fn sg_world(&self) -> Relation {
-        let rows = self
-            .rows
-            .iter()
-            .filter(|(_, k)| k.sg > 0)
-            .map(|(t, k)| (t.sg(), k.sg))
-            .collect();
+        let rows =
+            self.rows.iter().filter(|(_, k)| k.sg > 0).map(|(t, k)| (t.sg(), k.sg)).collect();
         Relation::from_rows(self.schema.clone(), rows)
     }
 
@@ -162,9 +204,7 @@ impl AuDatabase {
     }
 
     pub fn get(&self, name: &str) -> Result<&AuRelation, EvalError> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| EvalError::NotFound(format!("AU relation {name}")))
+        self.relations.get(name).ok_or_else(|| EvalError::NotFound(format!("AU relation {name}")))
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&String, &AuRelation)> {
@@ -214,19 +254,13 @@ mod tests {
                     3,
                 ),
                 au_row(
-                    vec![
-                        RangeValue::certain(Value::Int(1)),
-                        RangeValue::range(1i64, 1i64, 3i64),
-                    ],
+                    vec![RangeValue::certain(Value::Int(1)), RangeValue::range(1i64, 1i64, 3i64)],
                     2,
                     3,
                     3,
                 ),
                 au_row(
-                    vec![
-                        RangeValue::range(1i64, 2i64, 2i64),
-                        RangeValue::certain(Value::Int(3)),
-                    ],
+                    vec![RangeValue::range(1i64, 2i64, 2i64), RangeValue::certain(Value::Int(3))],
                     1,
                     1,
                     1,

@@ -1,0 +1,282 @@
+//! Secondary index structures over relation rows, consulted by the join
+//! planner in `audb_query`.
+//!
+//! Two structures cover the paper's join predicate classes:
+//!
+//! * [`IntervalIndex`] — per-attribute `[lb, ub]` endpoint lists, sorted
+//!   by both endpoints. Plane sweeps over two indexes enumerate exactly
+//!   the row pairs whose ranges may satisfy an equality
+//!   ([`IntervalIndex::sweep_overlapping`]) or order comparison
+//!   ([`IntervalIndex::sweep_lb_below_ub`]) predicate, replacing the
+//!   quadratic nested-loop candidate generation with
+//!   `O(n log n + candidates)`.
+//! * [`HashKeyIndex`] — canonical-value hash buckets for equi-joins on
+//!   certain attributes (selected-guess values for AU rows,
+//!   deterministic values for bag rows).
+//!
+//! All comparisons use the domain's total order ([`Value::total_cmp`]);
+//! candidate sets are deliberately *supersets* of the
+//! possibly-satisfying pairs where `value_eq` (Int/Float numeric
+//! equality) is broader than the total order, because the planner
+//! re-evaluates the predicate precisely on every candidate.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use audb_core::{AuAnnot, RangeValue, Value};
+
+use crate::tuple::{RangeTuple, Tuple};
+
+/// Sorted-endpoint index over the `[lb, ub]` bounds of one attribute of
+/// a set of rows.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex {
+    /// `(lb, ub, row_id)` sorted by `lb` (ties by row id).
+    by_lb: Vec<(Value, Value, u32)>,
+    /// Positions into `by_lb`, sorted by `ub`.
+    ub_order: Vec<u32>,
+}
+
+impl IntervalIndex {
+    /// Build from `(row_id, range)` pairs.
+    pub fn from_entries<'a>(entries: impl Iterator<Item = (u32, &'a RangeValue)>) -> Self {
+        let mut by_lb: Vec<(Value, Value, u32)> =
+            entries.map(|(id, r)| (r.lb.clone(), r.ub.clone(), id)).collect();
+        by_lb.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut ub_order: Vec<u32> = (0..by_lb.len() as u32).collect();
+        ub_order
+            .sort_by(|&a, &b| by_lb[a as usize].1.total_cmp(&by_lb[b as usize].1).then(a.cmp(&b)));
+        IntervalIndex { by_lb, ub_order }
+    }
+
+    /// Index attribute `col` of all AU rows.
+    pub fn from_au(rows: &[(RangeTuple, AuAnnot)], col: usize) -> Self {
+        Self::from_entries(rows.iter().enumerate().map(|(i, (t, _))| (i as u32, &t.0[col])))
+    }
+
+    /// Index attribute `col` of the AU rows with the given ids.
+    pub fn from_au_subset(rows: &[(RangeTuple, AuAnnot)], col: usize, ids: &[u32]) -> Self {
+        Self::from_entries(ids.iter().map(|&i| (i, &rows[i as usize].0 .0[col])))
+    }
+
+    /// Index attribute `col` of deterministic rows (degenerate
+    /// single-point intervals).
+    pub fn from_det(rows: &[(Tuple, u64)], col: usize) -> Self {
+        let mut by_lb: Vec<(Value, Value, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t.0[col].clone(), t.0[col].clone(), i as u32))
+            .collect();
+        by_lb.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let ub_order: Vec<u32> = (0..by_lb.len() as u32).collect();
+        IntervalIndex { by_lb, ub_order }
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_lb.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_lb.is_empty()
+    }
+
+    /// `a` is at-or-after `b`: not strictly before in the total order, or
+    /// `value_eq`-equal (Int/Float numeric ties).
+    fn at_least(a: &Value, b: &Value) -> bool {
+        a.total_cmp(b) != Ordering::Less || a.value_eq(b)
+    }
+
+    /// Plane sweep enumerating every pair of overlapping intervals
+    /// between two indexes, in `O(n log n + pairs)`; `value_eq`-aware,
+    /// matching the possibly-equal semantics of `Expr::Eq`. Calls
+    /// `on_pair(left_row, right_row)` exactly once per overlapping pair.
+    pub fn sweep_overlapping(left: &Self, right: &Self, mut on_pair: impl FnMut(u32, u32)) {
+        let (nl, nr) = (left.by_lb.len(), right.by_lb.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        // Active lists hold positions whose interval may still overlap
+        // upcoming events; pruned lazily at each event.
+        let mut active_l: Vec<usize> = Vec::new();
+        let mut active_r: Vec<usize> = Vec::new();
+        while i < nl || j < nr {
+            let take_left = j >= nr
+                || (i < nl && left.by_lb[i].0.total_cmp(&right.by_lb[j].0) != Ordering::Greater);
+            if take_left {
+                let (lb, _, row) = &left.by_lb[i];
+                active_r.retain(|&rj| Self::at_least(&right.by_lb[rj].1, lb));
+                for &rj in &active_r {
+                    on_pair(*row, right.by_lb[rj].2);
+                }
+                active_l.push(i);
+                i += 1;
+            } else {
+                let (lb, _, row) = &right.by_lb[j];
+                active_l.retain(|&li| Self::at_least(&left.by_lb[li].1, lb));
+                for &li in &active_l {
+                    on_pair(left.by_lb[li].2, *row);
+                }
+                active_r.push(j);
+                j += 1;
+            }
+        }
+    }
+
+    /// Sweep enumerating every pair where `left.lb` may be `≤ right.ub`
+    /// — the possibly-true candidates of `left_col ≤ right_col` (and,
+    /// as a superset, `<`) predicates. `value_eq`-equal endpoints are
+    /// included even when the total order breaks the tie the other way.
+    pub fn sweep_lb_below_ub(left: &Self, right: &Self, mut on_pair: impl FnMut(u32, u32)) {
+        let mut p = 0usize;
+        for &rj in &right.ub_order {
+            let (_, bound, rrow) = &right.by_lb[rj as usize];
+            while p < left.by_lb.len() {
+                let lb = &left.by_lb[p].0;
+                if lb.total_cmp(bound) != Ordering::Greater || lb.value_eq(bound) {
+                    p += 1;
+                } else {
+                    break;
+                }
+            }
+            for e in &left.by_lb[..p] {
+                on_pair(e.2, *rrow);
+            }
+        }
+    }
+}
+
+/// Hash buckets over canonical join-key values of certain attributes.
+#[derive(Debug, Clone, Default)]
+pub struct HashKeyIndex {
+    map: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl HashKeyIndex {
+    /// Index the selected-guess key of the AU rows with the given ids
+    /// (callers pass only rows whose key attributes are certain).
+    pub fn from_au_sg(
+        rows: &[(RangeTuple, AuAnnot)],
+        cols: &[usize],
+        ids: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for i in ids {
+            let t = &rows[i as usize].0;
+            let key: Vec<Value> = cols.iter().map(|c| t.0[*c].sg.join_key()).collect();
+            map.entry(key).or_default().push(i);
+        }
+        HashKeyIndex { map }
+    }
+
+    /// Index deterministic rows by the canonical key of `cols`.
+    pub fn from_det(rows: &[(Tuple, u64)], cols: &[usize]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for (i, (t, _)) in rows.iter().enumerate() {
+            let key: Vec<Value> = cols.iter().map(|c| t.0[*c].join_key()).collect();
+            map.entry(key).or_default().push(i as u32);
+        }
+        HashKeyIndex { map }
+    }
+
+    /// Matching row ids for a canonical key.
+    pub fn get(&self, key: &[Value]) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::au::au_row;
+
+    fn idx(ranges: &[(i64, i64)]) -> IntervalIndex {
+        let rvs: Vec<RangeValue> =
+            ranges.iter().map(|(lo, hi)| RangeValue::range(*lo, *lo, *hi)).collect();
+        IntervalIndex::from_entries(rvs.iter().enumerate().map(|(i, r)| (i as u32, r)))
+    }
+
+    /// Brute-force oracle for overlap pairs.
+    fn overlap_pairs(l: &[(i64, i64)], r: &[(i64, i64)]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, (ll, lu)) in l.iter().enumerate() {
+            for (j, (rl, ru)) in r.iter().enumerate() {
+                if ll <= ru && rl <= lu {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn sweep_overlapping_matches_bruteforce() {
+        let l = [(0, 5), (3, 4), (10, 12), (6, 20), (7, 7)];
+        let r = [(4, 6), (5, 5), (13, 30), (0, 1), (8, 9)];
+        let mut got = Vec::new();
+        IntervalIndex::sweep_overlapping(&idx(&l), &idx(&r), |a, b| got.push((a, b)));
+        got.sort_unstable();
+        assert_eq!(got, overlap_pairs(&l, &r));
+    }
+
+    #[test]
+    fn sweep_overlapping_handles_duplicates_and_ties() {
+        let l = [(1, 1), (1, 1), (1, 2)];
+        let r = [(1, 1), (2, 2)];
+        let mut got = Vec::new();
+        IntervalIndex::sweep_overlapping(&idx(&l), &idx(&r), |a, b| got.push((a, b)));
+        got.sort_unstable();
+        assert_eq!(got, overlap_pairs(&l, &r));
+    }
+
+    #[test]
+    fn sweep_lb_below_ub_matches_bruteforce() {
+        let l = [(0, 5), (3, 4), (10, 12), (7, 7)];
+        let r = [(4, 6), (13, 30), (0, 1)];
+        let mut got = Vec::new();
+        IntervalIndex::sweep_lb_below_ub(&idx(&l), &idx(&r), |a, b| got.push((a, b)));
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        for (i, (ll, _)) in l.iter().enumerate() {
+            for (j, (_, ru)) in r.iter().enumerate() {
+                if ll <= ru {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mixed_numeric_endpoints_are_superset_safe() {
+        // Int 2 vs Float 2.0: value_eq-equal but total_cmp orders them;
+        // the comparison sweep must still pair them.
+        let l = [RangeValue::certain(Value::float(2.0))];
+        let r = [RangeValue::certain(Value::Int(2))];
+        let li = IntervalIndex::from_entries(l.iter().enumerate().map(|(i, r)| (i as u32, r)));
+        let ri = IntervalIndex::from_entries(r.iter().enumerate().map(|(i, r)| (i as u32, r)));
+        let mut got = Vec::new();
+        IntervalIndex::sweep_lb_below_ub(&li, &ri, |a, b| got.push((a, b)));
+        assert_eq!(got, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn hash_key_index_canonicalizes() {
+        let rows = vec![
+            au_row(vec![RangeValue::certain(Value::Int(2))], 1, 1, 1),
+            au_row(vec![RangeValue::certain(Value::float(2.0))], 1, 1, 1),
+            au_row(vec![RangeValue::certain(Value::Int(3))], 1, 1, 1),
+        ];
+        let idx = HashKeyIndex::from_au_sg(&rows, &[0], 0..3u32);
+        assert_eq!(idx.get(&[Value::float(2.0)]), &[0, 1]);
+        assert_eq!(idx.get(&[Value::float(3.0)]), &[2]);
+        assert!(idx.get(&[Value::float(9.0)]).is_empty());
+    }
+}

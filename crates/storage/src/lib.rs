@@ -10,12 +10,14 @@
 //!   (the paper's contribution, Section 6).
 
 pub mod au;
+pub mod index;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod ua;
 
 pub use au::{au_row, certain_row, AuDatabase, AuRelation};
+pub use index::{HashKeyIndex, IntervalIndex};
 pub use relation::{Database, Relation};
 pub use schema::Schema;
 pub use tuple::{RangeTuple, Tuple};

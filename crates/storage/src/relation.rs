@@ -10,20 +10,31 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 
 /// An `N`-relation: a bag of tuples, each with a multiplicity > 0.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Tracks whether the row list is in normal form so repeated
+/// normalization is free and lookups can binary-search.
+#[derive(Debug, Clone)]
 pub struct Relation {
     pub schema: Schema,
     rows: Vec<(Tuple, u64)>,
+    normalized: bool,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+impl Eq for Relation {}
 
 impl Relation {
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation { schema, rows: Vec::new(), normalized: true }
     }
 
     /// Build from rows; merges duplicates and drops zero multiplicities.
     pub fn from_rows(schema: Schema, rows: Vec<(Tuple, u64)>) -> Self {
-        let mut r = Relation { schema, rows };
+        let mut r = Relation { schema, rows, normalized: false };
         r.normalize();
         r
     }
@@ -40,12 +51,31 @@ impl Relation {
     pub fn push(&mut self, t: Tuple, k: u64) {
         if k > 0 {
             self.rows.push((t, k));
+            self.normalized = false;
         }
     }
 
+    /// Append clones of another relation's rows (bag union without an
+    /// intermediate row-vector copy).
+    pub fn extend_from(&mut self, other: &Relation) {
+        if other.is_empty() {
+            return;
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        self.normalized = false;
+    }
+
+    /// Is the row list known to be in normal form?
+    pub fn is_normalized(&self) -> bool {
+        self.normalized
+    }
+
     /// Merge duplicate tuples (sum multiplicities), drop zeros, and sort
-    /// for canonical comparisons.
+    /// for canonical comparisons. Free when already normalized.
     pub fn normalize(&mut self) {
+        if self.normalized {
+            return;
+        }
         let mut map: HashMap<Tuple, u64> = HashMap::with_capacity(self.rows.len());
         for (t, k) in self.rows.drain(..) {
             if k > 0 {
@@ -55,10 +85,17 @@ impl Relation {
         let mut rows: Vec<(Tuple, u64)> = map.into_iter().collect();
         rows.sort();
         self.rows = rows;
+        self.normalized = true;
     }
 
-    /// Multiplicity `R(t)`.
+    /// Multiplicity `R(t)`; binary search when normalized.
     pub fn multiplicity(&self, t: &Tuple) -> u64 {
+        if self.normalized {
+            return match self.rows.binary_search_by(|(t2, _)| t2.cmp(t)) {
+                Ok(i) => self.rows[i].1,
+                Err(_) => 0,
+            };
+        }
         self.rows.iter().filter(|(t2, _)| t2 == t).map(|(_, k)| *k).sum()
     }
 
@@ -81,6 +118,12 @@ impl Relation {
         let mut r = self.clone();
         r.normalize();
         r
+    }
+
+    /// Consuming normal form — no clone when already normalized.
+    pub fn into_normalized(mut self) -> Relation {
+        self.normalize();
+        self
     }
 }
 
@@ -110,9 +153,7 @@ impl Database {
     }
 
     pub fn get(&self, name: &str) -> Result<&Relation, EvalError> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| EvalError::NotFound(format!("relation {name}")))
+        self.relations.get(name).ok_or_else(|| EvalError::NotFound(format!("relation {name}")))
     }
 
     pub fn names(&self) -> impl Iterator<Item = &String> {
@@ -133,11 +174,7 @@ impl Database {
 
     pub fn normalized(&self) -> Database {
         Database {
-            relations: self
-                .relations
-                .iter()
-                .map(|(n, r)| (n.clone(), r.normalized()))
-                .collect(),
+            relations: self.relations.iter().map(|(n, r)| (n.clone(), r.normalized())).collect(),
         }
     }
 }

@@ -94,8 +94,7 @@ impl RangeTuple {
     /// Attribute-wise range overlap `t ⊓ t'` (Section 9.6) — the two
     /// range tuples may denote the same deterministic tuple in some world.
     pub fn overlaps(&self, other: &RangeTuple) -> bool {
-        self.arity() == other.arity()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.overlaps(b))
+        self.arity() == other.arity() && self.0.iter().zip(&other.0).all(|(a, b)| a.overlaps(b))
     }
 
     /// `t ≡ t'` (Definition 22): equal and both certain.
@@ -106,13 +105,7 @@ impl RangeTuple {
     /// Minimum bounding box, keeping `self`'s selected-guess values
     /// (the `Comb` operation of Definition 21).
     pub fn merge_keep_sg(&self, other: &RangeTuple) -> RangeTuple {
-        RangeTuple(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a.merge_keep_sg(b))
-                .collect(),
-        )
+        RangeTuple(self.0.iter().zip(&other.0).map(|(a, b)| a.merge_keep_sg(b)).collect())
     }
 
     pub fn project(&self, cols: &[usize]) -> RangeTuple {
@@ -190,9 +183,6 @@ mod tests {
     fn merge_keeps_left_sg() {
         let a = RangeTuple(vec![RangeValue::range(1i64, 2i64, 2i64)]);
         let b = RangeTuple(vec![RangeValue::range(2i64, 2i64, 4i64)]);
-        assert_eq!(
-            a.merge_keep_sg(&b),
-            RangeTuple(vec![RangeValue::range(1i64, 2i64, 4i64)])
-        );
+        assert_eq!(a.merge_keep_sg(&b), RangeTuple(vec![RangeValue::range(1i64, 2i64, 4i64)]));
     }
 }

@@ -70,10 +70,7 @@ impl UaRelation {
     }
 
     pub fn annotation(&self, t: &Tuple) -> UaAnnot {
-        self.rows
-            .iter()
-            .filter(|(t2, _)| t2 == t)
-            .fold(UaAnnot::zero(), |acc, (_, k)| acc.plus(k))
+        self.rows.iter().filter(|(t2, _)| t2 == t).fold(UaAnnot::zero(), |acc, (_, k)| acc.plus(k))
     }
 
     /// The SGW encoded by the UA-relation.
@@ -111,9 +108,7 @@ impl UaDatabase {
     }
 
     pub fn get(&self, name: &str) -> Result<&UaRelation, EvalError> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| EvalError::NotFound(format!("UA relation {name}")))
+        self.relations.get(name).ok_or_else(|| EvalError::NotFound(format!("UA relation {name}")))
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&String, &UaRelation)> {

@@ -22,6 +22,8 @@ pub use metrics::{
     au_certain_tuples, au_covers, exact_group_agg, exact_spj, over_grouping_pct,
     range_overestimation_factor, recall, spj_accuracy, GroupInfo, SpjAccuracy,
 };
-pub use micro::{gen_micro_au, gen_micro_det, gen_micro_xdb, micro_au_db, micro_join_db, MicroConfig};
+pub use micro::{
+    gen_micro_au, gen_micro_det, gen_micro_xdb, micro_au_db, micro_join_db, MicroConfig,
+};
 pub use realworld::{all_cases, RealWorldCase};
 pub use tpch::{gen_tpch, inject_uncertainty, pdbench_queries, tpch_queries, TpchConfig};

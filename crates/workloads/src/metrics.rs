@@ -24,11 +24,7 @@ pub fn recall(found: &BTreeSet<Tuple>, exact: &BTreeSet<Tuple>) -> f64 {
 /// Certain tuples reported by an AU result: rows with certain attribute
 /// values and a positive lower-bound multiplicity.
 pub fn au_certain_tuples(rel: &AuRelation) -> BTreeSet<Tuple> {
-    rel.rows()
-        .iter()
-        .filter(|(t, k)| k.lb > 0 && t.is_certain())
-        .map(|(t, _)| t.sg())
-        .collect()
+    rel.rows().iter().filter(|(t, k)| k.lb > 0 && t.is_certain()).map(|(t, _)| t.sg()).collect()
 }
 
 /// Does the AU result cover (bound) a possible tuple?
@@ -77,11 +73,8 @@ pub fn spj_accuracy(
 
     let covered: BTreeSet<Tuple> =
         possible.iter().filter(|t| au_covers(au_result, t)).cloned().collect();
-    let possible_recall_by_value = if possible.is_empty() {
-        1.0
-    } else {
-        covered.len() as f64 / possible.len() as f64
-    };
+    let possible_recall_by_value =
+        if possible.is_empty() { 1.0 } else { covered.len() as f64 / possible.len() as f64 };
 
     // by-id: a key is covered if any of its possible tuples is covered
     let mut ids: BTreeMap<Tuple, bool> = BTreeMap::new();
@@ -239,9 +232,7 @@ pub fn exact_group_agg(
         }
         let info = match func {
             AggFunc::Sum => GroupInfo { certain, lo: sum_lo, hi: sum_hi },
-            AggFunc::Count => {
-                GroupInfo { certain, lo: cnt_lo as f64, hi: cnt_hi as f64 }
-            }
+            AggFunc::Count => GroupInfo { certain, lo: cnt_lo as f64, hi: cnt_hi as f64 },
             AggFunc::Min => GroupInfo {
                 certain,
                 lo: min_lo.unwrap_or(0.0),

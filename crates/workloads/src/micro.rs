@@ -54,9 +54,7 @@ pub fn gen_micro_det(cfg: &MicroConfig) -> Relation {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let rows = (0..cfg.rows)
         .map(|_| {
-            Tuple::new(
-                (0..cfg.cols).map(|_| Value::Int(rng.gen_range(0..cfg.domain))).collect(),
-            )
+            Tuple::new((0..cfg.cols).map(|_| Value::Int(rng.gen_range(0..cfg.domain))).collect())
         })
         .map(|t| (t, 1))
         .collect();
@@ -137,9 +135,9 @@ pub fn gen_micro_xdb(cfg: &MicroConfig, alts: usize) -> XDb {
                 let alt: Vec<Value> = vals
                     .iter()
                     .map(|v| {
-                        Value::Int(
-                            rng.gen_range((*v - half).max(0)..=(*v + half).min(cfg.domain - 1).max(*v)),
-                        )
+                        Value::Int(rng.gen_range(
+                            (*v - half).max(0)..=(*v + half).min(cfg.domain - 1).max(*v),
+                        ))
                     })
                     .collect();
                 alternatives.push(Tuple::new(alt));

@@ -57,7 +57,7 @@ pub fn netflix(rows: usize, seed: u64) -> XDb {
                     Value::Int(i as i64),
                     Value::str(format!("Show {i}")),
                     Value::str(format!("Director {}", rng.gen_range(0..(rows / 4).max(1)))),
-                    Value::Int(year + rng.gen_range(-2..=2)),
+                    Value::Int(year + rng.gen_range(-2i64..=2)),
                 ]),
                 1,
             ));
@@ -95,7 +95,7 @@ pub fn crimes(rows: usize, seed: u64) -> XDb {
             data.push((
                 Tuple::new(vec![
                     Value::Int(i as i64),
-                    Value::Int(year + rng.gen_range(0..=1)),
+                    Value::Int(year + rng.gen_range(0i64..=1)),
                     Value::Int(rng.gen_range(1..=25)),
                     Value::str(types[rng.gen_range(0..types.len())]),
                     Value::str(if rng.gen_bool(0.5) { "True" } else { "False" }),
@@ -178,12 +178,7 @@ pub fn qc2() -> Query {
 /// Q_{h,1}: HAI_1_SIR scores outside TX/CA.
 pub fn qh1() -> Query {
     table("healthcare")
-        .select(
-            col(2)
-                .neq(lit("TX"))
-                .and(col(2).neq(lit("CA")))
-                .and(col(3).eq(lit("HAI_1_SIR"))),
-        )
+        .select(col(2).neq(lit("TX")).and(col(2).neq(lit("CA"))).and(col(3).eq(lit("HAI_1_SIR"))))
         .project(vec![(col(1), "facility"), (col(3), "measure"), (col(4), "score")])
 }
 

@@ -95,11 +95,7 @@ pub fn gen_tpch(cfg: TpchConfig) -> Database {
 
     let nations: Vec<Tuple> = (0..25)
         .map(|i| {
-            Tuple::new(vec![
-                Value::Int(i),
-                Value::str(format!("NATION_{i:02}")),
-                Value::Int(i % 5),
-            ])
+            Tuple::new(vec![Value::Int(i), Value::str(format!("NATION_{i:02}")), Value::Int(i % 5)])
         })
         .collect();
     db.insert("nation", Relation::from_tuples(nation_schema(), nations));
@@ -127,7 +123,7 @@ pub fn gen_tpch(cfg: TpchConfig) -> Database {
             Tuple::new(vec![
                 Value::Int(i as i64),
                 Value::Int(rng.gen_range(0..n_cust)),
-                Value::float((rng.gen_range(100_00..500_000_00) as f64) / 100.0),
+                Value::float((rng.gen_range(10_000..50_000_000) as f64) / 100.0),
                 Value::Int(rng.gen_range(1..=MAX_DATE)),
                 Value::Int(rng.gen_range(0..2)),
             ])
@@ -142,7 +138,7 @@ pub fn gen_tpch(cfg: TpchConfig) -> Database {
             Tuple::new(vec![
                 Value::Int(rng.gen_range(0..n_orders)),
                 Value::Int(rng.gen_range(1..=50)),
-                Value::float((rng.gen_range(900_00..10_500_000) as f64) / 100.0),
+                Value::float((rng.gen_range(90_000..10_500_000) as f64) / 100.0),
                 Value::float(rng.gen_range(0..=10) as f64 / 100.0),
                 Value::float(rng.gen_range(0..=8) as f64 / 100.0),
                 Value::str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())]),
@@ -162,12 +158,7 @@ pub fn gen_tpch(cfg: TpchConfig) -> Database {
 /// x-tuple with up to `max_alts` alternatives whose uncertain cells are
 /// redrawn uniformly from the column's observed domain (a worst case for
 /// range bounds, as the paper notes). Dimension tables stay certain.
-pub fn inject_uncertainty(
-    db: &Database,
-    cell_pct: f64,
-    max_alts: usize,
-    seed: u64,
-) -> XDb {
+pub fn inject_uncertainty(db: &Database, cell_pct: f64, max_alts: usize, seed: u64) -> XDb {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = XDb::default();
     for (name, rel) in db.iter() {
@@ -260,10 +251,7 @@ pub fn q5() -> Query {
         .join_on(table("orders"), col(5).eq(col(10)))
         .select(col(12).lt(lit(MAX_DATE / 3)))
         .join_on(table("lineitem"), col(9).eq(col(14)))
-        .join_on(
-            table("supplier"),
-            col(22).eq(col(23)).and(col(24).eq(col(2))),
-        )
+        .join_on(table("supplier"), col(22).eq(col(23)).and(col(24).eq(col(2))))
         .aggregate(vec![3], vec![AggSpec::new(AggFunc::Sum, revenue(16, 17), "revenue")])
 }
 
@@ -360,7 +348,10 @@ mod tests {
         // ~8 non-key cells at 10% each ⇒ roughly half the rows uncertain
         assert!(ratio > 0.3 && ratio < 0.8, "ratio {ratio}");
         // SG world of the x-DB equals the base database (originals picked)
-        assert_eq!(xdb.sg_world().get("lineitem").unwrap(), &db.get("lineitem").unwrap().normalized());
+        assert_eq!(
+            xdb.sg_world().get("lineitem").unwrap(),
+            &db.get("lineitem").unwrap().normalized()
+        );
     }
 
     #[test]

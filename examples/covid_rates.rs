@@ -36,22 +36,45 @@ fn main() {
     let rel = AuRelation::from_rows(
         Schema::named(&["locale", "rate", "size"]),
         vec![
-            locale("Los Angeles", RangeValue::range(30i64, 30i64, 40i64), RangeValue::certain(Value::Int(METRO))),
-            locale("Austin", RangeValue::certain(Value::Int(180)), RangeValue::range(CITY, CITY, METRO)),
-            locale("Houston", RangeValue::certain(Value::Int(140)), RangeValue::certain(Value::Int(METRO))),
-            locale("Berlin", RangeValue::range(10i64, 30i64, 30i64), RangeValue::range(TOWN, TOWN, CITY)),
+            locale(
+                "Los Angeles",
+                RangeValue::range(30i64, 30i64, 40i64),
+                RangeValue::certain(Value::Int(METRO)),
+            ),
+            locale(
+                "Austin",
+                RangeValue::certain(Value::Int(180)),
+                RangeValue::range(CITY, CITY, METRO),
+            ),
+            locale(
+                "Houston",
+                RangeValue::certain(Value::Int(140)),
+                RangeValue::certain(Value::Int(METRO)),
+            ),
+            locale(
+                "Berlin",
+                RangeValue::range(10i64, 30i64, 30i64),
+                RangeValue::range(TOWN, TOWN, CITY),
+            ),
             // Sacramento's size is a null: any size is possible
-            locale("Sacramento", RangeValue::certain(Value::Int(10)), RangeValue::range(VILLAGE, TOWN, METRO)),
+            locale(
+                "Sacramento",
+                RangeValue::certain(Value::Int(10)),
+                RangeValue::range(VILLAGE, TOWN, METRO),
+            ),
             // Springfield's rate is a null: bounded by [0%, 100%]
-            locale("Springfield", RangeValue::range(0i64, 50i64, 1000i64), RangeValue::certain(Value::Int(TOWN))),
+            locale(
+                "Springfield",
+                RangeValue::range(0i64, 50i64, 1000i64),
+                RangeValue::certain(Value::Int(TOWN)),
+            ),
         ],
     );
     let mut db = AuDatabase::new();
     db.insert("locales", rel);
 
     // SELECT size, avg(rate) AS rate FROM locales GROUP BY size
-    let q = table("locales")
-        .aggregate(vec![2], vec![AggSpec::new(AggFunc::Avg, col(1), "rate")]);
+    let q = table("locales").aggregate(vec![2], vec![AggSpec::new(AggFunc::Avg, col(1), "rate")]);
 
     let out = eval_au(&db, &q, &AuConfig::precise()).unwrap();
     println!("size      avg rate (tenths of %)                annotation");
@@ -59,14 +82,7 @@ fn main() {
     for (t, k) in out.rows() {
         let size = &t.0[0];
         let rate = &t.0[1];
-        println!(
-            "{:<8}  [{} / {} / {}]  {}",
-            size_name(&size.sg),
-            rate.lb,
-            rate.sg,
-            rate.ub,
-            k
-        );
+        println!("{:<8}  [{} / {} / {}]  {}", size_name(&size.sg), rate.lb, rate.sg, rate.ub, k);
     }
     println!();
     println!("Reading the metro row: its SG value reproduces the selected-guess");

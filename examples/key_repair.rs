@@ -40,10 +40,8 @@ fn main() {
 
     // total inventory value: sum(price * stock), with bounds covering
     // every possible repair
-    let q = table("products").aggregate(
-        vec![],
-        vec![AggSpec::new(AggFunc::Sum, col(1).mul(col(2)), "inventory_value")],
-    );
+    let q = table("products")
+        .aggregate(vec![], vec![AggSpec::new(AggFunc::Sum, col(1).mul(col(2)), "inventory_value")]);
     let out = eval_au(&audb, &q, &AuConfig::precise()).unwrap();
     let value = &out.rows()[0].0 .0[0];
     println!("inventory value: [{} / {} / {}]", value.lb, value.sg, value.ub);
@@ -53,15 +51,7 @@ fn main() {
     let worlds = inc.eval(&q).unwrap();
     for (i, w) in worlds.worlds.iter().enumerate() {
         let v = &w.rows()[0].0 .0[0];
-        assert!(
-            value.bounds(v),
-            "world {i}: {v} escapes [{} / {}]",
-            value.lb,
-            value.ub
-        );
+        assert!(value.bounds(v), "world {i}: {v} escapes [{} / {}]", value.lb, value.ub);
     }
-    println!(
-        "verified: all {} possible repairs fall inside the bounds ✓",
-        worlds.worlds.len()
-    );
+    println!("verified: all {} possible repairs fall inside the bounds ✓", worlds.worlds.len());
 }

@@ -62,11 +62,11 @@ pub mod prelude {
         TiDb, TiRelation, VTable, XDb, XRelation, XTuple,
     };
     pub use audb_query::{
-        eval_au, eval_det, eval_ua, parse_sql, rewrite::eval_via_rewrite, table, AggFunc,
-        AggSpec, AuConfig, Query,
+        eval_au, eval_det, eval_ua, parse_sql, rewrite::eval_via_rewrite, table, AggFunc, AggSpec,
+        AuConfig, Query,
     };
     pub use audb_storage::{
-        au_row, certain_row, AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema,
-        Tuple, UaDatabase, UaRelation,
+        au_row, certain_row, AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema, Tuple,
+        UaDatabase, UaRelation,
     };
 }

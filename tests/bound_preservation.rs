@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 
-use audb::prelude::*;
 use audb::incomplete::relation_bounds_world;
+use audb::prelude::*;
 
 // ---------------------------------------------------------------------------
 // generators
@@ -17,14 +17,10 @@ use audb::incomplete::relation_bounds_world;
 /// A small x-tuple over (group, value) pairs with tiny domains so worlds
 /// stay enumerable and collisions are common.
 fn xtuple_strategy() -> impl Strategy<Value = XTuple> {
-    let alt = (0i64..4, -3i64..6).prop_map(|(g, v)| {
-        [Value::Int(g), Value::Int(v)].into_iter().collect::<Tuple>()
-    });
-    (
-        proptest::collection::vec(alt, 1..3),
-        prop_oneof![Just(1.0f64), Just(0.5f64)],
-    )
-        .prop_map(|(alts, total)| {
+    let alt = (0i64..4, -3i64..6)
+        .prop_map(|(g, v)| [Value::Int(g), Value::Int(v)].into_iter().collect::<Tuple>());
+    (proptest::collection::vec(alt, 1..3), prop_oneof![Just(1.0f64), Just(0.5f64)]).prop_map(
+        |(alts, total)| {
             let p = total / alts.len() as f64;
             let mut weighted: Vec<(Tuple, f64)> = alts.into_iter().map(|t| (t, p)).collect();
             weighted[0].1 += 1e-9;
@@ -33,7 +29,8 @@ fn xtuple_strategy() -> impl Strategy<Value = XTuple> {
                 w.1 /= norm;
             }
             XTuple::new(weighted)
-        })
+        },
+    )
 }
 
 fn xdb_strategy() -> impl Strategy<Value = XDb> {
@@ -66,9 +63,7 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             }),
             // projections keeping arity 2
             inner.clone().prop_map(|q| q.project(vec![(col(1), "a"), (col(0), "b")])),
-            inner
-                .clone()
-                .prop_map(|q| q.project(vec![(col(0), "a"), (col(0).add(col(1)), "b")])),
+            inner.clone().prop_map(|q| q.project(vec![(col(0), "a"), (col(0).add(col(1)), "b")])),
             // join on the first column, projected back to arity 2
             (inner.clone(), inner.clone()).prop_map(|(a, b)| {
                 a.join_on(b, col(0).eq(col(2)))

@@ -22,11 +22,7 @@ fn range_strategy() -> impl Strategy<Value = RangeValue> {
 /// (range division is undefined when the denominator may be 0 — its
 /// guard has a dedicated unit test).
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(col(0)),
-        Just(col(1)),
-        (-3i64..5).prop_map(lit),
-    ];
+    let leaf = prop_oneof![Just(col(0)), Just(col(1)), (-3i64..5).prop_map(lit),];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
@@ -34,18 +30,12 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
             inner.clone().prop_map(|a| a.neg()),
             // comparisons produce booleans; wrap back into values with if
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, t, e)| Expr::if_then_else(a.leq(b), t, e)),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, t, e)| Expr::if_then_else(a.eq(b), t, e)),
             (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(a, b, t, e)| Expr::if_then_else(a.leq(b), t, e)
-            ),
-            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(a, b, t, e)| Expr::if_then_else(a.eq(b), t, e)
-            ),
-            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(a, b, t, e)| Expr::if_then_else(
-                    a.clone().lt(b.clone()).or(a.gt(b)),
-                    t,
-                    e
-                )
+                |(a, b, t, e)| Expr::if_then_else(a.clone().lt(b.clone()).or(a.gt(b)), t, e)
             ),
             (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
                 |(a, b, t, e)| Expr::if_then_else(

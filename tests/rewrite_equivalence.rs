@@ -51,12 +51,9 @@ fn query_strategy() -> impl Strategy<Value = Query> {
         prop_oneof![
             (inner.clone(), -2i64..6).prop_map(|(q, k)| q.select(col(0).leq(lit(k)))),
             (inner.clone(), -2i64..6).prop_map(|(q, k)| q.select(col(1).eq(lit(k)))),
-            inner
-                .clone()
-                .prop_map(|q| q.project(vec![(col(1), "a"), (col(0).sub(col(1)), "b")])),
+            inner.clone().prop_map(|q| q.project(vec![(col(1), "a"), (col(0).sub(col(1)), "b")])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                a.join_on(b, col(0).eq(col(2)))
-                    .project(vec![(col(0), "a"), (col(3), "b")])
+                a.join_on(b, col(0).eq(col(2))).project(vec![(col(0), "a"), (col(3), "b")])
             }),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
@@ -64,10 +61,7 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             inner.clone().prop_map(|q| {
                 q.aggregate(
                     vec![0],
-                    vec![
-                        AggSpec::new(AggFunc::Sum, col(1), "s"),
-                        AggSpec::count("c"),
-                    ],
+                    vec![AggSpec::new(AggFunc::Sum, col(1), "s"), AggSpec::count("c")],
                 )
                 .project(vec![(col(0), "a"), (col(1), "b")])
             }),

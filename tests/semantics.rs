@@ -53,10 +53,8 @@ fn figure_1_covid_example() {
             ],
         ),
     );
-    let q = table("locales").aggregate(
-        vec![1],
-        vec![AggSpec::new(AggFunc::Avg, audb::core::col(0), "rate")],
-    );
+    let q = table("locales")
+        .aggregate(vec![1], vec![AggSpec::new(AggFunc::Avg, audb::core::col(0), "rate")]);
     let au = eval_au(&xdb.to_au(), &q, &AuConfig::precise()).unwrap();
     let inc = xdb.to_incomplete(1 << 12).expect("enumerable");
     let exact = inc.eval(&q).unwrap();
@@ -65,11 +63,7 @@ fn figure_1_covid_example() {
     }
     assert_eq!(au.sg_world().normalized(), exact.sg_world().normalized());
     // the metro group certainly exists (Houston is certainly a metro)
-    let metro = au
-        .rows()
-        .iter()
-        .find(|(t, _)| t.0[0].sg == Value::Int(3))
-        .expect("metro group");
+    let metro = au.rows().iter().find(|(t, _)| t.0[0].sg == Value::Int(3)).expect("metro group");
     assert!(metro.1.lb >= 1);
 }
 
@@ -78,9 +72,8 @@ fn figure_1_covid_example() {
 // ---------------------------------------------------------------------------
 
 fn xtuple_strategy() -> impl Strategy<Value = XTuple> {
-    let alt = (0i64..3, 0i64..5).prop_map(|(g, v)| {
-        [Value::Int(g), Value::Int(v)].into_iter().collect::<Tuple>()
-    });
+    let alt = (0i64..3, 0i64..5)
+        .prop_map(|(g, v)| [Value::Int(g), Value::Int(v)].into_iter().collect::<Tuple>());
     (proptest::collection::vec(alt, 1..3), prop_oneof![Just(1.0f64), Just(0.5f64)]).prop_map(
         |(alts, total)| {
             let p = total / alts.len() as f64;

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface this workspace's benches use: benchmark
+//! groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function` with `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark reports
+//! min/median/max time per iteration and every result is appended to a
+//! JSON report (`CRITERION_JSON` env var, default
+//! `target/criterion-shim.json`) so CI and the repo's `BENCH_*.json`
+//! records can consume the numbers without the real criterion's plotting
+//! stack.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub group: String,
+    pub name: String,
+    pub iters_per_sample: u64,
+    pub samples: usize,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub max_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Benchmark-filter taken from the CLI (cargo bench passes extra args
+/// through). Only substring filtering is supported.
+fn cli_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with("--") && !a.is_empty())
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: cli_filter() }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Ungrouped benchmark (criterion parity).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(String::new());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() { id.clone() } else { format!("{}/{}", self.name, id) };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Warm-up + calibration: time single iterations until the warm-up
+        // budget is spent, tracking the mean cost of one iteration.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+            warm_spent += bencher.elapsed;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so all samples together fit the measurement
+        // budget.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let result = BenchResult {
+            group: self.name.clone(),
+            name: id,
+            iters_per_sample,
+            samples: samples_ns.len(),
+            min_ns: samples_ns[0],
+            median_ns: samples_ns[samples_ns.len() / 2],
+            max_ns: samples_ns[samples_ns.len() - 1],
+        };
+        println!(
+            "{:<40} time: [{} {} {}]",
+            full,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.max_ns),
+        );
+        RESULTS.lock().unwrap().push(result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the measured routine; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write the collected results as JSON. Called by `criterion_main!` after
+/// all groups have run.
+pub fn finalize() {
+    let results = RESULTS.lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let path = std::env::var("CRITERION_JSON")
+        .unwrap_or_else(|_| "target/criterion-shim.json".to_string());
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"median_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            json_escape(&r.group),
+            json_escape(&r.name),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {} benchmark results to {path}", results.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+impl fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: {}", self.group, self.name, fmt_ns(self.median_ns))
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim_test");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(5));
+        g.measurement_time(Duration::from_millis(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.group == "shim_test").unwrap();
+        assert!(r.median_ns >= 0.0);
+        assert_eq!(r.samples, 3);
+    }
+}
