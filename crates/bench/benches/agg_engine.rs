@@ -1,0 +1,61 @@
+//! Index-backed, partition-parallel aggregation vs the retained
+//! groups × tuples membership scan, plus worker scaling for
+//! aggregation and set difference — the acceptance benchmarks for the
+//! exec runtime's aggregation driver: the sweep-indexed grouping must
+//! beat `aggregate_au_scan` even at 1 worker, and w4 must beat w1 by
+//! >= 2x on a machine with >= 4 cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use audb_core::col;
+use audb_query::au::aggregate::{aggregate_au_exec, aggregate_au_scan};
+use audb_query::au::difference::{difference_au_exec, difference_au_scan};
+use audb_query::{AggFunc, AggSpec, Executor};
+use audb_workloads::{gen_micro_au, micro_join_db, MicroConfig};
+
+fn bench(c: &mut Criterion) {
+    // 10k rows, ~1k SG groups on col 0, 20% of rows with uncertain
+    // attributes: the old membership scan tests every group box against
+    // every uncertain row; the sweep touches only overlapping pairs.
+    let cfg = MicroConfig::new(10_000, 3).uncertainty(0.2).range_frac(0.02).seed(47);
+    let rel = gen_micro_au(&cfg);
+    let aggs = [
+        AggSpec::new(AggFunc::Sum, col(1), "s"),
+        AggSpec::count("c"),
+        AggSpec::new(AggFunc::Min, col(2), "lo"),
+        AggSpec::new(AggFunc::Max, col(2), "hi"),
+    ];
+
+    let mut g = c.benchmark_group("agg_engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("agg_scan_10k", |b| {
+        b.iter(|| black_box(aggregate_au_scan(&rel, &[0], &aggs, None).unwrap()))
+    });
+    for w in [1usize, 2, 4] {
+        let exec = Executor::new(w);
+        g.bench_function(format!("agg_indexed_10k_w{w}"), |b| {
+            b.iter(|| black_box(aggregate_au_exec(&rel, &[0], &aggs, None, &exec).unwrap()))
+        });
+    }
+
+    // indexed set difference under the same runtime (5k − 5k over a
+    // shared key domain)
+    let cfg = MicroConfig::new(5_000, 3).uncertainty(0.05).range_frac(0.02).seed(53);
+    let (audb, _) = micro_join_db(&cfg);
+    let l = audb.get("t1").unwrap();
+    let r = audb.get("t2").unwrap();
+    g.bench_function("diff_scan_5k", |b| b.iter(|| black_box(difference_au_scan(l, r).unwrap())));
+    for w in [1usize, 4] {
+        let exec = Executor::new(w);
+        g.bench_function(format!("diff_indexed_5k_w{w}"), |b| {
+            b.iter(|| black_box(difference_au_exec(l, r, &exec).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
     for nb in [1usize, 5, 10] {
         let q =
             table("t").aggregate((0..nb).collect(), vec![AggSpec::new(AggFunc::Sum, col(19), "s")]);
-        let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25) };
+        let aucfg =
+            AuConfig { join_compress: Some(64), agg_compress: Some(25), ..AuConfig::default() };
         g.bench_function(format!("audb_groupby{nb}"), |b| {
             b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
         });
@@ -30,7 +31,8 @@ fn bench(c: &mut Criterion) {
 
     let q = table("t").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
     for ct in [4usize, 64, 1024] {
-        let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+        let aucfg =
+            AuConfig { join_compress: Some(ct), agg_compress: Some(ct), ..AuConfig::default() };
         g.bench_function(format!("audb_ct{ct}"), |b| {
             b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
         });

@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(eval_au(&audb, &q, &AuConfig::precise()).unwrap()))
     });
     for ct in [4usize, 32, 256] {
-        let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+        let aucfg =
+            AuConfig { join_compress: Some(ct), agg_compress: Some(ct), ..AuConfig::default() };
         g.bench_function(format!("join_ct{ct}_500"), |b| {
             b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
         });

@@ -27,7 +27,8 @@ fn bench(c: &mut Criterion) {
             q = q.join_on(table(format!("t{i}")), col(0).eq(col(arity)));
             arity += 2;
         }
-        let aucfg = AuConfig { join_compress: Some(16), agg_compress: Some(16) };
+        let aucfg =
+            AuConfig { join_compress: Some(16), agg_compress: Some(16), ..AuConfig::default() };
         g.bench_function(format!("chain_{joins}_ct16"), |b| {
             b.iter(|| black_box(eval_au(&audb, &q, &aucfg).unwrap()))
         });

@@ -1,13 +1,18 @@
-//! Interval-indexed join engine vs the nested-loop baseline: the
-//! acceptance benchmark for the join planner (1k x 1k equality join on a
-//! certain attribute must beat nested loops by >= 5x).
+//! Interval-indexed join engine vs the nested-loop baseline, plus the
+//! partition-parallel worker scaling of the planned join: the
+//! acceptance benchmarks for the join planner (1k x 1k equality join on
+//! a certain attribute must beat nested loops by >= 5x) and the exec
+//! runtime (w4 must beat w1 by >= 2x on a machine with >= 4 cores;
+//! on fewer cores the two collapse to the same wall clock because the
+//! pool never oversubscribes meaningfully).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use audb_core::col;
 use audb_query::au::nested_loop_join_au;
-use audb_query::planner::join_au_planned;
+use audb_query::planner::{join_au_planned, join_au_planned_exec};
+use audb_query::Executor;
 use audb_workloads::{micro_join_db, MicroConfig};
 
 fn bench(c: &mut Criterion) {
@@ -28,6 +33,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(join_au_planned(l, r, Some(&pred)).unwrap()))
     });
 
+    // worker scaling of the same planned join (probe + candidate loops
+    // partitioned into morsels, ordered merge)
+    for w in [1usize, 2, 4] {
+        let exec = Executor::new(w);
+        g.bench_function(format!("planned_1k_w{w}"), |b| {
+            b.iter(|| black_box(join_au_planned_exec(l, r, Some(&pred), &exec).unwrap()))
+        });
+    }
+
     // comparison predicate: interval sweep vs nested loop on a smaller
     // input (the nested loop is quadratic in candidates here)
     let cfg = MicroConfig::new(300, 3).uncertainty(0.05).range_frac(0.02).seed(43);
@@ -41,6 +55,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("planned_lt_300", |b| {
         b.iter(|| black_box(join_au_planned(l, r, Some(&lt)).unwrap()))
     });
+    for w in [1usize, 4] {
+        let exec = Executor::new(w);
+        g.bench_function(format!("planned_lt_300_w{w}"), |b| {
+            b.iter(|| black_box(join_au_planned_exec(l, r, Some(&lt), &exec).unwrap()))
+        });
+    }
     g.finish();
 }
 

@@ -328,7 +328,7 @@ fn fig13a(opts: Opts) {
     let rows = opts.pick(3_000, 20_000, 35_000);
     let cfg = MicroConfig::new(rows, 100).uncertainty(0.05).range_frac(0.05).seed(opts.seed);
     let (audb, db) = micro_au_db(&cfg);
-    let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25) };
+    let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25), ..AuConfig::default() };
     let widths = [10, 10, 10, 8];
     print_row(&["#groupby", "AUDB", "Det", "ratio"].map(str::to_string), &widths);
     for g in [1usize, 5, 10, 20, 40, 60, 80, 99] {
@@ -346,7 +346,7 @@ fn fig13b(opts: Opts) {
     let rows = opts.pick(3_000, 20_000, 35_000);
     let cfg = MicroConfig::new(rows, 100).uncertainty(0.05).range_frac(0.05).seed(opts.seed);
     let (audb, db) = micro_au_db(&cfg);
-    let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25) };
+    let aucfg = AuConfig { join_compress: Some(64), agg_compress: Some(25), ..AuConfig::default() };
     let widths = [8, 10, 10, 8];
     print_row(&["#aggs", "AUDB", "Det", "ratio"].map(str::to_string), &widths);
     for n in [1usize, 5, 10, 20, 40, 60, 80, 99] {
@@ -377,7 +377,8 @@ fn fig13c(opts: Opts) {
         let q = table("t").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
         let mut cells = vec![format!("{:.0}%", frac * 100.0)];
         for ct in [4usize, 32, 256, 512] {
-            let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+            let aucfg =
+                AuConfig { join_compress: Some(ct), agg_compress: Some(ct), ..AuConfig::default() };
             let (_, au) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
             cells.push(fmt_s(au));
         }
@@ -400,7 +401,8 @@ fn fig13d(opts: Opts) {
     let widths = [8, 10, 16];
     print_row(&["CT", "time(s)", "mean range"].map(str::to_string), &widths);
     for ct in [4usize, 32, 256, 4096, 65536] {
-        let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+        let aucfg =
+            AuConfig { join_compress: Some(ct), agg_compress: Some(ct), ..AuConfig::default() };
         let (out, secs) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
         // mean width of the aggregate column
         let mut total = 0.0;
@@ -437,7 +439,8 @@ fn fig14(opts: Opts) {
         let (naive, tn) = time(|| eval_au(&audb, &q, &AuConfig::precise()).unwrap());
         cells.push(format!("{}/{}", fmt_s(tn), naive.possible_size()));
         for ct in [4usize, 32, 256, 1024] {
-            let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+            let aucfg =
+                AuConfig { join_compress: Some(ct), agg_compress: Some(ct), ..AuConfig::default() };
             let (out, secs) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
             cells.push(format!("{}/{}", fmt_s(secs), out.possible_size()));
         }
@@ -523,7 +526,8 @@ fn fig16(opts: Opts) {
                     q = q.join_on(table(format!("t{i}")), col(0).eq(col(arity)));
                     arity += 2;
                 }
-                let aucfg = AuConfig { join_compress: *comp, agg_compress: *comp };
+                let aucfg =
+                    AuConfig { join_compress: *comp, agg_compress: *comp, ..AuConfig::default() };
                 let (_, secs) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
                 cells.push(fmt_s(secs));
             }
@@ -754,7 +758,8 @@ fn ablation(opts: Opts) {
     });
     print_row(&["split only".into(), fmt_s(secs), out.possible_size().to_string()], &widths);
     for ct in [16usize, 128] {
-        let aucfg = AuConfig { join_compress: Some(ct), agg_compress: Some(ct) };
+        let aucfg =
+            AuConfig { join_compress: Some(ct), agg_compress: Some(ct), ..AuConfig::default() };
         let (out, secs) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
         print_row(
             &[format!("split+compress CT={ct}"), fmt_s(secs), out.possible_size().to_string()],
@@ -767,7 +772,7 @@ fn ablation(opts: Opts) {
     println!();
     print_row(&["agg variant", "time(s)", "mean range"].map(str::to_string), &widths);
     for (label, c) in [("precise", None), ("CT=16", Some(16usize)), ("CT=256", Some(256))] {
-        let aucfg = AuConfig { join_compress: c, agg_compress: c };
+        let aucfg = AuConfig { join_compress: c, agg_compress: c, ..AuConfig::default() };
         let (out, secs) = time(|| eval_au(&audb, &q, &aucfg).unwrap());
         let mut total = 0.0;
         let mut n = 0;

@@ -1,0 +1,31 @@
+//! # audb-exec
+//!
+//! Partition-parallel execution runtime for AU-relation operators.
+//!
+//! Uncertain-data operators decompose cleanly into independent
+//! partitions (U-relation-style processing à la Antova et al.): the join
+//! planner's hash buckets and sweep candidate blocks, and aggregation's
+//! group partitions, are all embarrassingly parallel. This crate
+//! provides the three pieces the query layer builds on:
+//!
+//! * [`Partitioner`] — splits an index space `0..n` into contiguous
+//!   *morsels* (work units) sized for the worker count;
+//! * [`Executor`] — a std-only scoped thread pool
+//!   ([`std::thread::scope`]) that runs a fallible producer over every
+//!   morsel, workers claiming morsels from a shared atomic cursor;
+//! * the **deterministic ordered-merge collector** inside
+//!   [`Executor::run`]: each morsel's output lands in its own slot and
+//!   slots are concatenated in morsel order, so the merged output is
+//!   *byte-identical* to running the same producer sequentially over
+//!   `0..n` — for any worker count and any morsel size.
+//!
+//! No external dependencies, no unsafe, no work stealing beyond the
+//! shared cursor. A worker count of 1 (or a single morsel) bypasses the
+//! pool entirely and runs inline on the caller's thread, making the
+//! sequential path zero-overhead and trivially identical.
+
+pub mod partition;
+pub mod pool;
+
+pub use partition::Partitioner;
+pub use pool::Executor;

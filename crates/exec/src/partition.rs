@@ -1,0 +1,110 @@
+//! Morsel partitioning: split an index space into contiguous work units.
+
+use std::ops::Range;
+
+/// Splits `0..n` into contiguous morsels.
+///
+/// The rules are deliberately simple and deterministic:
+///
+/// * below [`Partitioner::min_morsel`] items the whole space is a single
+///   morsel (parallelism cannot pay for itself on tiny inputs);
+/// * otherwise the space is cut into at most
+///   `workers * morsels_per_worker` morsels of near-equal size, but
+///   never smaller than `min_morsel` — more morsels than workers keeps
+///   the pool load-balanced when per-item cost is skewed (e.g. hash
+///   buckets of very different sizes).
+///
+/// Morsel boundaries never affect results: the ordered-merge collector
+/// concatenates morsel outputs in morsel order, which equals sequential
+/// order for any split of a contiguous space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    /// Minimum items per morsel; inputs smaller than this stay
+    /// sequential.
+    pub min_morsel: usize,
+    /// Target morsels per worker (load-balancing slack).
+    pub morsels_per_worker: usize,
+}
+
+impl Default for Partitioner {
+    fn default() -> Self {
+        Partitioner { min_morsel: 128, morsels_per_worker: 4 }
+    }
+}
+
+impl Partitioner {
+    /// Split `0..n` for the given worker count.
+    pub fn morsels(&self, n: usize, workers: usize) -> Vec<Range<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let min = self.min_morsel.max(1);
+        let target = workers.max(1) * self.morsels_per_worker.max(1);
+        let count = (n / min).clamp(1, target);
+        if count <= 1 {
+            return vec![Range { start: 0, end: n }];
+        }
+        // near-equal chunks: the first `n % count` morsels get one extra
+        let base = n / count;
+        let extra = n % count;
+        let mut out = Vec::with_capacity(count);
+        let mut start = 0;
+        for i in 0..count {
+            let len = base + usize::from(i < extra);
+            out.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(n: usize, morsels: &[Range<usize>]) {
+        let mut pos = 0;
+        for m in morsels {
+            assert_eq!(m.start, pos, "morsels must be contiguous");
+            assert!(m.end > m.start, "morsels must be non-empty");
+            pos = m.end;
+        }
+        assert_eq!(pos, n, "morsels must cover 0..n exactly");
+    }
+
+    #[test]
+    fn empty_input_yields_no_morsels() {
+        assert!(Partitioner::default().morsels(0, 4).is_empty());
+    }
+
+    #[test]
+    fn tiny_input_stays_sequential() {
+        let p = Partitioner::default();
+        assert_eq!(p.morsels(1, 8), vec![0..1]);
+        assert_eq!(p.morsels(p.min_morsel, 8), vec![0..p.min_morsel]);
+    }
+
+    #[test]
+    fn large_input_splits_and_covers() {
+        let p = Partitioner::default();
+        for n in [129usize, 1000, 4096, 10_001] {
+            for w in [1usize, 2, 4, 7] {
+                let ms = p.morsels(n, w);
+                cover(n, &ms);
+                assert!(ms.len() <= w * p.morsels_per_worker);
+                for m in &ms {
+                    assert!(m.len() >= p.min_morsel.min(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_sizes_are_balanced() {
+        let ms = Partitioner { min_morsel: 1, morsels_per_worker: 1 }.morsels(10, 3);
+        cover(10, &ms);
+        let sizes: Vec<usize> = ms.iter().map(|m| m.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

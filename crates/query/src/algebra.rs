@@ -124,6 +124,30 @@ impl Query {
         Query::Aggregate { input: Box::new(self), group_by, aggs }
     }
 
+    /// Names of the base tables the plan reads (each once).
+    pub fn table_refs(&self) -> std::collections::BTreeSet<&str> {
+        fn walk<'q>(q: &'q Query, out: &mut std::collections::BTreeSet<&'q str>) {
+            match q {
+                Query::Table(name) => {
+                    out.insert(name.as_str());
+                }
+                Query::Select { input, .. }
+                | Query::Project { input, .. }
+                | Query::Distinct { input }
+                | Query::Aggregate { input, .. } => walk(input, out),
+                Query::Join { left, right, .. }
+                | Query::Union { left, right }
+                | Query::Difference { left, right } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Number of operators (plan size).
     pub fn size(&self) -> usize {
         match self {

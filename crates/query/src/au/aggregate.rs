@@ -13,6 +13,13 @@
 //! box over assigned tuples (Definition 25); aggregate bounds range over
 //! the tuples that may fall into the output's box (Definition 26).
 //!
+//! Execution runs on the [`SgGroupIndex`] grouping index: possible
+//! membership of uncertain-group rows comes from an interval sweep
+//! between group bounding boxes and row ranges (instead of testing
+//! every group against every uncertain row), and the per-group bound
+//! computation is partitioned across the [`Executor`]'s workers with a
+//! deterministic ordered merge (see `docs/exec-runtime.md`).
+//!
 //! ### Deviations from the paper's literal Definition 26 (soundness fixes)
 //!
 //! Two adjustments, both matching the paper's own rewrite implementation
@@ -34,10 +41,9 @@
 //!    to their own output (they justify it), so they never constrain
 //!    this output. This tightens bounds and matches Figure 7's values.
 
-use std::collections::HashMap;
-
 use audb_core::{AuAnnot, EvalError, Expr, RangeValue, Value};
-use audb_storage::{AuRelation, RangeTuple, Schema, Tuple};
+use audb_exec::Executor;
+use audb_storage::{AuRelation, IntervalIndex, RangeTuple, Schema, SgGroupIndex, Tuple};
 
 use crate::algebra::{AggFunc, AggSpec};
 use crate::opt;
@@ -121,23 +127,57 @@ pub fn avg_range(sum: &RangeValue, cnt: &RangeValue) -> Result<RangeValue, EvalE
     RangeValue::new(lo, sg, hi)
 }
 
-struct GroupState {
-    /// Bounding box over the group-by attributes of α-assigned tuples
-    /// (Definition 25).
-    bbox: RangeTuple,
-    /// Indices of α-assigned input rows.
-    alpha: Vec<usize>,
-}
-
-/// Aggregate an AU-relation (Definitions 24–28). With
-/// `compress = Some(ct)`, possible-side contributions are drawn from a
-/// `ct`-tuple compression of the input (Section 10.5) instead of the
-/// input itself — faster, with looser (but still sound) bounds.
+/// Aggregate an AU-relation (Definitions 24–28) on the default executor
+/// (all available workers). With `compress = Some(ct)`, possible-side
+/// contributions are drawn from a `ct`-tuple compression of the input
+/// (Section 10.5) instead of the input itself — faster, with looser
+/// (but still sound) bounds.
 pub fn aggregate_au(
     rel: &AuRelation,
     group_by: &[usize],
     aggs: &[AggSpec],
     compress: Option<usize>,
+) -> Result<AuRelation, EvalError> {
+    aggregate_au_exec(rel, group_by, aggs, compress, &Executor::default())
+}
+
+/// [`aggregate_au`] on an explicit executor: groups are partitioned
+/// into morsels and their bounds computed on the scoped pool; morsel
+/// outputs merge in group order, so the result is identical for every
+/// worker count. Membership of uncertain-group rows comes from an
+/// interval sweep between the group bounding boxes and the uncertain
+/// rows ([`SgGroupIndex`]), not from the old groups × tuples scan.
+pub fn aggregate_au_exec(
+    rel: &AuRelation,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    compress: Option<usize>,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
+    aggregate_impl(rel, group_by, aggs, compress, exec, true)
+}
+
+/// The pre-index membership computation: every output group tests every
+/// uncertain-group row for overlap. Retained (sequential) as the
+/// differential-testing oracle and the bench baseline the indexed
+/// grouping is measured against; produces exactly the same result as
+/// [`aggregate_au_exec`].
+pub fn aggregate_au_scan(
+    rel: &AuRelation,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    compress: Option<usize>,
+) -> Result<AuRelation, EvalError> {
+    aggregate_impl(rel, group_by, aggs, compress, &Executor::sequential(), false)
+}
+
+fn aggregate_impl(
+    rel: &AuRelation,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    compress: Option<usize>,
+    exec: &Executor,
+    sweep_membership: bool,
 ) -> Result<AuRelation, EvalError> {
     let mut names: Vec<String> =
         group_by.iter().map(|c| rel.schema.column_name(*c).to_string()).collect();
@@ -165,51 +205,49 @@ pub fn aggregate_au(
         ));
     }
 
-    // ---- default grouping strategy (Definition 24) ------------------------
-    let mut groups: HashMap<Tuple, GroupState> = HashMap::new();
-    let mut order: Vec<Tuple> = Vec::new();
-    for (i, (t, _)) in rel.rows().iter().enumerate() {
-        let gproj = t.project(group_by);
-        let key = gproj.sg();
-        match groups.get_mut(&key) {
-            Some(st) => {
-                st.bbox = st.bbox.merge_keep_sg(&gproj);
-                st.alpha.push(i);
-            }
-            None => {
-                order.push(key.clone());
-                groups.insert(key, GroupState { bbox: gproj, alpha: vec![i] });
-            }
-        }
-    }
+    // ---- default grouping strategy (Definition 24) on the SG-hash
+    // grouping index: one pass assigns every row to its SG group (α),
+    // accumulates the per-group bounding boxes (Definition 25), and
+    // splits membership into certain-group rows (which belong only to
+    // their own group) and the uncertain possible side.
+    let gindex = SgGroupIndex::from_au(rel.rows(), group_by);
 
-    // ---- membership sources (the aggregation analog of the join's
-    // split, Section 10.5): rows with *certain* group-by values can only
-    // ever belong to their own group — index them by group key so each
-    // output reads exactly its own certain members. Rows with uncertain
-    // group-by values are the possible side; with `compress = Some(ct)`
-    // they are compacted into at most `ct` bounding-box buckets before
-    // the per-group overlap scan.
-    let mut certain_by_group: HashMap<Tuple, Vec<usize>> = HashMap::new();
-    let mut uncertain_rows: Vec<usize> = Vec::new();
-    if !group_by.is_empty() {
-        for (i, (t, _)) in rel.rows().iter().enumerate() {
-            let gp = t.project(group_by);
-            if gp.is_certain() {
-                certain_by_group.entry(gp.sg()).or_default().push(i);
-            } else {
-                uncertain_rows.push(i);
-            }
-        }
-    }
+    // The uncertain possible-member source (the aggregation analog of
+    // the join's split, Section 10.5); with `compress = Some(ct)` it is
+    // compacted into at most `ct` bounding-box buckets first.
     let uncertain_source: Vec<(RangeTuple, AuAnnot)> = {
-        let raw: Vec<(RangeTuple, AuAnnot)> =
-            uncertain_rows.iter().map(|&i| rel.rows()[i].clone()).collect();
+        let raw: Vec<(RangeTuple, AuAnnot)> = if group_by.is_empty() {
+            Vec::new()
+        } else {
+            gindex.uncertain().iter().map(|&i| rel.rows()[i as usize].clone()).collect()
+        };
         match compress {
             Some(ct) if !group_by.is_empty() => opt::compress_rows(&raw, group_by[0], ct),
             _ => raw,
         }
     };
+
+    // Membership candidates per group: an endpoint sweep between the
+    // group boxes and the uncertain source on the first group-by
+    // attribute — `O((G + U) log(G + U) + pairs)` instead of the old
+    // `O(G · U)` scan. Candidates are sorted back into source order so
+    // the (order-sensitive) bound folds match the scan exactly; the
+    // precise multi-attribute overlap check happens per candidate below.
+    let mut cand: Vec<Vec<u32>> = vec![Vec::new(); gindex.len()];
+    if !group_by.is_empty() && !uncertain_source.is_empty() {
+        if sweep_membership {
+            let gi = gindex.bbox_interval_index(0);
+            let si = IntervalIndex::from_au(&uncertain_source, group_by[0]);
+            IntervalIndex::sweep_overlapping(&gi, &si, |g, s| cand[g as usize].push(s));
+            for c in &mut cand {
+                c.sort_unstable();
+            }
+        } else {
+            for c in &mut cand {
+                c.extend(0..uncertain_source.len() as u32);
+            }
+        }
+    }
 
     // For aggregation without group-by, the single output row exists in
     // *every* world — including worlds where the input is empty, where
@@ -219,136 +257,166 @@ pub fn aggregate_au(
     let possibly_empty = group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.lb == 0);
     let sg_world_empty = group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.sg == 0);
 
-    let mut out = AuRelation::empty(schema);
-    for key in &order {
-        let st = &groups[key];
-        let bbox_certain = st.bbox.is_certain();
-
-        // ð(g): possible members — this group's own certain rows plus
-        // every uncertain-group source whose group-by ranges overlap the
-        // output's box. (Tuples pinned to another certain group are
-        // excluded by construction — deviation 2 in the module docs.)
+    // ---- per-group bounds, group partitions in parallel -----------------
+    let one = audb_core::lit(1i64);
+    let rows = exec.run(gindex.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
         let mut members: Vec<&(RangeTuple, AuAnnot)> = Vec::new();
-        if group_by.is_empty() {
-            members.extend(rel.rows().iter());
-        } else {
-            if let Some(own) = certain_by_group.get(key) {
-                members.extend(own.iter().map(|&i| &rel.rows()[i]));
-            }
-            members.extend(
-                uncertain_source.iter().filter(|(t, _)| t.project(group_by).overlaps(&st.bbox)),
-            );
-        }
+        for g in morsel {
+            let key = gindex.key(g);
+            let bbox = gindex.bbox(g);
+            let alpha = gindex.alpha(g);
+            let bbox_certain = bbox.is_certain();
 
-        // ---- aggregate value bounds --------------------------------------
-        let one = audb_core::lit(1i64);
-        let mut agg_vals = Vec::with_capacity(aggs.len());
-        for spec in aggs {
-            let v = match spec.func {
-                AggFunc::Sum => agg_bounds(
-                    rel,
-                    st,
-                    key,
-                    group_by,
-                    &members,
-                    Monoid::Sum,
-                    &spec.input,
-                    bbox_certain,
-                )?,
-                AggFunc::Count => {
-                    agg_bounds(rel, st, key, group_by, &members, Monoid::Sum, &one, bbox_certain)?
-                }
-                AggFunc::Min => agg_bounds(
-                    rel,
-                    st,
-                    key,
-                    group_by,
-                    &members,
-                    Monoid::Min,
-                    &spec.input,
-                    bbox_certain,
-                )?,
-                AggFunc::Max => agg_bounds(
-                    rel,
-                    st,
-                    key,
-                    group_by,
-                    &members,
-                    Monoid::Max,
-                    &spec.input,
-                    bbox_certain,
-                )?,
-                AggFunc::Avg => {
-                    let sum = agg_bounds(
+            // ð(g): possible members — this group's own certain rows plus
+            // every uncertain-group source whose group-by ranges overlap
+            // the output's box. (Tuples pinned to another certain group
+            // are excluded by construction — deviation 2 in the module
+            // docs.)
+            members.clear();
+            if group_by.is_empty() {
+                members.extend(rel.rows().iter());
+            } else {
+                members.extend(gindex.certain(g).iter().map(|&i| &rel.rows()[i as usize]));
+                // column-wise overlap against the box — equivalent to
+                // `t.project(group_by).overlaps(bbox)` minus the
+                // projection's per-candidate allocation
+                members.extend(cand[g].iter().map(|&s| &uncertain_source[s as usize]).filter(
+                    |(t, _)| group_by.iter().zip(&bbox.0).all(|(c, b)| t.0[*c].overlaps(b)),
+                ));
+            }
+
+            // ---- aggregate value bounds ----------------------------------
+            let mut agg_vals = Vec::with_capacity(aggs.len());
+            for spec in aggs {
+                let v = match spec.func {
+                    AggFunc::Sum => agg_bounds(
                         rel,
-                        st,
+                        alpha,
                         key,
                         group_by,
                         &members,
                         Monoid::Sum,
                         &spec.input,
                         bbox_certain,
-                    )?;
-                    let cnt = agg_bounds(
+                    )?,
+                    AggFunc::Count => agg_bounds(
                         rel,
-                        st,
+                        alpha,
                         key,
                         group_by,
                         &members,
                         Monoid::Sum,
                         &one,
                         bbox_certain,
-                    )?;
-                    avg_range(&sum, &cnt)?
-                }
-            };
-            let v = if group_by.is_empty() {
-                adjust_for_possible_empty(v, spec.func, possibly_empty, sg_world_empty)?
-            } else {
-                v
-            };
-            agg_vals.push(v);
-        }
-
-        // ---- row annotation (Definition 28 + the Section 9.6 improved
-        // group-count bound: α-assigned tuples with *certain* group-by
-        // values can only ever form the single group `g`, so they
-        // contribute one possible group in total; each uncertain tuple
-        // may spawn up to `ub` distinct groups of its own) -----------------
-        let mut lb_any_certain = false;
-        let mut sg_sum = 0u64;
-        let mut any_certain_group = false;
-        let mut uncertain_ub_sum = 0u64;
-        for &i in &st.alpha {
-            let (t, k) = &rel.rows()[i];
-            let certain_g = t.project(group_by).is_certain();
-            if certain_g {
-                any_certain_group = true;
-                if k.lb > 0 {
-                    lb_any_certain = true;
-                }
-            } else {
-                uncertain_ub_sum += k.ub;
+                    )?,
+                    AggFunc::Min => agg_bounds(
+                        rel,
+                        alpha,
+                        key,
+                        group_by,
+                        &members,
+                        Monoid::Min,
+                        &spec.input,
+                        bbox_certain,
+                    )?,
+                    AggFunc::Max => agg_bounds(
+                        rel,
+                        alpha,
+                        key,
+                        group_by,
+                        &members,
+                        Monoid::Max,
+                        &spec.input,
+                        bbox_certain,
+                    )?,
+                    AggFunc::Avg => {
+                        let sum = agg_bounds(
+                            rel,
+                            alpha,
+                            key,
+                            group_by,
+                            &members,
+                            Monoid::Sum,
+                            &spec.input,
+                            bbox_certain,
+                        )?;
+                        let cnt = agg_bounds(
+                            rel,
+                            alpha,
+                            key,
+                            group_by,
+                            &members,
+                            Monoid::Sum,
+                            &one,
+                            bbox_certain,
+                        )?;
+                        avg_range(&sum, &cnt)?
+                    }
+                };
+                let v = if group_by.is_empty() {
+                    adjust_for_possible_empty(v, spec.func, possibly_empty, sg_world_empty)?
+                } else {
+                    v
+                };
+                agg_vals.push(v);
             }
-            sg_sum += k.sg;
-        }
-        // Without group-by the single output row exists in every world
-        // (Definition 27); with group-by, Definition 28 + the improved
-        // group-count bound apply.
-        let annot = if group_by.is_empty() {
-            AuAnnot::certain_one()
-        } else {
-            AuAnnot::triple(
-                lb_any_certain as u64,
-                if sg_sum > 0 { 1 } else { 0 },
-                (any_certain_group as u64 + uncertain_ub_sum).max(if sg_sum > 0 { 1 } else { 0 }),
-            )
-        };
 
-        let mut tvals = st.bbox.0.clone();
-        tvals.extend(agg_vals);
-        out.push(RangeTuple::new(tvals), annot);
-    }
+            // ---- row annotation (Definition 28 + the Section 9.6
+            // improved group-count bound: α-assigned tuples with
+            // *certain* group-by values can only ever form the single
+            // group `g`, so they contribute one possible group in total;
+            // each uncertain tuple may spawn up to `ub` distinct groups
+            // of its own) --------------------------------------------------
+            let mut lb_any_certain = false;
+            let mut sg_sum = 0u64;
+            let mut any_certain_group = false;
+            let mut uncertain_ub_sum = 0u64;
+            // `certain(g)` is the certain-group-by subset of `alpha`,
+            // both sorted by row id — walk them in lockstep instead of
+            // re-projecting every row.
+            let mut certain_iter = gindex.certain(g).iter().peekable();
+            for &i in alpha {
+                let (_, k) = &rel.rows()[i as usize];
+                let certain_g = certain_iter.peek() == Some(&&i);
+                if certain_g {
+                    certain_iter.next();
+                }
+                if certain_g {
+                    any_certain_group = true;
+                    if k.lb > 0 {
+                        lb_any_certain = true;
+                    }
+                } else {
+                    uncertain_ub_sum += k.ub;
+                }
+                sg_sum += k.sg;
+            }
+            // Without group-by the single output row exists in every
+            // world (Definition 27); with group-by, Definition 28 + the
+            // improved group-count bound apply.
+            let annot = if group_by.is_empty() {
+                AuAnnot::certain_one()
+            } else {
+                AuAnnot::triple(
+                    lb_any_certain as u64,
+                    if sg_sum > 0 { 1 } else { 0 },
+                    (any_certain_group as u64 + uncertain_ub_sum).max(if sg_sum > 0 {
+                        1
+                    } else {
+                        0
+                    }),
+                )
+            };
+
+            let mut tvals = bbox.0.clone();
+            tvals.extend(agg_vals);
+            rows.push((RangeTuple::new(tvals), annot));
+        }
+        Ok::<(), EvalError>(())
+    })?;
+
+    let mut out = AuRelation::empty(schema);
+    out.append_rows(rows);
     Ok(out.normalized())
 }
 
@@ -380,7 +448,7 @@ fn adjust_for_possible_empty(
 #[allow(clippy::too_many_arguments)]
 fn agg_bounds(
     rel: &AuRelation,
-    st: &GroupState,
+    alpha: &[u32],
     gkey: &Tuple,
     group_by: &[usize],
     members: &[&(RangeTuple, AuAnnot)],
@@ -395,8 +463,14 @@ fn agg_bounds(
     for (t, k) in members {
         let m = input.eval_range(t.values())?;
         let (lo, _, hi) = boxtimes(monoid, k, &m)?;
-        let gproj = t.project(group_by);
-        let non_ug = k.lb > 0 && bbox_certain && gproj.is_certain() && gproj.sg() == *gkey;
+        // column-wise `gproj.is_certain() && gproj.sg() == *gkey`
+        // without materializing the projection per member
+        let non_ug = k.lb > 0
+            && bbox_certain
+            && group_by
+                .iter()
+                .zip(&gkey.0)
+                .all(|(c, kv)| t.0[*c].is_certain() && t.0[*c].sg == *kv);
         let (lbc, ubc) = if non_ug {
             (lo, hi)
         } else {
@@ -409,8 +483,8 @@ fn agg_bounds(
     // SG component: deterministic aggregation over the SG world —
     // α-assigned original tuples only (the rewrite's `θ_sg` guard).
     let mut sg_acc = neutral;
-    for &i in &st.alpha {
-        let (t, k) = &rel.rows()[i];
+    for &i in alpha {
+        let (t, k) = &rel.rows()[i as usize];
         let m = input.eval_range(t.values())?;
         let (_, sgv, _) = boxtimes(monoid, k, &m)?;
         sg_acc = monoid.combine(&sg_acc, &sgv)?;

@@ -16,6 +16,7 @@ pub mod difference;
 use std::borrow::Cow;
 
 use audb_core::{AuAnnot, EvalError, Expr, Semiring};
+use audb_exec::Executor;
 use audb_storage::{AuDatabase, AuRelation, Schema};
 
 use crate::algebra::Query;
@@ -32,6 +33,17 @@ pub struct AuConfig {
     /// Apply the compressed-possible-side aggregation optimization
     /// (Section 10.5).
     pub agg_compress: Option<usize>,
+    /// Skip split/compress on inputs too small or too certain for the
+    /// compression to pay for itself (see [`opt::join_compression_pays_off`]
+    /// and [`opt::agg_compression_pays_off`]). Off by default so explicit
+    /// `join_compress`/`agg_compress` settings keep their forced meaning;
+    /// [`AuConfig::compressed`] turns it on.
+    pub adaptive: bool,
+    /// Worker threads for the partition-parallel operator drivers:
+    /// `None` uses all available hardware threads, `Some(1)` is the
+    /// exact sequential behavior. Any value produces identical results
+    /// (`tests/exec_equivalence.rs`).
+    pub workers: Option<usize>,
 }
 
 impl AuConfig {
@@ -40,15 +52,30 @@ impl AuConfig {
         AuConfig::default()
     }
 
-    /// Compact intermediate results to at most `ct` possible tuples.
+    /// Compact intermediate results to at most `ct` possible tuples —
+    /// adaptively: inputs below the compression thresholds evaluate
+    /// precisely instead (tighter bounds *and* faster at small scale;
+    /// see `BENCH_join_engine.json` for the regression this avoids).
     pub fn compressed(ct: usize) -> Self {
-        AuConfig { join_compress: Some(ct), agg_compress: Some(ct) }
+        AuConfig {
+            join_compress: Some(ct),
+            agg_compress: Some(ct),
+            adaptive: true,
+            ..AuConfig::default()
+        }
+    }
+
+    /// Set an explicit worker count (1 = sequential).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 }
 
 /// Evaluate a query over an AU-database.
 pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
-    Ok(eval_inner(db, q, cfg)?.into_owned().into_normalized())
+    let exec = Executor::from_option(cfg.workers);
+    Ok(eval_inner(db, q, cfg, &exec)?.into_owned().into_normalized())
 }
 
 /// Copy-free evaluation core: base tables are *borrowed* from the
@@ -58,47 +85,61 @@ fn eval_inner<'a>(
     db: &'a AuDatabase,
     q: &Query,
     cfg: &AuConfig,
+    exec: &Executor,
 ) -> Result<Cow<'a, AuRelation>, EvalError> {
     Ok(match q {
         Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
-            let rel = eval_inner(db, input, cfg)?;
+            let rel = eval_inner(db, input, cfg, exec)?;
             Cow::Owned(select_au(&rel, predicate)?)
         }
         Query::Project { input, exprs } => {
-            let rel = eval_inner(db, input, cfg)?;
+            let rel = eval_inner(db, input, cfg, exec)?;
             Cow::Owned(project_au(&rel, exprs)?)
         }
         Query::Join { left, right, predicate } => {
-            let l = eval_inner(db, left, cfg)?;
-            let r = eval_inner(db, right, cfg)?;
+            let l = eval_inner(db, left, cfg, exec)?;
+            let r = eval_inner(db, right, cfg, exec)?;
             Cow::Owned(match cfg.join_compress {
-                Some(ct) => opt::optimized_join(&l, &r, predicate.as_ref(), ct)?,
-                None => join_au(&l, &r, predicate.as_ref())?,
+                Some(ct) if !cfg.adaptive || opt::join_compression_pays_off(&l, &r) => {
+                    opt::optimized_join_exec(&l, &r, predicate.as_ref(), ct, exec)?
+                }
+                _ => planner::join_au_planned_exec(&l, &r, predicate.as_ref(), exec)?,
             })
         }
         Query::Union { left, right } => {
-            let l = eval_inner(db, left, cfg)?;
-            let r = eval_inner(db, right, cfg)?;
+            let l = eval_inner(db, left, cfg, exec)?;
+            let r = eval_inner(db, right, cfg, exec)?;
             Cow::Owned(union_cow(l, r)?)
         }
         Query::Difference { left, right } => {
-            let l = eval_inner(db, left, cfg)?;
-            let r = eval_inner(db, right, cfg)?;
-            Cow::Owned(difference::difference_au(&l, &r)?)
+            let l = eval_inner(db, left, cfg, exec)?;
+            let r = eval_inner(db, right, cfg, exec)?;
+            Cow::Owned(difference::difference_au_exec(&l, &r, exec)?)
         }
         Query::Distinct { input } => {
             // δ is aggregation grouping on all columns with no aggregates;
             // this inherits the treatment of uncertain "group" membership.
-            let rel = eval_inner(db, input, cfg)?;
+            let rel = eval_inner(db, input, cfg, exec)?;
             let all: Vec<usize> = (0..rel.schema.arity()).collect();
-            Cow::Owned(aggregate::aggregate_au(&rel, &all, &[], cfg.agg_compress)?)
+            let compress = effective_agg_compress(cfg, &rel, &all);
+            Cow::Owned(aggregate::aggregate_au_exec(&rel, &all, &[], compress, exec)?)
         }
         Query::Aggregate { input, group_by, aggs } => {
-            let rel = eval_inner(db, input, cfg)?;
-            Cow::Owned(aggregate::aggregate_au(&rel, group_by, aggs, cfg.agg_compress)?)
+            let rel = eval_inner(db, input, cfg, exec)?;
+            let compress = effective_agg_compress(cfg, &rel, group_by);
+            Cow::Owned(aggregate::aggregate_au_exec(&rel, group_by, aggs, compress, exec)?)
         }
     })
+}
+
+/// The aggregation-compression setting after the adaptive check.
+fn effective_agg_compress(cfg: &AuConfig, rel: &AuRelation, group_by: &[usize]) -> Option<usize> {
+    let ct = cfg.agg_compress?;
+    if cfg.adaptive && !opt::agg_compression_pays_off(rel, group_by, ct) {
+        return None;
+    }
+    Some(ct)
 }
 
 /// Union that reuses whichever operand already owns its row buffer;

@@ -14,6 +14,8 @@
 //! * [`sql`] — a SQL front-end lowering `SELECT`-`FROM`-`WHERE`-
 //!   `GROUP BY` (+`UNION`/`EXCEPT`/`CASE`/`make_uncertain`) to plans.
 
+pub use audb_exec as exec;
+
 pub mod algebra;
 pub mod au;
 pub mod det;
@@ -25,6 +27,7 @@ pub mod ua;
 
 pub use algebra::{table, AggFunc, AggSpec, Catalog, Query};
 pub use au::{eval_au, AuConfig};
+pub use audb_exec::{Executor, Partitioner};
 pub use det::eval_det;
 pub use planner::{classify, JoinStrategy};
 pub use sql::parse_sql;

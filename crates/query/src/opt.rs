@@ -16,9 +16,10 @@
 //! bounds with precision traded for performance (Lemma 10.1).
 
 use audb_core::{AuAnnot, EvalError, Expr};
+use audb_exec::Executor;
 use audb_storage::{AuRelation, RangeTuple};
 
-use crate::planner::join_au_planned;
+use crate::planner::join_au_planned_exec;
 
 /// `split_sg(R)` (Section 10.4): one certain-attribute tuple per SGW
 /// tuple. The lower bound survives only for tuples without attribute
@@ -95,12 +96,24 @@ pub fn optimized_join(
     predicate: Option<&Expr>,
     ct: usize,
 ) -> Result<AuRelation, EvalError> {
+    optimized_join_exec(l, r, predicate, ct, &Executor::default())
+}
+
+/// [`optimized_join`] on an explicit executor (both planned sub-joins
+/// run their probe/candidate loops on its workers).
+pub fn optimized_join_exec(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+    ct: usize,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
     let split = l.schema.arity();
 
     // ---- SG part: certain tuples, planner-selected strategy -------------
     let lsg = split_sg(l);
     let rsg = split_sg(r);
-    let mut out = join_au_planned(&lsg, &rsg, predicate)?;
+    let mut out = join_au_planned_exec(&lsg, &rsg, predicate, exec)?;
 
     // ---- possible part: compressed overlap join --------------------------
     let (la, ra) = predicate
@@ -109,12 +122,64 @@ pub fn optimized_join(
         .unwrap_or((0, 0));
     let lup = compress(&split_up(l), la, ct);
     let rup = compress(&split_up(r), ra, ct);
-    let pos = join_au_planned(&lup, &rup, predicate)?;
+    let pos = join_au_planned_exec(&lup, &rup, predicate, exec)?;
     for (t, k) in pos.rows() {
         out.push(t.clone(), *k);
     }
 
     Ok(out.into_normalized())
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive compression thresholds
+// ---------------------------------------------------------------------------
+
+/// Estimated uncertain-candidate work above which the join's
+/// split/compress optimization pays for itself. Below it the precise
+/// planned join is both faster (`BENCH_join_engine.json` records the
+/// small-scale regression: the index-backed precise join beat every CT
+/// variant at 500 × 500 with 5% uncertainty) and tighter.
+pub const JOIN_COMPRESS_MIN_WORK: u64 = 1 << 20;
+
+/// Should [`optimized_join`] be used over the precise planned join?
+/// The cost the compression avoids is the band-filter work of the
+/// uncertain rows: roughly (uncertain left × right) + (uncertain right
+/// × left) candidate checks in the worst case.
+pub fn join_compression_pays_off(l: &AuRelation, r: &AuRelation) -> bool {
+    let lu = uncertain_row_count(l) as u64;
+    let ru = uncertain_row_count(r) as u64;
+    lu.saturating_mul(r.len() as u64).saturating_add(ru.saturating_mul(l.len() as u64))
+        >= JOIN_COMPRESS_MIN_WORK
+}
+
+/// Uncertain rows below which aggregation compression is skipped even
+/// when the count exceeds `ct` (the sweep-indexed membership makes
+/// small possible sides cheap, and skipping keeps bounds tight).
+pub const AGG_COMPRESS_MIN_UNCERTAIN: usize = 256;
+
+/// Should aggregation compress its possible side to `ct` buckets?
+/// Compression cannot shrink an input of at most `ct` uncertain rows
+/// but *does* discard their lower/SG annotation components, so below
+/// the threshold it is strictly worse.
+pub fn agg_compression_pays_off(rel: &AuRelation, group_by: &[usize], ct: usize) -> bool {
+    if group_by.is_empty() {
+        return false;
+    }
+    let threshold = AGG_COMPRESS_MIN_UNCERTAIN.max(ct.saturating_mul(4));
+    let mut uncertain = 0usize;
+    for (t, _) in rel.rows() {
+        if !group_by.iter().all(|c| t.0[*c].is_certain()) {
+            uncertain += 1;
+            if uncertain > threshold {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn uncertain_row_count(rel: &AuRelation) -> usize {
+    rel.rows().iter().filter(|(t, _)| !t.is_certain()).count()
 }
 
 #[cfg(test)]

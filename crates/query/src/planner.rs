@@ -21,9 +21,21 @@
 //! candidate is re-checked with the precise range-annotated predicate
 //! semantics, so each strategy produces (after normalization) exactly
 //! the nested-loop result — see `tests/join_equivalence.rs`.
+//!
+//! ### Parallel execution
+//!
+//! The probe and candidate-evaluation loops of both accelerated
+//! strategies run on the [`Executor`] runtime: the certain-key probe
+//! side and the sweep candidate lists are partitioned into morsels,
+//! evaluated on the scoped pool, and merged in morsel order — so the
+//! output row list is byte-identical to the sequential one for every
+//! worker count (`tests/exec_equivalence.rs` pins this down). Index
+//! construction and the sweeps themselves stay sequential: they are
+//! `O(n log n)` and cheap relative to candidate evaluation.
 
 use audb_core::{AuAnnot, EvalError, Expr, Semiring, Value};
-use audb_storage::{AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Relation};
+use audb_exec::Executor;
+use audb_storage::{AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Relation, Tuple};
 
 use crate::au::nested_loop_join_au;
 
@@ -87,20 +99,38 @@ pub fn classify(predicate: Option<&Expr>, split: usize) -> JoinStrategy {
     JoinStrategy::NestedLoop
 }
 
-/// Theta-join over AU-relations through the planner. Produces the same
-/// rows as [`nested_loop_join_au`] (up to order / normalization).
+/// Theta-join over AU-relations through the planner, on the default
+/// executor (all available workers). Produces the same rows as
+/// [`nested_loop_join_au`] (up to order / normalization).
 pub fn join_au_planned(
     l: &AuRelation,
     r: &AuRelation,
     predicate: Option<&Expr>,
 ) -> Result<AuRelation, EvalError> {
+    join_au_planned_exec(l, r, predicate, &Executor::default())
+}
+
+/// Theta-join over AU-relations through the planner on an explicit
+/// executor. `Executor::sequential()` reproduces the single-threaded
+/// behavior exactly; any worker count produces a byte-identical result.
+pub fn join_au_planned_exec(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
     match classify(predicate, l.schema.arity()) {
         JoinStrategy::HashEqui(pairs) => {
-            hash_equi_join_au(l, r, predicate.expect("equi plan implies predicate"), &pairs)
+            hash_equi_join_au(l, r, predicate.expect("equi plan implies predicate"), &pairs, exec)
         }
-        JoinStrategy::IntervalComparison { lo, hi } => {
-            comparison_join_au(l, r, predicate.expect("comparison plan implies predicate"), lo, hi)
-        }
+        JoinStrategy::IntervalComparison { lo, hi } => comparison_join_au(
+            l,
+            r,
+            predicate.expect("comparison plan implies predicate"),
+            lo,
+            hi,
+            exec,
+        ),
         JoinStrategy::NestedLoop => nested_loop_join_au(l, r, predicate),
     }
 }
@@ -127,7 +157,7 @@ fn partition_by_key_certainty(
 /// the key attributes are structurally equal and certain (predicate
 /// triple is then (T, T, T) by construction).
 fn emit_equi_pair(
-    out: &mut AuRelation,
+    out: &mut Vec<(RangeTuple, AuAnnot)>,
     l: &(RangeTuple, AuAnnot),
     r: &(RangeTuple, AuAnnot),
     predicate: &Expr,
@@ -148,7 +178,7 @@ fn emit_equi_pair(
         }
         k = k.times(&AuAnnot::from_bool3(plb, psg, pub_));
     }
-    out.push(t, k);
+    out.push((t, k));
     Ok(())
 }
 
@@ -157,6 +187,7 @@ fn hash_equi_join_au(
     r: &AuRelation,
     predicate: &Expr,
     pairs: &[(usize, usize)],
+    exec: &Executor,
 ) -> Result<AuRelation, EvalError> {
     let mut out = AuRelation::empty(l.schema.concat(&r.schema));
     let lcols: Vec<usize> = pairs.iter().map(|(a, _)| *a).collect();
@@ -164,23 +195,30 @@ fn hash_equi_join_au(
     let (lc, lu) = partition_by_key_certainty(l.rows(), &lcols);
     let (rc, ru) = partition_by_key_certainty(r.rows(), &rcols);
 
-    // certain × certain: hash join on canonical SG keys
+    // certain × certain: hash join on canonical SG keys; the probe side
+    // is partitioned into morsels and probed in parallel against the
+    // shared (read-only) bucket index
     if !lc.is_empty() && !rc.is_empty() {
         let index = HashKeyIndex::from_au_sg(r.rows(), &rcols, rc.iter().copied());
-        let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
-        for &li in &lc {
-            let row_l = &l.rows()[li as usize];
-            key.clear();
-            key.extend(lcols.iter().map(|c| row_l.0 .0[*c].sg.join_key()));
-            for &ri in index.get(&key) {
-                emit_equi_pair(&mut out, row_l, &r.rows()[ri as usize], predicate, pairs)?;
+        let rows = exec.run(lc.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
+            let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+            for &li in &lc[morsel] {
+                let row_l = &l.rows()[li as usize];
+                key.clear();
+                key.extend(lcols.iter().map(|c| row_l.0 .0[*c].sg.join_key()));
+                for &ri in index.get(&key) {
+                    emit_equi_pair(rows, row_l, &r.rows()[ri as usize], predicate, pairs)?;
+                }
             }
-        }
+            Ok::<(), EvalError>(())
+        })?;
+        out.append_rows(rows);
     }
 
     // band filtering for uncertain-key rows: plane sweeps on the first
     // pair's interval indexes cover (uncertain × all) and
-    // (certain × uncertain) without double counting
+    // (certain × uncertain) without double counting; the candidate
+    // blocks are then evaluated in parallel
     let (c0l, c0r) = pairs[0];
     let mut candidates: Vec<(u32, u32)> = Vec::new();
     if !lu.is_empty() {
@@ -193,9 +231,13 @@ fn hash_equi_join_au(
         let ri = IntervalIndex::from_au_subset(r.rows(), c0r, &ru);
         IntervalIndex::sweep_overlapping(&li, &ri, |a, b| candidates.push((a, b)));
     }
-    for (a, b) in candidates {
-        emit_equi_pair(&mut out, &l.rows()[a as usize], &r.rows()[b as usize], predicate, pairs)?;
-    }
+    let rows = exec.run(candidates.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
+        for &(a, b) in &candidates[morsel] {
+            emit_equi_pair(rows, &l.rows()[a as usize], &r.rows()[b as usize], predicate, pairs)?;
+        }
+        Ok::<(), EvalError>(())
+    })?;
+    out.append_rows(rows);
     Ok(out)
 }
 
@@ -235,6 +277,7 @@ fn comparison_join_au(
     predicate: &Expr,
     lo: (Side, usize),
     hi: (Side, usize),
+    exec: &Executor,
 ) -> Result<AuRelation, EvalError> {
     let mut out = AuRelation::empty(l.schema.concat(&r.schema));
     let candidates = comparison_candidates(
@@ -243,25 +286,41 @@ fn comparison_join_au(
         |c| IntervalIndex::from_au(l.rows(), c),
         |c| IntervalIndex::from_au(r.rows(), c),
     );
-    for (a, b) in candidates {
-        let (tl, kl) = &l.rows()[a as usize];
-        let (tr, kr) = &r.rows()[b as usize];
-        let t = tl.concat(tr);
-        let (plb, psg, pub_) = predicate.eval_range_bool3(t.values())?;
-        if !pub_ {
-            continue;
+    let rows = exec.run(candidates.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
+        for &(a, b) in &candidates[morsel] {
+            let (tl, kl) = &l.rows()[a as usize];
+            let (tr, kr) = &r.rows()[b as usize];
+            let t = tl.concat(tr);
+            let (plb, psg, pub_) = predicate.eval_range_bool3(t.values())?;
+            if !pub_ {
+                continue;
+            }
+            let k = kl.times(kr).times(&AuAnnot::from_bool3(plb, psg, pub_));
+            rows.push((t, k));
         }
-        let k = kl.times(kr).times(&AuAnnot::from_bool3(plb, psg, pub_));
-        out.push(t, k);
-    }
+        Ok::<(), EvalError>(())
+    })?;
+    out.append_rows(rows);
     Ok(out)
 }
 
-/// Theta-join over deterministic relations through the planner.
+/// Theta-join over deterministic relations through the planner, on the
+/// default executor.
 pub fn join_det_planned(
     l: &Relation,
     r: &Relation,
     predicate: Option<&Expr>,
+) -> Result<Relation, EvalError> {
+    join_det_planned_exec(l, r, predicate, &Executor::default())
+}
+
+/// Theta-join over deterministic relations through the planner on an
+/// explicit executor.
+pub fn join_det_planned_exec(
+    l: &Relation,
+    r: &Relation,
+    predicate: Option<&Expr>,
+    exec: &Executor,
 ) -> Result<Relation, EvalError> {
     let mut out = Relation::empty(l.schema.concat(&r.schema));
     match classify(predicate, l.schema.arity()) {
@@ -272,15 +331,19 @@ pub fn join_det_planned(
             let lcols: Vec<usize> = pairs.iter().map(|(a, _)| *a).collect();
             let rcols: Vec<usize> = pairs.iter().map(|(_, b)| *b).collect();
             let index = HashKeyIndex::from_det(r.rows(), &rcols);
-            let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
-            for (tl, kl) in l.rows() {
-                key.clear();
-                key.extend(lcols.iter().map(|c| tl.0[*c].join_key()));
-                for &ri in index.get(&key) {
-                    let (tr, kr) = &r.rows()[ri as usize];
-                    out.push(tl.concat(tr), kl * kr);
+            let rows = exec.run(l.rows().len(), |morsel, rows: &mut Vec<(Tuple, u64)>| {
+                let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+                for (tl, kl) in &l.rows()[morsel] {
+                    key.clear();
+                    key.extend(lcols.iter().map(|c| tl.0[*c].join_key()));
+                    for &ri in index.get(&key) {
+                        let (tr, kr) = &r.rows()[ri as usize];
+                        rows.push((tl.concat(tr), kl * kr));
+                    }
                 }
-            }
+                Ok::<(), EvalError>(())
+            })?;
+            out.append_rows(rows);
         }
         JoinStrategy::IntervalComparison { lo, hi } => {
             let p = predicate.expect("comparison plan implies predicate");
@@ -290,14 +353,18 @@ pub fn join_det_planned(
                 |c| IntervalIndex::from_det(l.rows(), c),
                 |c| IntervalIndex::from_det(r.rows(), c),
             );
-            for (a, b) in candidates {
-                let (tl, kl) = &l.rows()[a as usize];
-                let (tr, kr) = &r.rows()[b as usize];
-                let t = tl.concat(tr);
-                if p.eval_bool(t.values())? {
-                    out.push(t, kl * kr);
+            let rows = exec.run(candidates.len(), |morsel, rows: &mut Vec<(Tuple, u64)>| {
+                for &(a, b) in &candidates[morsel] {
+                    let (tl, kl) = &l.rows()[a as usize];
+                    let (tr, kr) = &r.rows()[b as usize];
+                    let t = tl.concat(tr);
+                    if p.eval_bool(t.values())? {
+                        rows.push((t, kl * kr));
+                    }
                 }
-            }
+                Ok::<(), EvalError>(())
+            })?;
+            out.append_rows(rows);
         }
         JoinStrategy::NestedLoop => {
             for (tl, kl) in l.rows() {

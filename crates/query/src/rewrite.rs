@@ -284,12 +284,40 @@ pub fn rewrite(q: &Query, catalog: &dyn Catalog) -> Result<Query, EvalError> {
     Ok(rewr(q, catalog)?.0)
 }
 
-/// Full round trip: `Dec(rewr(Q)(Enc(D)))`.
+/// A reusable rewrite-evaluation session over one AU-database, plugged
+/// into the deterministic engine's Cow pipeline: base tables are
+/// encoded *lazily* — only the tables a query actually references, each
+/// at most once for the lifetime of the session — and the deterministic
+/// evaluator then borrows them copy-free. This replaces the old
+/// per-call `enc_database` round trip, which re-encoded every relation
+/// of the database on every evaluation.
+pub struct RewriteSession<'a> {
+    src: &'a AuDatabase,
+    enc: Database,
+}
+
+impl<'a> RewriteSession<'a> {
+    pub fn new(src: &'a AuDatabase) -> Self {
+        RewriteSession { src, enc: Database::new() }
+    }
+
+    /// `Dec(rewr(Q)(Enc(D)))`, encoding referenced base tables on first
+    /// use.
+    pub fn eval(&mut self, q: &Query) -> Result<AuRelation, EvalError> {
+        let (plan, schema) = rewr(q, self.src)?;
+        for name in q.table_refs() {
+            if self.enc.get(name).is_err() {
+                self.enc.insert(name.to_string(), enc_relation(self.src.get(name)?));
+            }
+        }
+        let out = crate::det::eval_det(&self.enc, &plan)?;
+        dec_relation(&out, &schema)
+    }
+}
+
+/// Full round trip: `Dec(rewr(Q)(Enc(D)))` in a one-shot session.
 pub fn eval_via_rewrite(db: &AuDatabase, q: &Query) -> Result<AuRelation, EvalError> {
-    let (plan, schema) = rewr(q, db)?;
-    let enc = enc_database(db);
-    let out = crate::det::eval_det(&enc, &plan)?;
-    dec_relation(&out, &schema)
+    RewriteSession::new(db).eval(q)
 }
 
 fn rewr(q: &Query, catalog: &dyn Catalog) -> Result<(Query, Schema), EvalError> {
@@ -1032,6 +1060,23 @@ mod tests {
         let native = eval_au(&db, &q, &AuConfig::precise()).unwrap();
         let via = eval_via_rewrite(&db, &q).unwrap();
         assert_eq!(native, via);
+    }
+
+    #[test]
+    fn session_encodes_lazily_and_reuses() {
+        let db = sample_db();
+        let mut sess = RewriteSession::new(&db);
+        let q = table("s").select(col(0).geq(lit(1i64)));
+        let out = sess.eval(&q).unwrap();
+        assert_eq!(out, eval_au(&db, &q, &AuConfig::precise()).unwrap());
+        // only the referenced table was encoded
+        assert!(sess.enc.get("s").is_ok());
+        assert!(sess.enc.get("r").is_err());
+        // a second query extends the cache instead of re-encoding
+        let q2 = table("r").project(vec![(col(0), "a")]);
+        let out2 = sess.eval(&q2).unwrap();
+        assert_eq!(out2, eval_au(&db, &q2, &AuConfig::precise()).unwrap());
+        assert!(sess.enc.get("r").is_ok());
     }
 
     #[test]

@@ -67,6 +67,14 @@ impl AuRelation {
         }
     }
 
+    /// Append a batch of produced rows, dropping zero annotations — the
+    /// ordered-merge sink of the parallel operator drivers.
+    pub fn append_rows(&mut self, rows: Vec<(RangeTuple, AuAnnot)>) {
+        for (t, k) in rows {
+            self.push(t, k);
+        }
+    }
+
     /// Append clones of another relation's rows (bag union without the
     /// intermediate `to_vec` the copy-free pipeline avoids).
     pub fn extend_from(&mut self, other: &AuRelation) {

@@ -1,7 +1,7 @@
 //! Secondary index structures over relation rows, consulted by the join
-//! planner in `audb_query`.
+//! planner and the aggregation/difference operators in `audb_query`.
 //!
-//! Two structures cover the paper's join predicate classes:
+//! Three structures cover the paper's operator classes:
 //!
 //! * [`IntervalIndex`] — per-attribute `[lb, ub]` endpoint lists, sorted
 //!   by both endpoints. Plane sweeps over two indexes enumerate exactly
@@ -13,6 +13,11 @@
 //! * [`HashKeyIndex`] — canonical-value hash buckets for equi-joins on
 //!   certain attributes (selected-guess values for AU rows,
 //!   deterministic values for bag rows).
+//! * [`SgGroupIndex`] — the grouping index behind aggregation's default
+//!   grouping strategy: exact SG-key buckets assigning every row to its
+//!   selected-guess group, per-group bounding boxes, and the
+//!   certain/uncertain membership split whose interval sweep replaces
+//!   the old all-groups × all-uncertain-tuples membership scan.
 //!
 //! All comparisons use the domain's total order ([`Value::total_cmp`]);
 //! candidate sets are deliberately *supersets* of the
@@ -190,6 +195,121 @@ impl HashKeyIndex {
     }
 }
 
+/// Grouping index for AU-aggregation (Definition 24's default grouping
+/// strategy): one group per distinct selected-guess value of the
+/// group-by projection, in first-appearance order.
+///
+/// Unlike [`HashKeyIndex`] the SG keys are *exact* tuples (no
+/// `join_key` canonicalization): grouping identity follows SG-world
+/// semantics, where `Int 2` and `Float 2.0` are distinct group values.
+///
+/// Per group the index records the α-assigned row ids, the bounding box
+/// over their group-by attributes (Definition 25), and the subset of
+/// rows whose group-by attributes are certain (which can only ever
+/// belong to their own group). Rows with uncertain group-by attributes
+/// — the *possible members* of every overlapping group — are listed
+/// separately, and [`SgGroupIndex::bbox_interval_index`] exposes the
+/// group boxes as an [`IntervalIndex`] so membership candidates come
+/// from a plane sweep instead of a groups × tuples scan.
+#[derive(Debug, Clone)]
+pub struct SgGroupIndex {
+    /// Distinct SG group keys in first-appearance order.
+    keys: Vec<Tuple>,
+    /// Per group: bounding box over assigned rows' group-by attributes.
+    bboxes: Vec<RangeTuple>,
+    /// Per group: α-assigned row ids, in row order.
+    alpha: Vec<Vec<u32>>,
+    /// Per group: the certain-group-by subset of `alpha`, in row order.
+    certain: Vec<Vec<u32>>,
+    /// Row ids whose group-by projection is uncertain, in row order.
+    uncertain: Vec<u32>,
+}
+
+impl SgGroupIndex {
+    /// Build from AU rows and the group-by column set.
+    pub fn from_au(rows: &[(RangeTuple, AuAnnot)], group_by: &[usize]) -> Self {
+        let mut by_key: HashMap<Tuple, u32> = HashMap::new();
+        let mut idx = SgGroupIndex {
+            keys: Vec::new(),
+            bboxes: Vec::new(),
+            alpha: Vec::new(),
+            certain: Vec::new(),
+            uncertain: Vec::new(),
+        };
+        for (i, (t, _)) in rows.iter().enumerate() {
+            let gproj = t.project(group_by);
+            let key = gproj.sg();
+            let g = match by_key.get(&key) {
+                Some(&g) => {
+                    let g = g as usize;
+                    idx.bboxes[g] = idx.bboxes[g].merge_keep_sg(&gproj);
+                    g
+                }
+                None => {
+                    let g = idx.keys.len();
+                    by_key.insert(key.clone(), g as u32);
+                    idx.keys.push(key);
+                    idx.bboxes.push(gproj.clone());
+                    idx.alpha.push(Vec::new());
+                    idx.certain.push(Vec::new());
+                    g
+                }
+            };
+            idx.alpha[g].push(i as u32);
+            if gproj.is_certain() {
+                idx.certain[g].push(i as u32);
+            } else {
+                idx.uncertain.push(i as u32);
+            }
+        }
+        idx
+    }
+
+    /// Number of distinct SG groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// SG key of group `g`.
+    pub fn key(&self, g: usize) -> &Tuple {
+        &self.keys[g]
+    }
+
+    /// Bounding box of group `g` over the group-by attributes.
+    pub fn bbox(&self, g: usize) -> &RangeTuple {
+        &self.bboxes[g]
+    }
+
+    /// α-assigned row ids of group `g`.
+    pub fn alpha(&self, g: usize) -> &[u32] {
+        &self.alpha[g]
+    }
+
+    /// Row ids of group `g` whose group-by attributes are all certain.
+    pub fn certain(&self, g: usize) -> &[u32] {
+        &self.certain[g]
+    }
+
+    /// Row ids whose group-by projection carries attribute uncertainty.
+    pub fn uncertain(&self) -> &[u32] {
+        &self.uncertain
+    }
+
+    /// The group bounding boxes as an interval index on attribute `k`
+    /// *of the group-by projection*; entry ids are group ids. Sweep
+    /// against an index over candidate rows' matching attribute to
+    /// enumerate the (group, row) pairs that may overlap.
+    pub fn bbox_interval_index(&self, k: usize) -> IntervalIndex {
+        IntervalIndex::from_entries(
+            self.bboxes.iter().enumerate().map(|(g, b)| (g as u32, &b.0[k])),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +398,62 @@ mod tests {
         assert_eq!(idx.get(&[Value::float(2.0)]), &[0, 1]);
         assert_eq!(idx.get(&[Value::float(3.0)]), &[2]);
         assert!(idx.get(&[Value::float(9.0)]).is_empty());
+    }
+
+    #[test]
+    fn sg_group_index_partitions_membership() {
+        let rows = vec![
+            // group 1, certain group-by
+            au_row(
+                vec![RangeValue::certain(Value::Int(1)), RangeValue::range(0i64, 0i64, 9i64)],
+                1,
+                1,
+                1,
+            ),
+            // group 1 again, uncertain group-by value widening the box
+            au_row(
+                vec![RangeValue::range(0i64, 1i64, 4i64), RangeValue::certain(Value::Int(7))],
+                1,
+                1,
+                1,
+            ),
+            // group 2, certain
+            au_row(
+                vec![RangeValue::certain(Value::Int(2)), RangeValue::certain(Value::Int(5))],
+                1,
+                1,
+                1,
+            ),
+        ];
+        let idx = SgGroupIndex::from_au(&rows, &[0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.key(0), &Tuple::new(vec![Value::Int(1)]));
+        assert_eq!(idx.alpha(0), &[0, 1]);
+        assert_eq!(idx.certain(0), &[0]);
+        assert_eq!(idx.uncertain(), &[1]);
+        // group 1's box merged the uncertain member: [0, 4]
+        assert_eq!(idx.bbox(0).0[0], RangeValue::range(0i64, 1i64, 4i64));
+        assert_eq!(idx.alpha(1), &[2]);
+
+        // sweep group boxes against the uncertain rows: row 1 overlaps
+        // both group boxes on attribute 0
+        let gi = idx.bbox_interval_index(0);
+        let ri = IntervalIndex::from_entries(
+            idx.uncertain().iter().map(|&i| (i, &rows[i as usize].0 .0[0])),
+        );
+        let mut pairs = Vec::new();
+        IntervalIndex::sweep_overlapping(&gi, &ri, |g, r| pairs.push((g, r)));
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn sg_group_index_keys_are_exact_not_canonicalized() {
+        let rows = vec![
+            au_row(vec![RangeValue::certain(Value::Int(2))], 1, 1, 1),
+            au_row(vec![RangeValue::certain(Value::float(2.0))], 1, 1, 1),
+        ];
+        let idx = SgGroupIndex::from_au(&rows, &[0]);
+        assert_eq!(idx.len(), 2, "Int 2 and Float 2.0 are distinct SG groups");
     }
 }

@@ -17,7 +17,7 @@ pub mod tuple;
 pub mod ua;
 
 pub use au::{au_row, certain_row, AuDatabase, AuRelation};
-pub use index::{HashKeyIndex, IntervalIndex};
+pub use index::{HashKeyIndex, IntervalIndex, SgGroupIndex};
 pub use relation::{Database, Relation};
 pub use schema::Schema;
 pub use tuple::{RangeTuple, Tuple};

@@ -55,6 +55,14 @@ impl Relation {
         }
     }
 
+    /// Append a batch of produced rows, dropping zero multiplicities —
+    /// the ordered-merge sink of the parallel operator drivers.
+    pub fn append_rows(&mut self, rows: Vec<(Tuple, u64)>) {
+        for (t, k) in rows {
+            self.push(t, k);
+        }
+    }
+
     /// Append clones of another relation's rows (bag union without an
     /// intermediate row-vector copy).
     pub fn extend_from(&mut self, other: &Relation) {

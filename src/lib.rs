@@ -49,6 +49,7 @@
 
 pub use audb_baselines as baselines;
 pub use audb_core as core;
+pub use audb_exec as exec;
 pub use audb_incomplete as incomplete;
 pub use audb_query as query;
 pub use audb_storage as storage;
@@ -57,6 +58,7 @@ pub use audb_workloads as workloads;
 /// Common imports for working with AU-DBs.
 pub mod prelude {
     pub use audb_core::{col, lit, AuAnnot, EvalError, Expr, RangeValue, UaAnnot, Value};
+    pub use audb_exec::{Executor, Partitioner};
     pub use audb_incomplete::{
         database_bounds_incomplete, key_repair_lens, relation_bounds_world, CTable, IncompleteDb,
         TiDb, TiRelation, VTable, XDb, XRelation, XTuple,
