@@ -12,6 +12,7 @@ use audb_core::col;
 use audb_query::au::aggregate::{aggregate_au_exec, aggregate_au_scan};
 use audb_query::au::difference::{difference_au_exec, difference_au_scan};
 use audb_query::{AggFunc, AggSpec, Executor};
+use audb_storage::AuRelation;
 use audb_workloads::{gen_micro_au, micro_join_db, MicroConfig};
 
 fn bench(c: &mut Criterion) {
@@ -52,6 +53,30 @@ fn bench(c: &mut Criterion) {
         let exec = Executor::new(w);
         g.bench_function(format!("diff_indexed_5k_w{w}"), |b| {
             b.iter(|| black_box(difference_au_exec(l, r, &exec).unwrap()))
+        });
+    }
+
+    // parallel normalization: the hash-merge + sort tail, sharded by
+    // tuple hash (40k raw rows with 4x duplication onto 10k tuples).
+    // Each iteration must clone the non-normalized input (normalize
+    // consumes it; the criterion shim has no iter_batched), so the
+    // clone-only baseline is benched too — subtract it to read the
+    // driver's own w4/w1 scaling.
+    let cfg = MicroConfig::new(10_000, 3).uncertainty(0.2).range_frac(0.02).seed(61);
+    let base = gen_micro_au(&cfg);
+    let mut messy = AuRelation::empty(base.schema.clone());
+    for _ in 0..4 {
+        messy.extend_from(&base);
+    }
+    g.bench_function("normalize_40k_clone", |b| b.iter(|| black_box(messy.clone())));
+    for w in [1usize, 2, 4] {
+        let exec = Executor::new(w);
+        g.bench_function(format!("normalize_40k_w{w}"), |b| {
+            b.iter(|| {
+                let mut r = messy.clone();
+                r.normalize_with(&exec);
+                black_box(r)
+            })
         });
     }
     g.finish();

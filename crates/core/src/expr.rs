@@ -366,7 +366,20 @@ impl Expr {
             }
             Expr::Sub(a, b) => {
                 let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                RangeValue::new(x.lb.sub(&y.ub)?, x.sg.sub(&y.sg)?, x.ub.sub(&y.lb)?)
+                // The corner bounds are numerically correct but live in a
+                // total order where `Int(k) < Float(k.0)`: on a numeric
+                // tie the sg result's *representation* can escape them
+                // (e.g. `[1/1/2] − [Int 0/Int 0/Float 0.0]` has corner
+                // lb `Float(1.0)` above sg `Int(1)`). Widening by sg
+                // keeps the triple ordered and is sound — the sg world
+                // is a possible world, so the true bounds contain it.
+                // Same treatment for Mul/Div/Neg below.
+                let sg = x.sg.sub(&y.sg)?;
+                Ok(RangeValue::new_unchecked(
+                    Value::min_of(x.lb.sub(&y.ub)?, sg.clone()),
+                    sg.clone(),
+                    Value::max_of(x.ub.sub(&y.lb)?, sg),
+                ))
             }
             Expr::Mul(a, b) => {
                 let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
@@ -374,11 +387,26 @@ impl Expr {
                     [x.lb.mul(&y.lb)?, x.lb.mul(&y.ub)?, x.ub.mul(&y.lb)?, x.ub.mul(&y.ub)?];
                 let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
                 let hi = combos.into_iter().reduce(Value::max_of).unwrap();
-                RangeValue::new(lo, x.sg.mul(&y.sg)?, hi)
+                let sg = x.sg.mul(&y.sg)?;
+                Ok(RangeValue::new_unchecked(
+                    Value::min_of(lo, sg.clone()),
+                    sg.clone(),
+                    Value::max_of(hi, sg),
+                ))
             }
             Expr::Div(a, b) => {
                 let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
                 // Undefined when the denominator may be 0 (Definition 9).
+                // Zero has exactly two representations in the domain's
+                // total order, `Int(0)` and `Float(0.0)`, and they are
+                // *adjacent* (numeric ties order `Int` before `Float`),
+                // so a denominator interval may contain one without the
+                // other — e.g. `[Float(0.0), Int(5)]` excludes `Int(0)`
+                // and `[Int(-1), Int(0)]` excludes `Float(0.0)`. Testing
+                // both representations is therefore exactly the
+                // "interval contains a zero-valued element" condition,
+                // for pure-`Int`, pure-`Float`, and mixed endpoints
+                // alike (pinned down in `div_spans_zero_guard_*` tests).
                 if y.bounds(&Value::Int(0)) || y.bounds(&Value::float(0.0)) {
                     return Err(EvalError::RangeDivisionSpansZero);
                 }
@@ -386,11 +414,21 @@ impl Expr {
                     [x.lb.div(&y.lb)?, x.lb.div(&y.ub)?, x.ub.div(&y.lb)?, x.ub.div(&y.ub)?];
                 let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
                 let hi = combos.into_iter().reduce(Value::max_of).unwrap();
-                RangeValue::new(lo, x.sg.div(&y.sg)?, hi)
+                let sg = x.sg.div(&y.sg)?;
+                Ok(RangeValue::new_unchecked(
+                    Value::min_of(lo, sg.clone()),
+                    sg.clone(),
+                    Value::max_of(hi, sg),
+                ))
             }
             Expr::Neg(a) => {
                 let x = a.eval_range(tuple)?;
-                RangeValue::new(x.ub.neg()?, x.sg.neg()?, x.lb.neg()?)
+                let sg = x.sg.neg()?;
+                Ok(RangeValue::new_unchecked(
+                    Value::min_of(x.ub.neg()?, sg.clone()),
+                    sg.clone(),
+                    Value::max_of(x.lb.neg()?, sg),
+                ))
             }
             Expr::If(c, t, e) => {
                 let cond = c.eval_range(tuple)?;
@@ -552,6 +590,49 @@ mod tests {
         assert_eq!(e.eval_range(&spans_zero).unwrap_err(), EvalError::RangeDivisionSpansZero);
         let pos = vec![RangeValue::range(2i64, 4i64, 8i64)];
         assert_eq!(e.eval_range(&pos).unwrap(), RangeValue::range(0.125f64, 0.25f64, 0.5f64));
+    }
+
+    /// The spans-zero guard must treat `Int(0)` and `Float(0.0)` as the
+    /// same forbidden denominator value even though they are *distinct,
+    /// adjacent* elements of the total order — an interval can contain
+    /// one without the other.
+    #[test]
+    fn div_spans_zero_guard_cross_type_boundaries() {
+        let e = lit(1i64).div(col(0));
+        let spans = |r: RangeValue| e.eval_range(&[r]).unwrap_err();
+        // pure-Int zero: excludes Float(0.0), still guarded
+        assert_eq!(spans(RangeValue::range(-1i64, 0i64, 0i64)), EvalError::RangeDivisionSpansZero);
+        // pure-Float zero: excludes Int(0), still guarded
+        assert_eq!(
+            spans(RangeValue::range(0.0f64, 0.5f64, 1.0f64)),
+            EvalError::RangeDivisionSpansZero
+        );
+        // mixed endpoints around zero: Float lb, Int ub
+        assert_eq!(
+            spans(RangeValue::new(Value::float(-0.5), Value::Int(1), Value::Int(2)).unwrap()),
+            EvalError::RangeDivisionSpansZero
+        );
+        // [Float(0.0), Int(5)] contains no Int(0) (Int sorts before
+        // Float on numeric ties) but does contain Float(0.0)
+        assert_eq!(
+            spans(RangeValue::new(Value::float(0.0), Value::Int(1), Value::Int(5)).unwrap()),
+            EvalError::RangeDivisionSpansZero
+        );
+    }
+
+    /// Denominator intervals strictly on one side of zero divide fine,
+    /// including mixed `Int`/`Float` endpoints and negative ranges.
+    #[test]
+    fn div_nonzero_cross_type_ranges_divide() {
+        let e = lit(1i64).div(col(0));
+        // negative, mixed types: [-2, -0.5]
+        let r = RangeValue::new(Value::Int(-2), Value::Int(-1), Value::float(-0.5)).unwrap();
+        let out = e.eval_range(&[r]).unwrap();
+        assert_eq!(out, RangeValue::range(-2.0f64, -1.0f64, -0.5f64));
+        // positive, Float lb just above zero
+        let r = RangeValue::new(Value::float(0.5), Value::Int(1), Value::Int(4)).unwrap();
+        let out = e.eval_range(&[r]).unwrap();
+        assert_eq!(out, RangeValue::range(0.25f64, 1.0f64, 2.0f64));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //!   [`Executor::run`]: each morsel's output lands in its own slot and
 //!   slots are concatenated in morsel order, so the merged output is
 //!   *byte-identical* to running the same producer sequentially over
-//!   `0..n` — for any worker count and any morsel size.
+//!   `0..n` — for any worker count and any morsel size;
+//! * the **sharded-reduce driver** [`Executor::hash_merge_sorted`]
+//!   (module [`reduce`]): the parallel backend of relation
+//!   normalization — scatter rows into key-hash shards, hash-merge and
+//!   sort each shard independently, k-way-merge the disjoint sorted
+//!   runs back into the canonical global order.
 //!
 //! No external dependencies, no unsafe, no work stealing beyond the
 //! shared cursor. A worker count of 1 (or a single morsel) bypasses the
@@ -26,6 +31,7 @@
 
 pub mod partition;
 pub mod pool;
+pub mod reduce;
 
 pub use partition::Partitioner;
 pub use pool::Executor;

@@ -1,0 +1,259 @@
+//! The sharded-reduce driver: parallel hash-merge + sort.
+//!
+//! Relation normalization (merge duplicate tuples, drop zeros, sort
+//! canonically) is a hash-merge over the *whole* row list — once the
+//! row-producing operators run on the pool, it is the remaining
+//! single-threaded tail of every query. [`Executor::hash_merge_sorted`]
+//! decomposes it into the same morsel/ordered-merge shape as
+//! [`Executor::run`]:
+//!
+//! 1. **scatter** (parallel, one job per input morsel): route each row
+//!    to one of `S` shards by key hash — equal keys always land in the
+//!    same shard, and within a shard rows keep their original relative
+//!    order (morsels are contiguous and collected in morsel order);
+//! 2. **reduce** (parallel, one job per shard): hash-merge each shard's
+//!    rows and sort the survivors by key;
+//! 3. **merge** (sequential, `O(n · S)` with `S ≤ workers`): k-way-merge
+//!    the sorted shards into one globally sorted list.
+//!
+//! ## Determinism
+//!
+//! The output is **byte-identical** to the sequential hash-merge + sort
+//! for any worker count, shard count, and hash function:
+//!
+//! * the *set* of `(key, combined value)` pairs does not depend on the
+//!   sharding — equal keys share a shard, and each key's occurrences
+//!   are combined in their original input order (so `combine` need not
+//!   even be commutative, only identical to the sequential fold);
+//! * the *order* is canonical — shards hold disjoint key sets, so the
+//!   k-way merge of the per-shard sorted runs is the unique globally
+//!   sorted sequence, the same one the sequential path produces.
+//!
+//! A worker count of 1 (or an input below the morsel floor) takes the
+//! inline path, which *is* the sequential algorithm.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Mutex;
+
+use crate::partition::Partitioner;
+use crate::pool::Executor;
+
+/// Error type for infallible producers run on the pool.
+#[derive(Debug)]
+enum Never {}
+
+/// A work unit claimed exactly once by a pool job: the morsel chunks of
+/// the scatter phase and the bucket lists of the reduce phase.
+type Claim<V> = Mutex<Option<V>>;
+
+/// One row bucket per shard, as produced by a scatter job.
+type Buckets<T, K> = Vec<Vec<(T, K)>>;
+
+impl Executor {
+    /// Merge rows with equal keys (combining their values), drop rows
+    /// rejected by `keep` (checked on *input* values, mirroring the
+    /// sequential normalize), and return the survivors sorted by key.
+    ///
+    /// `combine(acc, v)` folds `v` into the accumulated value for a key;
+    /// it is applied in the rows' original order, so any fold that the
+    /// sequential hash-merge supports is safe here.
+    pub fn hash_merge_sorted<T, K>(
+        &self,
+        rows: Vec<(T, K)>,
+        keep: impl Fn(&K) -> bool + Sync,
+        combine: impl Fn(&mut K, K) + Sync,
+    ) -> Vec<(T, K)>
+    where
+        T: Hash + Eq + Ord + Send,
+        K: Send,
+    {
+        let morsels = self.partitioner().morsels(rows.len(), self.workers());
+        if self.workers() <= 1 || morsels.len() <= 1 {
+            return hash_merge_sorted_seq(rows, keep, combine);
+        }
+
+        // The scatter/reduce jobs are batches themselves (one per morsel
+        // or shard), so the meta-executor partitions them one-to-one
+        // instead of applying the row-level morsel floor again.
+        let meta = self.with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 1 });
+        let shards = self.workers().min(morsels.len());
+
+        // Split the owned row list at the morsel boundaries so scatter
+        // jobs can take ownership of their chunk.
+        let mut chunks: Vec<Claim<Vec<(T, K)>>> = Vec::with_capacity(morsels.len());
+        {
+            let mut rest = rows;
+            for m in morsels.iter().rev() {
+                chunks.push(Mutex::new(Some(rest.split_off(m.start))));
+            }
+            chunks.reverse();
+        }
+
+        // Phase 1: scatter each chunk into per-shard buckets. One
+        // hasher instance keys the whole call so every occurrence of a
+        // key agrees on its shard.
+        let hasher = RandomState::new();
+        let tables: Vec<Buckets<T, K>> = meta
+            .run(chunks.len(), |range, out| {
+                for ci in range {
+                    let chunk = chunks[ci].lock().unwrap().take().expect("chunk claimed once");
+                    let mut buckets: Buckets<T, K> = (0..shards).map(|_| Vec::new()).collect();
+                    for (t, k) in chunk {
+                        if keep(&k) {
+                            let s = (hasher.hash_one(&t) % shards as u64) as usize;
+                            buckets[s].push((t, k));
+                        }
+                    }
+                    out.push(buckets);
+                }
+                Ok::<(), Never>(())
+            })
+            .unwrap_or_else(|n| match n {});
+
+        // Gather: shard `s` receives its buckets in morsel order, so a
+        // key's occurrences stay in original input order.
+        let mut shard_parts: Vec<Buckets<T, K>> =
+            (0..shards).map(|_| Vec::with_capacity(tables.len())).collect();
+        for table in tables {
+            for (s, bucket) in table.into_iter().enumerate() {
+                if !bucket.is_empty() {
+                    shard_parts[s].push(bucket);
+                }
+            }
+        }
+
+        // Phase 2: hash-merge + sort each shard independently.
+        let shard_slots: Vec<Claim<Buckets<T, K>>> =
+            shard_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let sorted: Vec<Vec<(T, K)>> = meta
+            .run(shards, |range, out| {
+                for s in range {
+                    let parts = shard_slots[s].lock().unwrap().take().expect("shard claimed once");
+                    let cap: usize = parts.iter().map(Vec::len).sum();
+                    let mut map: HashMap<T, K> = HashMap::with_capacity(cap);
+                    for part in parts {
+                        for (t, k) in part {
+                            match map.entry(t) {
+                                Entry::Occupied(mut e) => combine(e.get_mut(), k),
+                                Entry::Vacant(e) => {
+                                    e.insert(k);
+                                }
+                            }
+                        }
+                    }
+                    let mut rows: Vec<(T, K)> = map.into_iter().collect();
+                    rows.sort_by(|a, b| a.0.cmp(&b.0));
+                    out.push(rows);
+                }
+                Ok::<(), Never>(())
+            })
+            .unwrap_or_else(|n| match n {});
+
+        // Phase 3: k-way merge of disjoint sorted runs.
+        kway_merge(sorted)
+    }
+}
+
+/// The sequential algorithm — exactly the pre-runtime normalize.
+fn hash_merge_sorted_seq<T, K>(
+    rows: Vec<(T, K)>,
+    keep: impl Fn(&K) -> bool,
+    combine: impl Fn(&mut K, K),
+) -> Vec<(T, K)>
+where
+    T: Hash + Eq + Ord,
+{
+    let mut map: HashMap<T, K> = HashMap::with_capacity(rows.len());
+    for (t, k) in rows {
+        if keep(&k) {
+            match map.entry(t) {
+                Entry::Occupied(mut e) => combine(e.get_mut(), k),
+                Entry::Vacant(e) => {
+                    e.insert(k);
+                }
+            }
+        }
+    }
+    let mut out: Vec<(T, K)> = map.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Merge sorted runs with pairwise-distinct keys into one sorted list.
+fn kway_merge<T: Ord, K>(sorted: Vec<Vec<(T, K)>>) -> Vec<(T, K)> {
+    let total: usize = sorted.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<(T, K)>> =
+        sorted.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<(T, K)>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, h) in heads.iter().enumerate() {
+            if let Some((t, _)) = h {
+                best = match best {
+                    Some(b) if heads[b].as_ref().unwrap().0 < *t => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        let Some(b) = best else { break };
+        let row = heads[b].take().expect("best head is non-empty");
+        heads[b] = iters[b].next();
+        out.push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rows with duplicate keys spread across the space, some zeros.
+    fn rows(n: usize) -> Vec<(u64, u64)> {
+        (0..n).map(|i| ((i % 97) as u64, (i % 5) as u64)).collect()
+    }
+
+    fn merged(exec: &Executor, n: usize) -> Vec<(u64, u64)> {
+        exec.hash_merge_sorted(rows(n), |k| *k > 0, |acc, k| *acc += k)
+    }
+
+    #[test]
+    fn parallel_identical_to_sequential() {
+        let seq = merged(&Executor::sequential(), 10_000);
+        for w in [2usize, 3, 4, 7, 16] {
+            assert_eq!(merged(&Executor::new(w), 10_000), seq, "workers = {w}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_and_forced_partitions() {
+        let forced =
+            Executor::new(4).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 5 });
+        for n in [0usize, 1, 2, 7, 130] {
+            let seq = merged(&Executor::sequential(), n);
+            assert_eq!(merged(&forced, n), seq, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn combine_order_is_original_order() {
+        // fold that is NOT commutative: keeps (first, last) seen
+        let input: Vec<(u64, (u64, u64))> = (0..600u64).map(|i| (i % 7, (i, i))).collect();
+        let fold = |acc: &mut (u64, u64), v: (u64, u64)| acc.1 = v.1;
+        let seq = Executor::sequential().hash_merge_sorted(input.clone(), |_| true, fold);
+        let forced =
+            Executor::new(4).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 3 });
+        assert_eq!(forced.hash_merge_sorted(input, |_| true, fold), seq);
+    }
+
+    #[test]
+    fn keep_filters_before_merge() {
+        let input = vec![(1u64, 0u64), (1, 2), (2, 0), (3, 1)];
+        let out = Executor::new(4)
+            .with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 2 })
+            .hash_merge_sorted(input, |k| *k > 0, |acc, k| *acc += k);
+        assert_eq!(out, vec![(1, 2), (3, 1)]);
+    }
+}

@@ -417,7 +417,7 @@ fn aggregate_impl(
 
     let mut out = AuRelation::empty(schema);
     out.append_rows(rows);
-    Ok(out.normalized())
+    Ok(out.into_normalized_with(exec))
 }
 
 /// Widen a no-group-by aggregate for worlds with an empty input:

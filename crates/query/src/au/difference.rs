@@ -88,7 +88,7 @@ pub fn difference_au_exec(
     })?;
     let mut out = AuRelation::empty(left.schema.clone());
     out.append_rows(rows);
-    Ok(out.normalized())
+    Ok(out.into_normalized_with(exec))
 }
 
 /// The pre-index implementation — a full right-side scan per left tuple.

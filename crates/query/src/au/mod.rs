@@ -75,7 +75,7 @@ impl AuConfig {
 /// Evaluate a query over an AU-database.
 pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
     let exec = Executor::from_option(cfg.workers);
-    Ok(eval_inner(db, q, cfg, &exec)?.into_owned().into_normalized())
+    Ok(eval_inner(db, q, cfg, &exec)?.into_owned().into_normalized_with(&exec))
 }
 
 /// Copy-free evaluation core: base tables are *borrowed* from the
@@ -91,11 +91,11 @@ fn eval_inner<'a>(
         Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
             let rel = eval_inner(db, input, cfg, exec)?;
-            Cow::Owned(select_au(&rel, predicate)?)
+            Cow::Owned(select_au_exec(&rel, predicate, exec)?)
         }
         Query::Project { input, exprs } => {
             let rel = eval_inner(db, input, cfg, exec)?;
-            Cow::Owned(project_au(&rel, exprs)?)
+            Cow::Owned(project_au_exec(&rel, exprs, exec)?)
         }
         Query::Join { left, right, predicate } => {
             let l = eval_inner(db, left, cfg, exec)?;
@@ -110,7 +110,7 @@ fn eval_inner<'a>(
         Query::Union { left, right } => {
             let l = eval_inner(db, left, cfg, exec)?;
             let r = eval_inner(db, right, cfg, exec)?;
-            Cow::Owned(union_cow(l, r)?)
+            Cow::Owned(union_cow(l, r, exec)?)
         }
         Query::Difference { left, right } => {
             let l = eval_inner(db, left, cfg, exec)?;
@@ -144,49 +144,93 @@ fn effective_agg_compress(cfg: &AuConfig, rel: &AuRelation, group_by: &[usize]) 
 
 /// Union that reuses whichever operand already owns its row buffer;
 /// the left schema wins, matching [`union_au`].
-fn union_cow(l: Cow<'_, AuRelation>, r: Cow<'_, AuRelation>) -> Result<AuRelation, EvalError> {
+fn union_cow(
+    l: Cow<'_, AuRelation>,
+    r: Cow<'_, AuRelation>,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
     l.schema.check_union_compatible(&r.schema)?;
     match (l, r) {
         (Cow::Owned(mut l), r) => {
             l.extend_from(&r);
-            l.normalize();
+            l.normalize_with(exec);
             Ok(l)
         }
         (Cow::Borrowed(l), Cow::Owned(mut r)) => {
             r.schema = l.schema.clone();
             r.extend_from(l);
-            r.normalize();
+            r.normalize_with(exec);
             Ok(r)
         }
-        (Cow::Borrowed(l), Cow::Borrowed(r)) => union_au(l, r),
+        (Cow::Borrowed(l), Cow::Borrowed(r)) => union_au_exec(l, r, exec),
     }
 }
 
 /// Selection (Definition 20): multiply each tuple's annotation with
 /// `M_N(⟦θ⟧)` of the range-annotated condition result.
 pub fn select_au(rel: &AuRelation, predicate: &Expr) -> Result<AuRelation, EvalError> {
-    let mut out = AuRelation::empty(rel.schema.clone());
-    for (t, k) in rel.rows() {
-        let (lb, sg, ub) = predicate.eval_range_bool3(t.values())?;
-        if !ub {
-            continue; // certainly false in all worlds
+    select_au_exec(rel, predicate, &Executor::sequential())
+}
+
+/// Partition-parallel selection. Selection *preserves normal form*:
+/// kept rows keep their tuples and relative order, and the `M_N(⟦θ⟧)`
+/// factor has `ub = 1` whenever a row survives, so annotations stay
+/// nonzero — a normalized input therefore yields a normalized output
+/// (sorted, distinct, zero-free) and the pipeline's final
+/// normalization is free instead of a full hash-merge + re-sort.
+pub fn select_au_exec(
+    rel: &AuRelation,
+    predicate: &Expr,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
+    let rows = exec.run(rel.len(), |morsel, out| {
+        for i in morsel {
+            let (t, k) = &rel.rows()[i];
+            let (lb, sg, ub) = predicate.eval_range_bool3(t.values())?;
+            if !ub {
+                continue; // certainly false in all worlds
+            }
+            let m = AuAnnot::from_bool3(lb, sg, ub);
+            out.push((t.clone(), k.times(&m)));
         }
-        let m = AuAnnot::from_bool3(lb, sg, ub);
-        out.push(t.clone(), k.times(&m));
+        Ok::<(), EvalError>(())
+    })?;
+    if rel.is_normalized() {
+        Ok(AuRelation::from_normalized_rows(rel.schema.clone(), rows))
+    } else {
+        let mut out = AuRelation::empty(rel.schema.clone());
+        out.append_rows(rows);
+        Ok(out)
     }
-    Ok(out)
 }
 
 /// Generalized projection: evaluate each projection expression with the
 /// range-annotated semantics; identical range tuples merge on normalize.
 pub fn project_au(rel: &AuRelation, exprs: &[(Expr, String)]) -> Result<AuRelation, EvalError> {
+    project_au_exec(rel, exprs, &Executor::sequential())
+}
+
+/// Partition-parallel generalized projection; the merge of identical
+/// projected tuples runs on the sharded-reduce driver.
+pub fn project_au_exec(
+    rel: &AuRelation,
+    exprs: &[(Expr, String)],
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
     let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+    let rows = exec.run(rel.len(), |morsel, out| {
+        for i in morsel {
+            let (t, k) = &rel.rows()[i];
+            let vals: Result<Vec<_>, _> =
+                exprs.iter().map(|(e, _)| e.eval_range(t.values())).collect();
+            out.push((audb_storage::RangeTuple::new(vals?), *k));
+        }
+        Ok::<(), EvalError>(())
+    })?;
     let mut out = AuRelation::empty(schema);
-    for (t, k) in rel.rows() {
-        let vals: Result<Vec<_>, _> = exprs.iter().map(|(e, _)| e.eval_range(t.values())).collect();
-        out.push(audb_storage::RangeTuple::new(vals?), *k);
-    }
-    Ok(out.normalized())
+    out.append_rows(rows);
+    out.normalize_with(exec);
+    Ok(out)
 }
 
 /// Theta-join with the formal semantics: routed through the join
@@ -233,10 +277,19 @@ pub fn nested_loop_join_au(
 
 /// Bag union: annotation addition in `N_AU`.
 pub fn union_au(l: &AuRelation, r: &AuRelation) -> Result<AuRelation, EvalError> {
+    union_au_exec(l, r, &Executor::sequential())
+}
+
+/// [`union_au`] with the annotation merge on the sharded-reduce driver.
+pub fn union_au_exec(
+    l: &AuRelation,
+    r: &AuRelation,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
     l.schema.check_union_compatible(&r.schema)?;
     let mut out = l.clone();
     out.extend_from(r);
-    out.normalize();
+    out.normalize_with(exec);
     Ok(out)
 }
 

@@ -22,6 +22,7 @@
 //! rewrite and the native evaluator to agree on boundary comparisons.
 
 use audb_core::{col, lit, AuAnnot, EvalError, Expr, RangeValue, Value};
+use audb_exec::Executor;
 use audb_storage::{AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema, Tuple};
 
 use crate::algebra::{AggFunc, AggSpec, Catalog, Query};
@@ -76,22 +77,63 @@ pub fn enc_schema(schema: &Schema) -> Schema {
 
 /// `Enc` (Definition 29): one multiplicity-1 tuple per AU-DB row.
 pub fn enc_relation(rel: &AuRelation) -> Relation {
-    let mut rows = Vec::with_capacity(rel.len());
-    for (t, k) in rel.rows() {
-        let mut vals: Vec<Value> = t.values().iter().map(|r| r.sg.clone()).collect();
-        vals.extend(t.values().iter().map(|r| r.lb.clone()));
-        vals.extend(t.values().iter().map(|r| r.ub.clone()));
-        vals.push(Value::Int(k.lb as i64));
-        vals.push(Value::Int(k.sg as i64));
-        vals.push(Value::Int(k.ub as i64));
-        rows.push((Tuple::new(vals), 1));
-    }
-    Relation::from_rows(enc_schema(&rel.schema), rows)
+    enc_relation_exec(rel, &Executor::sequential())
+}
+
+/// Partition-parallel `Enc`: rows encode independently on the pool and
+/// the encoded relation normalizes on the sharded-reduce driver.
+pub fn enc_relation_exec(rel: &AuRelation, exec: &Executor) -> Relation {
+    let rows = exec
+        .run(rel.len(), |morsel, out| {
+            for i in morsel {
+                let (t, k) = &rel.rows()[i];
+                let mut vals: Vec<Value> = t.values().iter().map(|r| r.sg.clone()).collect();
+                vals.extend(t.values().iter().map(|r| r.lb.clone()));
+                vals.extend(t.values().iter().map(|r| r.ub.clone()));
+                vals.push(Value::Int(k.lb as i64));
+                vals.push(Value::Int(k.sg as i64));
+                vals.push(Value::Int(k.ub as i64));
+                out.push((Tuple::new(vals), 1));
+            }
+            Ok::<(), EvalError>(())
+        })
+        .expect("encoding rows is infallible");
+    let mut out = Relation::empty(enc_schema(&rel.schema));
+    out.append_rows(rows);
+    out.into_normalized_with(exec)
+}
+
+/// Decode one encoded row-annotation component: a non-negative `Int`,
+/// scaled by the encoded tuple's bag multiplicity. Negative encoded
+/// values and `u64` overflow are *errors*, not wraparound — `Dec` must
+/// stay total and exact for Theorem 8's round trip to be sound.
+fn dec_multiplicity(v: &Value, mult: u64, which: &str) -> Result<u64, EvalError> {
+    let raw = v.as_int()?;
+    let m = u64::try_from(raw).map_err(|_| {
+        EvalError::InvalidAnnotation(format!("encoded {which} multiplicity {raw} is negative"))
+    })?;
+    m.checked_mul(mult).ok_or_else(|| {
+        EvalError::InvalidAnnotation(format!(
+            "encoded {which} multiplicity {raw} × row multiplicity {mult} overflows u64"
+        ))
+    })
 }
 
 /// `Dec`: invert the encoding. Multiplicities > 1 scale the annotation
 /// (Definition 29's `rowdec(t) · (R(t), R(t), R(t))`).
 pub fn dec_relation(rel: &Relation, orig_schema: &Schema) -> Result<AuRelation, EvalError> {
+    dec_relation_exec(rel, orig_schema, &Executor::sequential())
+}
+
+/// Partition-parallel `Dec`: rows decode independently on the pool and
+/// the result normalizes on the sharded-reduce driver. Errors are
+/// deterministic (earliest offending row wins, as in the sequential
+/// loop).
+pub fn dec_relation_exec(
+    rel: &Relation,
+    orig_schema: &Schema,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
     let n = orig_schema.arity();
     let lay = EncLayout::new(n);
     if rel.schema.arity() != lay.width() {
@@ -101,25 +143,30 @@ pub fn dec_relation(rel: &Relation, orig_schema: &Schema) -> Result<AuRelation, 
             rel.schema.arity()
         )));
     }
-    let mut out = AuRelation::empty(orig_schema.clone());
-    for (t, mult) in rel.rows() {
-        let v = t.values();
-        let mut ranges = Vec::with_capacity(n);
-        for i in 0..n {
-            ranges.push(RangeValue::new(
-                v[lay.lb(i)].clone(),
-                v[lay.sg(i)].clone(),
-                v[lay.ub(i)].clone(),
-            )?);
+    let rows = exec.run(rel.len(), |morsel, out| {
+        for i in morsel {
+            let (t, mult) = &rel.rows()[i];
+            let v = t.values();
+            let mut ranges = Vec::with_capacity(n);
+            for i in 0..n {
+                ranges.push(RangeValue::new(
+                    v[lay.lb(i)].clone(),
+                    v[lay.sg(i)].clone(),
+                    v[lay.ub(i)].clone(),
+                )?);
+            }
+            let annot = AuAnnot::new(
+                dec_multiplicity(&v[lay.row_lb()], *mult, "lower-bound")?,
+                dec_multiplicity(&v[lay.row_sg()], *mult, "selected-guess")?,
+                dec_multiplicity(&v[lay.row_ub()], *mult, "upper-bound")?,
+            )?;
+            out.push((RangeTuple::new(ranges), annot));
         }
-        let annot = AuAnnot::new(
-            v[lay.row_lb()].as_int()? as u64 * mult,
-            v[lay.row_sg()].as_int()? as u64 * mult,
-            v[lay.row_ub()].as_int()? as u64 * mult,
-        )?;
-        out.push(RangeTuple::new(ranges), annot);
-    }
-    Ok(out.normalized())
+        Ok::<(), EvalError>(())
+    })?;
+    let mut out = AuRelation::empty(orig_schema.clone());
+    out.append_rows(rows);
+    Ok(out.into_normalized_with(exec))
 }
 
 /// Encode a whole AU-database (tables keep their names).
@@ -216,28 +263,54 @@ pub fn compile_range_expr(e: &Expr, lay: EncLayout) -> Result<RangeExprs, EvalEr
         }
         Expr::Sub(a, b) => {
             let (x, y) = bin(a, b)?;
-            RangeExprs { lb: x.lb.sub(y.ub), sg: x.sg.sub(y.sg), ub: x.ub.sub(y.lb) }
+            // widened by sg, mirroring `Expr::eval_range`'s guard against
+            // cross-representation numeric ties
+            let sg = x.sg.sub(y.sg);
+            RangeExprs {
+                lb: emin(x.lb.sub(y.ub), sg.clone()),
+                sg: sg.clone(),
+                ub: emax(x.ub.sub(y.lb), sg),
+            }
         }
         Expr::Neg(a) => {
             let x = compile_range_expr(a, lay)?;
-            RangeExprs { lb: x.ub.neg(), sg: x.sg.neg(), ub: x.lb.neg() }
+            let sg = x.sg.neg();
+            RangeExprs {
+                lb: emin(x.ub.neg(), sg.clone()),
+                sg: sg.clone(),
+                ub: emax(x.lb.neg(), sg),
+            }
         }
         Expr::Mul(a, b) => {
             let (x, y) = bin(a, b)?;
             let p = |l: &Expr, r: &Expr| l.clone().mul(r.clone());
+            let sg = x.sg.mul(y.sg);
             RangeExprs {
-                lb: emin4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
-                sg: x.sg.mul(y.sg),
-                ub: emax4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
+                lb: emin(
+                    emin4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
+                    sg.clone(),
+                ),
+                sg: sg.clone(),
+                ub: emax(
+                    emax4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
+                    sg,
+                ),
             }
         }
         Expr::Div(a, b) => {
             let (x, y) = bin(a, b)?;
             let p = |l: &Expr, r: &Expr| l.clone().div(r.clone());
+            let sg = x.sg.div(y.sg);
             RangeExprs {
-                lb: emin4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
-                sg: x.sg.div(y.sg),
-                ub: emax4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
+                lb: emin(
+                    emin4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
+                    sg.clone(),
+                ),
+                sg: sg.clone(),
+                ub: emax(
+                    emax4(p(&x.lb, &y.lb), p(&x.lb, &y.ub), p(&x.ub, &y.lb), p(&x.ub, &y.ub)),
+                    sg,
+                ),
             }
         }
         Expr::Uncertain(l, sg, u) => {
@@ -294,11 +367,20 @@ pub fn rewrite(q: &Query, catalog: &dyn Catalog) -> Result<Query, EvalError> {
 pub struct RewriteSession<'a> {
     src: &'a AuDatabase,
     enc: Database,
+    exec: Executor,
 }
 
 impl<'a> RewriteSession<'a> {
     pub fn new(src: &'a AuDatabase) -> Self {
-        RewriteSession { src, enc: Database::new() }
+        RewriteSession { src, enc: Database::new(), exec: Executor::default() }
+    }
+
+    /// Set the worker count for the session's `Enc`/`Dec` drivers:
+    /// `None` uses all hardware threads (the default), `Some(1)` the
+    /// exact sequential path. Any value produces identical results.
+    pub fn with_workers(mut self, workers: Option<usize>) -> Self {
+        self.exec = Executor::from_option(workers);
+        self
     }
 
     /// `Dec(rewr(Q)(Enc(D)))`, encoding referenced base tables on first
@@ -307,11 +389,12 @@ impl<'a> RewriteSession<'a> {
         let (plan, schema) = rewr(q, self.src)?;
         for name in q.table_refs() {
             if self.enc.get(name).is_err() {
-                self.enc.insert(name.to_string(), enc_relation(self.src.get(name)?));
+                self.enc
+                    .insert(name.to_string(), enc_relation_exec(self.src.get(name)?, &self.exec));
             }
         }
         let out = crate::det::eval_det(&self.enc, &plan)?;
-        dec_relation(&out, &schema)
+        dec_relation_exec(&out, &schema, &self.exec)
     }
 }
 
@@ -941,6 +1024,60 @@ mod tests {
             let dec = dec_relation(&enc, &rel.schema).unwrap();
             assert_eq!(&dec, rel);
         }
+    }
+
+    /// Regression: a negative encoded row multiplicity must be rejected,
+    /// not wrapped to a ~1.8e19 `u64` (which would silently corrupt the
+    /// `Dec` side of Theorem 8's round trip).
+    #[test]
+    fn dec_rejects_negative_multiplicities() {
+        let schema = Schema::named(&["a"]);
+        let enc = Relation::from_rows(
+            enc_schema(&schema),
+            vec![(
+                Tuple::new(vec![
+                    Value::Int(1), // a^sg
+                    Value::Int(1), // a↓
+                    Value::Int(1), // a↑
+                    Value::Int(-1),
+                    Value::Int(1),
+                    Value::Int(1),
+                ]),
+                1,
+            )],
+        );
+        let err = dec_relation(&enc, &schema).unwrap_err();
+        assert!(
+            matches!(&err, EvalError::InvalidAnnotation(m) if m.contains("negative")),
+            "expected a negative-multiplicity error, got {err:?}"
+        );
+    }
+
+    /// Regression: multiplication with the encoded tuple's bag
+    /// multiplicity is checked, not wrapping.
+    #[test]
+    fn dec_rejects_multiplicity_overflow() {
+        let schema = Schema::named(&["a"]);
+        let big = (u64::MAX / 2) as i64;
+        let enc = Relation::from_rows(
+            enc_schema(&schema),
+            vec![(
+                Tuple::new(vec![
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(big),
+                    Value::Int(big),
+                    Value::Int(big),
+                ]),
+                3,
+            )],
+        );
+        let err = dec_relation(&enc, &schema).unwrap_err();
+        assert!(
+            matches!(&err, EvalError::InvalidAnnotation(m) if m.contains("overflows")),
+            "expected an overflow error, got {err:?}"
+        );
     }
 
     #[test]

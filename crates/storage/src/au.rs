@@ -2,10 +2,11 @@
 //! range-annotated tuples to `N_AU` annotations, stored as normalized
 //! row lists.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use audb_core::{AuAnnot, EvalError, RangeValue, Semiring, Value};
+use audb_exec::Executor;
 
 use crate::relation::{Database, Relation};
 use crate::schema::Schema;
@@ -43,6 +44,19 @@ impl AuRelation {
         let mut r = AuRelation { schema, rows, normalized: false };
         r.normalize();
         r
+    }
+
+    /// Build from rows already in normal form — canonically sorted,
+    /// duplicate-free, with no zero annotations (debug-asserted). Lets
+    /// operators that provably preserve normal form (e.g. selection
+    /// over a normalized input) skip the hash-merge + re-sort.
+    pub fn from_normalized_rows(schema: Schema, rows: Vec<(RangeTuple, AuAnnot)>) -> Self {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows must be strictly sorted by tuple"
+        );
+        debug_assert!(rows.iter().all(|(_, k)| !k.is_zero()), "rows must have nonzero annotations");
+        AuRelation { schema, rows, normalized: true }
     }
 
     /// Lift a deterministic relation into a fully certain AU-relation
@@ -102,19 +116,23 @@ impl AuRelation {
     /// annotations, sort canonically. Keeps the AU-relation a function
     /// `D_I^n → N_AU`. Free when the relation is already in normal form.
     pub fn normalize(&mut self) {
+        self.normalize_with(&Executor::sequential());
+    }
+
+    /// [`Self::normalize`] on the sharded-reduce driver: the hash-merge
+    /// is partitioned by tuple hash across the executor's workers and
+    /// the sorted shards are k-way-merged back into the canonical
+    /// order — the result is byte-identical for any worker count.
+    pub fn normalize_with(&mut self, exec: &Executor) {
         if self.normalized {
             return;
         }
-        let mut map: HashMap<RangeTuple, AuAnnot> = HashMap::with_capacity(self.rows.len());
-        for (t, k) in self.rows.drain(..) {
-            if !k.is_zero() {
-                let e = map.entry(t).or_insert_with(AuAnnot::zero);
-                *e = e.plus(&k);
-            }
-        }
-        let mut rows: Vec<(RangeTuple, AuAnnot)> = map.into_iter().collect();
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
-        self.rows = rows;
+        let rows = std::mem::take(&mut self.rows);
+        self.rows = exec.hash_merge_sorted(
+            rows,
+            |k: &AuAnnot| !k.is_zero(),
+            |acc: &mut AuAnnot, k| *acc = acc.plus(&k),
+        );
         self.normalized = true;
     }
 
@@ -128,6 +146,12 @@ impl AuRelation {
     /// in the evaluation pipeline.
     pub fn into_normalized(mut self) -> AuRelation {
         self.normalize();
+        self
+    }
+
+    /// Consuming [`Self::normalize_with`].
+    pub fn into_normalized_with(mut self, exec: &Executor) -> AuRelation {
+        self.normalize_with(exec);
         self
     }
 

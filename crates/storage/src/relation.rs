@@ -1,10 +1,11 @@
 //! Deterministic bag relations (`N`-relations) and databases — the
 //! conventional-DBMS substrate the paper's middleware runs on.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use audb_core::EvalError;
+use audb_exec::Executor;
 
 use crate::schema::Schema;
 use crate::tuple::Tuple;
@@ -81,18 +82,17 @@ impl Relation {
     /// Merge duplicate tuples (sum multiplicities), drop zeros, and sort
     /// for canonical comparisons. Free when already normalized.
     pub fn normalize(&mut self) {
+        self.normalize_with(&Executor::sequential());
+    }
+
+    /// [`Self::normalize`] on the sharded-reduce driver — the hash-merge
+    /// partitioned by tuple hash, byte-identical for any worker count.
+    pub fn normalize_with(&mut self, exec: &Executor) {
         if self.normalized {
             return;
         }
-        let mut map: HashMap<Tuple, u64> = HashMap::with_capacity(self.rows.len());
-        for (t, k) in self.rows.drain(..) {
-            if k > 0 {
-                *map.entry(t).or_insert(0) += k;
-            }
-        }
-        let mut rows: Vec<(Tuple, u64)> = map.into_iter().collect();
-        rows.sort();
-        self.rows = rows;
+        let rows = std::mem::take(&mut self.rows);
+        self.rows = exec.hash_merge_sorted(rows, |k: &u64| *k > 0, |acc: &mut u64, k| *acc += k);
         self.normalized = true;
     }
 
@@ -131,6 +131,12 @@ impl Relation {
     /// Consuming normal form — no clone when already normalized.
     pub fn into_normalized(mut self) -> Relation {
         self.normalize();
+        self
+    }
+
+    /// Consuming [`Self::normalize_with`].
+    pub fn into_normalized_with(mut self, exec: &Executor) -> Relation {
+        self.normalize_with(exec);
         self
     }
 }

@@ -13,7 +13,9 @@ use audb::core::{col, Expr};
 use audb::prelude::*;
 use audb::query::au::aggregate::{aggregate_au_exec, aggregate_au_scan};
 use audb::query::au::difference::{difference_au_exec, difference_au_scan};
+use audb::query::au::{project_au_exec, select_au_exec};
 use audb::query::planner::{join_au_planned_exec, join_det_planned_exec};
+use audb::query::rewrite::{dec_relation_exec, enc_relation_exec};
 
 /// Worker counts the ISSUE pins down; 7 exceeds most CI machines.
 const WORKERS: [usize; 4] = [1, 2, 4, 7];
@@ -113,6 +115,94 @@ proptest! {
     }
 
     #[test]
+    fn select_identical_across_worker_counts(
+        rel in au_relation_strategy("A", "B", 16),
+    ) {
+        for pred in [
+            col(0).eq(lit(1i64)),
+            col(0).leq(col(1)),
+            col(1).gt(lit(0i64)).and(col(0).neq(lit(2i64))),
+        ] {
+            let seq = select_au_exec(&rel, &pred, &exec(1)).unwrap();
+            // selection preserves normal form — no hash-merge downstream
+            prop_assert!(seq.is_normalized(), "select lost the normalized flag");
+            for w in WORKERS {
+                let par = select_au_exec(&rel, &pred, &exec(w)).unwrap();
+                prop_assert!(par.is_normalized());
+                prop_assert_eq!(&par, &seq, "workers = {}, pred = {}", w, &pred);
+            }
+        }
+    }
+
+    #[test]
+    fn project_identical_across_worker_counts(
+        rel in au_relation_strategy("A", "B", 16),
+    ) {
+        for exprs in [
+            vec![(col(0), "a".to_string())],
+            vec![(col(0).add(col(1)), "s".to_string()), (lit(1i64), "one".to_string())],
+            vec![(col(1), "b".to_string()), (col(0), "a".to_string())],
+        ] {
+            let seq = project_au_exec(&rel, &exprs, &exec(1)).unwrap();
+            for w in WORKERS {
+                let par = project_au_exec(&rel, &exprs, &exec(w)).unwrap();
+                prop_assert_eq!(&par, &seq, "workers = {}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn enc_dec_identical_across_worker_counts(
+        rel in au_relation_strategy("A", "B", 16),
+    ) {
+        let enc_seq = enc_relation_exec(&rel, &exec(1));
+        let dec_seq = dec_relation_exec(&enc_seq, &rel.schema, &exec(1)).unwrap();
+        prop_assert_eq!(&dec_seq, &rel, "Enc/Dec round trip");
+        for w in WORKERS {
+            let enc = enc_relation_exec(&rel, &exec(w));
+            prop_assert_eq!(&enc, &enc_seq, "Enc, workers = {}", w);
+            let dec = dec_relation_exec(&enc, &rel.schema, &exec(w)).unwrap();
+            prop_assert_eq!(&dec, &dec_seq, "Dec, workers = {}", w);
+        }
+    }
+
+    #[test]
+    fn normalize_identical_across_worker_counts(
+        rel in au_relation_strategy("A", "B", 16),
+        copies in 1usize..4,
+    ) {
+        // a deliberately non-normalized row list: several copies, reversed
+        let mut messy = AuRelation::empty(rel.schema.clone());
+        for c in 0..copies {
+            for (t, k) in rel.rows().iter().rev() {
+                messy.push(t.clone(), *k);
+                if c == 0 {
+                    messy.push(t.clone(), *k);
+                }
+            }
+        }
+        let seq = messy.clone().into_normalized();
+        for w in WORKERS {
+            let mut par = messy.clone();
+            par.normalize_with(&exec(w));
+            prop_assert_eq!(&par, &seq, "AU normalize, workers = {}", w);
+        }
+        // the deterministic relation's normalize shares the driver
+        let mut det = Relation::empty(rel.schema.clone());
+        for _ in 0..copies + 1 {
+            for (t, k) in rel.sg_world().rows().iter().rev() {
+                det.push(t.clone(), *k);
+            }
+        }
+        let det_seq = det.clone().into_normalized();
+        for w in WORKERS {
+            let mut par = det.clone();
+            par.normalize_with(&exec(w));
+            prop_assert_eq!(&par, &det_seq, "det normalize, workers = {}", w);
+        }
+    }
+
+    #[test]
     fn difference_identical_across_worker_counts_and_vs_scan(
         l in au_relation_strategy("A", "B", 12),
         r in au_relation_strategy("A", "B", 12),
@@ -185,6 +275,39 @@ fn adversarial_shapes_identical_across_worker_counts() {
             let agg = aggregate_au_exec(l, &[0], &aggs, None, &exec(w)).unwrap();
             assert_eq!(agg, seq_agg, "aggregate, workers = {w}");
         }
+
+        // the row-local tail on the same shapes
+        let pred = col(1).geq(lit(3i64));
+        let proj = [(col(1), "v".to_string()), (col(0).add(col(1)), "s".to_string())];
+        let seq_sel = select_au_exec(l, &pred, &exec(1)).unwrap();
+        let seq_proj = project_au_exec(l, &proj, &exec(1)).unwrap();
+        let seq_enc = enc_relation_exec(l, &exec(1));
+        let seq_dec = dec_relation_exec(&seq_enc, &l.schema, &exec(1)).unwrap();
+        assert_eq!(&seq_dec, l, "Enc/Dec round trip");
+        for w in WORKERS {
+            assert_eq!(select_au_exec(l, &pred, &exec(w)).unwrap(), seq_sel, "select, w = {w}");
+            assert_eq!(project_au_exec(l, &proj, &exec(w)).unwrap(), seq_proj, "project, w = {w}");
+            let enc = enc_relation_exec(l, &exec(w));
+            assert_eq!(enc, seq_enc, "enc, w = {w}");
+            assert_eq!(
+                dec_relation_exec(&enc, &l.schema, &exec(w)).unwrap(),
+                seq_dec,
+                "dec, w = {w}"
+            );
+        }
+    }
+
+    // normalizing one giant duplicated bucket (every tuple hashes into
+    // a handful of shards, morsels heavily skewed)
+    let mut messy = AuRelation::empty(bucket.schema.clone());
+    for _ in 0..3 {
+        messy.extend_from(&bucket);
+    }
+    let seq = messy.clone().into_normalized();
+    for w in WORKERS {
+        let mut par = messy.clone();
+        par.normalize_with(&exec(w));
+        assert_eq!(par, seq, "normalize, workers = {w}");
     }
 }
 

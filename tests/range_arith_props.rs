@@ -1,0 +1,133 @@
+//! Property tests for range-annotated arithmetic (Definition 9) over
+//! negative and mixed `Int`/`Float` operands: `Mul`/`Div`/`Neg`/`Sub`
+//! results keep `lb ≤ sg ≤ ub` in the domain's total order, the sg
+//! component equals deterministic evaluation on the sg tuple, and every
+//! world assembled from operand bounds is contained.
+//!
+//! The containment check is `value_eq`-weak at the `Int k` vs
+//! `Float k.0` representation boundary: the total order places the two
+//! zero-width-apart representations adjacently (`Int` first), so a
+//! world result can numerically *tie* a bound while carrying the other
+//! numeric type. The engine's comparison predicates (`Expr::Eq`,
+//! `leq`/`lt`) are `value_eq`-aware at exactly these boundaries, and
+//! the sg-widening in `eval_range` keeps the triple itself ordered —
+//! both pinned down here. (Before that widening, `Neg` of
+//! `[Int 1 / Int 1 / Float 1.0]` returned `InvalidRange` outright.)
+
+use proptest::prelude::*;
+
+use audb::core::{col, EvalError, Expr, RangeValue, Value};
+
+/// Negative, positive, and fractional values of both numeric types.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-6i64..7).prop_map(Value::Int),
+        (-24i64..25).prop_map(|q| Value::float(q as f64 / 4.0)),
+    ]
+}
+
+/// Any three values, sorted, make a valid range (sg is the median).
+fn range_strategy() -> impl Strategy<Value = RangeValue> {
+    (value_strategy(), value_strategy(), value_strategy()).prop_map(|(a, b, c)| {
+        let mut v = [a, b, c];
+        v.sort();
+        let [lb, sg, ub] = v;
+        RangeValue::new(lb, sg, ub).expect("sorted triple is a valid range")
+    })
+}
+
+/// Containment up to the cross-type representation boundary.
+fn bounds_weak(r: &RangeValue, v: &Value) -> bool {
+    r.bounds(v) || v.value_eq(&r.lb) || v.value_eq(&r.ub)
+}
+
+/// The arithmetic under test, plus compositions that chain the widened
+/// bounds back into another operator.
+fn op_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(col(0).sub(col(1))),
+        Just(col(0).mul(col(1))),
+        Just(col(0).div(col(1))),
+        Just(col(0).neg()),
+        Just(col(0).neg().sub(col(1))),
+        Just(col(0).mul(col(1)).sub(col(0))),
+        Just(col(0).sub(col(1)).mul(col(1))),
+        Just(col(0).neg().mul(col(1).neg())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn range_arithmetic_ordered_and_bounds_worlds(
+        x in range_strategy(),
+        y in range_strategy(),
+        e in op_strategy(),
+    ) {
+        let tuple = [x.clone(), y.clone()];
+        let out = match e.eval_range(&tuple) {
+            Ok(out) => out,
+            // division is undefined when a denominator may be zero
+            Err(EvalError::RangeDivisionSpansZero) => return Ok(()),
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "{e} on {x}, {y}: unexpected error {other}"
+                )))
+            }
+        };
+
+        // lb ≤ sg ≤ ub in the domain's total order
+        prop_assert!(
+            out.lb <= out.sg && out.sg <= out.ub,
+            "{} on {}, {}: unordered result [{} / {} / {}]",
+            e, x, y, out.lb, out.sg, out.ub
+        );
+
+        // the sg component is exactly deterministic evaluation on sg
+        let sg_det = e.eval(&[x.sg.clone(), y.sg.clone()]).unwrap();
+        prop_assert!(
+            out.sg == sg_det,
+            "{} on {}, {}: sg {} != det {}", e, x, y, out.sg, sg_det
+        );
+
+        // every world assembled from operand bounds is contained
+        for a in [&x.lb, &x.sg, &x.ub] {
+            for b in [&y.lb, &y.sg, &y.ub] {
+                let v = e.eval(&[a.clone(), b.clone()]).unwrap();
+                prop_assert!(
+                    bounds_weak(&out, &v),
+                    "{} on {}, {}: world ({}, {}) -> {} escapes [{} / {} / {}]",
+                    e, x, y, a, b, v, out.lb, out.sg, out.ub
+                );
+            }
+        }
+    }
+}
+
+/// The exact regression shapes that used to return `InvalidRange`
+/// before the sg-widening: numeric ties whose representations escape
+/// the corner bounds in the total order.
+#[test]
+fn mixed_type_tie_regressions() {
+    // Neg of [Int 1 / Int 1 / Float 1.0]: -sg = Int(-1) sorts below the
+    // corner lb Float(-1.0)
+    let r = RangeValue::new(Value::Int(1), Value::Int(1), Value::float(1.0)).unwrap();
+    let out = col(0).neg().eval_range(std::slice::from_ref(&r)).unwrap();
+    assert_eq!(out.sg, Value::Int(-1));
+    assert!(out.lb <= out.sg && out.sg <= out.ub);
+
+    // Mul by a negative certain value: sg Float(6.0) ties corner Int(6)
+    let x = RangeValue::new(Value::Int(-2), Value::float(-2.0), Value::Int(1)).unwrap();
+    let y = RangeValue::certain(Value::Int(-3));
+    let out = col(0).mul(col(1)).eval_range(&[x, y]).unwrap();
+    assert_eq!(out.sg, Value::float(6.0));
+    assert!(out.lb <= out.sg && out.sg <= out.ub);
+
+    // Sub where the corner lb Float(1.0) sorts above sg Int(1)
+    let x = RangeValue::new(Value::Int(1), Value::Int(1), Value::Int(2)).unwrap();
+    let y = RangeValue::new(Value::Int(0), Value::Int(0), Value::float(0.0)).unwrap();
+    let out = col(0).sub(col(1)).eval_range(&[x, y]).unwrap();
+    assert_eq!(out.sg, Value::Int(1));
+    assert!(out.lb <= out.sg && out.sg <= out.ub);
+}
