@@ -22,7 +22,12 @@
 //!   (module [`reduce`]): the parallel backend of relation
 //!   normalization — scatter rows into key-hash shards, hash-merge and
 //!   sort each shard independently, k-way-merge the disjoint sorted
-//!   runs back into the canonical global order.
+//!   runs back into the canonical global order;
+//! * the **sharded pipeline driver** [`Executor::run_shards`] +
+//!   [`ShardSource`] (module [`pipeline`]): run a whole fused
+//!   operator chain per contiguous base-table shard, so chains of
+//!   row-local operators pay a single merge at the pipeline breaker
+//!   instead of one per operator.
 //!
 //! No external dependencies, no unsafe, no work stealing beyond the
 //! shared cursor. A worker count of 1 (or a single morsel) bypasses the
@@ -30,8 +35,10 @@
 //! sequential path zero-overhead and trivially identical.
 
 pub mod partition;
+pub mod pipeline;
 pub mod pool;
 pub mod reduce;
 
 pub use partition::Partitioner;
+pub use pipeline::ShardSource;
 pub use pool::Executor;

@@ -6,6 +6,12 @@ use std::ops::Range;
 ///
 /// The rules are deliberately simple and deterministic:
 ///
+/// * below `workers × min_rows_per_worker` items the whole space is a
+///   single morsel — the adaptive parallelism floor: spawning scoped
+///   threads and merging their slots costs ~0.4–0.6 ms per call
+///   (`BENCH_exec_engine.json`, `planned_1k_w2`), so a multi-worker
+///   executor silently degrades to the inline path on inputs too small
+///   to amortize it;
 /// * below [`Partitioner::min_morsel`] items the whole space is a single
 ///   morsel (parallelism cannot pay for itself on tiny inputs);
 /// * otherwise the space is cut into at most
@@ -16,7 +22,8 @@ use std::ops::Range;
 ///
 /// Morsel boundaries never affect results: the ordered-merge collector
 /// concatenates morsel outputs in morsel order, which equals sequential
-/// order for any split of a contiguous space.
+/// order for any split of a contiguous space — degrading to one morsel
+/// only changes *where* the work runs, never its output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Partitioner {
     /// Minimum items per morsel; inputs smaller than this stay
@@ -24,11 +31,18 @@ pub struct Partitioner {
     pub min_morsel: usize,
     /// Target morsels per worker (load-balancing slack).
     pub morsels_per_worker: usize,
+    /// Minimum items per *worker* before a multi-worker executor leaves
+    /// the inline path (0 disables the floor). Callers whose per-item
+    /// cost is far from the default row-loop profile tune this via
+    /// [`crate::Executor::with_min_rows_per_worker`] — e.g. aggregation
+    /// partitions *groups* (each folding many member rows) and uses a
+    /// much lower floor.
+    pub min_rows_per_worker: usize,
 }
 
 impl Default for Partitioner {
     fn default() -> Self {
-        Partitioner { min_morsel: 128, morsels_per_worker: 4 }
+        Partitioner { min_morsel: 128, morsels_per_worker: 4, min_rows_per_worker: 1024 }
     }
 }
 
@@ -37,6 +51,11 @@ impl Partitioner {
     pub fn morsels(&self, n: usize, workers: usize) -> Vec<Range<usize>> {
         if n == 0 {
             return Vec::new();
+        }
+        // Adaptive floor: not enough rows per worker to pay for the
+        // pool — hand back a single morsel so the executor runs inline.
+        if workers > 1 && n < workers.saturating_mul(self.min_rows_per_worker) {
+            return vec![Range { start: 0, end: n }];
         }
         let min = self.min_morsel.max(1);
         let target = workers.max(1) * self.morsels_per_worker.max(1);
@@ -102,9 +121,28 @@ mod tests {
 
     #[test]
     fn morsel_sizes_are_balanced() {
-        let ms = Partitioner { min_morsel: 1, morsels_per_worker: 1 }.morsels(10, 3);
+        let ms = Partitioner { min_morsel: 1, morsels_per_worker: 1, min_rows_per_worker: 0 }
+            .morsels(10, 3);
         cover(10, &ms);
         let sizes: Vec<usize> = ms.iter().map(|m| m.len()).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    /// The adaptive parallelism floor: multi-worker splits only engage
+    /// once every worker has at least `min_rows_per_worker` items.
+    #[test]
+    fn min_rows_per_worker_floors_small_inputs() {
+        let p = Partitioner::default();
+        // 1000 rows at 2 workers: under the 2 × 1024 floor → one morsel
+        assert_eq!(p.morsels(1000, 2).len(), 1);
+        assert_eq!(p.morsels(1000, 4).len(), 1);
+        // a single worker is already inline; the floor does not apply
+        assert!(p.morsels(1000, 1).len() > 1);
+        // above the floor the usual morsel split engages
+        assert!(p.morsels(4096, 2).len() > 1);
+        assert!(p.morsels(40_000, 4).len() > 1);
+        // the floor can be disabled
+        let forced = Partitioner { min_rows_per_worker: 0, ..Partitioner::default() };
+        assert!(forced.morsels(1000, 4).len() > 1);
     }
 }

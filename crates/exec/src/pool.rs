@@ -67,6 +67,17 @@ impl Executor {
         self
     }
 
+    /// Tune the adaptive parallelism floor
+    /// ([`Partitioner::min_rows_per_worker`]) for drivers whose
+    /// per-item cost differs from the default row-loop profile —
+    /// aggregation's group partitions or difference's per-left-tuple
+    /// reductions do far more work per item than a probe or a
+    /// normalization scatter, so they stay parallel at lower counts.
+    pub fn with_min_rows_per_worker(mut self, min_rows_per_worker: usize) -> Self {
+        self.partitioner.min_rows_per_worker = min_rows_per_worker;
+        self
+    }
+
     pub fn workers(&self) -> usize {
         self.workers
     }
@@ -157,8 +168,11 @@ mod tests {
 
     #[test]
     fn small_partitioner_forces_many_morsels() {
-        let exec =
-            Executor::new(4).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 8 });
+        let exec = Executor::new(4).with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 8,
+            min_rows_per_worker: 0,
+        });
         let seq = Executor::sequential().run(100, produce).unwrap();
         assert_eq!(exec.run(100, produce).unwrap(), seq);
     }
@@ -171,8 +185,11 @@ mod tests {
 
     #[test]
     fn earliest_morsel_error_wins() {
-        let exec =
-            Executor::new(4).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 4 });
+        let exec = Executor::new(4).with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 4,
+            min_rows_per_worker: 0,
+        });
         let fail_at = |bad: usize| {
             move |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), usize> {
                 for i in r {

@@ -77,7 +77,11 @@ impl Executor {
         // The scatter/reduce jobs are batches themselves (one per morsel
         // or shard), so the meta-executor partitions them one-to-one
         // instead of applying the row-level morsel floor again.
-        let meta = self.with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 1 });
+        let meta = self.with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 1,
+            min_rows_per_worker: 0,
+        });
         let shards = self.workers().min(morsels.len());
 
         // Split the owned row list at the morsel boundaries so scatter
@@ -229,8 +233,11 @@ mod tests {
 
     #[test]
     fn tiny_inputs_and_forced_partitions() {
-        let forced =
-            Executor::new(4).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 5 });
+        let forced = Executor::new(4).with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 5,
+            min_rows_per_worker: 0,
+        });
         for n in [0usize, 1, 2, 7, 130] {
             let seq = merged(&Executor::sequential(), n);
             assert_eq!(merged(&forced, n), seq, "n = {n}");
@@ -243,8 +250,11 @@ mod tests {
         let input: Vec<(u64, (u64, u64))> = (0..600u64).map(|i| (i % 7, (i, i))).collect();
         let fold = |acc: &mut (u64, u64), v: (u64, u64)| acc.1 = v.1;
         let seq = Executor::sequential().hash_merge_sorted(input.clone(), |_| true, fold);
-        let forced =
-            Executor::new(4).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 3 });
+        let forced = Executor::new(4).with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 3,
+            min_rows_per_worker: 0,
+        });
         assert_eq!(forced.hash_merge_sorted(input, |_| true, fold), seq);
     }
 
@@ -252,7 +262,11 @@ mod tests {
     fn keep_filters_before_merge() {
         let input = vec![(1u64, 0u64), (1, 2), (2, 0), (3, 1)];
         let out = Executor::new(4)
-            .with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 2 })
+            .with_partitioner(Partitioner {
+                min_morsel: 1,
+                morsels_per_worker: 2,
+                min_rows_per_worker: 0,
+            })
             .hash_merge_sorted(input, |k| *k > 0, |acc, k| *acc += k);
         assert_eq!(out, vec![(1, 2), (3, 1)]);
     }

@@ -258,8 +258,13 @@ fn aggregate_impl(
     let sg_world_empty = group_by.is_empty() && rel.rows().iter().all(|(_, k)| k.sg == 0);
 
     // ---- per-group bounds, group partitions in parallel -----------------
+    // One work item here is a whole *group* (a bound fold over all its
+    // members, per aggregate spec) — far heavier than a row, so the
+    // adaptive parallelism floor is lowered accordingly (never raised:
+    // a caller-forced zero floor stays zero).
+    let gexec = exec.with_min_rows_per_worker(exec.partitioner().min_rows_per_worker.min(32));
     let one = audb_core::lit(1i64);
-    let rows = exec.run(gindex.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
+    let rows = gexec.run(gindex.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
         let mut members: Vec<&(RangeTuple, AuAnnot)> = Vec::new();
         for g in morsel {
             let key = gindex.key(g);

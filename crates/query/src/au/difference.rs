@@ -67,7 +67,12 @@ pub fn difference_au_exec(
         IntervalIndex::sweep_overlapping(&li, &ri, |a, b| cand[a as usize].push(b));
     }
 
-    let rows = exec.run(left.len(), |morsel, rows| {
+    // One work item is a left tuple's full reduction (candidate loop +
+    // hash lookups) — heavier than a plain row op, so the adaptive
+    // parallelism floor is lowered accordingly (never raised: a
+    // caller-forced zero floor stays zero).
+    let dexec = exec.with_min_rows_per_worker(exec.partitioner().min_rows_per_worker.min(256));
+    let rows = dexec.run(left.len(), |morsel, rows| {
         for i in morsel {
             let (t, k) = &left.rows()[i];
             let t_sg = t.sg();

@@ -12,6 +12,7 @@
 pub mod aggregate;
 pub mod combine;
 pub mod difference;
+pub(crate) mod pipeline;
 
 use std::borrow::Cow;
 
@@ -26,7 +27,7 @@ use crate::planner;
 /// Evaluation options: `None` disables an optimization, `Some(ct)` bounds
 /// the compressed possible-side of joins/aggregation to `ct` tuples
 /// (the paper's "CT" knob in Figures 13–16).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AuConfig {
     /// Apply the split/compress join optimization (Section 10.4).
     pub join_compress: Option<usize>,
@@ -44,6 +45,43 @@ pub struct AuConfig {
     /// exact sequential behavior. Any value produces identical results
     /// (`tests/exec_equivalence.rs`).
     pub workers: Option<usize>,
+    /// Shard-at-a-time pipeline execution (on by default): fuse maximal
+    /// chains of row-local operators and run each chain shard-by-shard
+    /// with a single normalization at the pipeline breaker
+    /// ([`pipeline`]). `false` forces the operator-at-a-time path
+    /// (one materialization + merge barrier per operator). Results are
+    /// byte-identical either way. Compressed configurations
+    /// (`join_compress`/`agg_compress` set) always use the
+    /// operator-at-a-time path.
+    pub pipeline: bool,
+    /// Number of contiguous shards a fused chain slices its base input
+    /// into: `None` sizes automatically from the worker count and input
+    /// size, `Some(s)` forces exactly `s` (the determinism tests force
+    /// {1, 3, 8}). Any value produces identical results.
+    pub shards: Option<usize>,
+    /// Override the adaptive parallelism floor
+    /// ([`audb_exec::Partitioner::min_rows_per_worker`]) of the
+    /// session's executor: `None` keeps the default (1024 rows per
+    /// worker before `workers > 1` leaves the inline path), `Some(0)`
+    /// disables it — the equivalence tests use that to force real
+    /// multi-worker execution on tiny inputs. Drivers with heavier work
+    /// items (aggregation's groups, difference's left tuples) only ever
+    /// *lower* the floor further. Any value produces identical results.
+    pub min_rows_per_worker: Option<usize>,
+}
+
+impl Default for AuConfig {
+    fn default() -> Self {
+        AuConfig {
+            join_compress: None,
+            agg_compress: None,
+            adaptive: false,
+            workers: None,
+            pipeline: true,
+            shards: None,
+            min_rows_per_worker: None,
+        }
+    }
 }
 
 impl AuConfig {
@@ -73,9 +111,24 @@ impl AuConfig {
 }
 
 /// Evaluate a query over an AU-database.
+///
+/// With `cfg.pipeline` (the default) maximal chains of row-local
+/// operators run shard-at-a-time through [`pipeline`], paying one
+/// normalization per pipeline breaker instead of one per operator;
+/// otherwise every operator runs operator-at-a-time. The result is
+/// byte-identical either way, for any worker and shard count.
 pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
-    let exec = Executor::from_option(cfg.workers);
-    Ok(eval_inner(db, q, cfg, &exec)?.into_owned().into_normalized_with(&exec))
+    let mut exec = Executor::from_option(cfg.workers);
+    if let Some(floor) = cfg.min_rows_per_worker {
+        exec = exec.with_min_rows_per_worker(floor);
+    }
+    let use_pipeline = cfg.pipeline && cfg.join_compress.is_none() && cfg.agg_compress.is_none();
+    let rel = if use_pipeline {
+        pipeline::eval_pipelined(db, q, cfg, &exec)?
+    } else {
+        eval_inner(db, q, cfg, &exec)?
+    };
+    Ok(rel.into_owned().into_normalized_with(&exec))
 }
 
 /// Copy-free evaluation core: base tables are *borrowed* from the

@@ -1,0 +1,561 @@
+//! Shard-at-a-time pipeline evaluation: run whole chains of row-local
+//! operators per base-table shard, with **one** normalization at the
+//! pipeline breaker instead of one per operator.
+//!
+//! The operator-at-a-time evaluator ([`super::eval_inner`])
+//! materializes a full intermediate relation between every pair of
+//! operators, and most operator tails pay a hash-merge + sort over that
+//! whole intermediate. But `RA+`'s row-local operators — selection,
+//! generalized projection, and the probe side of a planned join against
+//! a shared build-side index — compose into purely tuple-local
+//! functions (the U-relations observation of Antova et al., applied to
+//! AU-annotations: the annotation algebra is row-local, so the
+//! operators are too). This module fuses maximal chains of them and
+//! drives the fused chain shard-by-shard on
+//! [`Executor::run_shards`]: per shard, every source row flows through
+//! the entire chain before the next row is touched; nothing between
+//! the base table and the breaker is ever materialized.
+//!
+//! ## Fusion rules
+//!
+//! A *chain* is `σ* [⋈-probe] (σ|π)*` anchored on a base table or on a
+//! materialized sub-result:
+//!
+//! * `Select` and `Project` extend a chain unconditionally;
+//! * a precise `Join` fuses as a **probe**: its right side is evaluated
+//!   and indexed up front (hash buckets for certain equi-keys, interval
+//!   sweeps for the uncertain bands — the exact structures the
+//!   operator-at-a-time planner uses), and left rows stream through the
+//!   probe. Only selections may sit between the source and the probe
+//!   (they do not change tuples, so the sweep candidates precomputed on
+//!   source row ids stay valid); a left subtree that already contains a
+//!   probe or a projection is materialized first and becomes the new
+//!   chain source;
+//! * everything else — aggregation, distinct, union, difference,
+//!   compressed joins — is a **pipeline breaker**: the chain ends, the
+//!   breaker runs operator-at-a-time, and its inputs recurse through
+//!   the pipeline extractor.
+//!
+//! ## Determinism (byte-identical to operator-at-a-time)
+//!
+//! The final result of [`eval_pipelined`] is byte-identical to the
+//! operator-at-a-time sequential path for any (workers × shards)
+//! combination. Two delivery contracts make this compositional:
+//!
+//! * **Canonical** — the consumer only depends on the *multiset* of
+//!   rows (it normalizes, or folds commutatively, before anything
+//!   order-sensitive happens). A fused chain delivers
+//!   `normalize(rows)`; since `N_AU` addition is commutative and exact
+//!   and annotation multiplication distributes over it, merging or
+//!   reordering intermediate duplicates cannot change the normalized
+//!   result. The query root, union/difference/distinct inputs, and
+//!   join build sides are Canonical.
+//! * **Faithful** — the consumer's output depends on the exact row
+//!   *list* (aggregation folds bounds in member order, which is not
+//!   associative for floats). A chain is used here only when its
+//!   operator-at-a-time delivery is reproducible exactly: select-only
+//!   chains preserve the source list (and its normal form), and chains
+//!   whose last probe is followed by a projection end normalized in
+//!   both paths. Anything else falls back to operator-at-a-time with
+//!   Faithful inputs.
+//!
+//! Within one contract, shard boundaries never matter: shards are
+//! contiguous and merged in shard order ([`Executor::run_shards`]), so
+//! the produced row list equals the sequential single-shard list.
+
+use std::borrow::Cow;
+
+use audb_core::{AuAnnot, EvalError, Expr, RangeValue, Semiring, Value};
+use audb_exec::{Executor, ShardSource};
+use audb_storage::{AuDatabase, AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Schema};
+
+use super::{aggregate, difference, effective_agg_compress, select_au_exec, union_cow, AuConfig};
+use crate::algebra::Query;
+use crate::planner;
+
+/// Minimum source rows per shard when the shard count is not forced
+/// ([`AuConfig::shards`] = `None`): below this, extra shards only add
+/// per-shard setup cost. Shared with the deterministic mirror in
+/// [`crate::det`].
+pub(crate) const MIN_ROWS_PER_SHARD: usize = 1024;
+
+/// What the consumer of an evaluation result depends on — see the
+/// module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Delivery {
+    /// Multiset-determined consumer: fused chains deliver normalized.
+    Canonical,
+    /// List-determined consumer: only exactly-reproducible chains fuse.
+    Faithful,
+}
+
+/// Evaluate a query with shard-at-a-time pipelining (the
+/// `cfg.pipeline` path of [`super::eval_au`]). The returned relation is
+/// the unnormalized-evaluation analog of [`super::eval_inner`]'s
+/// result: the caller applies the final normalization.
+pub(crate) fn eval_pipelined<'a>(
+    db: &'a AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    exec: &Executor,
+) -> Result<Cow<'a, AuRelation>, EvalError> {
+    eval_pl(db, q, cfg, exec, Delivery::Canonical)
+}
+
+// ---------------------------------------------------------------------------
+// Chain shape analysis (no evaluation)
+// ---------------------------------------------------------------------------
+
+/// Is `q` a fusable chain (`σ/π/⋈` tree in chain form)? Joins anchor a
+/// chain regardless of their subtrees (a non-chainable left side is
+/// materialized into the chain source).
+fn fusable(q: &Query, cfg: &AuConfig) -> bool {
+    match q {
+        Query::Table(_) => true,
+        Query::Select { input, .. } | Query::Project { input, .. } => fusable(input, cfg),
+        // Compressed joins run split/compress — a breaker, not a probe.
+        Query::Join { .. } => cfg.join_compress.is_none(),
+        _ => false,
+    }
+}
+
+/// Is the chain's operator-at-a-time delivery exactly reproducible by
+/// the fused evaluation (see `Delivery::Faithful`)?
+fn faithful_ok(q: &Query) -> bool {
+    match q {
+        Query::Table(_) | Query::Project { .. } => true,
+        Query::Select { input, .. } => faithful_ok(input),
+        // A probe tail delivers unnormalized rows in planner phase
+        // order, which per-row probing does not reproduce.
+        _ => false,
+    }
+}
+
+/// Is the subtree a select-only chain over its anchor (so a probe can
+/// fuse onto it with source row ids intact)?
+fn select_only(q: &Query) -> bool {
+    match q {
+        Query::Table(_) => true,
+        Query::Select { input, .. } => select_only(input),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fused chain
+// ---------------------------------------------------------------------------
+
+enum PipeOp<'a> {
+    Select(Expr),
+    Project(Vec<(Expr, String)>),
+    Probe(Box<ProbeOp<'a>>),
+}
+
+enum ProbePlan {
+    /// Conjunctive equality: hash probes for certain keys, precomputed
+    /// sweep candidates for the uncertain bands.
+    HashEqui { pairs: Vec<(usize, usize)>, lcols: Vec<usize>, index: HashKeyIndex },
+    /// Order comparison: all candidates precomputed by the endpoint
+    /// sweep, re-checked per pair.
+    Comparison,
+    /// Cross products and unindexable predicates: every right row.
+    NestedLoop,
+}
+
+/// The build side of a fused join: the evaluated right relation, its
+/// indexes, and per-source-row sweep candidates.
+struct ProbeOp<'a> {
+    right: Cow<'a, AuRelation>,
+    predicate: Option<Expr>,
+    plan: ProbePlan,
+    /// Per *source* row id: right-row candidates from the interval
+    /// sweeps (uncertain-key bands for equi plans, all candidates for
+    /// comparison plans; unused for nested loops).
+    cand: Vec<Vec<u32>>,
+}
+
+impl<'a> ProbeOp<'a> {
+    /// Build the probe for `source ⋈ right`, mirroring the
+    /// operator-at-a-time planner's strategy choice and index shapes.
+    /// `cand` is computed over *all* source rows — selections between
+    /// the source and the probe only drop rows, never change them, so
+    /// candidates of dropped rows are simply never probed.
+    fn build(
+        source: &AuRelation,
+        right: Cow<'a, AuRelation>,
+        predicate: Option<&Expr>,
+    ) -> ProbeOp<'a> {
+        let mut cand: Vec<Vec<u32>> = vec![Vec::new(); source.len()];
+        let plan = match planner::classify(predicate, source.schema.arity()) {
+            planner::JoinStrategy::HashEqui(pairs) => {
+                let lcols: Vec<usize> = pairs.iter().map(|(a, _)| *a).collect();
+                let rcols: Vec<usize> = pairs.iter().map(|(_, b)| *b).collect();
+                let (lc, lu) = planner::partition_by_key_certainty(source.rows(), &lcols);
+                let (rc, ru) = planner::partition_by_key_certainty(right.rows(), &rcols);
+                // no certain probe can ever hit the bucket index when
+                // either certain side is empty — mirror the planner's
+                // guard and skip the build
+                let index = if !lc.is_empty() && !rc.is_empty() {
+                    HashKeyIndex::from_au_sg(right.rows(), &rcols, rc.iter().copied())
+                } else {
+                    HashKeyIndex::default()
+                };
+                let (c0l, c0r) = pairs[0];
+                if !lu.is_empty() {
+                    let li = IntervalIndex::from_au_subset(source.rows(), c0l, &lu);
+                    let ri = IntervalIndex::from_au(right.rows(), c0r);
+                    IntervalIndex::sweep_overlapping(&li, &ri, |a, b| cand[a as usize].push(b));
+                }
+                if !ru.is_empty() && !lc.is_empty() {
+                    let li = IntervalIndex::from_au_subset(source.rows(), c0l, &lc);
+                    let ri = IntervalIndex::from_au_subset(right.rows(), c0r, &ru);
+                    IntervalIndex::sweep_overlapping(&li, &ri, |a, b| cand[a as usize].push(b));
+                }
+                ProbePlan::HashEqui { pairs, lcols, index }
+            }
+            planner::JoinStrategy::IntervalComparison { lo, hi } => {
+                let pairs = planner::comparison_candidates(
+                    lo,
+                    hi,
+                    |c| IntervalIndex::from_au(source.rows(), c),
+                    |c| IntervalIndex::from_au(right.rows(), c),
+                );
+                for (a, b) in pairs {
+                    cand[a as usize].push(b);
+                }
+                ProbePlan::Comparison
+            }
+            planner::JoinStrategy::NestedLoop => ProbePlan::NestedLoop,
+        };
+        ProbeOp { right, predicate: predicate.cloned(), plan, cand }
+    }
+
+    /// Stream one in-flight left row through the probe, emitting each
+    /// joined row into the rest of the chain. The annotation math is
+    /// exactly the planner's `emit_equi_pair` / candidate-evaluation
+    /// logic, so the emitted multiset equals the operator path's.
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &self,
+        rest: &[PipeOp<'_>],
+        rest_bufs: &mut [Buf],
+        buf: &mut Buf,
+        src: usize,
+        vals: &[RangeValue],
+        k: AuAnnot,
+        out: &mut Vec<(RangeTuple, AuAnnot)>,
+    ) -> Result<(), EvalError> {
+        match &self.plan {
+            ProbePlan::HashEqui { pairs, lcols, index } => {
+                if lcols.iter().all(|c| vals[*c].is_certain()) {
+                    buf.key.clear();
+                    buf.key.extend(lcols.iter().map(|c| vals[*c].sg.join_key()));
+                    // take the bucket out of the borrow of `buf.key`
+                    let hits = index.get(&buf.key);
+                    for &ri in hits {
+                        self.emit_equi(rest, rest_bufs, &mut buf.vals, vals, k, ri, pairs, out)?;
+                    }
+                }
+                for &ri in &self.cand[src] {
+                    self.emit_equi(rest, rest_bufs, &mut buf.vals, vals, k, ri, pairs, out)?;
+                }
+                Ok(())
+            }
+            ProbePlan::Comparison => {
+                for &ri in &self.cand[src] {
+                    self.emit_pred(rest, rest_bufs, &mut buf.vals, vals, k, ri, out)?;
+                }
+                Ok(())
+            }
+            ProbePlan::NestedLoop => {
+                for ri in 0..self.right.len() as u32 {
+                    self.emit_pred(rest, rest_bufs, &mut buf.vals, vals, k, ri, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Equi-plan pair emission: short-circuit to `⊗` alone when the key
+    /// attributes are structurally equal and certain (the predicate
+    /// triple is (T, T, T) by construction), else re-check precisely.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_equi(
+        &self,
+        rest: &[PipeOp<'_>],
+        rest_bufs: &mut [Buf],
+        concat: &mut Vec<RangeValue>,
+        vals: &[RangeValue],
+        k: AuAnnot,
+        ri: u32,
+        pairs: &[(usize, usize)],
+        out: &mut Vec<(RangeTuple, AuAnnot)>,
+    ) -> Result<(), EvalError> {
+        let (tr, kr) = &self.right.rows()[ri as usize];
+        let fast = pairs.iter().all(|(a, b)| {
+            let (x, y) = (&vals[*a], &tr.0[*b]);
+            x.is_certain() && x == y
+        });
+        concat.clear();
+        concat.extend_from_slice(vals);
+        concat.extend_from_slice(&tr.0);
+        let mut k2 = k.times(kr);
+        if !fast {
+            let p = self.predicate.as_ref().expect("equi plan implies predicate");
+            let (plb, psg, pub_) = p.eval_range_bool3(concat)?;
+            if !pub_ {
+                return Ok(());
+            }
+            k2 = k2.times(&AuAnnot::from_bool3(plb, psg, pub_));
+        }
+        apply(rest, rest_bufs, usize::MAX, concat, k2, out)
+    }
+
+    /// Comparison / nested-loop pair emission: precise predicate check
+    /// per candidate (cross product when there is no predicate).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_pred(
+        &self,
+        rest: &[PipeOp<'_>],
+        rest_bufs: &mut [Buf],
+        concat: &mut Vec<RangeValue>,
+        vals: &[RangeValue],
+        k: AuAnnot,
+        ri: u32,
+        out: &mut Vec<(RangeTuple, AuAnnot)>,
+    ) -> Result<(), EvalError> {
+        let (tr, kr) = &self.right.rows()[ri as usize];
+        concat.clear();
+        concat.extend_from_slice(vals);
+        concat.extend_from_slice(&tr.0);
+        let mut k2 = k.times(kr);
+        if let Some(p) = &self.predicate {
+            let (plb, psg, pub_) = p.eval_range_bool3(concat)?;
+            if !pub_ {
+                return Ok(());
+            }
+            k2 = k2.times(&AuAnnot::from_bool3(plb, psg, pub_));
+        }
+        apply(rest, rest_bufs, usize::MAX, concat, k2, out)
+    }
+}
+
+/// Per-op scratch reused across a shard's rows: the concatenation /
+/// projection value buffer and the equi-probe key buffer.
+#[derive(Default)]
+struct Buf {
+    vals: Vec<RangeValue>,
+    key: Vec<Value>,
+}
+
+/// One in-flight row through the remaining ops. `src` is the source row
+/// id (valid until the first probe/projection rewrites the tuple; only
+/// the single probe, which sits before any projection, consumes it).
+fn apply(
+    ops: &[PipeOp<'_>],
+    bufs: &mut [Buf],
+    src: usize,
+    vals: &[RangeValue],
+    k: AuAnnot,
+    out: &mut Vec<(RangeTuple, AuAnnot)>,
+) -> Result<(), EvalError> {
+    let Some((op, rest)) = ops.split_first() else {
+        out.push((RangeTuple::new(vals.to_vec()), k));
+        return Ok(());
+    };
+    let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per op");
+    match op {
+        PipeOp::Select(p) => {
+            let (lb, sg, ub) = p.eval_range_bool3(vals)?;
+            if !ub {
+                return Ok(()); // certainly false in all worlds
+            }
+            apply(rest, rest_bufs, src, vals, k.times(&AuAnnot::from_bool3(lb, sg, ub)), out)
+        }
+        PipeOp::Project(exprs) => {
+            if rest.is_empty() {
+                // terminal projection: evaluate straight into the output
+                let vs: Result<Vec<RangeValue>, EvalError> =
+                    exprs.iter().map(|(e, _)| e.eval_range(vals)).collect();
+                out.push((RangeTuple::new(vs?), k));
+                Ok(())
+            } else {
+                buf.vals.clear();
+                for (e, _) in exprs {
+                    buf.vals.push(e.eval_range(vals)?);
+                }
+                apply(rest, rest_bufs, usize::MAX, &buf.vals, k, out)
+            }
+        }
+        PipeOp::Probe(probe) => probe.probe(rest, rest_bufs, buf, src, vals, k, out),
+    }
+}
+
+/// A fused chain ready to run: the source relation, the op list, and
+/// the output schema.
+struct AuPipeline<'a> {
+    source: Cow<'a, AuRelation>,
+    ops: Vec<PipeOp<'a>>,
+    schema: Schema,
+}
+
+impl<'a> AuPipeline<'a> {
+    /// Run the whole chain shard-by-shard and deliver per the chain's
+    /// shape: a single breaker normalization when anything merged or
+    /// rewrote tuples, the exact source-order row list for select-only
+    /// chains (mirroring [`select_au_exec`]'s normal-form preservation).
+    fn run(self, cfg: &AuConfig, exec: &Executor) -> Result<Cow<'a, AuRelation>, EvalError> {
+        if self.ops.is_empty() {
+            return Ok(self.source);
+        }
+        let n = self.source.len();
+        let sharding = match cfg.shards {
+            Some(s) => ShardSource::new(s),
+            None => ShardSource::auto(exec.workers(), n, MIN_ROWS_PER_SHARD),
+        };
+        let ops = &self.ops;
+        let source = self.source.as_ref();
+        let rows = exec.run_shards(n, &sharding, |range, out| {
+            let mut bufs: Vec<Buf> = Vec::new();
+            bufs.resize_with(ops.len(), Buf::default);
+            for i in range {
+                let (t, k) = &source.rows()[i];
+                apply(ops, &mut bufs, i, t.values(), *k, out)?;
+            }
+            Ok::<(), EvalError>(())
+        })?;
+        let select_only = self.ops.iter().all(|op| matches!(op, PipeOp::Select(_)));
+        let out = if !select_only {
+            // the one pipeline-breaker normalization (sharded-reduce)
+            let mut out = AuRelation::empty(self.schema);
+            out.append_rows(rows);
+            out.into_normalized_with(exec)
+        } else if self.source.is_normalized() {
+            // selection preserves normal form: kept rows stay sorted,
+            // distinct, and nonzero-annotated
+            AuRelation::from_normalized_rows(self.schema, rows)
+        } else {
+            let mut out = AuRelation::empty(self.schema);
+            out.append_rows(rows);
+            out
+        };
+        Ok(Cow::Owned(out))
+    }
+}
+
+/// Build the fused chain for a query `fusable()` said is in chain form.
+fn build_chain<'a>(
+    db: &'a AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    exec: &Executor,
+) -> Result<AuPipeline<'a>, EvalError> {
+    match q {
+        Query::Table(name) => {
+            let rel = db.get(name)?;
+            Ok(AuPipeline {
+                source: Cow::Borrowed(rel),
+                ops: Vec::new(),
+                schema: rel.schema.clone(),
+            })
+        }
+        Query::Select { input, predicate } => {
+            let mut c = build_chain(db, input, cfg, exec)?;
+            c.ops.push(PipeOp::Select(predicate.clone()));
+            Ok(c)
+        }
+        Query::Project { input, exprs } => {
+            let mut c = build_chain(db, input, cfg, exec)?;
+            c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+            c.ops.push(PipeOp::Project(exprs.clone()));
+            Ok(c)
+        }
+        Query::Join { left, right, predicate } => {
+            // Left side: continue a select-only chain in place (source
+            // row ids stay valid for the sweep candidates); anything
+            // else is materialized and becomes the new chain source.
+            let mut chain = if fusable(left, cfg) && select_only(left) {
+                build_chain(db, left, cfg, exec)?
+            } else {
+                let rel = eval_pl(db, left, cfg, exec, Delivery::Canonical)?;
+                let schema = rel.schema.clone();
+                AuPipeline { source: rel, ops: Vec::new(), schema }
+            };
+            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
+            chain.schema = chain.schema.concat(&r.schema);
+            let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref());
+            chain.ops.push(PipeOp::Probe(Box::new(probe)));
+            Ok(chain)
+        }
+        _ => unreachable!("build_chain called on a non-chain query"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pipelined evaluator: fused chains + operator-at-a-time fallback
+// ---------------------------------------------------------------------------
+
+fn eval_pl<'a>(
+    db: &'a AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    exec: &Executor,
+    delivery: Delivery,
+) -> Result<Cow<'a, AuRelation>, EvalError> {
+    // Fused path: maximal row-local chains, one breaker normalization.
+    if fusable(q, cfg) && (delivery == Delivery::Canonical || faithful_ok(q)) {
+        return build_chain(db, q, cfg, exec)?.run(cfg, exec);
+    }
+    // Operator-at-a-time fallback; inputs recurse through the pipeline
+    // with the delivery each operator requires (see module docs).
+    Ok(match q {
+        Query::Table(name) => Cow::Borrowed(db.get(name)?),
+        Query::Select { input, predicate } => {
+            // select preserves its input list one-to-one → propagate
+            let rel = eval_pl(db, input, cfg, exec, delivery)?;
+            Cow::Owned(select_au_exec(&rel, predicate, exec)?)
+        }
+        Query::Project { input, exprs } => {
+            // projection normalizes: multiset-determined output
+            let rel = eval_pl(db, input, cfg, exec, Delivery::Canonical)?;
+            Cow::Owned(super::project_au_exec(&rel, exprs, exec)?)
+        }
+        Query::Join { left, right, predicate } => {
+            // a compressed (or Faithful-context) join reproduces the
+            // operator path, so its inputs inherit the stricter need
+            let d = if cfg.join_compress.is_some() { Delivery::Faithful } else { delivery };
+            let l = eval_pl(db, left, cfg, exec, d)?;
+            let r = eval_pl(db, right, cfg, exec, d)?;
+            Cow::Owned(match cfg.join_compress {
+                Some(ct) if !cfg.adaptive || crate::opt::join_compression_pays_off(&l, &r) => {
+                    crate::opt::optimized_join_exec(&l, &r, predicate.as_ref(), ct, exec)?
+                }
+                _ => planner::join_au_planned_exec(&l, &r, predicate.as_ref(), exec)?,
+            })
+        }
+        Query::Union { left, right } => {
+            let l = eval_pl(db, left, cfg, exec, Delivery::Canonical)?;
+            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
+            Cow::Owned(union_cow(l, r, exec)?)
+        }
+        Query::Difference { left, right } => {
+            let l = eval_pl(db, left, cfg, exec, Delivery::Canonical)?;
+            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
+            Cow::Owned(difference::difference_au_exec(&l, &r, exec)?)
+        }
+        Query::Distinct { input } => {
+            // grouping on all columns, no aggregates: bounding boxes and
+            // annotation sums are commutative folds → multiset-determined
+            let rel = eval_pl(db, input, cfg, exec, Delivery::Canonical)?;
+            let all: Vec<usize> = (0..rel.schema.arity()).collect();
+            let compress = effective_agg_compress(cfg, &rel, &all);
+            Cow::Owned(aggregate::aggregate_au_exec(&rel, &all, &[], compress, exec)?)
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            // bound folds run in member order (floats!) → exact list
+            let rel = eval_pl(db, input, cfg, exec, Delivery::Faithful)?;
+            let compress = effective_agg_compress(cfg, &rel, group_by);
+            Cow::Owned(aggregate::aggregate_au_exec(&rel, group_by, aggs, compress, exec)?)
+        }
+    })
+}

@@ -2,95 +2,568 @@
 //! conventional-DBMS substrate (selected-guess query processing runs
 //! here, and the rewrite middleware of Section 10 executes its rewritten
 //! plans on this engine).
+//!
+//! Since the exec-runtime rework this engine rides the same
+//! partition-parallel [`Executor`] and the same shard-at-a-time
+//! pipeline driver as the AU evaluator: row-local operator chains
+//! (select / project / the probe side of a planned join) fuse into a
+//! single pass per base-table shard ([`DetPipeline`]), and the
+//! remaining operator-at-a-time tails run their loops on the pool.
+//! Output is byte-identical to the serial pre-runtime evaluation for
+//! any worker and shard count.
 
 use std::borrow::Cow;
 use std::collections::HashMap;
 
 use audb_core::{EvalError, Expr, Value};
-use audb_storage::{Database, Relation, Schema, Tuple};
+use audb_exec::{Executor, ShardSource};
+use audb_storage::{Database, HashKeyIndex, IntervalIndex, Relation, Schema, Tuple};
 
 use crate::algebra::{AggFunc, AggSpec, Query};
 use crate::planner;
 
-/// Evaluate a query over a deterministic database.
+/// Evaluate a query over a deterministic database on the default
+/// executor (all available hardware threads).
 pub fn eval_det(db: &Database, q: &Query) -> Result<Relation, EvalError> {
-    Ok(eval_inner(db, q)?.into_owned().into_normalized())
+    eval_det_exec(db, q, &Executor::default())
+}
+
+/// [`eval_det`] on an explicit executor, with shard-at-a-time
+/// pipelining of fusable operator chains. `Executor::sequential()`
+/// reproduces the serial behavior exactly; any worker count produces a
+/// byte-identical result.
+pub fn eval_det_exec(db: &Database, q: &Query, exec: &Executor) -> Result<Relation, EvalError> {
+    eval_det_opts(db, q, exec, true, None)
+}
+
+/// [`eval_det_exec`] with explicit pipeline knobs — `pipeline = false`
+/// forces the operator-at-a-time path, `shards` forces the fused
+/// chains' shard count (`None` sizes automatically). All combinations
+/// produce byte-identical results (`tests/exec_equivalence.rs`).
+pub fn eval_det_opts(
+    db: &Database,
+    q: &Query,
+    exec: &Executor,
+    pipeline: bool,
+    shards: Option<usize>,
+) -> Result<Relation, EvalError> {
+    let rel = if pipeline {
+        eval_pl(db, q, exec, shards, Delivery::Canonical)?
+    } else {
+        eval_inner(db, q, exec)?
+    };
+    Ok(rel.into_owned().into_normalized_with(exec))
 }
 
 /// Copy-free evaluation core: base tables are borrowed from the
-/// database, only operator outputs are owned.
-fn eval_inner<'a>(db: &'a Database, q: &Query) -> Result<Cow<'a, Relation>, EvalError> {
+/// database, only operator outputs are owned. Normal form is produced
+/// only where an operator actually requires it (difference's and
+/// distinct's left-side merges, on the sharded-reduce driver); the
+/// row-local operators run on [`Executor::run`], and selection
+/// *preserves* normal form like its AU counterpart.
+fn eval_inner<'a>(
+    db: &'a Database,
+    q: &Query,
+    exec: &Executor,
+) -> Result<Cow<'a, Relation>, EvalError> {
     Ok(match q {
         Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
-            let rel = eval_inner(db, input)?;
-            let mut out = Relation::empty(rel.schema.clone());
-            for (t, k) in rel.rows() {
-                if predicate.eval_bool(t.values())? {
-                    out.push(t.clone(), *k);
-                }
-            }
-            Cow::Owned(out)
+            let rel = eval_inner(db, input, exec)?;
+            Cow::Owned(select_det_exec(&rel, predicate, exec)?)
         }
         Query::Project { input, exprs } => {
-            let rel = eval_inner(db, input)?;
-            let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
-            let mut out = Relation::empty(schema);
-            for (t, k) in rel.rows() {
-                let vals: Result<Vec<Value>, EvalError> =
-                    exprs.iter().map(|(e, _)| e.eval(t.values())).collect();
-                out.push(Tuple::new(vals?), *k);
-            }
-            Cow::Owned(out)
+            let rel = eval_inner(db, input, exec)?;
+            Cow::Owned(project_det_exec(&rel, exprs, exec)?)
         }
         Query::Join { left, right, predicate } => {
-            let l = eval_inner(db, left)?;
-            let r = eval_inner(db, right)?;
-            Cow::Owned(join_det(&l, &r, predicate.as_ref())?)
+            let l = eval_inner(db, left, exec)?;
+            let r = eval_inner(db, right, exec)?;
+            Cow::Owned(planner::join_det_planned_exec(&l, &r, predicate.as_ref(), exec)?)
         }
         Query::Union { left, right } => {
-            let l = eval_inner(db, left)?;
-            let r = eval_inner(db, right)?;
+            let l = eval_inner(db, left, exec)?;
+            let r = eval_inner(db, right, exec)?;
             l.schema.check_union_compatible(&r.schema)?;
             let mut out = l.into_owned();
             out.extend_from(&r);
             Cow::Owned(out)
         }
         Query::Difference { left, right } => {
-            let l = eval_inner(db, left)?;
-            let r = eval_inner(db, right)?;
-            l.schema.check_union_compatible(&r.schema)?;
-            let mut rmap: HashMap<&Tuple, u64> = HashMap::new();
-            for (t, k) in r.rows() {
-                *rmap.entry(t).or_insert(0) += k;
-            }
-            let l = l.into_owned().into_normalized();
-            let mut out = Relation::empty(l.schema.clone());
-            for (t, k) in l.rows() {
-                let sub = rmap.get(t).copied().unwrap_or(0);
-                out.push(t.clone(), k.saturating_sub(sub));
-            }
-            Cow::Owned(out)
+            let l = eval_inner(db, left, exec)?;
+            let r = eval_inner(db, right, exec)?;
+            Cow::Owned(difference_det(l, &r, exec)?)
         }
         Query::Distinct { input } => {
-            let rel = eval_inner(db, input)?.into_owned().into_normalized();
-            let mut out = Relation::empty(rel.schema.clone());
-            for (t, _) in rel.rows() {
-                out.push(t.clone(), 1);
-            }
-            Cow::Owned(out)
+            let rel = eval_inner(db, input, exec)?;
+            Cow::Owned(distinct_det(rel, exec))
         }
         Query::Aggregate { input, group_by, aggs } => {
-            let rel = eval_inner(db, input)?;
+            let rel = eval_inner(db, input, exec)?;
             Cow::Owned(aggregate_det(&rel, group_by, aggs)?)
         }
     })
 }
 
-/// Deterministic theta-join, routed through the join planner (hash
-/// equi-join, endpoint-sweep comparison join, or nested-loop fallback).
-fn join_det(l: &Relation, r: &Relation, predicate: Option<&Expr>) -> Result<Relation, EvalError> {
-    planner::join_det_planned(l, r, predicate)
+/// Partition-parallel selection. Like the AU evaluator's selection it
+/// preserves normal form: kept rows keep their tuples, multiplicities,
+/// and relative order, so a normalized input yields a normalized output
+/// and downstream merges are free.
+pub fn select_det_exec(
+    rel: &Relation,
+    predicate: &Expr,
+    exec: &Executor,
+) -> Result<Relation, EvalError> {
+    let rows = exec.run(rel.rows().len(), |morsel, out| {
+        for (t, k) in &rel.rows()[morsel] {
+            if predicate.eval_bool(t.values())? {
+                out.push((t.clone(), *k));
+            }
+        }
+        Ok::<(), EvalError>(())
+    })?;
+    if rel.is_normalized() {
+        Ok(Relation::from_normalized_rows(rel.schema.clone(), rows))
+    } else {
+        let mut out = Relation::empty(rel.schema.clone());
+        out.append_rows(rows);
+        Ok(out)
+    }
+}
+
+/// Partition-parallel generalized projection (output left unnormalized,
+/// exactly like the serial loop — deterministic bag semantics merge
+/// duplicates only where an operator requires it).
+pub fn project_det_exec(
+    rel: &Relation,
+    exprs: &[(Expr, String)],
+    exec: &Executor,
+) -> Result<Relation, EvalError> {
+    let schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+    let rows = exec.run(rel.rows().len(), |morsel, out| {
+        for (t, k) in &rel.rows()[morsel] {
+            let vals: Result<Vec<Value>, EvalError> =
+                exprs.iter().map(|(e, _)| e.eval(t.values())).collect();
+            out.push((Tuple::new(vals?), *k));
+        }
+        Ok::<(), EvalError>(())
+    })?;
+    let mut out = Relation::empty(schema);
+    out.append_rows(rows);
+    Ok(out)
+}
+
+/// Bag difference (monus): the left side needs normal form (one row per
+/// distinct tuple) and gets it from the sharded-reduce driver; the
+/// right side only feeds a commutative multiplicity sum.
+fn difference_det(
+    l: Cow<'_, Relation>,
+    r: &Relation,
+    exec: &Executor,
+) -> Result<Relation, EvalError> {
+    l.schema.check_union_compatible(&r.schema)?;
+    let mut rmap: HashMap<&Tuple, u64> = HashMap::new();
+    for (t, k) in r.rows() {
+        *rmap.entry(t).or_insert(0) += k;
+    }
+    let l = l.into_owned().into_normalized_with(exec);
+    let mut out = Relation::empty(l.schema.clone());
+    for (t, k) in l.rows() {
+        let sub = rmap.get(t).copied().unwrap_or(0);
+        out.push(t.clone(), k.saturating_sub(sub));
+    }
+    Ok(out)
+}
+
+/// Duplicate elimination: requires normal form, then resets
+/// multiplicities.
+fn distinct_det(rel: Cow<'_, Relation>, exec: &Executor) -> Relation {
+    let rel = rel.into_owned().into_normalized_with(exec);
+    let mut out = Relation::empty(rel.schema.clone());
+    for (t, _) in rel.rows() {
+        out.push(t.clone(), 1);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shard-at-a-time pipelining (the deterministic mirror of
+// `crate::au::pipeline`; see that module for the delivery contracts)
+// ---------------------------------------------------------------------------
+
+use crate::au::pipeline::{Delivery, MIN_ROWS_PER_SHARD};
+
+enum DetPipeOp {
+    Select(Expr),
+    Project(Vec<(Expr, String)>),
+    Probe(Box<DetProbeOp>),
+}
+
+enum DetProbePlan {
+    /// Conjunctive equality on canonical keys — no predicate re-check
+    /// needed (the key match *is* the predicate), exactly like the
+    /// operator-at-a-time det hash join.
+    HashEqui { lcols: Vec<usize>, index: HashKeyIndex },
+    /// Order comparison: endpoint-sweep candidates, re-checked per pair.
+    Comparison,
+    /// Cross products and unindexable predicates.
+    NestedLoop,
+}
+
+struct DetProbeOp {
+    right: Relation,
+    predicate: Option<Expr>,
+    plan: DetProbePlan,
+    /// Per source row id: sweep candidates (comparison plans only).
+    cand: Vec<Vec<u32>>,
+}
+
+impl DetProbeOp {
+    fn build(source: &Relation, right: Relation, predicate: Option<&Expr>) -> DetProbeOp {
+        let mut cand: Vec<Vec<u32>> = Vec::new();
+        let plan = match planner::classify(predicate, source.schema.arity()) {
+            planner::JoinStrategy::HashEqui(pairs) => {
+                let lcols: Vec<usize> = pairs.iter().map(|(a, _)| *a).collect();
+                let rcols: Vec<usize> = pairs.iter().map(|(_, b)| *b).collect();
+                let index = HashKeyIndex::from_det(right.rows(), &rcols);
+                DetProbePlan::HashEqui { lcols, index }
+            }
+            planner::JoinStrategy::IntervalComparison { lo, hi } => {
+                cand = vec![Vec::new(); source.len()];
+                let pairs = planner::comparison_candidates(
+                    lo,
+                    hi,
+                    |c| IntervalIndex::from_det(source.rows(), c),
+                    |c| IntervalIndex::from_det(right.rows(), c),
+                );
+                for (a, b) in pairs {
+                    cand[a as usize].push(b);
+                }
+                DetProbePlan::Comparison
+            }
+            planner::JoinStrategy::NestedLoop => DetProbePlan::NestedLoop,
+        };
+        DetProbeOp { right, predicate: predicate.cloned(), plan, cand }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe<T, F>(
+        &self,
+        rest: &[DetPipeOp],
+        rest_bufs: &mut [DetBuf],
+        buf: &mut DetBuf,
+        src: usize,
+        vals: &[Value],
+        k: u64,
+        out: &mut Vec<T>,
+        terminal: &F,
+    ) -> Result<(), EvalError>
+    where
+        F: Fn(&[Value], u64, &mut Vec<T>) -> Result<(), EvalError>,
+    {
+        let emit = |concat: &mut Vec<Value>,
+                    rest_bufs: &mut [DetBuf],
+                    ri: u32,
+                    check: bool,
+                    out: &mut Vec<T>|
+         -> Result<(), EvalError> {
+            let (tr, kr) = &self.right.rows()[ri as usize];
+            concat.clear();
+            concat.extend_from_slice(vals);
+            concat.extend_from_slice(&tr.0);
+            if check {
+                if let Some(p) = &self.predicate {
+                    if !p.eval_bool(concat)? {
+                        return Ok(());
+                    }
+                }
+            }
+            apply_det(rest, rest_bufs, usize::MAX, concat, k * kr, out, terminal)
+        };
+        match &self.plan {
+            DetProbePlan::HashEqui { lcols, index } => {
+                buf.key.clear();
+                buf.key.extend(lcols.iter().map(|c| vals[*c].join_key()));
+                for &ri in index.get(&buf.key) {
+                    emit(&mut buf.vals, rest_bufs, ri, false, out)?;
+                }
+                Ok(())
+            }
+            DetProbePlan::Comparison => {
+                for &ri in &self.cand[src] {
+                    emit(&mut buf.vals, rest_bufs, ri, true, out)?;
+                }
+                Ok(())
+            }
+            DetProbePlan::NestedLoop => {
+                for ri in 0..self.right.len() as u32 {
+                    emit(&mut buf.vals, rest_bufs, ri, true, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Per-op scratch reused across a shard's rows.
+#[derive(Default)]
+struct DetBuf {
+    vals: Vec<Value>,
+    key: Vec<Value>,
+}
+
+fn apply_det<T, F>(
+    ops: &[DetPipeOp],
+    bufs: &mut [DetBuf],
+    src: usize,
+    vals: &[Value],
+    k: u64,
+    out: &mut Vec<T>,
+    terminal: &F,
+) -> Result<(), EvalError>
+where
+    F: Fn(&[Value], u64, &mut Vec<T>) -> Result<(), EvalError>,
+{
+    let Some((op, rest)) = ops.split_first() else {
+        return terminal(vals, k, out);
+    };
+    let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per op");
+    match op {
+        DetPipeOp::Select(p) => {
+            if !p.eval_bool(vals)? {
+                return Ok(());
+            }
+            apply_det(rest, rest_bufs, src, vals, k, out, terminal)
+        }
+        DetPipeOp::Project(exprs) => {
+            buf.vals.clear();
+            for (e, _) in exprs {
+                buf.vals.push(e.eval(vals)?);
+            }
+            apply_det(rest, rest_bufs, usize::MAX, &buf.vals, k, out, terminal)
+        }
+        DetPipeOp::Probe(probe) => probe.probe(rest, rest_bufs, buf, src, vals, k, out, terminal),
+    }
+}
+
+/// A fused deterministic chain ready to run.
+pub(crate) struct DetPipeline<'a> {
+    source: Cow<'a, Relation>,
+    ops: Vec<DetPipeOp>,
+    schema: Schema,
+}
+
+impl<'a> DetPipeline<'a> {
+    /// Output schema of the fused chain.
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Run the chain shard-by-shard, mapping every emitted row through
+    /// `terminal` (the rewrite middleware plugs `Dec` in here, fusing
+    /// the decode into the same pass). Row order is the sequential
+    /// chain-emission order for any worker × shard combination.
+    pub(crate) fn run_map<T, F>(
+        &self,
+        exec: &Executor,
+        shards: Option<usize>,
+        terminal: F,
+    ) -> Result<Vec<T>, EvalError>
+    where
+        T: Send,
+        F: Fn(&[Value], u64, &mut Vec<T>) -> Result<(), EvalError> + Sync,
+    {
+        let n = self.source.len();
+        let sharding = match shards {
+            Some(s) => ShardSource::new(s),
+            None => ShardSource::auto(exec.workers(), n, MIN_ROWS_PER_SHARD),
+        };
+        let ops = &self.ops;
+        let source = self.source.as_ref();
+        exec.run_shards(n, &sharding, |range, out| {
+            let mut bufs: Vec<DetBuf> = Vec::new();
+            bufs.resize_with(ops.len(), DetBuf::default);
+            for i in range {
+                let (t, k) = &source.rows()[i];
+                apply_det(ops, &mut bufs, i, t.values(), *k, out, &terminal)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Run the chain into a relation, with the delivery its shape
+    /// admits: probe chains pay the single breaker normalization;
+    /// select/project chains reproduce the serial row list exactly
+    /// (selection preserving normal form).
+    fn run(self, exec: &Executor, shards: Option<usize>) -> Result<Cow<'a, Relation>, EvalError> {
+        if self.ops.is_empty() {
+            return Ok(self.source);
+        }
+        let rows = self.run_map(exec, shards, |vals, k, out| {
+            out.push((Tuple::new(vals.to_vec()), k));
+            Ok(())
+        })?;
+        let has_probe = self.ops.iter().any(|op| matches!(op, DetPipeOp::Probe(_)));
+        let select_only = self.ops.iter().all(|op| matches!(op, DetPipeOp::Select(_)));
+        let out = if has_probe {
+            let mut out = Relation::empty(self.schema);
+            out.append_rows(rows);
+            out.into_normalized_with(exec)
+        } else if select_only && self.source.is_normalized() {
+            Relation::from_normalized_rows(self.schema, rows)
+        } else {
+            let mut out = Relation::empty(self.schema);
+            out.append_rows(rows);
+            out
+        };
+        Ok(Cow::Owned(out))
+    }
+}
+
+/// Is `q` a fusable chain? (Select/Project towers; joins anchor a chain
+/// regardless of their subtrees.)
+fn fusable(q: &Query) -> bool {
+    match q {
+        Query::Table(_) => true,
+        Query::Select { input, .. } | Query::Project { input, .. } => fusable(input),
+        Query::Join { .. } => true,
+        _ => false,
+    }
+}
+
+/// Does the chain contain a join probe? (Det select/project chains
+/// reproduce the serial list exactly — projection does not normalize on
+/// this engine — so only probes restrict a chain to Canonical
+/// delivery.)
+fn has_probe(q: &Query) -> bool {
+    match q {
+        Query::Select { input, .. } | Query::Project { input, .. } => has_probe(input),
+        Query::Join { .. } => true,
+        _ => false,
+    }
+}
+
+/// Select-only chain over its anchor (probe candidates keyed by source
+/// row id stay valid).
+fn select_only_chain(q: &Query) -> bool {
+    match q {
+        Query::Table(_) => true,
+        Query::Select { input, .. } => select_only_chain(input),
+        _ => false,
+    }
+}
+
+/// Build the fused pipeline for the whole plan if it is one fusable
+/// chain — the rewrite middleware uses this to run its
+/// `Enc → select/project/join → Dec` spine in a single pass per shard.
+pub(crate) fn build_det_pipeline<'a>(
+    db: &'a Database,
+    q: &Query,
+    exec: &Executor,
+) -> Result<Option<DetPipeline<'a>>, EvalError> {
+    if !fusable(q) {
+        return Ok(None);
+    }
+    Ok(Some(build_chain(db, q, exec)?))
+}
+
+fn build_chain<'a>(
+    db: &'a Database,
+    q: &Query,
+    exec: &Executor,
+) -> Result<DetPipeline<'a>, EvalError> {
+    match q {
+        Query::Table(name) => {
+            let rel = db.get(name)?;
+            Ok(DetPipeline {
+                source: Cow::Borrowed(rel),
+                ops: Vec::new(),
+                schema: rel.schema.clone(),
+            })
+        }
+        Query::Select { input, predicate } => {
+            let mut c = build_chain(db, input, exec)?;
+            c.ops.push(DetPipeOp::Select(predicate.clone()));
+            Ok(c)
+        }
+        Query::Project { input, exprs } => {
+            let mut c = build_chain(db, input, exec)?;
+            c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
+            c.ops.push(DetPipeOp::Project(exprs.clone()));
+            Ok(c)
+        }
+        Query::Join { left, right, predicate } => {
+            let mut chain = if fusable(left) && select_only_chain(left) {
+                build_chain(db, left, exec)?
+            } else {
+                let rel = eval_pl(db, left, exec, None, Delivery::Canonical)?;
+                let schema = rel.schema.clone();
+                DetPipeline { source: rel, ops: Vec::new(), schema }
+            };
+            let r = eval_pl(db, right, exec, None, Delivery::Canonical)?.into_owned();
+            chain.schema = chain.schema.concat(&r.schema);
+            let probe = DetProbeOp::build(chain.source.as_ref(), r, predicate.as_ref());
+            chain.ops.push(DetPipeOp::Probe(Box::new(probe)));
+            Ok(chain)
+        }
+        _ => unreachable!("build_chain called on a non-chain query"),
+    }
+}
+
+fn eval_pl<'a>(
+    db: &'a Database,
+    q: &Query,
+    exec: &Executor,
+    shards: Option<usize>,
+    delivery: Delivery,
+) -> Result<Cow<'a, Relation>, EvalError> {
+    if fusable(q) && (delivery == Delivery::Canonical || !has_probe(q)) {
+        return build_chain(db, q, exec)?.run(exec, shards);
+    }
+    Ok(match q {
+        Query::Table(name) => Cow::Borrowed(db.get(name)?),
+        Query::Select { input, predicate } => {
+            let rel = eval_pl(db, input, exec, shards, delivery)?;
+            Cow::Owned(select_det_exec(&rel, predicate, exec)?)
+        }
+        Query::Project { input, exprs } => {
+            let rel = eval_pl(db, input, exec, shards, delivery)?;
+            Cow::Owned(project_det_exec(&rel, exprs, exec)?)
+        }
+        Query::Join { left, right, predicate } => {
+            // multiset-determined: the strictness of the context carries
+            let l = eval_pl(db, left, exec, shards, delivery)?;
+            let r = eval_pl(db, right, exec, shards, delivery)?;
+            Cow::Owned(planner::join_det_planned_exec(&l, &r, predicate.as_ref(), exec)?)
+        }
+        Query::Union { left, right } => {
+            // the union list is left ++ right: the context's strictness
+            // carries to both sides
+            let l = eval_pl(db, left, exec, shards, delivery)?;
+            let r = eval_pl(db, right, exec, shards, delivery)?;
+            l.schema.check_union_compatible(&r.schema)?;
+            let mut out = l.into_owned();
+            out.extend_from(&r);
+            Cow::Owned(out)
+        }
+        Query::Difference { left, right } => {
+            // left is normalized internally, the right feeds commutative
+            // sums: multiset-determined on both sides
+            let l = eval_pl(db, left, exec, shards, Delivery::Canonical)?;
+            let r = eval_pl(db, right, exec, shards, Delivery::Canonical)?;
+            Cow::Owned(difference_det(l, &r, exec)?)
+        }
+        Query::Distinct { input } => {
+            let rel = eval_pl(db, input, exec, shards, Delivery::Canonical)?;
+            Cow::Owned(distinct_det(rel, exec))
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            // group first-appearance order and float folds depend on the
+            // exact input list
+            let rel = eval_pl(db, input, exec, shards, Delivery::Faithful)?;
+            Cow::Owned(aggregate_det(&rel, group_by, aggs)?)
+        }
+    })
 }
 
 /// Shared scalar `avg` from sum and count (Section 10.2 derivation).

@@ -136,7 +136,7 @@ pub fn join_au_planned_exec(
 }
 
 /// Row ids whose key attributes are all certain / not all certain.
-fn partition_by_key_certainty(
+pub(crate) fn partition_by_key_certainty(
     rows: &[(RangeTuple, AuAnnot)],
     cols: &[usize],
 ) -> (Vec<u32>, Vec<u32>) {
@@ -247,7 +247,7 @@ fn hash_equi_join_au(
 /// paths so their sweep semantics cannot drift apart; `index_left`/
 /// `index_right` build the interval index for a column of the
 /// respective input.
-fn comparison_candidates(
+pub(crate) fn comparison_candidates(
     lo: (Side, usize),
     hi: (Side, usize),
     index_left: impl Fn(usize) -> IntervalIndex,

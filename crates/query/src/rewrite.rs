@@ -119,6 +119,27 @@ fn dec_multiplicity(v: &Value, mult: u64, which: &str) -> Result<u64, EvalError>
     })
 }
 
+/// Decode one encoded row (its value slice plus its bag multiplicity)
+/// into an AU row — the single decode used by [`dec_relation_exec`] and
+/// by the rewrite session's fused `Enc → spine → Dec` pass, so the two
+/// paths cannot drift.
+fn dec_row(lay: EncLayout, v: &[Value], mult: u64) -> Result<(RangeTuple, AuAnnot), EvalError> {
+    let mut ranges = Vec::with_capacity(lay.n);
+    for i in 0..lay.n {
+        ranges.push(RangeValue::new(
+            v[lay.lb(i)].clone(),
+            v[lay.sg(i)].clone(),
+            v[lay.ub(i)].clone(),
+        )?);
+    }
+    let annot = AuAnnot::new(
+        dec_multiplicity(&v[lay.row_lb()], mult, "lower-bound")?,
+        dec_multiplicity(&v[lay.row_sg()], mult, "selected-guess")?,
+        dec_multiplicity(&v[lay.row_ub()], mult, "upper-bound")?,
+    )?;
+    Ok((RangeTuple::new(ranges), annot))
+}
+
 /// `Dec`: invert the encoding. Multiplicities > 1 scale the annotation
 /// (Definition 29's `rowdec(t) · (R(t), R(t), R(t))`).
 pub fn dec_relation(rel: &Relation, orig_schema: &Schema) -> Result<AuRelation, EvalError> {
@@ -146,21 +167,7 @@ pub fn dec_relation_exec(
     let rows = exec.run(rel.len(), |morsel, out| {
         for i in morsel {
             let (t, mult) = &rel.rows()[i];
-            let v = t.values();
-            let mut ranges = Vec::with_capacity(n);
-            for i in 0..n {
-                ranges.push(RangeValue::new(
-                    v[lay.lb(i)].clone(),
-                    v[lay.sg(i)].clone(),
-                    v[lay.ub(i)].clone(),
-                )?);
-            }
-            let annot = AuAnnot::new(
-                dec_multiplicity(&v[lay.row_lb()], *mult, "lower-bound")?,
-                dec_multiplicity(&v[lay.row_sg()], *mult, "selected-guess")?,
-                dec_multiplicity(&v[lay.row_ub()], *mult, "upper-bound")?,
-            )?;
-            out.push((RangeTuple::new(ranges), annot));
+            out.push(dec_row(lay, t.values(), *mult)?);
         }
         Ok::<(), EvalError>(())
     })?;
@@ -385,6 +392,18 @@ impl<'a> RewriteSession<'a> {
 
     /// `Dec(rewr(Q)(Enc(D)))`, encoding referenced base tables on first
     /// use.
+    ///
+    /// When the rewritten plan is a single fusable chain of row-local
+    /// operators (every select/project/join spine is — aggregation and
+    /// set operations are not), the whole
+    /// `Enc → select/project/join → Dec` round trip runs as **one pass
+    /// per base-table shard** on the deterministic engine's pipeline
+    /// driver: encoded base rows stream through the rewritten operator
+    /// chain and decode straight back into AU rows, with a single
+    /// normalization at the end — no materialized encoded intermediate,
+    /// no extra hash-merge of wide encoded tuples. Results are
+    /// byte-identical to the unfused path (`Dec` distributes over the
+    /// bag sum the skipped normalization would have computed).
     pub fn eval(&mut self, q: &Query) -> Result<AuRelation, EvalError> {
         let (plan, schema) = rewr(q, self.src)?;
         for name in q.table_refs() {
@@ -393,7 +412,24 @@ impl<'a> RewriteSession<'a> {
                     .insert(name.to_string(), enc_relation_exec(self.src.get(name)?, &self.exec));
             }
         }
-        let out = crate::det::eval_det(&self.enc, &plan)?;
+        if let Some(pipe) = crate::det::build_det_pipeline(&self.enc, &plan, &self.exec)? {
+            let lay = EncLayout::new(schema.arity());
+            if pipe.schema().arity() != lay.width() {
+                return Err(EvalError::SchemaMismatch(format!(
+                    "expected encoded arity {}, found {}",
+                    lay.width(),
+                    pipe.schema().arity()
+                )));
+            }
+            let rows = pipe.run_map(&self.exec, None, |v, mult, out| {
+                out.push(dec_row(lay, v, mult)?);
+                Ok(())
+            })?;
+            let mut out = AuRelation::empty(schema);
+            out.append_rows(rows);
+            return Ok(out.into_normalized_with(&self.exec));
+        }
+        let out = crate::det::eval_det_exec(&self.enc, &plan, &self.exec)?;
         dec_relation_exec(&out, &schema, &self.exec)
     }
 }

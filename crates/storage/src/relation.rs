@@ -45,6 +45,19 @@ impl Relation {
         Self::from_rows(schema, tuples.into_iter().map(|t| (t, 1)).collect())
     }
 
+    /// Build from rows already in normal form — canonically sorted,
+    /// duplicate-free, with no zero multiplicities (debug-asserted).
+    /// Lets operators that provably preserve normal form (e.g.
+    /// selection over a normalized input) skip the hash-merge + re-sort.
+    pub fn from_normalized_rows(schema: Schema, rows: Vec<(Tuple, u64)>) -> Self {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows must be strictly sorted by tuple"
+        );
+        debug_assert!(rows.iter().all(|(_, k)| *k > 0), "rows must have nonzero multiplicities");
+        Relation { schema, rows, normalized: true }
+    }
+
     pub fn rows(&self) -> &[(Tuple, u64)] {
         &self.rows
     }

@@ -24,7 +24,11 @@ const WORKERS: [usize; 4] = [1, 2, 4, 7];
 /// default 128-row morsel floor would keep small proptest cases on the
 /// inline path and test nothing.
 fn exec(workers: usize) -> Executor {
-    Executor::new(workers).with_partitioner(Partitioner { min_morsel: 1, morsels_per_worker: 3 })
+    Executor::new(workers).with_partitioner(Partitioner {
+        min_morsel: 1,
+        morsels_per_worker: 3,
+        min_rows_per_worker: 0,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -214,6 +218,203 @@ proptest! {
         for w in WORKERS {
             let par = difference_au_exec(&l, &r, &exec(w)).unwrap();
             prop_assert_eq!(&par, &seq, "workers = {}", w);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shard-at-a-time pipeline vs operator-at-a-time (workers × shards)
+// ---------------------------------------------------------------------------
+
+/// Shard counts the ISSUE pins down for the pipeline driver.
+const SHARDS: [usize; 3] = [1, 3, 8];
+
+/// Operator-at-a-time sequential reference configuration.
+fn cfg_operator() -> AuConfig {
+    AuConfig { pipeline: false, workers: Some(1), ..AuConfig::default() }
+}
+
+/// Pipelined configuration with forced worker and shard counts. The
+/// adaptive parallelism floor is disabled so the tiny proptest inputs
+/// really run multi-worker (operator loops, breaker normalizations,
+/// and the sharded chains alike) instead of degrading to the inline
+/// path.
+fn cfg_pipeline(workers: usize, shards: usize) -> AuConfig {
+    AuConfig {
+        workers: Some(workers),
+        shards: Some(shards),
+        min_rows_per_worker: Some(0),
+        ..AuConfig::default()
+    }
+}
+
+/// Queries covering the fusion rules end-to-end: full
+/// select→join→project spines (one fused chain), select/project-only
+/// chains, pipeline breakers mid-query (aggregate — both with a
+/// projection tail that keeps the input chain fusable and directly over
+/// a join, which exercises the order-faithful fallback seam), and the
+/// set operators around fused chains.
+fn pipeline_queries() -> Vec<Query> {
+    use audb::query::table;
+    let spine = table("t1")
+        .select(col(1).geq(lit(0i64)))
+        .join_on(table("t2"), col(0).eq(col(2)))
+        .project(vec![(col(0).add(col(3)), "x"), (col(1), "y")]);
+    vec![
+        spine.clone(),
+        // row-local chain without a join
+        table("t1")
+            .project(vec![(col(0), "a"), (col(1).mul(lit(2i64)), "b")])
+            .select(col(1).gt(lit(-2i64)))
+            .project(vec![(col(0).add(col(1)), "s")]),
+        // comparison-predicate and cross joins under a projection
+        table("t1")
+            .join_on(table("t2"), col(0).leq(col(2)))
+            .project(vec![(col(1), "a"), (col(3), "b")]),
+        table("t1").cross(table("t2")).select(col(0).neq(col(3))),
+        // aggregate mid-query over a fused (project-tailed) chain, with
+        // a row-local tail above the breaker
+        table("t1")
+            .select(col(0).leq(lit(3i64)))
+            .join_on(table("t2"), col(0).eq(col(2)))
+            .project(vec![(col(0), "g"), (col(1).add(col(3)), "v")])
+            .aggregate(
+                vec![0],
+                vec![
+                    AggSpec::new(AggFunc::Sum, col(1), "s"),
+                    AggSpec::new(AggFunc::Avg, col(1), "a"),
+                    AggSpec::new(AggFunc::Min, col(1), "lo"),
+                ],
+            )
+            .select(col(1).geq(lit(-50i64))),
+        // aggregate directly over a join: the probe chain is not
+        // order-faithful, so the whole subtree must fall back
+        table("t1")
+            .join_on(table("t2"), col(0).eq(col(2)))
+            .aggregate(vec![1], vec![AggSpec::new(AggFunc::Sum, col(3), "s"), AggSpec::count("c")]),
+        // set operators with fused chains on both sides
+        table("t1")
+            .select(col(0).gt(lit(0i64)))
+            .union(table("t1").project(vec![(col(0), "A"), (col(1), "B")])),
+        table("t1").difference(table("t2").project(vec![(col(0), "A"), (col(1), "B")])),
+        table("t1").project(vec![(col(0), "a")]).distinct(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole guarantee: the sharded pipeline's final result is
+    /// byte-identical to the operator-at-a-time sequential path for
+    /// every (workers × shards) combination.
+    #[test]
+    fn pipeline_identical_to_operator_at_a_time(
+        t1 in au_relation_strategy("A", "B", 14),
+        t2 in au_relation_strategy("C", "D", 14),
+    ) {
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1);
+        db.insert("t2", t2);
+        for q in pipeline_queries() {
+            let reference = eval_au(&db, &q, &cfg_operator()).unwrap();
+            for w in WORKERS {
+                for s in SHARDS {
+                    let got = eval_au(&db, &q, &cfg_pipeline(w, s)).unwrap();
+                    prop_assert_eq!(&got, &reference, "workers = {}, shards = {}, q = {}", w, s, &q);
+                }
+            }
+        }
+    }
+
+    /// Float aggregation payloads: bound folds are order-sensitive
+    /// (float addition is not associative), so this pins down the
+    /// pipeline's order-faithful delivery into aggregation.
+    #[test]
+    fn pipeline_identical_with_float_folds(
+        rows in proptest::collection::vec((-40i64..40, -40i64..40, 0u64..3), 1..14),
+    ) {
+        use audb::query::table;
+        let t1 = AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            rows.iter()
+                .map(|(a, b, k)| {
+                    // 0.1 steps are not dyadic: float sums depend on order
+                    (
+                        RangeTuple::new(vec![
+                            RangeValue::certain(Value::Int(a % 4)),
+                            RangeValue::certain(Value::float(*b as f64 * 0.1)),
+                        ]),
+                        AuAnnot::triple(*k, *k, k + 1),
+                    )
+                })
+                .collect(),
+        );
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1.clone());
+        db.insert("t2", t1);
+        let q = table("t1")
+            .select(col(1).geq(lit(-100i64)))
+            .join_on(table("t2"), col(0).eq(col(2)))
+            .project(vec![(col(0), "g"), (col(1).add(col(3)), "v")])
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+        let reference = eval_au(&db, &q, &cfg_operator()).unwrap();
+        for w in WORKERS {
+            for s in SHARDS {
+                let got = eval_au(&db, &q, &cfg_pipeline(w, s)).unwrap();
+                prop_assert_eq!(&got, &reference, "workers = {}, shards = {}", w, s);
+            }
+        }
+    }
+
+    /// The executor-threaded deterministic engine: pipelined evaluation
+    /// for any workers × shards equals the operator-at-a-time
+    /// sequential path, on the same query shapes.
+    #[test]
+    fn det_pipeline_identical_to_operator_at_a_time(
+        t1 in au_relation_strategy("A", "B", 14),
+        t2 in au_relation_strategy("C", "D", 14),
+    ) {
+        use audb::query::det::eval_det_opts;
+        let mut db = Database::new();
+        db.insert("t1", t1.sg_world());
+        db.insert("t2", t2.sg_world());
+        for q in pipeline_queries() {
+            let reference = eval_det_opts(&db, &q, &exec(1), false, None).unwrap();
+            for w in WORKERS {
+                for s in SHARDS {
+                    let got = eval_det_opts(&db, &q, &exec(w), true, Some(s)).unwrap();
+                    prop_assert_eq!(&got, &reference, "workers = {}, shards = {}, q = {}", w, s, &q);
+                }
+            }
+        }
+    }
+
+    /// The rewrite middleware's fused `Enc → spine → Dec` pass: a
+    /// session on any worker count matches the native AU result and the
+    /// sequential session.
+    #[test]
+    fn rewrite_session_identical_across_worker_counts(
+        t1 in au_relation_strategy("A", "B", 10),
+        t2 in au_relation_strategy("C", "D", 10),
+    ) {
+        use audb::query::rewrite::RewriteSession;
+        use audb::query::table;
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1);
+        db.insert("t2", t2);
+        let q = table("t1")
+            .select(col(1).geq(lit(-2i64)))
+            .join_on(table("t2"), col(0).eq(col(2)))
+            .project(vec![(col(0), "x"), (col(1).add(col(3)), "y")]);
+        let reference = RewriteSession::new(&db).with_workers(Some(1)).eval(&q).unwrap();
+        prop_assert_eq!(
+            &reference,
+            &eval_au(&db, &q, &cfg_operator()).unwrap(),
+            "rewrite vs native"
+        );
+        for w in WORKERS {
+            let got = RewriteSession::new(&db).with_workers(Some(w)).eval(&q).unwrap();
+            prop_assert_eq!(&got, &reference, "workers = {}", w);
         }
     }
 }
