@@ -6,6 +6,12 @@
 //! barriers eliminated), not core count. The w4 variants additionally
 //! feed the multi-core CI readback (w4/w1 wall-clock scaling on the
 //! same fused pass).
+//!
+//! The `pipeline_10k_interp_*` variants run the same fused chain with
+//! `AuConfig::compiled = false` (per-row `Expr`-tree interpretation
+//! instead of the compiled register programs): the compiled backend
+//! must be >= 1.2x over interpreted at one worker (criterion_6,
+//! core-count-free like criterion_4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -48,6 +54,10 @@ fn bench(c: &mut Criterion) {
         let operator = AuConfig { pipeline: false, workers: Some(w), ..AuConfig::default() };
         g.bench_function(format!("operator_10k_w{w}"), |b| {
             b.iter(|| black_box(eval_au(&audb, &q, &operator).unwrap()))
+        });
+        let interp = AuConfig { compiled: false, workers: Some(w), ..AuConfig::default() };
+        g.bench_function(format!("pipeline_10k_interp_w{w}"), |b| {
+            b.iter(|| black_box(eval_au(&audb, &q, &interp).unwrap()))
         });
         let pipeline = AuConfig { workers: Some(w), ..AuConfig::default() };
         g.bench_function(format!("pipeline_10k_w{w}"), |b| {

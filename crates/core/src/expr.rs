@@ -318,143 +318,45 @@ impl Expr {
     /// Evaluate against a range-annotated tuple. Bound-preserving
     /// (Theorem 1): if the input tuple bounds an incomplete valuation,
     /// the result bounds all possible outcomes.
+    ///
+    /// This tree-walking interpreter is the semantic *oracle*: the
+    /// compiled register backend ([`crate::program::Program`]) lowers
+    /// the same per-node combinators (`range_*` below) into a flat op
+    /// array, and the differential test-suite pins the two byte-equal.
     pub fn eval_range(&self, tuple: &[RangeValue]) -> Result<RangeValue, EvalError> {
         match self {
             Expr::Col(i) => tuple.get(*i).cloned().ok_or(EvalError::UnknownColumn(*i)),
             Expr::Const(v) => Ok(RangeValue::certain(v.clone())),
-            Expr::And(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                let (xl, xs, xu) = x.as_bool3()?;
-                let (yl, ys, yu) = y.as_bool3()?;
-                Ok(bool_range(xl && yl, xs && ys, xu && yu))
-            }
-            Expr::Or(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                let (xl, xs, xu) = x.as_bool3()?;
-                let (yl, ys, yu) = y.as_bool3()?;
-                Ok(bool_range(xl || yl, xs || ys, xu || yu))
-            }
-            Expr::Not(a) => {
-                let x = a.eval_range(tuple)?;
-                let (xl, xs, xu) = x.as_bool3()?;
-                Ok(bool_range(!xu, !xs, !xl))
-            }
-            Expr::Eq(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                // certainly equal iff both are certain and equal
-                let lb = x.ub.value_eq(&y.lb) && y.ub.value_eq(&x.lb);
-                // possibly equal iff the ranges overlap; `value_eq`-aware
-                // so `Int 2` vs `Float 2.0` endpoints count as touching
-                // (keeps the triple ordered with the value_eq-based lb)
-                let ub = leq(&x.lb, &y.ub) && leq(&y.lb, &x.ub);
-                Ok(bool_range(lb, x.sg.value_eq(&y.sg), ub))
-            }
-            Expr::Neq(a, b) => Expr::Eq(a.clone(), b.clone()).not().eval_range(tuple),
-            Expr::Leq(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                Ok(bool_range(leq(&x.ub, &y.lb), leq(&x.sg, &y.sg), leq(&x.lb, &y.ub)))
-            }
-            Expr::Lt(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                Ok(bool_range(lt(&x.ub, &y.lb), lt(&x.sg, &y.sg), lt(&x.lb, &y.ub)))
-            }
-            Expr::Geq(a, b) => Expr::Leq(b.clone(), a.clone()).eval_range(tuple),
-            Expr::Gt(a, b) => Expr::Lt(b.clone(), a.clone()).eval_range(tuple),
-            Expr::Add(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                RangeValue::new(x.lb.add(&y.lb)?, x.sg.add(&y.sg)?, x.ub.add(&y.ub)?)
-            }
-            Expr::Sub(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                // The corner bounds are numerically correct but live in a
-                // total order where `Int(k) < Float(k.0)`: on a numeric
-                // tie the sg result's *representation* can escape them
-                // (e.g. `[1/1/2] − [Int 0/Int 0/Float 0.0]` has corner
-                // lb `Float(1.0)` above sg `Int(1)`). Widening by sg
-                // keeps the triple ordered and is sound — the sg world
-                // is a possible world, so the true bounds contain it.
-                // Same treatment for Mul/Div/Neg below.
-                let sg = x.sg.sub(&y.sg)?;
-                Ok(RangeValue::new_unchecked(
-                    Value::min_of(x.lb.sub(&y.ub)?, sg.clone()),
-                    sg.clone(),
-                    Value::max_of(x.ub.sub(&y.lb)?, sg),
-                ))
-            }
-            Expr::Mul(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                let combos =
-                    [x.lb.mul(&y.lb)?, x.lb.mul(&y.ub)?, x.ub.mul(&y.lb)?, x.ub.mul(&y.ub)?];
-                let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
-                let hi = combos.into_iter().reduce(Value::max_of).unwrap();
-                let sg = x.sg.mul(&y.sg)?;
-                Ok(RangeValue::new_unchecked(
-                    Value::min_of(lo, sg.clone()),
-                    sg.clone(),
-                    Value::max_of(hi, sg),
-                ))
-            }
-            Expr::Div(a, b) => {
-                let (x, y) = (a.eval_range(tuple)?, b.eval_range(tuple)?);
-                // Undefined when the denominator may be 0 (Definition 9).
-                // Zero has exactly two representations in the domain's
-                // total order, `Int(0)` and `Float(0.0)`, and they are
-                // *adjacent* (numeric ties order `Int` before `Float`),
-                // so a denominator interval may contain one without the
-                // other — e.g. `[Float(0.0), Int(5)]` excludes `Int(0)`
-                // and `[Int(-1), Int(0)]` excludes `Float(0.0)`. Testing
-                // both representations is therefore exactly the
-                // "interval contains a zero-valued element" condition,
-                // for pure-`Int`, pure-`Float`, and mixed endpoints
-                // alike (pinned down in `div_spans_zero_guard_*` tests).
-                if y.bounds(&Value::Int(0)) || y.bounds(&Value::float(0.0)) {
-                    return Err(EvalError::RangeDivisionSpansZero);
-                }
-                let combos =
-                    [x.lb.div(&y.lb)?, x.lb.div(&y.ub)?, x.ub.div(&y.lb)?, x.ub.div(&y.ub)?];
-                let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
-                let hi = combos.into_iter().reduce(Value::max_of).unwrap();
-                let sg = x.sg.div(&y.sg)?;
-                Ok(RangeValue::new_unchecked(
-                    Value::min_of(lo, sg.clone()),
-                    sg.clone(),
-                    Value::max_of(hi, sg),
-                ))
-            }
-            Expr::Neg(a) => {
-                let x = a.eval_range(tuple)?;
-                let sg = x.sg.neg()?;
-                Ok(RangeValue::new_unchecked(
-                    Value::min_of(x.ub.neg()?, sg.clone()),
-                    sg.clone(),
-                    Value::max_of(x.lb.neg()?, sg),
-                ))
-            }
+            Expr::And(a, b) => range_and(&a.eval_range(tuple)?, &b.eval_range(tuple)?),
+            Expr::Or(a, b) => range_or(&a.eval_range(tuple)?, &b.eval_range(tuple)?),
+            Expr::Not(a) => range_not(&a.eval_range(tuple)?),
+            Expr::Eq(a, b) => Ok(range_eq(&a.eval_range(tuple)?, &b.eval_range(tuple)?)),
+            Expr::Neq(a, b) => range_not(&range_eq(&a.eval_range(tuple)?, &b.eval_range(tuple)?)),
+            Expr::Leq(a, b) => Ok(range_leq(&a.eval_range(tuple)?, &b.eval_range(tuple)?)),
+            Expr::Lt(a, b) => Ok(range_lt(&a.eval_range(tuple)?, &b.eval_range(tuple)?)),
+            // Derived comparisons evaluate the *syntactic right* operand
+            // first (they are sugar for the swapped operator) — the
+            // compiled lowering mirrors this operand order exactly so
+            // error classification cannot diverge.
+            Expr::Geq(a, b) => Ok(range_leq(&b.eval_range(tuple)?, &a.eval_range(tuple)?)),
+            Expr::Gt(a, b) => Ok(range_lt(&b.eval_range(tuple)?, &a.eval_range(tuple)?)),
+            Expr::Add(a, b) => range_add(&a.eval_range(tuple)?, &b.eval_range(tuple)?),
+            Expr::Sub(a, b) => range_sub(&a.eval_range(tuple)?, &b.eval_range(tuple)?),
+            Expr::Mul(a, b) => range_mul(&a.eval_range(tuple)?, &b.eval_range(tuple)?),
+            Expr::Div(a, b) => range_div(&a.eval_range(tuple)?, &b.eval_range(tuple)?),
+            Expr::Neg(a) => range_neg(&a.eval_range(tuple)?),
             Expr::If(c, t, e) => {
                 let cond = c.eval_range(tuple)?;
-                let (cl, cs, cu) = cond.as_bool3()?;
+                cond.as_bool3()?; // non-boolean conditions error before the branches run
                 let tv = t.eval_range(tuple)?;
                 let ev = e.eval_range(tuple)?;
-                if cl && cu {
-                    Ok(tv)
-                } else if !cl && !cu {
-                    Ok(ev)
-                } else {
-                    let sg = if cs { tv.sg.clone() } else { ev.sg.clone() };
-                    RangeValue::new(Value::min_of(tv.lb, ev.lb), sg, Value::max_of(tv.ub, ev.ub))
-                }
+                range_if_merge(&cond, tv, ev)
             }
             Expr::Uncertain(l, s, u) => {
                 let lv = l.eval_range(tuple)?;
                 let sv = s.eval_range(tuple)?;
                 let uv = u.eval_range(tuple)?;
-                // widen so the triple stays ordered even if the three
-                // sub-expressions disagree
-                RangeValue::new(
-                    Value::min_of(lv.lb, sv.sg.clone()),
-                    sv.sg.clone(),
-                    Value::max_of(uv.ub, sv.sg),
-                )
+                range_uncertain(&lv, &sv, &uv)
             }
         }
     }
@@ -465,17 +367,153 @@ impl Expr {
     }
 }
 
-fn bool_range(lb: bool, sg: bool, ub: bool) -> RangeValue {
+// ---- shared per-node combinators (Definition 9) --------------------------
+//
+// One function per operator over *already evaluated* operand ranges,
+// shared verbatim between the tree interpreter above and the compiled
+// register backend in `crate::program` — the two execution paths cannot
+// drift because they run the same combinator code.
+
+pub(crate) fn bool_range(lb: bool, sg: bool, ub: bool) -> RangeValue {
     // The boolean order is false < true; a comparison's components always
     // satisfy lb => sg => ub by construction.
     RangeValue::new_unchecked(Value::Bool(lb), Value::Bool(sg), Value::Bool(ub))
 }
 
-fn leq(a: &Value, b: &Value) -> bool {
+pub(crate) fn leq(a: &Value, b: &Value) -> bool {
     a <= b || a.value_eq(b)
 }
-fn lt(a: &Value, b: &Value) -> bool {
+pub(crate) fn lt(a: &Value, b: &Value) -> bool {
     a < b && !a.value_eq(b)
+}
+
+pub(crate) fn range_and(x: &RangeValue, y: &RangeValue) -> Result<RangeValue, EvalError> {
+    let (xl, xs, xu) = x.as_bool3()?;
+    let (yl, ys, yu) = y.as_bool3()?;
+    Ok(bool_range(xl && yl, xs && ys, xu && yu))
+}
+
+pub(crate) fn range_or(x: &RangeValue, y: &RangeValue) -> Result<RangeValue, EvalError> {
+    let (xl, xs, xu) = x.as_bool3()?;
+    let (yl, ys, yu) = y.as_bool3()?;
+    Ok(bool_range(xl || yl, xs || ys, xu || yu))
+}
+
+pub(crate) fn range_not(x: &RangeValue) -> Result<RangeValue, EvalError> {
+    let (xl, xs, xu) = x.as_bool3()?;
+    Ok(bool_range(!xu, !xs, !xl))
+}
+
+pub(crate) fn range_eq(x: &RangeValue, y: &RangeValue) -> RangeValue {
+    // certainly equal iff both are certain and equal
+    let lb = x.ub.value_eq(&y.lb) && y.ub.value_eq(&x.lb);
+    // possibly equal iff the ranges overlap; `value_eq`-aware so
+    // `Int 2` vs `Float 2.0` endpoints count as touching (keeps the
+    // triple ordered with the value_eq-based lb)
+    let ub = leq(&x.lb, &y.ub) && leq(&y.lb, &x.ub);
+    bool_range(lb, x.sg.value_eq(&y.sg), ub)
+}
+
+pub(crate) fn range_leq(x: &RangeValue, y: &RangeValue) -> RangeValue {
+    bool_range(leq(&x.ub, &y.lb), leq(&x.sg, &y.sg), leq(&x.lb, &y.ub))
+}
+
+pub(crate) fn range_lt(x: &RangeValue, y: &RangeValue) -> RangeValue {
+    bool_range(lt(&x.ub, &y.lb), lt(&x.sg, &y.sg), lt(&x.lb, &y.ub))
+}
+
+pub(crate) fn range_add(x: &RangeValue, y: &RangeValue) -> Result<RangeValue, EvalError> {
+    RangeValue::new(x.lb.add(&y.lb)?, x.sg.add(&y.sg)?, x.ub.add(&y.ub)?)
+}
+
+// The corner bounds of Sub/Mul/Div/Neg are numerically correct but live
+// in a total order where `Int(k) < Float(k.0)`: on a numeric tie the sg
+// result's *representation* can escape them (e.g. `[1/1/2] −
+// [Int 0/Int 0/Float 0.0]` has corner lb `Float(1.0)` above sg
+// `Int(1)`). Widening by sg keeps the triple ordered and is sound — the
+// sg world is a possible world, so the true bounds contain it.
+
+pub(crate) fn range_sub(x: &RangeValue, y: &RangeValue) -> Result<RangeValue, EvalError> {
+    let sg = x.sg.sub(&y.sg)?;
+    Ok(RangeValue::new_unchecked(
+        Value::min_of(x.lb.sub(&y.ub)?, sg.clone()),
+        sg.clone(),
+        Value::max_of(x.ub.sub(&y.lb)?, sg),
+    ))
+}
+
+pub(crate) fn range_mul(x: &RangeValue, y: &RangeValue) -> Result<RangeValue, EvalError> {
+    let combos = [x.lb.mul(&y.lb)?, x.lb.mul(&y.ub)?, x.ub.mul(&y.lb)?, x.ub.mul(&y.ub)?];
+    let [c0, c1, c2, c3] = combos;
+    let lo =
+        Value::min_of(Value::min_of(c0.clone(), c1.clone()), Value::min_of(c2.clone(), c3.clone()));
+    let hi = Value::max_of(Value::max_of(c0, c1), Value::max_of(c2, c3));
+    let sg = x.sg.mul(&y.sg)?;
+    Ok(RangeValue::new_unchecked(Value::min_of(lo, sg.clone()), sg.clone(), Value::max_of(hi, sg)))
+}
+
+pub(crate) fn range_div(x: &RangeValue, y: &RangeValue) -> Result<RangeValue, EvalError> {
+    // Undefined when the denominator may be 0 (Definition 9).
+    // Zero has exactly two representations in the domain's total order,
+    // `Int(0)` and `Float(0.0)`, and they are *adjacent* (numeric ties
+    // order `Int` before `Float`), so a denominator interval may contain
+    // one without the other — e.g. `[Float(0.0), Int(5)]` excludes
+    // `Int(0)` and `[Int(-1), Int(0)]` excludes `Float(0.0)`. Testing
+    // both representations is therefore exactly the "interval contains a
+    // zero-valued element" condition, for pure-`Int`, pure-`Float`, and
+    // mixed endpoints alike (pinned down in `div_spans_zero_guard_*`
+    // tests).
+    if y.bounds(&Value::Int(0)) || y.bounds(&Value::float(0.0)) {
+        return Err(EvalError::RangeDivisionSpansZero);
+    }
+    let combos = [x.lb.div(&y.lb)?, x.lb.div(&y.ub)?, x.ub.div(&y.lb)?, x.ub.div(&y.ub)?];
+    let [c0, c1, c2, c3] = combos;
+    let lo =
+        Value::min_of(Value::min_of(c0.clone(), c1.clone()), Value::min_of(c2.clone(), c3.clone()));
+    let hi = Value::max_of(Value::max_of(c0, c1), Value::max_of(c2, c3));
+    let sg = x.sg.div(&y.sg)?;
+    Ok(RangeValue::new_unchecked(Value::min_of(lo, sg.clone()), sg.clone(), Value::max_of(hi, sg)))
+}
+
+pub(crate) fn range_neg(x: &RangeValue) -> Result<RangeValue, EvalError> {
+    let sg = x.sg.neg()?;
+    Ok(RangeValue::new_unchecked(
+        Value::min_of(x.ub.neg()?, sg.clone()),
+        sg.clone(),
+        Value::max_of(x.lb.neg()?, sg),
+    ))
+}
+
+/// Merge the two branch results of `If` under an (already
+/// boolean-checked) condition triple.
+pub(crate) fn range_if_merge(
+    cond: &RangeValue,
+    tv: RangeValue,
+    ev: RangeValue,
+) -> Result<RangeValue, EvalError> {
+    let (cl, cs, cu) = cond.as_bool3()?;
+    if cl && cu {
+        Ok(tv)
+    } else if !cl && !cu {
+        Ok(ev)
+    } else {
+        let sg = if cs { tv.sg.clone() } else { ev.sg.clone() };
+        RangeValue::new(Value::min_of(tv.lb, ev.lb), sg, Value::max_of(tv.ub, ev.ub))
+    }
+}
+
+/// `MakeUncertain`: widen so the triple stays ordered even if the three
+/// sub-expressions disagree.
+pub(crate) fn range_uncertain(
+    lv: &RangeValue,
+    sv: &RangeValue,
+    uv: &RangeValue,
+) -> Result<RangeValue, EvalError> {
+    RangeValue::new(
+        Value::min_of(lv.lb.clone(), sv.sg.clone()),
+        sv.sg.clone(),
+        Value::max_of(uv.ub.clone(), sv.sg.clone()),
+    )
 }
 
 impl fmt::Display for Expr {

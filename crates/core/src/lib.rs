@@ -18,6 +18,7 @@ pub mod annot;
 pub mod error;
 pub mod expr;
 pub mod krelation;
+pub mod program;
 pub mod range;
 pub mod semiring;
 pub mod value;
@@ -25,6 +26,7 @@ pub mod value;
 pub use annot::{AuAnnot, UaAnnot};
 pub use error::EvalError;
 pub use expr::{col, lit, Expr};
+pub use program::{Program, RangeBatch};
 pub use range::RangeValue;
 pub use semiring::{
     delta, LSemiring, MonusSemiring, Nat, NaturallyOrdered, PolyNX, Prod, Semiring,

@@ -1,0 +1,1204 @@
+//! Compiled expression backend: [`Expr`] trees lowered once into a flat
+//! register [`Program`] — a linear op array evaluated over a reusable
+//! register file with no recursion and no per-row allocation.
+//!
+//! The tree-walking interpreters ([`Expr::eval`], [`Expr::eval_range`])
+//! pay per-node dispatch, `Box` pointer chasing, a clone per `Col` /
+//! `Const` leaf, and (for the derived operators `≠ ≥ >`) a per-row
+//! clone-and-rebuild of whole subtrees. Inside a fused operator chain
+//! those costs dominate per-row work (the U-relations observation: keep
+//! the uncertain-data hot loop flat), so the query engines compile each
+//! select/project/predicate stage once per chain and run the program
+//! per row — or, for select/project-only chains, one op at a time over
+//! a whole shard of rows ([`Program::eval_range_batch`]).
+//!
+//! Ops address their operands *directly* ([`Src`]): a register for
+//! compound sub-results, a tuple column, or a pooled constant — leaf
+//! operands are read in place instead of being cloned into registers
+//! (the interpreter clones both). A [`Op::CheckCol`] bounds probe is
+//! emitted where the interpreter would have evaluated the column
+//! reference, so `UnknownColumn` errors keep their exact position in
+//! the error order.
+//!
+//! Both lowerings reuse the *same per-node combinators* as the
+//! interpreters (`expr::range_*`, `Value` arithmetic), so compiled
+//! results — values, sg-widening, the cross-type `Div` spans-zero
+//! guard, and `EvalError` classification — are identical by
+//! construction; the differential property suite
+//! (`tests/compiled_exprs_props.rs`) pins it.
+//!
+//! Two lowering modes exist because the two semantics differ in control
+//! flow, not just domain:
+//!
+//! * **Range** (Definition 9) is straight-line: every operand of every
+//!   node is evaluated (`If` merges both branches), so the program is a
+//!   pure dataflow op list.
+//! * **Det** (Definition 4) short-circuits: `And`/`Or` skip their right
+//!   operand and `If` evaluates only the taken branch, so the lowering
+//!   emits explicit `Jump`/`JumpIfFalse`/`JumpIfTrue` ops. Skipping is
+//!   semantically load-bearing — the skipped subexpression may error —
+//!   which also rules out op-at-a-time batching for det programs.
+
+use std::fmt;
+
+use crate::error::EvalError;
+use crate::expr::{
+    self, range_add, range_and, range_div, range_eq, range_if_merge, range_leq, range_lt,
+    range_mul, range_neg, range_not, range_or, range_sub, range_uncertain,
+};
+use crate::range::RangeValue;
+use crate::value::Value;
+use crate::Expr;
+
+/// Register index into a program's register file.
+pub type Reg = u32;
+
+/// Which semantics a program was lowered for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Range-annotated semantics over `RangeValue` registers.
+    Range,
+    /// Deterministic semantics over `Value` registers.
+    Det,
+}
+
+/// An op operand, addressed in place: a register holding a compound
+/// sub-result, an input tuple column, or a pooled constant.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    Reg(Reg),
+    Col(u32),
+    Const(u32),
+}
+
+/// One flat instruction. `Range*` ops appear only in `Mode::Range`
+/// programs, `Det*`/load/jump ops only in `Mode::Det` programs;
+/// `CheckCol` is shared.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Bounds-probe a column reference (`UnknownColumn` past the
+    /// arity), emitted where the interpreter would have *evaluated* the
+    /// reference — later ops then read the column in place.
+    CheckCol {
+        col: u32,
+    },
+
+    // ---- range mode (straight-line dataflow) ---------------------------
+    RangeAnd {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeOr {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeNot {
+        a: Src,
+        dst: Reg,
+    },
+    RangeEq {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeLeq {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeLt {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeAdd {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeSub {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeMul {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeDiv {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    RangeNeg {
+        a: Src,
+        dst: Reg,
+    },
+    /// Validate that `src` is a boolean triple — emitted after an `If`
+    /// condition so non-boolean conditions error *before* the branch
+    /// bodies run, exactly like the interpreter.
+    RangeCheckBool3 {
+        src: Src,
+    },
+    /// Merge the (eagerly evaluated) branch results under the condition.
+    RangeIfMerge {
+        c: Src,
+        t: Src,
+        e: Src,
+        dst: Reg,
+    },
+    RangeUncertain {
+        l: Src,
+        s: Src,
+        u: Src,
+        dst: Reg,
+    },
+
+    // ---- det mode (short-circuit control flow) -------------------------
+    /// `dst ← tuple[col]` (an `If` branch must deposit into the shared
+    /// destination register).
+    LoadCol {
+        col: u32,
+        dst: Reg,
+    },
+    /// `dst ← consts[idx]`.
+    LoadConst {
+        idx: u32,
+        dst: Reg,
+    },
+    DetAdd {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    DetSub {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    DetMul {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    DetDiv {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    DetNeg {
+        a: Src,
+        dst: Reg,
+    },
+    /// `dst ← Bool(value_eq(a, b))`.
+    DetEq {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    /// `dst ← Bool(a ≤ b ∨ value_eq(a, b))` — the interpreter's `leq`.
+    DetLeq {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    /// `dst ← Bool(a < b ∧ ¬value_eq(a, b))` — the interpreter's `lt`.
+    DetLt {
+        a: Src,
+        b: Src,
+        dst: Reg,
+    },
+    /// `dst ← Bool(¬as_bool(a))`.
+    DetNot {
+        a: Src,
+        dst: Reg,
+    },
+    /// `dst ← Bool(as_bool(src))` — materializes an `And`/`Or` operand.
+    DetAsBool {
+        src: Src,
+        dst: Reg,
+    },
+    Jump {
+        to: u32,
+    },
+    /// `as_bool(src)?`; jump when false.
+    JumpIfFalse {
+        src: Src,
+        to: u32,
+    },
+    /// `as_bool(src)?`; jump when true.
+    JumpIfTrue {
+        src: Src,
+        to: u32,
+    },
+}
+
+/// A compiled expression (or expression list): flat ops, a constant
+/// pool, and one output location per compiled expression. Programs are
+/// immutable and `Sync` — compile once per chain, share across workers,
+/// and give each worker its own register file.
+#[derive(Debug, Clone)]
+pub struct Program {
+    mode: Mode,
+    ops: Vec<Op>,
+    /// Constant pool for `Mode::Det` (and the source of `consts_range`).
+    consts: Vec<Value>,
+    /// The same pool pre-lifted to certain ranges for `Mode::Range`.
+    consts_range: Vec<RangeValue>,
+    nregs: usize,
+    outputs: Vec<Src>,
+}
+
+impl Program {
+    /// Lower one expression for range-annotated evaluation.
+    pub fn compile_range(e: &Expr) -> Program {
+        Self::compile_range_many(std::slice::from_ref(e))
+    }
+
+    /// Lower a list of expressions (a projection) into one program with
+    /// one output each; expressions evaluate in list order, so the
+    /// first error wins exactly as in per-expression interpretation.
+    pub fn compile_range_many(exprs: &[Expr]) -> Program {
+        let mut l = Lowerer::new(Mode::Range);
+        let outputs = exprs.iter().map(|e| l.lower_range_value(e)).collect();
+        l.finish(outputs)
+    }
+
+    /// Lower one expression for deterministic evaluation.
+    pub fn compile_det(e: &Expr) -> Program {
+        Self::compile_det_many(std::slice::from_ref(e))
+    }
+
+    /// Deterministic analog of [`Program::compile_range_many`].
+    pub fn compile_det_many(exprs: &[Expr]) -> Program {
+        let mut l = Lowerer::new(Mode::Det);
+        let outputs = exprs.iter().map(|e| l.lower_det_value(e)).collect();
+        l.finish(outputs)
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Number of registers an evaluation needs.
+    pub fn nregs(&self) -> usize {
+        self.nregs
+    }
+
+    /// Number of compiled expressions (outputs).
+    pub fn arity(&self) -> usize {
+        self.outputs.len()
+    }
+
+    // ---- per-row range evaluation ---------------------------------------
+
+    /// Grow `regs` to this program's register count (reusing the buffer
+    /// across rows and across programs of different sizes).
+    pub fn prepare_range_regs(&self, regs: &mut Vec<RangeValue>) {
+        if regs.len() < self.nregs {
+            regs.resize(self.nregs, RangeValue::certain(Value::Null));
+        }
+    }
+
+    #[inline]
+    fn rsrc<'r>(
+        &'r self,
+        s: Src,
+        tuple: &'r [RangeValue],
+        regs: &'r [RangeValue],
+    ) -> &'r RangeValue {
+        match s {
+            Src::Reg(r) => &regs[r as usize],
+            // in bounds: a CheckCol precedes every Col operand
+            Src::Col(c) => &tuple[c as usize],
+            Src::Const(i) => &self.consts_range[i as usize],
+        }
+    }
+
+    /// Take ownership of an operand: move out of a register, clone a
+    /// column/constant (what the interpreter's leaf evaluation does).
+    #[inline]
+    fn rtake(&self, s: Src, tuple: &[RangeValue], regs: &mut [RangeValue]) -> RangeValue {
+        match s {
+            Src::Reg(r) => {
+                std::mem::replace(&mut regs[r as usize], RangeValue::certain(Value::Null))
+            }
+            Src::Col(c) => tuple[c as usize].clone(),
+            Src::Const(i) => self.consts_range[i as usize].clone(),
+        }
+    }
+
+    /// Run the program over one range-annotated tuple; `i`-th result
+    /// readable via [`Program::range_output`].
+    pub fn eval_range_into(
+        &self,
+        tuple: &[RangeValue],
+        regs: &mut [RangeValue],
+    ) -> Result<(), EvalError> {
+        debug_assert_eq!(self.mode, Mode::Range, "range evaluation of a det program");
+        for op in &self.ops {
+            match op {
+                Op::CheckCol { col } => {
+                    let c = *col as usize;
+                    if c >= tuple.len() {
+                        return Err(EvalError::UnknownColumn(c));
+                    }
+                }
+                Op::RangeAnd { a, b, dst } => {
+                    let v = range_and(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeOr { a, b, dst } => {
+                    let v = range_or(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeNot { a, dst } => {
+                    let v = range_not(self.rsrc(*a, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeEq { a, b, dst } => {
+                    let v = range_eq(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs));
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeLeq { a, b, dst } => {
+                    let v = range_leq(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs));
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeLt { a, b, dst } => {
+                    let v = range_lt(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs));
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeAdd { a, b, dst } => {
+                    let v = range_add(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeSub { a, b, dst } => {
+                    let v = range_sub(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeMul { a, b, dst } => {
+                    let v = range_mul(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeDiv { a, b, dst } => {
+                    let v = range_div(self.rsrc(*a, tuple, regs), self.rsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeNeg { a, dst } => {
+                    let v = range_neg(self.rsrc(*a, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeCheckBool3 { src } => {
+                    self.rsrc(*src, tuple, regs).as_bool3()?;
+                }
+                Op::RangeIfMerge { c, t, e, dst } => {
+                    let tv = self.rtake(*t, tuple, regs);
+                    let ev = self.rtake(*e, tuple, regs);
+                    let v = range_if_merge(self.rsrc(*c, tuple, regs), tv, ev)?;
+                    regs[*dst as usize] = v;
+                }
+                Op::RangeUncertain { l, s, u, dst } => {
+                    let v = range_uncertain(
+                        self.rsrc(*l, tuple, regs),
+                        self.rsrc(*s, tuple, regs),
+                        self.rsrc(*u, tuple, regs),
+                    )?;
+                    regs[*dst as usize] = v;
+                }
+                _ => unreachable!("det op in a range program"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the `i`-th output after [`Program::eval_range_into`].
+    #[inline]
+    pub fn range_output<'r>(
+        &'r self,
+        i: usize,
+        tuple: &'r [RangeValue],
+        regs: &'r [RangeValue],
+    ) -> &'r RangeValue {
+        self.rsrc(self.outputs[i], tuple, regs)
+    }
+
+    /// Single-output range evaluation.
+    pub fn eval_range(
+        &self,
+        tuple: &[RangeValue],
+        regs: &mut Vec<RangeValue>,
+    ) -> Result<RangeValue, EvalError> {
+        self.prepare_range_regs(regs);
+        self.eval_range_into(tuple, regs)?;
+        Ok(self.range_output(0, tuple, regs).clone())
+    }
+
+    /// Single-output range predicate evaluation: boolean triple.
+    pub fn eval_range_bool3(
+        &self,
+        tuple: &[RangeValue],
+        regs: &mut Vec<RangeValue>,
+    ) -> Result<(bool, bool, bool), EvalError> {
+        self.prepare_range_regs(regs);
+        self.eval_range_into(tuple, regs)?;
+        self.range_output(0, tuple, regs).as_bool3()
+    }
+
+    // ---- per-row det evaluation -----------------------------------------
+
+    /// Grow `regs` to this program's register count.
+    pub fn prepare_det_regs(&self, regs: &mut Vec<Value>) {
+        if regs.len() < self.nregs {
+            regs.resize(self.nregs, Value::Null);
+        }
+    }
+
+    #[inline]
+    fn dsrc<'r>(&'r self, s: Src, tuple: &'r [Value], regs: &'r [Value]) -> &'r Value {
+        match s {
+            Src::Reg(r) => &regs[r as usize],
+            Src::Col(c) => &tuple[c as usize],
+            Src::Const(i) => &self.consts[i as usize],
+        }
+    }
+
+    /// Run the program over one deterministic tuple (with short-circuit
+    /// jumps); `i`-th result readable via [`Program::det_output`].
+    pub fn eval_det_into(&self, tuple: &[Value], regs: &mut [Value]) -> Result<(), EvalError> {
+        debug_assert_eq!(self.mode, Mode::Det, "det evaluation of a range program");
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            match &self.ops[pc] {
+                Op::CheckCol { col } => {
+                    let c = *col as usize;
+                    if c >= tuple.len() {
+                        return Err(EvalError::UnknownColumn(c));
+                    }
+                }
+                Op::LoadCol { col, dst } => {
+                    let c = *col as usize;
+                    regs[*dst as usize] =
+                        tuple.get(c).cloned().ok_or(EvalError::UnknownColumn(c))?;
+                }
+                Op::LoadConst { idx, dst } => {
+                    regs[*dst as usize] = self.consts[*idx as usize].clone();
+                }
+                Op::DetAdd { a, b, dst } => {
+                    let v = self.dsrc(*a, tuple, regs).add(self.dsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::DetSub { a, b, dst } => {
+                    let v = self.dsrc(*a, tuple, regs).sub(self.dsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::DetMul { a, b, dst } => {
+                    let v = self.dsrc(*a, tuple, regs).mul(self.dsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::DetDiv { a, b, dst } => {
+                    let v = self.dsrc(*a, tuple, regs).div(self.dsrc(*b, tuple, regs))?;
+                    regs[*dst as usize] = v;
+                }
+                Op::DetNeg { a, dst } => {
+                    let v = self.dsrc(*a, tuple, regs).neg()?;
+                    regs[*dst as usize] = v;
+                }
+                Op::DetEq { a, b, dst } => {
+                    let v = self.dsrc(*a, tuple, regs).value_eq(self.dsrc(*b, tuple, regs));
+                    regs[*dst as usize] = Value::Bool(v);
+                }
+                Op::DetLeq { a, b, dst } => {
+                    let v = expr::leq(self.dsrc(*a, tuple, regs), self.dsrc(*b, tuple, regs));
+                    regs[*dst as usize] = Value::Bool(v);
+                }
+                Op::DetLt { a, b, dst } => {
+                    let v = expr::lt(self.dsrc(*a, tuple, regs), self.dsrc(*b, tuple, regs));
+                    regs[*dst as usize] = Value::Bool(v);
+                }
+                Op::DetNot { a, dst } => {
+                    let v = !self.dsrc(*a, tuple, regs).as_bool()?;
+                    regs[*dst as usize] = Value::Bool(v);
+                }
+                Op::DetAsBool { src, dst } => {
+                    let v = self.dsrc(*src, tuple, regs).as_bool()?;
+                    regs[*dst as usize] = Value::Bool(v);
+                }
+                Op::Jump { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Op::JumpIfFalse { src, to } => {
+                    if !self.dsrc(*src, tuple, regs).as_bool()? {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfTrue { src, to } => {
+                    if self.dsrc(*src, tuple, regs).as_bool()? {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                _ => unreachable!("range op in a det program"),
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Read the `i`-th output after [`Program::eval_det_into`].
+    #[inline]
+    pub fn det_output<'r>(&'r self, i: usize, tuple: &'r [Value], regs: &'r [Value]) -> &'r Value {
+        self.dsrc(self.outputs[i], tuple, regs)
+    }
+
+    /// Single-output deterministic evaluation.
+    pub fn eval_det(&self, tuple: &[Value], regs: &mut Vec<Value>) -> Result<Value, EvalError> {
+        self.prepare_det_regs(regs);
+        self.eval_det_into(tuple, regs)?;
+        Ok(self.det_output(0, tuple, regs).clone())
+    }
+
+    /// Single-output deterministic predicate evaluation.
+    pub fn eval_det_bool(&self, tuple: &[Value], regs: &mut Vec<Value>) -> Result<bool, EvalError> {
+        self.prepare_det_regs(regs);
+        self.eval_det_into(tuple, regs)?;
+        self.det_output(0, tuple, regs).as_bool()
+    }
+
+    // ---- batch range evaluation -----------------------------------------
+
+    /// Evaluate the program over a whole batch of rows (a shard), **one
+    /// op at a time over every row** — register *columns* instead of a
+    /// register file, the flat-columnar execution shape.
+    ///
+    /// Error semantics are row-major, identical to evaluating the rows
+    /// one after another: a row that errors is poisoned (its later ops
+    /// are skipped) and after the sweep the error of the *earliest* row
+    /// is returned. On `Ok`, every output is fully populated
+    /// ([`RangeBatch::output`]).
+    pub fn eval_range_batch(
+        &self,
+        rows: &[&[RangeValue]],
+        batch: &mut RangeBatch,
+    ) -> Result<(), EvalError> {
+        self.eval_range_batch_lenient(rows, batch);
+        if let Some(e) = batch.errs.iter().flatten().next() {
+            return Err(e.clone());
+        }
+        Ok(())
+    }
+
+    /// [`Program::eval_range_batch`] without the final error check:
+    /// erroring rows are left poisoned in the batch
+    /// ([`RangeBatch::row_error`]) and every clean row's outputs are
+    /// populated. Chain-level batching uses this to carry poison across
+    /// several program runs and report the earliest *source* row's
+    /// error only once the whole chain has been applied.
+    ///
+    /// Range mode only: det programs short-circuit via jumps, which is
+    /// per-row control flow (and skipping is semantically load-bearing —
+    /// the skipped operand may error).
+    pub fn eval_range_batch_lenient(&self, rows: &[&[RangeValue]], batch: &mut RangeBatch) {
+        assert_eq!(self.mode, Mode::Range, "batch evaluation requires a range program");
+        let n = rows.len();
+        batch.reset(self.nregs, n);
+        let cols = &mut batch.cols;
+        let errs = &mut batch.errs;
+
+        // Resolve an operand for row `i` against the register columns.
+        macro_rules! src {
+            ($s:expr, $i:expr, $cols:expr) => {
+                match $s {
+                    Src::Reg(r) => &$cols[*r as usize][$i],
+                    Src::Col(c) => &rows[$i][*c as usize],
+                    Src::Const(k) => &self.consts_range[*k as usize],
+                }
+            };
+        }
+        // `dst` is always distinct from the operand registers (the
+        // lowerer never reuses registers), so take the destination
+        // column out, fill it, and put it back — no aliasing.
+        macro_rules! unary {
+            ($a:expr, $dst:expr, |$x:ident| $body:expr) => {{
+                let mut d = std::mem::take(&mut cols[*$dst as usize]);
+                for i in 0..n {
+                    if errs[i].is_some() {
+                        continue;
+                    }
+                    let $x = src!($a, i, cols);
+                    match $body {
+                        Ok(v) => d[i] = v,
+                        Err(e) => errs[i] = Some(e),
+                    }
+                }
+                cols[*$dst as usize] = d;
+            }};
+        }
+        macro_rules! binary {
+            ($a:expr, $b:expr, $dst:expr, |$x:ident, $y:ident| $body:expr) => {{
+                let mut d = std::mem::take(&mut cols[*$dst as usize]);
+                for i in 0..n {
+                    if errs[i].is_some() {
+                        continue;
+                    }
+                    let ($x, $y) = (src!($a, i, cols), src!($b, i, cols));
+                    match $body {
+                        Ok(v) => d[i] = v,
+                        Err(e) => errs[i] = Some(e),
+                    }
+                }
+                cols[*$dst as usize] = d;
+            }};
+        }
+
+        for op in &self.ops {
+            match op {
+                Op::CheckCol { col } => {
+                    let c = *col as usize;
+                    for i in 0..n {
+                        if errs[i].is_none() && c >= rows[i].len() {
+                            errs[i] = Some(EvalError::UnknownColumn(c));
+                        }
+                    }
+                }
+                Op::RangeAnd { a, b, dst } => binary!(a, b, dst, |x, y| range_and(x, y)),
+                Op::RangeOr { a, b, dst } => binary!(a, b, dst, |x, y| range_or(x, y)),
+                Op::RangeNot { a, dst } => unary!(a, dst, |x| range_not(x)),
+                Op::RangeEq { a, b, dst } => {
+                    binary!(a, b, dst, |x, y| Ok::<_, EvalError>(range_eq(x, y)))
+                }
+                Op::RangeLeq { a, b, dst } => {
+                    binary!(a, b, dst, |x, y| Ok::<_, EvalError>(range_leq(x, y)))
+                }
+                Op::RangeLt { a, b, dst } => {
+                    binary!(a, b, dst, |x, y| Ok::<_, EvalError>(range_lt(x, y)))
+                }
+                Op::RangeAdd { a, b, dst } => binary!(a, b, dst, |x, y| range_add(x, y)),
+                Op::RangeSub { a, b, dst } => binary!(a, b, dst, |x, y| range_sub(x, y)),
+                Op::RangeMul { a, b, dst } => binary!(a, b, dst, |x, y| range_mul(x, y)),
+                Op::RangeDiv { a, b, dst } => binary!(a, b, dst, |x, y| range_div(x, y)),
+                Op::RangeNeg { a, dst } => unary!(a, dst, |x| range_neg(x)),
+                Op::RangeCheckBool3 { src } => {
+                    for i in 0..n {
+                        if errs[i].is_some() {
+                            continue;
+                        }
+                        if let Err(e) = src!(src, i, cols).as_bool3() {
+                            errs[i] = Some(e);
+                        }
+                    }
+                }
+                Op::RangeIfMerge { c, t, e, dst } => {
+                    let mut d = std::mem::take(&mut cols[*dst as usize]);
+                    for i in 0..n {
+                        if errs[i].is_some() {
+                            continue;
+                        }
+                        let null = RangeValue::certain(Value::Null);
+                        let tv = match t {
+                            Src::Reg(r) => {
+                                std::mem::replace(&mut cols[*r as usize][i], null.clone())
+                            }
+                            _ => src!(t, i, cols).clone(),
+                        };
+                        let ev = match e {
+                            Src::Reg(r) => std::mem::replace(&mut cols[*r as usize][i], null),
+                            _ => src!(e, i, cols).clone(),
+                        };
+                        match range_if_merge(src!(c, i, cols), tv, ev) {
+                            Ok(v) => d[i] = v,
+                            Err(e2) => errs[i] = Some(e2),
+                        }
+                    }
+                    cols[*dst as usize] = d;
+                }
+                Op::RangeUncertain { l, s, u, dst } => {
+                    let mut d = std::mem::take(&mut cols[*dst as usize]);
+                    for i in 0..n {
+                        if errs[i].is_some() {
+                            continue;
+                        }
+                        match range_uncertain(src!(l, i, cols), src!(s, i, cols), src!(u, i, cols))
+                        {
+                            Ok(v) => d[i] = v,
+                            Err(e2) => errs[i] = Some(e2),
+                        }
+                    }
+                    cols[*dst as usize] = d;
+                }
+                _ => unreachable!("det op in a range program"),
+            }
+        }
+    }
+}
+
+/// Reusable scratch for [`Program::eval_range_batch`]: one register
+/// *column* per register plus the per-row poison slots.
+#[derive(Default)]
+pub struct RangeBatch {
+    cols: Vec<Vec<RangeValue>>,
+    errs: Vec<Option<EvalError>>,
+}
+
+impl RangeBatch {
+    fn reset(&mut self, nregs: usize, nrows: usize) {
+        let null = RangeValue::certain(Value::Null);
+        if self.cols.len() < nregs {
+            self.cols.resize_with(nregs, Vec::new);
+        }
+        for c in &mut self.cols[..nregs] {
+            c.resize(nrows, null.clone());
+        }
+        self.errs.clear();
+        self.errs.resize(nrows, None);
+    }
+
+    /// The `out`-th output of batch row `i` (its own tuple is needed
+    /// because outputs may address input columns in place); valid after
+    /// an `Ok` batch evaluation (or, after a lenient one, at
+    /// non-poisoned rows).
+    pub fn output<'r>(
+        &'r self,
+        prog: &'r Program,
+        out: usize,
+        i: usize,
+        row: &'r [RangeValue],
+    ) -> &'r RangeValue {
+        match prog.outputs[out] {
+            Src::Reg(r) => &self.cols[r as usize][i],
+            Src::Col(c) => &row[c as usize],
+            Src::Const(k) => &prog.consts_range[k as usize],
+        }
+    }
+
+    /// The poison slot of row `i` after a lenient batch evaluation.
+    pub fn row_error(&self, i: usize) -> Option<&EvalError> {
+        self.errs[i].as_ref()
+    }
+}
+
+/// `Display` is a disassembly listing (one op per line), mainly for
+/// docs and debugging.
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; {:?} program, {} regs, outputs {:?}", self.mode, self.nregs, self.outputs)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "{i:4}: {op:?}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+struct Lowerer {
+    mode: Mode,
+    ops: Vec<Op>,
+    consts: Vec<Value>,
+    next: u32,
+}
+
+impl Lowerer {
+    fn new(mode: Mode) -> Self {
+        Lowerer { mode, ops: Vec::new(), consts: Vec::new(), next: 0 }
+    }
+
+    fn reg(&mut self) -> Reg {
+        let r = self.next;
+        self.next += 1;
+        r
+    }
+
+    fn konst(&mut self, v: &Value) -> u32 {
+        match self.consts.iter().position(|c| c == v) {
+            Some(i) => i as u32,
+            None => {
+                self.consts.push(v.clone());
+                (self.consts.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Emit a placeholder jump; returns its op index for patching.
+    fn emit_jump(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let to = self.ops.len() as u32;
+        match &mut self.ops[at] {
+            Op::Jump { to: t } | Op::JumpIfFalse { to: t, .. } | Op::JumpIfTrue { to: t, .. } => {
+                *t = to
+            }
+            _ => unreachable!("patching a non-jump"),
+        }
+    }
+
+    fn finish(self, outputs: Vec<Src>) -> Program {
+        let consts_range = self.consts.iter().map(|v| RangeValue::certain(v.clone())).collect();
+        Program {
+            mode: self.mode,
+            ops: self.ops,
+            consts: self.consts,
+            consts_range,
+            nregs: self.next as usize,
+            outputs,
+        }
+    }
+
+    // ---- range lowering (straight-line) ---------------------------------
+
+    /// Lower an expression, returning where its value will live. Leaves
+    /// are addressed in place (a `CheckCol` keeps the bounds error at
+    /// the position the interpreter would have raised it).
+    fn lower_range_value(&mut self, e: &Expr) -> Src {
+        match e {
+            Expr::Col(i) => {
+                self.ops.push(Op::CheckCol { col: *i as u32 });
+                Src::Col(*i as u32)
+            }
+            Expr::Const(v) => Src::Const(self.konst(v)),
+            Expr::And(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeAnd { a, b, dst }),
+            Expr::Or(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeOr { a, b, dst }),
+            Expr::Not(a) => {
+                let ra = self.lower_range_value(a);
+                let dst = self.reg();
+                self.ops.push(Op::RangeNot { a: ra, dst });
+                Src::Reg(dst)
+            }
+            Expr::Eq(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeEq { a, b, dst }),
+            Expr::Neq(a, b) => {
+                // Eq then Not — the interpreter's derivation, without
+                // its per-row subtree clone.
+                let eq = self.range_bin(a, b, |a, b, dst| Op::RangeEq { a, b, dst });
+                let dst = self.reg();
+                self.ops.push(Op::RangeNot { a: eq, dst });
+                Src::Reg(dst)
+            }
+            Expr::Leq(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeLeq { a, b, dst }),
+            Expr::Lt(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeLt { a, b, dst }),
+            // Derived comparisons: swapped operator, so the *syntactic
+            // right* operand lowers (and therefore evaluates) first —
+            // matching the interpreter's operand order for identical
+            // error classification.
+            Expr::Geq(a, b) => self.range_bin(b, a, |b, a, dst| Op::RangeLeq { a: b, b: a, dst }),
+            Expr::Gt(a, b) => self.range_bin(b, a, |b, a, dst| Op::RangeLt { a: b, b: a, dst }),
+            Expr::Add(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeAdd { a, b, dst }),
+            Expr::Sub(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeSub { a, b, dst }),
+            Expr::Mul(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeMul { a, b, dst }),
+            Expr::Div(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeDiv { a, b, dst }),
+            Expr::Neg(a) => {
+                let ra = self.lower_range_value(a);
+                let dst = self.reg();
+                self.ops.push(Op::RangeNeg { a: ra, dst });
+                Src::Reg(dst)
+            }
+            Expr::If(c, t, e2) => {
+                let rc = self.lower_range_value(c);
+                self.ops.push(Op::RangeCheckBool3 { src: rc });
+                let rt = self.lower_range_value(t);
+                let re = self.lower_range_value(e2);
+                let dst = self.reg();
+                self.ops.push(Op::RangeIfMerge { c: rc, t: rt, e: re, dst });
+                Src::Reg(dst)
+            }
+            Expr::Uncertain(l, s, u) => {
+                let rl = self.lower_range_value(l);
+                let rs = self.lower_range_value(s);
+                let ru = self.lower_range_value(u);
+                let dst = self.reg();
+                self.ops.push(Op::RangeUncertain { l: rl, s: rs, u: ru, dst });
+                Src::Reg(dst)
+            }
+        }
+    }
+
+    fn range_bin(&mut self, a: &Expr, b: &Expr, mk: impl Fn(Src, Src, Reg) -> Op) -> Src {
+        let ra = self.lower_range_value(a);
+        let rb = self.lower_range_value(b);
+        let dst = self.reg();
+        self.ops.push(mk(ra, rb, dst));
+        Src::Reg(dst)
+    }
+
+    // ---- det lowering (short-circuit jumps) -----------------------------
+
+    fn lower_det_value(&mut self, e: &Expr) -> Src {
+        match e {
+            Expr::Col(i) => {
+                self.ops.push(Op::CheckCol { col: *i as u32 });
+                Src::Col(*i as u32)
+            }
+            Expr::Const(v) => Src::Const(self.konst(v)),
+            _ => {
+                let dst = self.reg();
+                self.lower_det_into(e, dst);
+                Src::Reg(dst)
+            }
+        }
+    }
+
+    fn det_bin(&mut self, a: &Expr, b: &Expr, dst: Reg, mk: impl Fn(Src, Src, Reg) -> Op) {
+        let ra = self.lower_det_value(a);
+        let rb = self.lower_det_value(b);
+        self.ops.push(mk(ra, rb, dst));
+    }
+
+    /// Lower an expression so its value lands in `dst` (needed by `If`
+    /// branches, which must deposit into a shared register).
+    fn lower_det_into(&mut self, e: &Expr, dst: Reg) {
+        match e {
+            Expr::Col(i) => self.ops.push(Op::LoadCol { col: *i as u32, dst }),
+            Expr::Const(v) => {
+                let idx = self.konst(v);
+                self.ops.push(Op::LoadConst { idx, dst });
+            }
+            Expr::And(a, b) => {
+                // dst ← a; if !dst skip b; dst ← b — Rust's `&&` in the
+                // interpreter, including the skipped operand's skipped
+                // errors.
+                let ra = self.lower_det_value(a);
+                self.ops.push(Op::DetAsBool { src: ra, dst });
+                let j = self.emit_jump(Op::JumpIfFalse { src: Src::Reg(dst), to: u32::MAX });
+                let rb = self.lower_det_value(b);
+                self.ops.push(Op::DetAsBool { src: rb, dst });
+                self.patch_jump(j);
+            }
+            Expr::Or(a, b) => {
+                let ra = self.lower_det_value(a);
+                self.ops.push(Op::DetAsBool { src: ra, dst });
+                let j = self.emit_jump(Op::JumpIfTrue { src: Src::Reg(dst), to: u32::MAX });
+                let rb = self.lower_det_value(b);
+                self.ops.push(Op::DetAsBool { src: rb, dst });
+                self.patch_jump(j);
+            }
+            Expr::Not(a) => {
+                let ra = self.lower_det_value(a);
+                self.ops.push(Op::DetNot { a: ra, dst });
+            }
+            Expr::Eq(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetEq { a, b, dst }),
+            Expr::Neq(a, b) => {
+                let ra = self.lower_det_value(a);
+                let rb = self.lower_det_value(b);
+                let r = self.reg();
+                self.ops.push(Op::DetEq { a: ra, b: rb, dst: r });
+                self.ops.push(Op::DetNot { a: Src::Reg(r), dst });
+            }
+            Expr::Leq(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLeq { a, b, dst }),
+            Expr::Lt(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLt { a, b, dst }),
+            // Det `x ≥ y` is `leq(y, x)` — operands still evaluate in
+            // syntactic order (the interpreter evaluates both up front).
+            Expr::Geq(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLeq { a: b, b: a, dst }),
+            Expr::Gt(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLt { a: b, b: a, dst }),
+            Expr::Add(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetAdd { a, b, dst }),
+            Expr::Sub(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetSub { a, b, dst }),
+            Expr::Mul(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetMul { a, b, dst }),
+            Expr::Div(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetDiv { a, b, dst }),
+            Expr::Neg(a) => {
+                let ra = self.lower_det_value(a);
+                self.ops.push(Op::DetNeg { a: ra, dst });
+            }
+            Expr::If(c, t, e2) => {
+                let rc = self.lower_det_value(c);
+                let jelse = self.emit_jump(Op::JumpIfFalse { src: rc, to: u32::MAX });
+                self.lower_det_into(t, dst);
+                let jend = self.emit_jump(Op::Jump { to: u32::MAX });
+                self.patch_jump(jelse);
+                self.lower_det_into(e2, dst);
+                self.patch_jump(jend);
+            }
+            // Deterministic engines see only the selected guess.
+            Expr::Uncertain(_, s, _) => self.lower_det_into(s, dst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{col, lit};
+
+    fn rv(lb: i64, sg: i64, ub: i64) -> RangeValue {
+        RangeValue::range(lb, sg, ub)
+    }
+
+    /// A grab-bag of expressions covering every operator.
+    fn exprs() -> Vec<Expr> {
+        vec![
+            col(0).add(col(1)),
+            col(0).sub(col(1)).mul(col(0)),
+            col(0).div(col(1)),
+            col(0).neg(),
+            col(0).leq(col(1)),
+            col(0).lt(lit(2i64)),
+            col(0).geq(col(1)),
+            col(0).gt(col(1)),
+            col(0).eq(col(1)),
+            col(0).neq(col(1)),
+            col(0).leq(col(1)).and(col(0).geq(lit(0i64))),
+            col(0).leq(col(1)).or(col(0).geq(lit(3i64))),
+            col(0).lt(lit(5i64)).not(),
+            Expr::if_then_else(col(0).leq(col(1)), col(0).add(lit(1i64)), col(1)),
+            Expr::if_then_else(col(0).leq(col(1)), col(0), lit(9i64)),
+            Expr::make_uncertain(col(0), col(1), col(0).add(col(1))),
+            Expr::conj(vec![col(0).leq(lit(9i64)), col(1).geq(lit(-9i64))]),
+            col(0),
+            lit(42i64),
+        ]
+    }
+
+    #[test]
+    fn compiled_range_matches_interpreter() {
+        let tuples = [
+            vec![rv(1, 2, 3), rv(0, 0, 5)],
+            vec![rv(-3, -1, 0), rv(2, 2, 2)],
+            vec![rv(1, 1, 1), rv(1, 1, 1)],
+            vec![
+                RangeValue::new(Value::Int(1), Value::Int(1), Value::float(1.0)).unwrap(),
+                RangeValue::new(Value::Int(0), Value::float(0.5), Value::Int(2)).unwrap(),
+            ],
+        ];
+        let mut regs = Vec::new();
+        for e in exprs() {
+            let p = Program::compile_range(&e);
+            for t in &tuples {
+                let interp = e.eval_range(t);
+                let compiled = p.eval_range(t, &mut regs);
+                assert_eq!(interp, compiled, "range mismatch for {e} on {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_det_matches_interpreter() {
+        let tuples = [
+            vec![Value::Int(1), Value::Int(4)],
+            vec![Value::Int(-2), Value::float(1.5)],
+            vec![Value::float(2.0), Value::Int(2)],
+            vec![Value::Int(0), Value::Int(0)],
+        ];
+        let mut regs = Vec::new();
+        for e in exprs() {
+            let p = Program::compile_det(&e);
+            for t in &tuples {
+                let interp = e.eval(t);
+                let compiled = p.eval_det(t, &mut regs);
+                assert_eq!(interp, compiled, "det mismatch for {e} on {t:?}");
+            }
+        }
+    }
+
+    /// Det short-circuit is preserved: the skipped operand's error never
+    /// surfaces, exactly like the interpreter.
+    #[test]
+    fn det_short_circuit_skips_errors() {
+        let mut regs = Vec::new();
+        // false && (1/0): interpreter short-circuits to false
+        let e = lit(false).and(lit(1i64).div(lit(0i64)).gt(lit(0i64)));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(Program::compile_det(&e).eval_det(&[], &mut regs).unwrap(), Value::Bool(false));
+        // true || (1/0)
+        let e = lit(true).or(lit(1i64).div(lit(0i64)).gt(lit(0i64)));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(Program::compile_det(&e).eval_det(&[], &mut regs).unwrap(), Value::Bool(true));
+        // if picks only the taken branch
+        let e = Expr::if_then_else(lit(true), lit(7i64), lit(1i64).div(lit(0i64)));
+        assert_eq!(e.eval(&[]).unwrap(), Value::Int(7));
+        assert_eq!(Program::compile_det(&e).eval_det(&[], &mut regs).unwrap(), Value::Int(7));
+        // ... and errors when the erroring branch IS taken
+        let e = Expr::if_then_else(lit(false), lit(7i64), lit(1i64).div(lit(0i64)));
+        assert_eq!(e.eval(&[]).unwrap_err(), EvalError::DivisionByZero);
+        assert_eq!(
+            Program::compile_det(&e).eval_det(&[], &mut regs).unwrap_err(),
+            EvalError::DivisionByZero
+        );
+    }
+
+    /// Error classification matches the interpreter op for op —
+    /// including the position of `UnknownColumn` probes relative to
+    /// other errors.
+    #[test]
+    fn error_classification_matches() {
+        let cases: Vec<(Expr, Vec<RangeValue>)> = vec![
+            // unknown column
+            (col(7).add(lit(1i64)), vec![rv(1, 1, 1)]),
+            // the left operand's column error beats the right operand's
+            // division error (evaluation order)
+            (col(7).add(lit(1i64).div(lit(0i64))), vec![rv(1, 1, 1)]),
+            // ... and vice versa when the column reference comes second
+            (lit(1i64).div(col(0)).add(col(7)), vec![rv(-1, 0, 1)]),
+            // spans-zero division
+            (lit(1i64).div(col(0)), vec![rv(-1, 0, 1)]),
+            // non-boolean And operand
+            (col(0).and(lit(true)), vec![rv(1, 1, 2)]),
+            // non-boolean If condition errors before the branches
+            (Expr::if_then_else(col(0), lit(1i64).div(lit(0i64)), lit(2i64)), vec![rv(1, 1, 2)]),
+            // type error in arithmetic
+            (col(0).add(lit("x")), vec![rv(1, 1, 1)]),
+        ];
+        let mut regs = Vec::new();
+        for (e, t) in cases {
+            let interp = e.eval_range(&t).unwrap_err();
+            let compiled = Program::compile_range(&e).eval_range(&t, &mut regs).unwrap_err();
+            assert_eq!(interp, compiled, "error mismatch for {e}");
+        }
+    }
+
+    /// The batch entry point equals row-at-a-time evaluation, including
+    /// row-major error selection (earliest erroring row wins even when a
+    /// later row errors at an earlier op).
+    #[test]
+    fn batch_matches_rows_and_error_order() {
+        let e = col(0).add(col(1)).div(col(1));
+        let p = Program::compile_range(&e);
+        let rows: Vec<Vec<RangeValue>> =
+            vec![vec![rv(1, 2, 3), rv(1, 1, 2)], vec![rv(0, 1, 2), rv(2, 2, 4)]];
+        let refs: Vec<&[RangeValue]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut batch = RangeBatch::default();
+        p.eval_range_batch(&refs, &mut batch).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(*batch.output(&p, 0, i, r), e.eval_range(r).unwrap());
+        }
+
+        // row 0 errors at the Div (late op), row 1 at the column probe
+        // (early op): row-major semantics report row 0's error.
+        let p2 = Program::compile_range(&col(1).div(col(0)));
+        let rows: Vec<Vec<RangeValue>> = vec![
+            vec![rv(-1, 0, 1), rv(1, 1, 1)], // div spans zero
+            vec![rv(2, 2, 2)],               // missing column 1
+        ];
+        let refs: Vec<&[RangeValue]> = rows.iter().map(|r| r.as_slice()).collect();
+        let err = p2.eval_range_batch(&refs, &mut batch).unwrap_err();
+        assert_eq!(err, EvalError::RangeDivisionSpansZero);
+    }
+
+    /// Multi-output programs evaluate expressions in list order and
+    /// support identity (`Col`) and constant outputs in place.
+    #[test]
+    fn multi_output_projection() {
+        let es = vec![col(0).add(col(1)), col(0), col(0).mul(lit(2i64)), lit(7i64)];
+        let p = Program::compile_range_many(&es);
+        let t = vec![rv(1, 2, 3), rv(4, 5, 6)];
+        let mut regs = Vec::new();
+        p.prepare_range_regs(&mut regs);
+        p.eval_range_into(&t, &mut regs).unwrap();
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(*p.range_output(i, &t, &regs), e.eval_range(&t).unwrap());
+        }
+        let pd = Program::compile_det_many(&es);
+        let td = vec![Value::Int(3), Value::Int(9)];
+        let mut dregs = Vec::new();
+        pd.prepare_det_regs(&mut dregs);
+        pd.eval_det_into(&td, &mut dregs).unwrap();
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(*pd.det_output(i, &td, &dregs), e.eval(&td).unwrap());
+        }
+    }
+}

@@ -307,9 +307,21 @@ impl Value {
     }
 
     /// Multiply a value by a bag multiplicity (semimodule action
-    /// `k *_{N,SUM} m`, Section 9.2).
+    /// `k *_{N,SUM} m`, Section 9.2). Multiplicities beyond `i64::MAX`
+    /// promote to float instead of wrapping to a *negative* factor
+    /// (`u64::MAX as i64 == -1` would silently flip aggregate bounds) —
+    /// the same promotion `Int` arithmetic overflow already takes.
+    ///
+    /// Caveat shared with every float promotion in this domain (and
+    /// with the relational encoding, whose multiplicity columns are
+    /// `Int`-typed): `as f64` rounds to nearest, so results beyond
+    /// 2^53 are exact only to ~1 ULP — not directionally rounded per
+    /// bound.
     pub fn mul_count(&self, k: u64) -> Result<Value, EvalError> {
-        self.mul(&Value::Int(k as i64))
+        match i64::try_from(k) {
+            Ok(i) => self.mul(&Value::Int(i)),
+            Err(_) => self.mul(&Value::float(k as f64)),
+        }
     }
 
     /// Canonical hash-join key: integers collapse to their float

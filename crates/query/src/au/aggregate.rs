@@ -95,14 +95,18 @@ pub fn boxtimes(
     k: &AuAnnot,
     m: &RangeValue,
 ) -> Result<(Value, Value, Value), EvalError> {
-    let candidates = [
+    // Fold the four corner candidates by destructuring — the candidate
+    // set is a fixed-size array, so the fold cannot see an empty set
+    // (no `reduce().unwrap()` to panic on).
+    let [c0, c1, c2, c3] = [
         monoid.star(k.lb, &m.lb)?,
         monoid.star(k.lb, &m.ub)?,
         monoid.star(k.ub, &m.lb)?,
         monoid.star(k.ub, &m.ub)?,
     ];
-    let lo = candidates.iter().cloned().reduce(Value::min_of).unwrap();
-    let hi = candidates.into_iter().reduce(Value::max_of).unwrap();
+    let lo =
+        Value::min_of(Value::min_of(c0.clone(), c1.clone()), Value::min_of(c2.clone(), c3.clone()));
+    let hi = Value::max_of(Value::max_of(c0, c1), Value::max_of(c2, c3));
     let sg = monoid.star(k.sg, &m.sg)?;
     Ok((lo, sg, hi))
 }
@@ -112,17 +116,41 @@ fn clamp(v: Value, lb: &Value, ub: &Value) -> Value {
 }
 
 /// Derived `avg` over range triples: `sum / count` with the denominator
-/// clamped to at least 1 (a group only has an average if it has a
-/// member). The same formula is generated as scalar expressions by the
-/// rewrite middleware, keeping the two evaluators in lockstep.
+/// clamped to at least 1. The same formula is generated as scalar
+/// expressions by the rewrite middleware, keeping the two evaluators in
+/// lockstep.
+///
+/// ### Zero-spanning counts (`cnt.lb = 0, cnt.ub > 0`)
+///
+/// The clamp is *not* a division-by-zero dodge — it pins the intended
+/// semantics: an output row only has an average in worlds where its
+/// group is non-empty, i.e. where the realized count is ≥ 1. Worlds
+/// with count 0 contribute no row at all (with group-by the row simply
+/// does not exist there; without group-by
+/// [`adjust_for_possible_empty`] separately widens the bounds to the
+/// `Null` that deterministic evaluation produces). So the denominator
+/// legitimately ranges over `[max(1, cnt.lb), max(1, cnt.ub)]`, and
+/// because `sum / c` is monotone in `c` for either sign of `sum`, the
+/// four corner combos below bound every achievable average
+/// (`avg_zero_spanning_count_*` tests).
+///
+/// The sg component: with `cnt.sg ≥ 1` it is exactly the SG-world
+/// average (`sum.sg / cnt.sg`, matching [`crate::det::avg_value`]).
+/// With `cnt.sg = 0` the row is absent from the SG world (its
+/// annotation sg is 0), so the component is immaterial — the final
+/// clamp into `[lo, hi]` only keeps the triple ordered; it cannot make
+/// a *meaningful* sg unsound because `sum.sg / cnt.sg` of a realizable
+/// SG world always lies inside the corner bounds already.
 pub fn avg_range(sum: &RangeValue, cnt: &RangeValue) -> Result<RangeValue, EvalError> {
     let one = Value::Int(1);
     let cl = Value::max_of(one.clone(), cnt.lb.clone());
     let cu = Value::max_of(one.clone(), cnt.ub.clone());
     let cs = Value::max_of(one, cnt.sg.clone());
-    let combos = [sum.lb.div(&cl)?, sum.lb.div(&cu)?, sum.ub.div(&cl)?, sum.ub.div(&cu)?];
-    let lo = combos.iter().cloned().reduce(Value::min_of).unwrap();
-    let hi = combos.into_iter().reduce(Value::max_of).unwrap();
+    // fixed-size candidate fold: no empty-set panic possible
+    let [c0, c1, c2, c3] = [sum.lb.div(&cl)?, sum.lb.div(&cu)?, sum.ub.div(&cl)?, sum.ub.div(&cu)?];
+    let lo =
+        Value::min_of(Value::min_of(c0.clone(), c1.clone()), Value::min_of(c2.clone(), c3.clone()));
+    let hi = Value::max_of(Value::max_of(c0, c1), Value::max_of(c2, c3));
     let sg = clamp(sum.sg.div(&cs)?, &lo, &hi);
     RangeValue::new(lo, sg, hi)
 }
@@ -373,7 +401,7 @@ fn aggregate_impl(
             // each uncertain tuple may spawn up to `ub` distinct groups
             // of its own) --------------------------------------------------
             let mut lb_any_certain = false;
-            let mut sg_sum = 0u64;
+            let mut sg_any = false;
             let mut any_certain_group = false;
             let mut uncertain_ub_sum = 0u64;
             // `certain(g)` is the certain-group-by subset of `alpha`,
@@ -392,9 +420,14 @@ fn aggregate_impl(
                         lb_any_certain = true;
                     }
                 } else {
-                    uncertain_ub_sum += k.ub;
+                    // Saturating, not wrapping: adversarial `ub`
+                    // multiplicities (u64::MAX-adjacent) must clamp the
+                    // possible-group-count bound at the domain top, the
+                    // same hardening as `dec_relation`'s checked
+                    // product. (u64::MAX stays a sound upper bound.)
+                    uncertain_ub_sum = uncertain_ub_sum.saturating_add(k.ub);
                 }
-                sg_sum += k.sg;
+                sg_any |= k.sg > 0;
             }
             // Without group-by the single output row exists in every
             // world (Definition 27); with group-by, Definition 28 + the
@@ -404,12 +437,8 @@ fn aggregate_impl(
             } else {
                 AuAnnot::triple(
                     lb_any_certain as u64,
-                    if sg_sum > 0 { 1 } else { 0 },
-                    (any_certain_group as u64 + uncertain_ub_sum).max(if sg_sum > 0 {
-                        1
-                    } else {
-                        0
-                    }),
+                    sg_any as u64,
+                    (any_certain_group as u64).saturating_add(uncertain_ub_sum).max(sg_any as u64),
                 )
             };
 
@@ -778,6 +807,140 @@ mod tests {
             }
             assert!(kc.lb <= kp.lb && kp.ub <= kc.ub);
         }
+    }
+
+    /// Regression (PR 5): the possible-group-count fold saturates
+    /// instead of wrapping when adversarial multiplicities sit next to
+    /// `u64::MAX` — two uncertain-group rows with `ub = u64::MAX`
+    /// previously overflowed `uncertain_ub_sum += k.ub` (a debug-build
+    /// panic, silent wraparound in release), collapsing the row
+    /// annotation's upper bound to a tiny — unsound — value.
+    #[test]
+    fn count_annotation_ub_saturates_at_adversarial_multiplicities() {
+        let huge = u64::MAX - 1;
+        // two uncertain-group rows assigned to the SAME SG group so the
+        // per-group fold really adds huge + huge
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                au_row(vec![r2(1, 1, 2), r2(5, 5, 5)], 0, 0, huge),
+                au_row(vec![r2(0, 1, 3), r2(7, 7, 7)], 0, 0, huge),
+            ],
+        );
+        let out = aggregate_au(&rel, &[0], &[AggSpec::count("c")], None).unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, k) = &out.rows()[0];
+        // saturated at the domain top — still a sound upper bound
+        // (previously: wraparound to huge + huge mod 2^64 = u64::MAX - 3,
+        // a debug-build panic and a silent release-mode near-miss; a
+        // third row would have wrapped to a tiny, *unsound* bound)
+        assert_eq!(k.ub, u64::MAX);
+        assert_eq!((k.lb, k.sg), (0, 0));
+        // the count *value* bound must not wrap either: u64::MAX-sized
+        // multiplicities promote to float in `mul_count` instead of
+        // flipping negative through `as i64` (u64::MAX as i64 == -1)
+        let cnt = &t.0[1];
+        assert_eq!(cnt.lb, Value::Int(0));
+        assert!(
+            cnt.ub >= Value::float(huge as f64),
+            "count ub {} wrapped below the multiplicity sum",
+            cnt.ub
+        );
+    }
+
+    /// Aggregation over an all-zero-multiplicity group: zero
+    /// annotations `(0, 0, 0)` cannot enter an [`AuRelation`] at all —
+    /// construction normalizes and `push` drops them — so the group is
+    /// *empty* by the time aggregation runs, and the candidate folds
+    /// (fixed-size corner arrays, no `reduce().unwrap()`) stay total on
+    /// the resulting empty relation instead of panicking. Both the
+    /// grouped (empty output) and ungrouped (neutral row) shapes agree
+    /// with the rewrite middleware.
+    #[test]
+    fn aggregation_over_all_zero_multiplicity_group() {
+        let rel = AuRelation::from_rows(
+            Schema::named(&["g", "v"]),
+            vec![
+                au_row(vec![RangeValue::certain(Value::Int(1)), r2(5, 6, 7)], 0, 0, 0),
+                au_row(vec![RangeValue::certain(Value::Int(1)), r2(2, 3, 4)], 0, 0, 0),
+            ],
+        );
+        assert!(rel.is_empty(), "zero annotations never enter a relation");
+        let aggs = [AggSpec::new(AggFunc::Sum, col(1), "s"), AggSpec::count("c")];
+        let out = aggregate_au(&rel, &[0], &aggs, None).unwrap();
+        assert!(out.is_empty(), "a group of never-existing rows produces no output");
+        // without group-by the single output row is the deterministic
+        // neutral row, with certainty
+        let out = aggregate_au(&rel, &[], &aggs, None).unwrap();
+        assert_eq!(out.len(), 1);
+        let (t, k) = &out.rows()[0];
+        assert_eq!(t.0[0], RangeValue::certain(Value::Int(0)));
+        assert_eq!(t.0[1], RangeValue::certain(Value::Int(0)));
+        assert_eq!(*k, AuAnnot::certain_one());
+        // the rewrite middleware agrees exactly on the grouped shape
+        let mut db = audb_storage::AuDatabase::new();
+        db.insert("r", rel);
+        let q = crate::algebra::table("r").aggregate(vec![0], aggs.to_vec());
+        let native = crate::au::eval_au(&db, &q, &crate::au::AuConfig::precise()).unwrap();
+        let via = crate::rewrite::eval_via_rewrite(&db, &q).unwrap();
+        assert_eq!(native, via);
+    }
+
+    /// The `⊛_M` corner folds themselves are total on the zero
+    /// annotation (the shape the old `reduce().unwrap()` made look
+    /// partial): every monoid yields its guarded neutral.
+    #[test]
+    fn boxtimes_total_on_zero_annotation() {
+        let k = AuAnnot::triple(0, 0, 0);
+        let m = r2(-5, 1, 7);
+        let (lo, sg, hi) = boxtimes(Monoid::Sum, &k, &m).unwrap();
+        assert_eq!((lo, sg, hi), (Value::Int(0), Value::Int(0), Value::Int(0)));
+        let (lo, sg, hi) = boxtimes(Monoid::Min, &k, &m).unwrap();
+        assert_eq!((lo, sg, hi), (Value::MaxVal, Value::MaxVal, Value::MaxVal));
+        let (lo, sg, hi) = boxtimes(Monoid::Max, &k, &m).unwrap();
+        assert_eq!((lo, sg, hi), (Value::MinVal, Value::MinVal, Value::MinVal));
+    }
+
+    /// `avg` with a zero-spanning count (`cnt.lb = 0, cnt.ub > 0`): the
+    /// denominator clamp to ≥ 1 encodes "the row only exists in worlds
+    /// with a non-empty group" — every achievable world average must be
+    /// inside the bounds, and the sg must equal the SG-world average
+    /// when the SG world has members.
+    #[test]
+    fn avg_zero_spanning_count_bounds_every_world() {
+        // one certain member (v = 10) + one possible member (v = 40):
+        // count [1/1/2], sum [10/10/50]
+        let rel = AuRelation::from_rows(
+            Schema::named(&["v"]),
+            vec![au_row(vec![r2(10, 10, 10)], 1, 1, 1), au_row(vec![r2(40, 40, 40)], 0, 0, 1)],
+        );
+        let out =
+            aggregate_au(&rel, &[], &[AggSpec::new(AggFunc::Avg, col(0), "a")], None).unwrap();
+        let avg = &out.rows()[0].0 .0[0];
+        // achievable averages: {10} → 10, {10, 40} → 25
+        for world in [10.0, 25.0] {
+            assert!(
+                avg.bounds(&Value::float(world)),
+                "achievable world average {world} escapes {avg}"
+            );
+        }
+        assert_eq!(avg.sg, Value::float(10.0), "SG world = {{10}}");
+
+        // possible-only group: count [0/0/2] — the average in worlds
+        // where the group exists is 30 for either realized count; the
+        // lower bound may not be dragged below by the empty world's
+        // (nonexistent) row. SG world is empty → sg widens to Null via
+        // the possible-empty adjustment, matching det evaluation.
+        let rel = AuRelation::from_rows(
+            Schema::named(&["v"]),
+            vec![au_row(vec![r2(30, 30, 30)], 0, 0, 2)],
+        );
+        let out =
+            aggregate_au(&rel, &[], &[AggSpec::new(AggFunc::Avg, col(0), "a")], None).unwrap();
+        let avg = &out.rows()[0].0 .0[0];
+        assert!(avg.bounds(&Value::float(30.0)), "world average 30 escapes {avg}");
+        assert_eq!(avg.sg, Value::Null, "empty SG world averages to Null");
+        assert!(avg.lb <= avg.sg && avg.sg <= avg.ub);
     }
 
     /// Tuples pinned to a different certain group do not pollute this

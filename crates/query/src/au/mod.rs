@@ -68,6 +68,16 @@ pub struct AuConfig {
     /// items (aggregation's groups, difference's left tuples) only ever
     /// *lower* the floor further. Any value produces identical results.
     pub min_rows_per_worker: Option<usize>,
+    /// Compile fused-chain expressions to flat register programs
+    /// ([`audb_core::Program`], on by default): every select / project /
+    /// probe-predicate stage of a fused chain is lowered once per chain
+    /// and evaluated with no recursion and no per-row allocation;
+    /// select/project-only chains additionally run one op over a whole
+    /// shard of rows at a time. `false` keeps the `Expr`-tree
+    /// interpreter (`eval_range`), the differential-testing oracle.
+    /// Results are byte-identical either way
+    /// (`tests/compiled_exprs_props.rs`).
+    pub compiled: bool,
 }
 
 impl Default for AuConfig {
@@ -80,6 +90,7 @@ impl Default for AuConfig {
             pipeline: true,
             shards: None,
             min_rows_per_worker: None,
+            compiled: true,
         }
     }
 }

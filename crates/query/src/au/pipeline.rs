@@ -65,7 +65,7 @@
 
 use std::borrow::Cow;
 
-use audb_core::{AuAnnot, EvalError, Expr, RangeValue, Semiring, Value};
+use audb_core::{AuAnnot, EvalError, Expr, Program, RangeBatch, RangeValue, Semiring, Value};
 use audb_exec::{Executor, ShardSource};
 use audb_storage::{AuDatabase, AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Schema};
 
@@ -145,9 +145,98 @@ fn select_only(q: &Query) -> bool {
 // The fused chain
 // ---------------------------------------------------------------------------
 
+/// A chain predicate: compiled to a flat register program (the
+/// default) or kept as the interpreted `Expr` tree (the oracle,
+/// `AuConfig::compiled = false`). Compilation happens once per chain —
+/// the program is shared by every worker and shard, each with its own
+/// register file in its [`Buf`].
+enum RangePred {
+    Interp(Expr),
+    Compiled(Program),
+}
+
+impl RangePred {
+    fn new(e: &Expr, compiled: bool) -> RangePred {
+        if compiled {
+            RangePred::Compiled(Program::compile_range(e))
+        } else {
+            RangePred::Interp(e.clone())
+        }
+    }
+
+    fn eval_bool3(
+        &self,
+        vals: &[RangeValue],
+        regs: &mut Vec<RangeValue>,
+    ) -> Result<(bool, bool, bool), EvalError> {
+        match self {
+            RangePred::Interp(e) => e.eval_range_bool3(vals),
+            RangePred::Compiled(p) => p.eval_range_bool3(vals, regs),
+        }
+    }
+
+    fn compiled(&self) -> Option<&Program> {
+        match self {
+            RangePred::Compiled(p) => Some(p),
+            RangePred::Interp(_) => None,
+        }
+    }
+}
+
+/// A chain projection list, compiled into one multi-output program.
+enum RangeProj {
+    Interp(Vec<Expr>),
+    Compiled(Program),
+}
+
+impl RangeProj {
+    fn new(exprs: &[(Expr, String)], compiled: bool) -> RangeProj {
+        let es: Vec<Expr> = exprs.iter().map(|(e, _)| e.clone()).collect();
+        if compiled {
+            RangeProj::Compiled(Program::compile_range_many(&es))
+        } else {
+            RangeProj::Interp(es)
+        }
+    }
+
+    /// Evaluate every projection expression over `vals`, appending the
+    /// results to `out` (expressions run in list order; first error
+    /// wins, like per-expression interpretation).
+    fn eval_into(
+        &self,
+        vals: &[RangeValue],
+        regs: &mut Vec<RangeValue>,
+        out: &mut Vec<RangeValue>,
+    ) -> Result<(), EvalError> {
+        match self {
+            RangeProj::Interp(es) => {
+                for e in es {
+                    out.push(e.eval_range(vals)?);
+                }
+                Ok(())
+            }
+            RangeProj::Compiled(p) => {
+                p.prepare_range_regs(regs);
+                p.eval_range_into(vals, regs)?;
+                for i in 0..p.arity() {
+                    out.push(p.range_output(i, vals, regs).clone());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn compiled(&self) -> Option<&Program> {
+        match self {
+            RangeProj::Compiled(p) => Some(p),
+            RangeProj::Interp(_) => None,
+        }
+    }
+}
+
 enum PipeOp<'a> {
-    Select(Expr),
-    Project(Vec<(Expr, String)>),
+    Select(RangePred),
+    Project(RangeProj),
     Probe(Box<ProbeOp<'a>>),
 }
 
@@ -166,7 +255,7 @@ enum ProbePlan {
 /// indexes, and per-source-row sweep candidates.
 struct ProbeOp<'a> {
     right: Cow<'a, AuRelation>,
-    predicate: Option<Expr>,
+    predicate: Option<RangePred>,
     plan: ProbePlan,
     /// Per *source* row id: right-row candidates from the interval
     /// sweeps (uncertain-key bands for equi plans, all candidates for
@@ -179,11 +268,13 @@ impl<'a> ProbeOp<'a> {
     /// operator-at-a-time planner's strategy choice and index shapes.
     /// `cand` is computed over *all* source rows — selections between
     /// the source and the probe only drop rows, never change them, so
-    /// candidates of dropped rows are simply never probed.
+    /// candidates of dropped rows are simply never probed. The
+    /// re-check predicate compiles once here, like the chain stages.
     fn build(
         source: &AuRelation,
         right: Cow<'a, AuRelation>,
         predicate: Option<&Expr>,
+        compiled: bool,
     ) -> ProbeOp<'a> {
         let mut cand: Vec<Vec<u32>> = vec![Vec::new(); source.len()];
         let plan = match planner::classify(predicate, source.schema.arity()) {
@@ -227,7 +318,8 @@ impl<'a> ProbeOp<'a> {
             }
             planner::JoinStrategy::NestedLoop => ProbePlan::NestedLoop,
         };
-        ProbeOp { right, predicate: predicate.cloned(), plan, cand }
+        let predicate = predicate.map(|p| RangePred::new(p, compiled));
+        ProbeOp { right, predicate, plan, cand }
     }
 
     /// Stream one in-flight left row through the probe, emitting each
@@ -245,31 +337,32 @@ impl<'a> ProbeOp<'a> {
         k: AuAnnot,
         out: &mut Vec<(RangeTuple, AuAnnot)>,
     ) -> Result<(), EvalError> {
+        let Buf { vals: concat, key, regs } = buf;
         match &self.plan {
             ProbePlan::HashEqui { pairs, lcols, index } => {
                 if lcols.iter().all(|c| vals[*c].is_certain()) {
-                    buf.key.clear();
-                    buf.key.extend(lcols.iter().map(|c| vals[*c].sg.join_key()));
-                    // take the bucket out of the borrow of `buf.key`
-                    let hits = index.get(&buf.key);
+                    key.clear();
+                    key.extend(lcols.iter().map(|c| vals[*c].sg.join_key()));
+                    // take the bucket out of the borrow of `key`
+                    let hits = index.get(key);
                     for &ri in hits {
-                        self.emit_equi(rest, rest_bufs, &mut buf.vals, vals, k, ri, pairs, out)?;
+                        self.emit_equi(rest, rest_bufs, concat, regs, vals, k, ri, pairs, out)?;
                     }
                 }
                 for &ri in &self.cand[src] {
-                    self.emit_equi(rest, rest_bufs, &mut buf.vals, vals, k, ri, pairs, out)?;
+                    self.emit_equi(rest, rest_bufs, concat, regs, vals, k, ri, pairs, out)?;
                 }
                 Ok(())
             }
             ProbePlan::Comparison => {
                 for &ri in &self.cand[src] {
-                    self.emit_pred(rest, rest_bufs, &mut buf.vals, vals, k, ri, out)?;
+                    self.emit_pred(rest, rest_bufs, concat, regs, vals, k, ri, out)?;
                 }
                 Ok(())
             }
             ProbePlan::NestedLoop => {
                 for ri in 0..self.right.len() as u32 {
-                    self.emit_pred(rest, rest_bufs, &mut buf.vals, vals, k, ri, out)?;
+                    self.emit_pred(rest, rest_bufs, concat, regs, vals, k, ri, out)?;
                 }
                 Ok(())
             }
@@ -285,6 +378,7 @@ impl<'a> ProbeOp<'a> {
         rest: &[PipeOp<'_>],
         rest_bufs: &mut [Buf],
         concat: &mut Vec<RangeValue>,
+        regs: &mut Vec<RangeValue>,
         vals: &[RangeValue],
         k: AuAnnot,
         ri: u32,
@@ -302,7 +396,7 @@ impl<'a> ProbeOp<'a> {
         let mut k2 = k.times(kr);
         if !fast {
             let p = self.predicate.as_ref().expect("equi plan implies predicate");
-            let (plb, psg, pub_) = p.eval_range_bool3(concat)?;
+            let (plb, psg, pub_) = p.eval_bool3(concat, regs)?;
             if !pub_ {
                 return Ok(());
             }
@@ -319,6 +413,7 @@ impl<'a> ProbeOp<'a> {
         rest: &[PipeOp<'_>],
         rest_bufs: &mut [Buf],
         concat: &mut Vec<RangeValue>,
+        regs: &mut Vec<RangeValue>,
         vals: &[RangeValue],
         k: AuAnnot,
         ri: u32,
@@ -330,7 +425,7 @@ impl<'a> ProbeOp<'a> {
         concat.extend_from_slice(&tr.0);
         let mut k2 = k.times(kr);
         if let Some(p) = &self.predicate {
-            let (plb, psg, pub_) = p.eval_range_bool3(concat)?;
+            let (plb, psg, pub_) = p.eval_bool3(concat, regs)?;
             if !pub_ {
                 return Ok(());
             }
@@ -341,11 +436,13 @@ impl<'a> ProbeOp<'a> {
 }
 
 /// Per-op scratch reused across a shard's rows: the concatenation /
-/// projection value buffer and the equi-probe key buffer.
+/// projection value buffer, the equi-probe key buffer, and the
+/// compiled-program register file.
 #[derive(Default)]
 struct Buf {
     vals: Vec<RangeValue>,
     key: Vec<Value>,
+    regs: Vec<RangeValue>,
 }
 
 /// One in-flight row through the remaining ops. `src` is the source row
@@ -366,29 +463,134 @@ fn apply(
     let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per op");
     match op {
         PipeOp::Select(p) => {
-            let (lb, sg, ub) = p.eval_range_bool3(vals)?;
+            let (lb, sg, ub) = p.eval_bool3(vals, &mut buf.regs)?;
             if !ub {
                 return Ok(()); // certainly false in all worlds
             }
             apply(rest, rest_bufs, src, vals, k.times(&AuAnnot::from_bool3(lb, sg, ub)), out)
         }
-        PipeOp::Project(exprs) => {
+        PipeOp::Project(proj) => {
             if rest.is_empty() {
                 // terminal projection: evaluate straight into the output
-                let vs: Result<Vec<RangeValue>, EvalError> =
-                    exprs.iter().map(|(e, _)| e.eval_range(vals)).collect();
-                out.push((RangeTuple::new(vs?), k));
+                let mut vs = Vec::new();
+                proj.eval_into(vals, &mut buf.regs, &mut vs)?;
+                out.push((RangeTuple::new(vs), k));
                 Ok(())
             } else {
-                buf.vals.clear();
-                for (e, _) in exprs {
-                    buf.vals.push(e.eval_range(vals)?);
-                }
-                apply(rest, rest_bufs, usize::MAX, &buf.vals, k, out)
+                let Buf { vals: pvals, regs, .. } = buf;
+                pvals.clear();
+                proj.eval_into(vals, regs, pvals)?;
+                apply(rest, rest_bufs, usize::MAX, pvals, k, out)
             }
         }
         PipeOp::Probe(probe) => probe.probe(rest, rest_bufs, buf, src, vals, k, out),
     }
+}
+
+/// Run a probe-less compiled chain over one shard **one op at a time**:
+/// every select/project program evaluates over the whole shard's rows
+/// via [`Program::eval_range_batch_lenient`] before the next op runs —
+/// the flat-columnar execution shape.
+///
+/// Byte-identity with the row-streaming path: the per-row math is the
+/// same combinators in the same order, rows keep their source order
+/// (no probe means one output per surviving input), and errors are
+/// row-major — an erroring row is *poisoned* (it stops flowing but is
+/// never dropped) and after the chain the earliest poisoned source row
+/// reports its error, exactly what streaming row-by-row would have
+/// surfaced first.
+fn run_shard_batched(
+    ops: &[PipeOp<'_>],
+    source: &AuRelation,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<(RangeTuple, AuAnnot)>,
+) -> Result<(), EvalError> {
+    enum RowState {
+        Clean(AuAnnot),
+        Poisoned(EvalError),
+    }
+    let mut live: Vec<(Cow<'_, RangeTuple>, RowState)> =
+        source.rows()[range].iter().map(|(t, k)| (Cow::Borrowed(t), RowState::Clean(*k))).collect();
+    let mut batch = RangeBatch::default();
+
+    for op in ops {
+        // The rows still flowing: everything not yet poisoned.
+        let clean_idx: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, st))| matches!(st, RowState::Clean(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if clean_idx.is_empty() {
+            break;
+        }
+        {
+            let refs: Vec<&[RangeValue]> = clean_idx.iter().map(|&i| live[i].0.values()).collect();
+            match op {
+                PipeOp::Select(p) => p
+                    .compiled()
+                    .expect("batched chains are compiled")
+                    .eval_range_batch_lenient(&refs, &mut batch),
+                PipeOp::Project(p) => p
+                    .compiled()
+                    .expect("batched chains are compiled")
+                    .eval_range_batch_lenient(&refs, &mut batch),
+                PipeOp::Probe(_) => unreachable!("probe chains stream row-at-a-time"),
+            }
+        }
+        match op {
+            PipeOp::Select(p) => {
+                let prog = p.compiled().expect("compiled");
+                // Decide per clean row: poison, drop, or keep with the
+                // multiplied annotation — then compact the drops.
+                let mut drop_flags = vec![false; live.len()];
+                for (j, &i) in clean_idx.iter().enumerate() {
+                    let decision = match batch.row_error(j) {
+                        Some(e) => Err(e.clone()),
+                        None => batch.output(prog, 0, j, live[i].0.values()).as_bool3(),
+                    };
+                    match decision {
+                        Err(e) => live[i].1 = RowState::Poisoned(e),
+                        Ok((_, _, false)) => drop_flags[i] = true,
+                        Ok((lb, sg, ub)) => {
+                            let RowState::Clean(k) = &mut live[i].1 else { unreachable!() };
+                            *k = k.times(&AuAnnot::from_bool3(lb, sg, ub));
+                        }
+                    }
+                }
+                let mut i = 0;
+                live.retain(|_| {
+                    let keep = !drop_flags[i];
+                    i += 1;
+                    keep
+                });
+            }
+            PipeOp::Project(p) => {
+                let prog = p.compiled().expect("compiled");
+                for (j, &i) in clean_idx.iter().enumerate() {
+                    let projected = match batch.row_error(j) {
+                        Some(e) => Err(e.clone()),
+                        None => Ok((0..prog.arity())
+                            .map(|oi| batch.output(prog, oi, j, live[i].0.values()).clone())
+                            .collect::<Vec<RangeValue>>()),
+                    };
+                    match projected {
+                        Err(e) => live[i].1 = RowState::Poisoned(e),
+                        Ok(vals) => live[i].0 = Cow::Owned(RangeTuple::new(vals)),
+                    }
+                }
+            }
+            PipeOp::Probe(_) => unreachable!("probe chains stream row-at-a-time"),
+        }
+    }
+
+    for (t, st) in live {
+        match st {
+            RowState::Poisoned(e) => return Err(e),
+            RowState::Clean(k) => out.push((t.into_owned(), k)),
+        }
+    }
+    Ok(())
 }
 
 /// A fused chain ready to run: the source relation, the op list, and
@@ -404,6 +606,11 @@ impl<'a> AuPipeline<'a> {
     /// shape: a single breaker normalization when anything merged or
     /// rewrote tuples, the exact source-order row list for select-only
     /// chains (mirroring [`select_au_exec`]'s normal-form preservation).
+    ///
+    /// Compiled probe-less chains evaluate one op over a whole shard of
+    /// rows at a time ([`run_shard_batched`]); chains with a probe
+    /// stream each row through the compiled ops with a per-worker
+    /// register file.
     fn run(self, cfg: &AuConfig, exec: &Executor) -> Result<Cow<'a, AuRelation>, EvalError> {
         if self.ops.is_empty() {
             return Ok(self.source);
@@ -415,15 +622,24 @@ impl<'a> AuPipeline<'a> {
         };
         let ops = &self.ops;
         let source = self.source.as_ref();
-        let rows = exec.run_shards(n, &sharding, |range, out| {
-            let mut bufs: Vec<Buf> = Vec::new();
-            bufs.resize_with(ops.len(), Buf::default);
-            for i in range {
-                let (t, k) = &source.rows()[i];
-                apply(ops, &mut bufs, i, t.values(), *k, out)?;
-            }
-            Ok::<(), EvalError>(())
-        })?;
+        let batchable = ops.iter().all(|op| match op {
+            PipeOp::Select(p) => p.compiled().is_some(),
+            PipeOp::Project(p) => p.compiled().is_some(),
+            PipeOp::Probe(_) => false,
+        });
+        let rows = if batchable {
+            exec.run_shards(n, &sharding, |range, out| run_shard_batched(ops, source, range, out))?
+        } else {
+            exec.run_shards(n, &sharding, |range, out| {
+                let mut bufs: Vec<Buf> = Vec::new();
+                bufs.resize_with(ops.len(), Buf::default);
+                for i in range {
+                    let (t, k) = &source.rows()[i];
+                    apply(ops, &mut bufs, i, t.values(), *k, out)?;
+                }
+                Ok::<(), EvalError>(())
+            })?
+        };
         let select_only = self.ops.iter().all(|op| matches!(op, PipeOp::Select(_)));
         let out = if !select_only {
             // the one pipeline-breaker normalization (sharded-reduce)
@@ -461,13 +677,13 @@ fn build_chain<'a>(
         }
         Query::Select { input, predicate } => {
             let mut c = build_chain(db, input, cfg, exec)?;
-            c.ops.push(PipeOp::Select(predicate.clone()));
+            c.ops.push(PipeOp::Select(RangePred::new(predicate, cfg.compiled)));
             Ok(c)
         }
         Query::Project { input, exprs } => {
             let mut c = build_chain(db, input, cfg, exec)?;
             c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
-            c.ops.push(PipeOp::Project(exprs.clone()));
+            c.ops.push(PipeOp::Project(RangeProj::new(exprs, cfg.compiled)));
             Ok(c)
         }
         Query::Join { left, right, predicate } => {
@@ -483,7 +699,7 @@ fn build_chain<'a>(
             };
             let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
             chain.schema = chain.schema.concat(&r.schema);
-            let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref());
+            let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), cfg.compiled);
             chain.ops.push(PipeOp::Probe(Box::new(probe)));
             Ok(chain)
         }

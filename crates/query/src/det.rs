@@ -15,7 +15,7 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
-use audb_core::{EvalError, Expr, Value};
+use audb_core::{EvalError, Expr, Program, Value};
 use audb_exec::{Executor, ShardSource};
 use audb_storage::{Database, HashKeyIndex, IntervalIndex, Relation, Schema, Tuple};
 
@@ -33,22 +33,26 @@ pub fn eval_det(db: &Database, q: &Query) -> Result<Relation, EvalError> {
 /// reproduces the serial behavior exactly; any worker count produces a
 /// byte-identical result.
 pub fn eval_det_exec(db: &Database, q: &Query, exec: &Executor) -> Result<Relation, EvalError> {
-    eval_det_opts(db, q, exec, true, None)
+    eval_det_opts(db, q, exec, true, None, true)
 }
 
 /// [`eval_det_exec`] with explicit pipeline knobs — `pipeline = false`
 /// forces the operator-at-a-time path, `shards` forces the fused
-/// chains' shard count (`None` sizes automatically). All combinations
-/// produce byte-identical results (`tests/exec_equivalence.rs`).
+/// chains' shard count (`None` sizes automatically), and
+/// `compiled = false` keeps fused-chain expressions on the `Expr`-tree
+/// interpreter instead of the compiled register programs. All
+/// combinations produce byte-identical results
+/// (`tests/exec_equivalence.rs`, `tests/compiled_exprs_props.rs`).
 pub fn eval_det_opts(
     db: &Database,
     q: &Query,
     exec: &Executor,
     pipeline: bool,
     shards: Option<usize>,
+    compiled: bool,
 ) -> Result<Relation, EvalError> {
     let rel = if pipeline {
-        eval_pl(db, q, exec, shards, Delivery::Canonical)?
+        eval_pl(db, q, exec, shards, Delivery::Canonical, compiled)?
     } else {
         eval_inner(db, q, exec)?
     };
@@ -193,9 +197,76 @@ fn distinct_det(rel: Cow<'_, Relation>, exec: &Executor) -> Relation {
 
 use crate::au::pipeline::{Delivery, MIN_ROWS_PER_SHARD};
 
+/// A deterministic chain predicate: compiled to a flat register
+/// program (the default — det lowering keeps `And`/`Or`/`If`
+/// short-circuit via jump ops) or interpreted (the oracle).
+enum DetPred {
+    Interp(Expr),
+    Compiled(Program),
+}
+
+impl DetPred {
+    fn new(e: &Expr, compiled: bool) -> DetPred {
+        if compiled {
+            DetPred::Compiled(Program::compile_det(e))
+        } else {
+            DetPred::Interp(e.clone())
+        }
+    }
+
+    fn eval_bool(&self, vals: &[Value], regs: &mut Vec<Value>) -> Result<bool, EvalError> {
+        match self {
+            DetPred::Interp(e) => e.eval_bool(vals),
+            DetPred::Compiled(p) => p.eval_det_bool(vals, regs),
+        }
+    }
+}
+
+/// A deterministic chain projection, compiled into one multi-output
+/// program.
+enum DetProj {
+    Interp(Vec<Expr>),
+    Compiled(Program),
+}
+
+impl DetProj {
+    fn new(exprs: &[(Expr, String)], compiled: bool) -> DetProj {
+        let es: Vec<Expr> = exprs.iter().map(|(e, _)| e.clone()).collect();
+        if compiled {
+            DetProj::Compiled(Program::compile_det_many(&es))
+        } else {
+            DetProj::Interp(es)
+        }
+    }
+
+    fn eval_into(
+        &self,
+        vals: &[Value],
+        regs: &mut Vec<Value>,
+        out: &mut Vec<Value>,
+    ) -> Result<(), EvalError> {
+        match self {
+            DetProj::Interp(es) => {
+                for e in es {
+                    out.push(e.eval(vals)?);
+                }
+                Ok(())
+            }
+            DetProj::Compiled(p) => {
+                p.prepare_det_regs(regs);
+                p.eval_det_into(vals, regs)?;
+                for i in 0..p.arity() {
+                    out.push(p.det_output(i, vals, regs).clone());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 enum DetPipeOp {
-    Select(Expr),
-    Project(Vec<(Expr, String)>),
+    Select(DetPred),
+    Project(DetProj),
     Probe(Box<DetProbeOp>),
 }
 
@@ -212,14 +283,19 @@ enum DetProbePlan {
 
 struct DetProbeOp {
     right: Relation,
-    predicate: Option<Expr>,
+    predicate: Option<DetPred>,
     plan: DetProbePlan,
     /// Per source row id: sweep candidates (comparison plans only).
     cand: Vec<Vec<u32>>,
 }
 
 impl DetProbeOp {
-    fn build(source: &Relation, right: Relation, predicate: Option<&Expr>) -> DetProbeOp {
+    fn build(
+        source: &Relation,
+        right: Relation,
+        predicate: Option<&Expr>,
+        compiled: bool,
+    ) -> DetProbeOp {
         let mut cand: Vec<Vec<u32>> = Vec::new();
         let plan = match planner::classify(predicate, source.schema.arity()) {
             planner::JoinStrategy::HashEqui(pairs) => {
@@ -243,7 +319,8 @@ impl DetProbeOp {
             }
             planner::JoinStrategy::NestedLoop => DetProbePlan::NestedLoop,
         };
-        DetProbeOp { right, predicate: predicate.cloned(), plan, cand }
+        let predicate = predicate.map(|p| DetPred::new(p, compiled));
+        DetProbeOp { right, predicate, plan, cand }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -262,6 +339,7 @@ impl DetProbeOp {
         F: Fn(&[Value], u64, &mut Vec<T>) -> Result<(), EvalError>,
     {
         let emit = |concat: &mut Vec<Value>,
+                    regs: &mut Vec<Value>,
                     rest_bufs: &mut [DetBuf],
                     ri: u32,
                     check: bool,
@@ -273,31 +351,32 @@ impl DetProbeOp {
             concat.extend_from_slice(&tr.0);
             if check {
                 if let Some(p) = &self.predicate {
-                    if !p.eval_bool(concat)? {
+                    if !p.eval_bool(concat, regs)? {
                         return Ok(());
                     }
                 }
             }
             apply_det(rest, rest_bufs, usize::MAX, concat, k * kr, out, terminal)
         };
+        let DetBuf { vals: concat, key, regs } = buf;
         match &self.plan {
             DetProbePlan::HashEqui { lcols, index } => {
-                buf.key.clear();
-                buf.key.extend(lcols.iter().map(|c| vals[*c].join_key()));
-                for &ri in index.get(&buf.key) {
-                    emit(&mut buf.vals, rest_bufs, ri, false, out)?;
+                key.clear();
+                key.extend(lcols.iter().map(|c| vals[*c].join_key()));
+                for &ri in index.get(key) {
+                    emit(concat, regs, rest_bufs, ri, false, out)?;
                 }
                 Ok(())
             }
             DetProbePlan::Comparison => {
                 for &ri in &self.cand[src] {
-                    emit(&mut buf.vals, rest_bufs, ri, true, out)?;
+                    emit(concat, regs, rest_bufs, ri, true, out)?;
                 }
                 Ok(())
             }
             DetProbePlan::NestedLoop => {
                 for ri in 0..self.right.len() as u32 {
-                    emit(&mut buf.vals, rest_bufs, ri, true, out)?;
+                    emit(concat, regs, rest_bufs, ri, true, out)?;
                 }
                 Ok(())
             }
@@ -305,11 +384,13 @@ impl DetProbeOp {
     }
 }
 
-/// Per-op scratch reused across a shard's rows.
+/// Per-op scratch reused across a shard's rows: value/key buffers plus
+/// the compiled-program register file.
 #[derive(Default)]
 struct DetBuf {
     vals: Vec<Value>,
     key: Vec<Value>,
+    regs: Vec<Value>,
 }
 
 fn apply_det<T, F>(
@@ -330,17 +411,16 @@ where
     let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per op");
     match op {
         DetPipeOp::Select(p) => {
-            if !p.eval_bool(vals)? {
+            if !p.eval_bool(vals, &mut buf.regs)? {
                 return Ok(());
             }
             apply_det(rest, rest_bufs, src, vals, k, out, terminal)
         }
-        DetPipeOp::Project(exprs) => {
-            buf.vals.clear();
-            for (e, _) in exprs {
-                buf.vals.push(e.eval(vals)?);
-            }
-            apply_det(rest, rest_bufs, usize::MAX, &buf.vals, k, out, terminal)
+        DetPipeOp::Project(proj) => {
+            let DetBuf { vals: pvals, regs, .. } = buf;
+            pvals.clear();
+            proj.eval_into(vals, regs, pvals)?;
+            apply_det(rest, rest_bufs, usize::MAX, pvals, k, out, terminal)
         }
         DetPipeOp::Probe(probe) => probe.probe(rest, rest_bufs, buf, src, vals, k, out, terminal),
     }
@@ -460,17 +540,19 @@ pub(crate) fn build_det_pipeline<'a>(
     db: &'a Database,
     q: &Query,
     exec: &Executor,
+    compiled: bool,
 ) -> Result<Option<DetPipeline<'a>>, EvalError> {
     if !fusable(q) {
         return Ok(None);
     }
-    Ok(Some(build_chain(db, q, exec)?))
+    Ok(Some(build_chain(db, q, exec, compiled)?))
 }
 
 fn build_chain<'a>(
     db: &'a Database,
     q: &Query,
     exec: &Executor,
+    compiled: bool,
 ) -> Result<DetPipeline<'a>, EvalError> {
     match q {
         Query::Table(name) => {
@@ -482,27 +564,27 @@ fn build_chain<'a>(
             })
         }
         Query::Select { input, predicate } => {
-            let mut c = build_chain(db, input, exec)?;
-            c.ops.push(DetPipeOp::Select(predicate.clone()));
+            let mut c = build_chain(db, input, exec, compiled)?;
+            c.ops.push(DetPipeOp::Select(DetPred::new(predicate, compiled)));
             Ok(c)
         }
         Query::Project { input, exprs } => {
-            let mut c = build_chain(db, input, exec)?;
+            let mut c = build_chain(db, input, exec, compiled)?;
             c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
-            c.ops.push(DetPipeOp::Project(exprs.clone()));
+            c.ops.push(DetPipeOp::Project(DetProj::new(exprs, compiled)));
             Ok(c)
         }
         Query::Join { left, right, predicate } => {
             let mut chain = if fusable(left) && select_only_chain(left) {
-                build_chain(db, left, exec)?
+                build_chain(db, left, exec, compiled)?
             } else {
-                let rel = eval_pl(db, left, exec, None, Delivery::Canonical)?;
+                let rel = eval_pl(db, left, exec, None, Delivery::Canonical, compiled)?;
                 let schema = rel.schema.clone();
                 DetPipeline { source: rel, ops: Vec::new(), schema }
             };
-            let r = eval_pl(db, right, exec, None, Delivery::Canonical)?.into_owned();
+            let r = eval_pl(db, right, exec, None, Delivery::Canonical, compiled)?.into_owned();
             chain.schema = chain.schema.concat(&r.schema);
-            let probe = DetProbeOp::build(chain.source.as_ref(), r, predicate.as_ref());
+            let probe = DetProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), compiled);
             chain.ops.push(DetPipeOp::Probe(Box::new(probe)));
             Ok(chain)
         }
@@ -516,31 +598,32 @@ fn eval_pl<'a>(
     exec: &Executor,
     shards: Option<usize>,
     delivery: Delivery,
+    compiled: bool,
 ) -> Result<Cow<'a, Relation>, EvalError> {
     if fusable(q) && (delivery == Delivery::Canonical || !has_probe(q)) {
-        return build_chain(db, q, exec)?.run(exec, shards);
+        return build_chain(db, q, exec, compiled)?.run(exec, shards);
     }
     Ok(match q {
         Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
-            let rel = eval_pl(db, input, exec, shards, delivery)?;
+            let rel = eval_pl(db, input, exec, shards, delivery, compiled)?;
             Cow::Owned(select_det_exec(&rel, predicate, exec)?)
         }
         Query::Project { input, exprs } => {
-            let rel = eval_pl(db, input, exec, shards, delivery)?;
+            let rel = eval_pl(db, input, exec, shards, delivery, compiled)?;
             Cow::Owned(project_det_exec(&rel, exprs, exec)?)
         }
         Query::Join { left, right, predicate } => {
             // multiset-determined: the strictness of the context carries
-            let l = eval_pl(db, left, exec, shards, delivery)?;
-            let r = eval_pl(db, right, exec, shards, delivery)?;
+            let l = eval_pl(db, left, exec, shards, delivery, compiled)?;
+            let r = eval_pl(db, right, exec, shards, delivery, compiled)?;
             Cow::Owned(planner::join_det_planned_exec(&l, &r, predicate.as_ref(), exec)?)
         }
         Query::Union { left, right } => {
             // the union list is left ++ right: the context's strictness
             // carries to both sides
-            let l = eval_pl(db, left, exec, shards, delivery)?;
-            let r = eval_pl(db, right, exec, shards, delivery)?;
+            let l = eval_pl(db, left, exec, shards, delivery, compiled)?;
+            let r = eval_pl(db, right, exec, shards, delivery, compiled)?;
             l.schema.check_union_compatible(&r.schema)?;
             let mut out = l.into_owned();
             out.extend_from(&r);
@@ -549,18 +632,18 @@ fn eval_pl<'a>(
         Query::Difference { left, right } => {
             // left is normalized internally, the right feeds commutative
             // sums: multiset-determined on both sides
-            let l = eval_pl(db, left, exec, shards, Delivery::Canonical)?;
-            let r = eval_pl(db, right, exec, shards, Delivery::Canonical)?;
+            let l = eval_pl(db, left, exec, shards, Delivery::Canonical, compiled)?;
+            let r = eval_pl(db, right, exec, shards, Delivery::Canonical, compiled)?;
             Cow::Owned(difference_det(l, &r, exec)?)
         }
         Query::Distinct { input } => {
-            let rel = eval_pl(db, input, exec, shards, Delivery::Canonical)?;
+            let rel = eval_pl(db, input, exec, shards, Delivery::Canonical, compiled)?;
             Cow::Owned(distinct_det(rel, exec))
         }
         Query::Aggregate { input, group_by, aggs } => {
             // group first-appearance order and float folds depend on the
             // exact input list
-            let rel = eval_pl(db, input, exec, shards, Delivery::Faithful)?;
+            let rel = eval_pl(db, input, exec, shards, Delivery::Faithful, compiled)?;
             Cow::Owned(aggregate_det(&rel, group_by, aggs)?)
         }
     })

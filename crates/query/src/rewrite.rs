@@ -375,11 +375,12 @@ pub struct RewriteSession<'a> {
     src: &'a AuDatabase,
     enc: Database,
     exec: Executor,
+    compiled: bool,
 }
 
 impl<'a> RewriteSession<'a> {
     pub fn new(src: &'a AuDatabase) -> Self {
-        RewriteSession { src, enc: Database::new(), exec: Executor::default() }
+        RewriteSession { src, enc: Database::new(), exec: Executor::default(), compiled: true }
     }
 
     /// Set the worker count for the session's `Enc`/`Dec` drivers:
@@ -387,6 +388,14 @@ impl<'a> RewriteSession<'a> {
     /// exact sequential path. Any value produces identical results.
     pub fn with_workers(mut self, workers: Option<usize>) -> Self {
         self.exec = Executor::from_option(workers);
+        self
+    }
+
+    /// Keep the fused spine's rewritten expressions on the `Expr`-tree
+    /// interpreter instead of compiling them to register programs (the
+    /// differential-testing oracle; results are byte-identical).
+    pub fn with_compiled(mut self, compiled: bool) -> Self {
+        self.compiled = compiled;
         self
     }
 
@@ -412,7 +421,9 @@ impl<'a> RewriteSession<'a> {
                     .insert(name.to_string(), enc_relation_exec(self.src.get(name)?, &self.exec));
             }
         }
-        if let Some(pipe) = crate::det::build_det_pipeline(&self.enc, &plan, &self.exec)? {
+        if let Some(pipe) =
+            crate::det::build_det_pipeline(&self.enc, &plan, &self.exec, self.compiled)?
+        {
             let lay = EncLayout::new(schema.arity());
             if pipe.schema().arity() != lay.width() {
                 return Err(EvalError::SchemaMismatch(format!(

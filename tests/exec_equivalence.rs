@@ -379,11 +379,16 @@ proptest! {
         db.insert("t1", t1.sg_world());
         db.insert("t2", t2.sg_world());
         for q in pipeline_queries() {
-            let reference = eval_det_opts(&db, &q, &exec(1), false, None).unwrap();
+            let reference = eval_det_opts(&db, &q, &exec(1), false, None, false).unwrap();
             for w in WORKERS {
                 for s in SHARDS {
-                    let got = eval_det_opts(&db, &q, &exec(w), true, Some(s)).unwrap();
-                    prop_assert_eq!(&got, &reference, "workers = {}, shards = {}, q = {}", w, s, &q);
+                    for compiled in [false, true] {
+                        let got = eval_det_opts(&db, &q, &exec(w), true, Some(s), compiled).unwrap();
+                        prop_assert_eq!(
+                            &got, &reference,
+                            "workers = {}, shards = {}, compiled = {}, q = {}", w, s, compiled, &q
+                        );
+                    }
                 }
             }
         }
