@@ -74,7 +74,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("normalize_40k_w{w}"), |b| {
             b.iter(|| {
                 let mut r = messy.clone();
-                r.normalize_with(&exec);
+                r.normalize_with(&exec).unwrap();
                 black_box(r)
             })
         });

@@ -12,11 +12,19 @@
 //! instead of the compiled register programs): the compiled backend
 //! must be >= 1.2x over interpreted at one worker (criterion_6,
 //! core-count-free like criterion_4).
+//!
+//! The `pipeline_10k_guarded_w1` variant runs the same fused chain with
+//! the full governance apparatus armed but never tripping — a far-away
+//! deadline (every cancellation checkpoint takes the `Instant::now()`
+//! branch) and an unlimited budget (every charge site runs its atomic
+//! meter). Guarded vs unguarded at one worker is the cancellation-check
+//! overhead gate: the ratio must stay <= 1.03 (criterion_7, measured
+//! within one run so machine speed cancels out).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use audb_core::{col, lit};
+use audb_core::{col, lit, BudgetSpec};
 use audb_query::au::AuConfig;
 use audb_query::{eval_au, table, Query};
 use audb_workloads::{micro_join_db, MicroConfig};
@@ -64,6 +72,15 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(eval_au(&audb, &q, &pipeline).unwrap()))
         });
     }
+
+    // governance overhead: deadline armed (never expires) + budget
+    // meters running (never trip) on the same fused chain
+    let guarded = AuConfig { workers: Some(1), ..AuConfig::default() }
+        .with_timeout(std::time::Duration::from_secs(3600))
+        .with_budget(BudgetSpec::unlimited());
+    g.bench_function("pipeline_10k_guarded_w1", |b| {
+        b.iter(|| black_box(eval_au(&audb, &q, &guarded).unwrap()))
+    });
     g.finish();
 }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::govern::ExecError;
+
 /// Errors raised while evaluating scalar expressions or queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
@@ -34,6 +36,9 @@ pub enum EvalError {
     SchemaMismatch(String),
     /// Operation unsupported by the evaluator (e.g. difference on UA-DBs).
     Unsupported(String),
+    /// A structured execution-runtime fault: contained worker panic,
+    /// cancellation/deadline, or an exhausted resource budget.
+    Exec(ExecError),
 }
 
 impl EvalError {
@@ -73,7 +78,14 @@ impl fmt::Display for EvalError {
             EvalError::InvalidAnnotation(m) => write!(f, "invalid annotation triple: {m}"),
             EvalError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             EvalError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            EvalError::Exec(e) => write!(f, "execution fault: {e}"),
         }
+    }
+}
+
+impl From<ExecError> for EvalError {
+    fn from(e: ExecError) -> EvalError {
+        EvalError::Exec(e)
     }
 }
 

@@ -17,6 +17,7 @@
 pub mod annot;
 pub mod error;
 pub mod expr;
+pub mod govern;
 pub mod krelation;
 pub mod program;
 pub mod range;
@@ -26,6 +27,7 @@ pub mod value;
 pub use annot::{AuAnnot, UaAnnot};
 pub use error::EvalError;
 pub use expr::{col, lit, Expr};
+pub use govern::{Budget, BudgetSpec, CancelToken, ExecError};
 pub use program::{Program, RangeBatch};
 pub use range::RangeValue;
 pub use semiring::{

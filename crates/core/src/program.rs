@@ -585,7 +585,7 @@ impl Program {
         rows: &[&[RangeValue]],
         batch: &mut RangeBatch,
     ) -> Result<(), EvalError> {
-        self.eval_range_batch_lenient(rows, batch);
+        self.eval_range_batch_lenient(rows, batch, None)?;
         if let Some(e) = batch.errs.iter().flatten().next() {
             return Err(e.clone());
         }
@@ -602,7 +602,18 @@ impl Program {
     /// Range mode only: det programs short-circuit via jumps, which is
     /// per-row control flow (and skipping is semantically load-bearing —
     /// the skipped operand may error).
-    pub fn eval_range_batch_lenient(&self, rows: &[&[RangeValue]], batch: &mut RangeBatch) {
+    ///
+    /// `cancel` is the cooperative cancellation token of the running
+    /// query (if any): it is checked between op sweeps, so a cancelled
+    /// long batch stops within one op's row loop instead of finishing
+    /// the whole program. A cancellation verdict poisons nothing — the
+    /// batch is simply abandoned.
+    pub fn eval_range_batch_lenient(
+        &self,
+        rows: &[&[RangeValue]],
+        batch: &mut RangeBatch,
+        cancel: Option<&crate::govern::CancelToken>,
+    ) -> Result<(), crate::govern::ExecError> {
         assert_eq!(self.mode, Mode::Range, "batch evaluation requires a range program");
         let n = rows.len();
         batch.reset(self.nregs, n);
@@ -656,6 +667,9 @@ impl Program {
         }
 
         for op in &self.ops {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
             match op {
                 Op::CheckCol { col } => {
                     let c = *col as usize;
@@ -733,6 +747,7 @@ impl Program {
                 _ => unreachable!("det op in a range program"),
             }
         }
+        Ok(())
     }
 }
 

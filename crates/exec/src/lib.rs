@@ -29,11 +29,40 @@
 //!   row-local operators pay a single merge at the pipeline breaker
 //!   instead of one per operator.
 //!
-//! No external dependencies, no unsafe, no work stealing beyond the
-//! shared cursor. A worker count of 1 (or a single morsel) bypasses the
-//! pool entirely and runs inline on the caller's thread, making the
-//! sequential path zero-overhead and trivially identical.
+//! No external dependencies beyond `audb_core` (the shared governance
+//! primitives), no unsafe, no work stealing beyond the shared cursor. A
+//! worker count of 1 (or a single morsel) bypasses the pool's threads
+//! and runs inline on the caller's thread, making the sequential path
+//! near-zero-overhead and trivially identical.
+//!
+//! ## Fault tolerance & governance
+//!
+//! Every driver guarantees a query either completes, returns a
+//! structured [`audb_core::ExecError`], or is cancelled — never wedging
+//! the pool:
+//!
+//! * producer panics are caught per morsel and surface as
+//!   [`audb_core::ExecError::WorkerPanic`]; result slots are
+//!   poison-tolerant one-shot cells, so a panicking worker cannot wedge
+//!   its siblings and the executor is immediately reusable;
+//! * an attached [`audb_core::CancelToken`] is checked at every morsel
+//!   boundary (cancellation and wall-clock deadlines);
+//! * an attached [`audb_core::Budget`] is charged by the expanding
+//!   operators (the sharded-reduce scatter here; join probes and
+//!   pipeline chains in the query layer).
+//!
+//! The feature-gated [`faults`] module injects deterministic panics,
+//! errors, delays, and cancellations at "morsel N of driver D" for the
+//! robustness property tests.
+//!
+//! This crate denies stray `unwrap`/`expect` in non-test code
+//! (`clippy::unwrap_used`/`expect_used`): a runtime that promises panic
+//! containment must not panic on its own control paths.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod partition;
 pub mod pipeline;
 pub mod pool;

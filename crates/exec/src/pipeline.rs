@@ -29,6 +29,8 @@
 
 use std::ops::Range;
 
+use audb_core::ExecError;
+
 use crate::partition::Partitioner;
 use crate::pool::Executor;
 
@@ -92,7 +94,13 @@ impl Executor {
     /// sequential loop over `range` would push, in the same order;
     /// the concatenation in shard order then equals the sequential
     /// output over `0..n` for any worker count and any shard count.
-    /// Errors are deterministic — the earliest failing shard wins.
+    /// Errors are deterministic — the earliest failing shard wins. An
+    /// empty source (zero rows, hence zero shards) returns the empty
+    /// result without touching the pool. Shards always run through
+    /// [`Executor::run`], so panic containment, cancellation
+    /// checkpoints, and fault injection apply per claimed morsel on
+    /// every path (a single shard or worker is simply the pool's inline
+    /// fast path).
     pub fn run_shards<T, E, F>(
         &self,
         n: usize,
@@ -101,21 +109,17 @@ impl Executor {
     ) -> Result<Vec<T>, E>
     where
         T: Send,
-        E: Send,
+        E: Send + From<ExecError>,
         F: Fn(Range<usize>, &mut Vec<T>) -> Result<(), E> + Sync,
     {
         let slices = source.slices(n);
-        if self.workers() <= 1 || slices.len() <= 1 {
-            let mut out = Vec::new();
-            for s in slices {
-                produce(s, &mut out)?;
-            }
-            return Ok(out);
+        if slices.is_empty() {
+            return Ok(Vec::new());
         }
         // One pool job per shard: the meta-executor partitions the
         // shard list one-to-one (no row-level morsel floor — the shard
         // count already encodes the parallelism decision).
-        let meta = self.with_partitioner(Partitioner {
+        let meta = self.clone().with_partitioner(Partitioner {
             min_morsel: 1,
             morsels_per_worker: 1,
             min_rows_per_worker: 0,
@@ -130,6 +134,7 @@ impl Executor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -150,11 +155,13 @@ mod tests {
                 let slices = ShardSource::new(s).slices(n);
                 cover(n, &slices);
                 assert!(slices.len() <= s.max(1));
-                if n > 0 {
-                    let min = slices.iter().map(Range::len).min().unwrap();
-                    let max = slices.iter().map(Range::len).max().unwrap();
-                    assert!(max - min <= 1, "near-equal shards");
-                }
+                // near-equal shards; total on the empty slice list (an
+                // empty source yields zero shards, not a panic)
+                let (min, max) = slices
+                    .iter()
+                    .map(Range::len)
+                    .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+                assert!(slices.is_empty() || max - min <= 1, "near-equal shards");
             }
         }
     }
@@ -191,10 +198,10 @@ mod tests {
     #[test]
     fn earliest_shard_error_wins() {
         let fail_at = |bad: usize| {
-            move |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), usize> {
+            move |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), String> {
                 for i in r {
                     if i >= bad {
-                        return Err(i);
+                        return Err(format!("item {i}"));
                     }
                     out.push(i);
                 }
@@ -204,9 +211,44 @@ mod tests {
         for w in [1usize, 4] {
             assert_eq!(
                 Executor::new(w).run_shards(100, &ShardSource::new(8), fail_at(40)),
-                Err(40),
+                Err("item 40".to_string()),
                 "workers = {w}"
             );
+        }
+    }
+
+    /// Regression: a zero-row source must yield the empty result — for
+    /// every shard count, including the degenerate `ShardSource::new(0)`
+    /// — never panic on the empty slice list.
+    #[test]
+    fn empty_source_yields_empty_result() {
+        for w in [1usize, 4] {
+            for s in [0usize, 1, 3, 8] {
+                let out = Executor::new(w).run_shards(0, &ShardSource::new(s), produce).unwrap();
+                assert!(out.is_empty(), "workers = {w}, shards = {s}");
+            }
+        }
+        assert!(ShardSource::new(0).slices(0).is_empty());
+        assert_eq!(ShardSource::auto(0, 0, 0).shards(), 1);
+    }
+
+    /// A panicking shard producer is contained and reported with the
+    /// pool's structured error; the executor stays reusable.
+    #[test]
+    fn shard_panic_is_contained() {
+        let panicky = |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), String> {
+            for i in r {
+                assert!(i != 50, "shard bomb");
+                out.push(i);
+            }
+            Ok(())
+        };
+        for w in [1usize, 4] {
+            let exec = Executor::new(w);
+            let err = exec.run_shards(100, &ShardSource::new(8), panicky).unwrap_err();
+            assert!(err.contains("worker panicked"), "workers = {w}, got: {err}");
+            let seq = Executor::sequential().run_shards(100, &ShardSource::new(1), produce);
+            assert_eq!(exec.run_shards(100, &ShardSource::new(8), produce), seq);
         }
     }
 }

@@ -2,15 +2,40 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::thread;
+
+use audb_core::{Budget, CancelToken, ExecError};
 
 use crate::partition::Partitioner;
 
-/// One morsel's pending output: filled exactly once by the worker that
-/// claims the morsel.
-type Slot<T, E> = Mutex<Option<Result<Vec<T>, E>>>;
+/// One morsel's pending output: a poison-tolerant one-shot slot, filled
+/// exactly once by the worker that claims the morsel. Producer panics
+/// are already caught at the morsel boundary (so no user code can
+/// unwind while the lock is held), and both accessors recover from a
+/// poisoned lock anyway — a panicking worker can never wedge the merge
+/// phase.
+#[derive(Debug)]
+struct Slot<V>(Mutex<Option<V>>);
+
+impl<V> Slot<V> {
+    fn empty() -> Self {
+        Slot(Mutex::new(None))
+    }
+
+    /// Store the claimed morsel's result (first write wins; the claim
+    /// cursor hands each index to exactly one worker).
+    fn set(&self, value: V) {
+        let mut guard = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.get_or_insert(value);
+    }
+
+    fn into_inner(self) -> Option<V> {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
 
 /// Hardware parallelism, probed once. Falls back to 1 when the platform
 /// cannot report it.
@@ -19,7 +44,20 @@ pub fn available_workers() -> usize {
     *CACHE.get_or_init(|| thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
 }
 
-/// A partition-parallel executor: worker count + partitioning rules.
+/// Render a caught panic payload for [`ExecError::WorkerPanic`].
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A partition-parallel executor: worker count + partitioning rules,
+/// plus the per-query governance context (cancellation token, resource
+/// budget) every driver checks.
 ///
 /// [`Executor::run`] is the single primitive every driver uses. It maps
 /// a fallible producer over the morsels of `0..n` and concatenates the
@@ -27,10 +65,22 @@ pub fn available_workers() -> usize {
 /// byte-identical to the sequential evaluation of the same producer —
 /// the guarantee the query layer's property tests pin down for every
 /// worker count.
-#[derive(Debug, Clone, Copy)]
+///
+/// ## Fault containment
+///
+/// A panic inside a producer is caught at the morsel boundary
+/// ([`std::panic::catch_unwind`]) and surfaces as a structured
+/// [`ExecError::WorkerPanic`] through the normal error path: sibling
+/// workers drain their remaining morsels, the scope joins cleanly, and
+/// the executor is immediately reusable — there is no pool state to
+/// poison (result slots are poison-tolerant one-shot cells and the only
+/// shared mutable state is the atomic claim cursor).
+#[derive(Debug, Clone)]
 pub struct Executor {
     workers: usize,
     partitioner: Partitioner,
+    cancel: Option<CancelToken>,
+    budget: Option<Budget>,
 }
 
 impl Default for Executor {
@@ -43,7 +93,12 @@ impl Default for Executor {
 impl Executor {
     /// An executor with exactly `workers` threads (0 is treated as 1).
     pub fn new(workers: usize) -> Self {
-        Executor { workers: workers.max(1), partitioner: Partitioner::default() }
+        Executor {
+            workers: workers.max(1),
+            partitioner: Partitioner::default(),
+            cancel: None,
+            budget: None,
+        }
     }
 
     /// The exact-current-behavior executor: everything runs inline on
@@ -78,12 +133,55 @@ impl Executor {
         self
     }
 
+    /// Attach a cooperative cancellation token: every driver checks it
+    /// at morsel boundaries (and batch evaluation between op sweeps),
+    /// surfacing [`ExecError::Cancelled`] / [`ExecError::DeadlineExceeded`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a resource budget, charged by the operators that can
+    /// expand an intermediate (join probes, pipeline chains, the
+    /// sharded-reduce scatter).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     pub fn workers(&self) -> usize {
         self.workers
     }
 
     pub fn partitioner(&self) -> &Partitioner {
         &self.partitioner
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The attached resource budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// Cooperative cancellation checkpoint: `Ok(())` when no token is
+    /// attached or the token is still running.
+    pub fn check_cancel(&self) -> Result<(), ExecError> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge the attached budget (no-op without one).
+    pub fn charge(&self, operator: &'static str, rows: u64, bytes: u64) -> Result<(), ExecError> {
+        match &self.budget {
+            Some(budget) => budget.charge(operator, rows, bytes),
+            None => Ok(()),
+        }
     }
 
     /// Run `produce` over every morsel of `0..n` and return the
@@ -96,54 +194,95 @@ impl Executor {
     /// morsel wins, matching what the sequential loop would have hit
     /// first (later morsels may still be computed; producers are pure,
     /// so the extra work is discarded, not observable).
+    ///
+    /// Runtime faults — a caught producer panic, a tripped cancellation
+    /// token, an injected test fault — surface through the same error
+    /// path, which is why `E` must absorb [`ExecError`].
     pub fn run<T, E, F>(&self, n: usize, produce: F) -> Result<Vec<T>, E>
     where
         T: Send,
-        E: Send,
+        E: Send + From<ExecError>,
         F: Fn(Range<usize>, &mut Vec<T>) -> Result<(), E> + Sync,
     {
         let morsels = self.partitioner.morsels(n, self.workers);
+
+        // Deterministic fault addressing: drivers enter sequentially on
+        // the query thread, so (driver sequence number, morsel index)
+        // names one checkpoint regardless of worker interleaving.
+        #[cfg(feature = "faults")]
+        let fault_ctx = crate::faults::driver_context();
+
+        // One morsel, fully contained: cancellation checkpoint at the
+        // boundary, then fault checkpoint + producer under catch_unwind.
+        let run_morsel = |index: usize, morsel: Range<usize>| -> Result<Vec<T>, E> {
+            self.check_cancel().map_err(E::from)?;
+            let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<T>, E> {
+                #[cfg(feature = "faults")]
+                if let Some((plan, driver)) = &fault_ctx {
+                    plan.checkpoint(*driver, index, self.cancel.as_ref()).map_err(E::from)?;
+                }
+                let mut out = Vec::new();
+                produce(morsel, &mut out).map(|()| out)
+            }));
+            caught.unwrap_or_else(|payload| {
+                Err(E::from(ExecError::WorkerPanic { morsel: index, payload: panic_text(payload) }))
+            })
+        };
+
         // Inline fast path: sequential executor or a single morsel.
         if self.workers <= 1 || morsels.len() <= 1 {
-            let mut out = Vec::new();
-            for m in morsels {
-                produce(m, &mut out)?;
+            let mut merged = Vec::new();
+            for (i, m) in morsels.into_iter().enumerate() {
+                let rows = run_morsel(i, m)?;
+                if merged.is_empty() {
+                    merged = rows;
+                } else {
+                    merged.extend(rows);
+                }
             }
-            return Ok(out);
+            return Ok(merged);
         }
 
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Slot<T, E>> = morsels.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Slot<Result<Vec<T>, E>>> = morsels.iter().map(|_| Slot::empty()).collect();
         let threads = self.workers.min(morsels.len());
         thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(m) = morsels.get(i) else { break };
-                    let mut out = Vec::new();
-                    let res = produce(m.clone(), &mut out).map(|()| out);
-                    *slots[i].lock().unwrap() = Some(res);
+                    slots[i].set(run_morsel(i, m.clone()));
                 });
             }
         });
 
-        // Ordered merge: slot i holds morsel i's rows; every slot is
-        // filled once the scope joins.
+        // Ordered merge: slot i holds morsel i's rows; every claimed
+        // morsel stored a result before the scope joined, and the
+        // monotonic cursor claims every index, so every slot is filled.
         let mut merged = Vec::new();
-        for slot in slots {
-            let rows = slot
-                .into_inner()
-                .unwrap()
-                .expect("scope joined: every claimed morsel stored a result")?;
-            merged.extend(rows);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some(Ok(rows)) => merged.extend(rows),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    // defensively structured — unreachable per the claim
+                    // argument above
+                    return Err(E::from(ExecError::WorkerPanic {
+                        morsel: i,
+                        payload: "result slot never filled".to_string(),
+                    }));
+                }
+            }
         }
         Ok(merged)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use audb_core::BudgetSpec;
 
     /// A producer with per-item output count depending on the item, to
     /// exercise the ordered merge with ragged morsels.
@@ -191,10 +330,10 @@ mod tests {
             min_rows_per_worker: 0,
         });
         let fail_at = |bad: usize| {
-            move |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), usize> {
+            move |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), String> {
                 for i in r {
                     if i >= bad {
-                        return Err(i);
+                        return Err(format!("item {i}"));
                     }
                     out.push(i);
                 }
@@ -203,8 +342,8 @@ mod tests {
         };
         // every item from 40 on errors; the earliest morsel containing
         // one reports 40, same as the sequential loop
-        assert_eq!(exec.run(100, fail_at(40)), Err(40));
-        assert_eq!(Executor::sequential().run(100, fail_at(40)), Err(40));
+        assert_eq!(exec.run(100, fail_at(40)), Err("item 40".to_string()));
+        assert_eq!(Executor::sequential().run(100, fail_at(40)), Err("item 40".to_string()));
     }
 
     #[test]
@@ -212,5 +351,71 @@ mod tests {
         assert_eq!(Executor::new(0).workers(), 1);
         assert_eq!(Executor::from_option(Some(3)).workers(), 3);
         assert_eq!(Executor::from_option(None).workers(), available_workers());
+    }
+
+    /// A panicking producer surfaces as `WorkerPanic` — and the same
+    /// executor value immediately runs the next query (no poisoned
+    /// state, pool fully reusable).
+    #[test]
+    fn producer_panic_is_contained_and_pool_reusable() {
+        let exec = Executor::new(4).with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 4,
+            min_rows_per_worker: 0,
+        });
+        let panicky = |r: Range<usize>, out: &mut Vec<usize>| -> Result<(), String> {
+            for i in r {
+                assert!(i != 37, "injected panic at item 37");
+                out.push(i);
+            }
+            Ok(())
+        };
+        for _ in 0..2 {
+            let err = exec.run(100, panicky).unwrap_err();
+            assert!(err.contains("worker panicked"), "structured panic error, got: {err}");
+            assert!(err.contains("injected panic at item 37"), "payload preserved, got: {err}");
+            // follow-up query on the same executor works
+            let seq = Executor::sequential().run(100, produce).unwrap();
+            assert_eq!(exec.run(100, produce).unwrap(), seq);
+        }
+    }
+
+    /// Sequential (inline-path) panics are contained identically.
+    #[test]
+    fn inline_path_panic_is_contained() {
+        let exec = Executor::sequential();
+        let panicky = |_r: Range<usize>, _out: &mut Vec<usize>| -> Result<(), String> {
+            panic!("inline boom");
+        };
+        let err = exec.run(10, panicky).unwrap_err();
+        assert!(err.contains("inline boom"));
+        assert_eq!(exec.run(10, produce).unwrap(), Executor::new(1).run(10, produce).unwrap());
+    }
+
+    #[test]
+    fn cancelled_token_stops_at_morsel_boundary() {
+        let token = CancelToken::new();
+        token.cancel();
+        let exec = Executor::new(4).with_cancel(token);
+        let err = exec.run(10_000, produce).unwrap_err();
+        assert_eq!(err, String::from(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let token = CancelToken::with_deadline_in(std::time::Duration::ZERO);
+        let exec = Executor::new(2).with_cancel(token);
+        let err = exec.run(10_000, produce).unwrap_err();
+        assert_eq!(err, String::from(ExecError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn budget_charge_helper_trips() {
+        let exec = Executor::new(2).with_budget(Budget::new(BudgetSpec::rows(5)));
+        assert!(exec.charge("join-probe", 5, 0).is_ok());
+        let err = exec.charge("join-probe", 1, 0).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { operator: "join-probe", .. }));
+        // no budget attached → no-op
+        assert!(Executor::new(2).charge("join-probe", u64::MAX, u64::MAX).is_ok());
     }
 }

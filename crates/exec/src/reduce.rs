@@ -30,19 +30,29 @@
 //!   sorted sequence, the same one the sequential path produces.
 //!
 //! A worker count of 1 (or an input below the morsel floor) takes the
-//! inline path, which *is* the sequential algorithm.
+//! inline path, which *is* the sequential algorithm (run as a single
+//! pool morsel, so panic containment and cancellation apply there too).
+//!
+//! ## Governance
+//!
+//! The whole input is charged to the executor's budget up front (site
+//! `"sharded-reduce"`): normalization buffers every row it is handed,
+//! so the scatter is the last place an over-budget intermediate can be
+//! stopped before it is copied shard-wise. Both phases run on
+//! [`Executor::run`], inheriting its cancellation checkpoints and
+//! panic containment; claim mutexes are accessed poison-recovering, so
+//! a contained panic in one job cannot cascade into lock panics in
+//! siblings.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+use audb_core::ExecError;
 
 use crate::partition::Partitioner;
 use crate::pool::Executor;
-
-/// Error type for infallible producers run on the pool.
-#[derive(Debug)]
-enum Never {}
 
 /// A work unit claimed exactly once by a pool job: the morsel chunks of
 /// the scatter phase and the bucket lists of the reduce phase.
@@ -50,6 +60,13 @@ type Claim<V> = Mutex<Option<V>>;
 
 /// One row bucket per shard, as produced by a scatter job.
 type Buckets<T, K> = Vec<Vec<(T, K)>>;
+
+/// Take a claimed work unit out of its slot, recovering from a poisoned
+/// lock (the panic that poisoned it was already contained and converted
+/// to a structured error by the pool).
+fn claim<V>(slot: &Claim<V>) -> Option<V> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner).take()
+}
 
 impl Executor {
     /// Merge rows with equal keys (combining their values), drop rows
@@ -59,25 +76,44 @@ impl Executor {
     /// `combine(acc, v)` folds `v` into the accumulated value for a key;
     /// it is applied in the rows' original order, so any fold that the
     /// sequential hash-merge supports is safe here.
+    ///
+    /// Fallible since the runtime gained fault containment: a panic in
+    /// `keep`/`combine` surfaces as [`ExecError::WorkerPanic`], a
+    /// tripped token as `Cancelled`/`DeadlineExceeded`, and the up-front
+    /// input charge as [`ExecError::BudgetExceeded`].
     pub fn hash_merge_sorted<T, K>(
         &self,
         rows: Vec<(T, K)>,
         keep: impl Fn(&K) -> bool + Sync,
         combine: impl Fn(&mut K, K) + Sync,
-    ) -> Vec<(T, K)>
+    ) -> Result<Vec<(T, K)>, ExecError>
     where
         T: Hash + Eq + Ord + Send,
         K: Send,
     {
+        self.charge(
+            "sharded-reduce",
+            rows.len() as u64,
+            (rows.len() * std::mem::size_of::<(T, K)>()) as u64,
+        )?;
+
         let morsels = self.partitioner().morsels(rows.len(), self.workers());
         if self.workers() <= 1 || morsels.len() <= 1 {
-            return hash_merge_sorted_seq(rows, keep, combine);
+            // Run the sequential algorithm as a single pool morsel so it
+            // shares the containment/cancellation path of the parallel
+            // shape.
+            let slot: Claim<Vec<(T, K)>> = Mutex::new(Some(rows));
+            return self.run(1, |_, out| {
+                let rows = claim(&slot).unwrap_or_default();
+                out.append(&mut hash_merge_sorted_seq(rows, &keep, &combine));
+                Ok::<(), ExecError>(())
+            });
         }
 
         // The scatter/reduce jobs are batches themselves (one per morsel
         // or shard), so the meta-executor partitions them one-to-one
         // instead of applying the row-level morsel floor again.
-        let meta = self.with_partitioner(Partitioner {
+        let meta = self.clone().with_partitioner(Partitioner {
             min_morsel: 1,
             morsels_per_worker: 1,
             min_rows_per_worker: 0,
@@ -99,22 +135,20 @@ impl Executor {
         // hasher instance keys the whole call so every occurrence of a
         // key agrees on its shard.
         let hasher = RandomState::new();
-        let tables: Vec<Buckets<T, K>> = meta
-            .run(chunks.len(), |range, out| {
-                for ci in range {
-                    let chunk = chunks[ci].lock().unwrap().take().expect("chunk claimed once");
-                    let mut buckets: Buckets<T, K> = (0..shards).map(|_| Vec::new()).collect();
-                    for (t, k) in chunk {
-                        if keep(&k) {
-                            let s = (hasher.hash_one(&t) % shards as u64) as usize;
-                            buckets[s].push((t, k));
-                        }
+        let tables: Vec<Buckets<T, K>> = meta.run(chunks.len(), |range, out| {
+            for ci in range {
+                let chunk = claim(&chunks[ci]).unwrap_or_default();
+                let mut buckets: Buckets<T, K> = (0..shards).map(|_| Vec::new()).collect();
+                for (t, k) in chunk {
+                    if keep(&k) {
+                        let s = (hasher.hash_one(&t) % shards as u64) as usize;
+                        buckets[s].push((t, k));
                     }
-                    out.push(buckets);
                 }
-                Ok::<(), Never>(())
-            })
-            .unwrap_or_else(|n| match n {});
+                out.push(buckets);
+            }
+            Ok::<(), ExecError>(())
+        })?;
 
         // Gather: shard `s` receives its buckets in morsel order, so a
         // key's occurrences stay in original input order.
@@ -131,32 +165,30 @@ impl Executor {
         // Phase 2: hash-merge + sort each shard independently.
         let shard_slots: Vec<Claim<Buckets<T, K>>> =
             shard_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
-        let sorted: Vec<Vec<(T, K)>> = meta
-            .run(shards, |range, out| {
-                for s in range {
-                    let parts = shard_slots[s].lock().unwrap().take().expect("shard claimed once");
-                    let cap: usize = parts.iter().map(Vec::len).sum();
-                    let mut map: HashMap<T, K> = HashMap::with_capacity(cap);
-                    for part in parts {
-                        for (t, k) in part {
-                            match map.entry(t) {
-                                Entry::Occupied(mut e) => combine(e.get_mut(), k),
-                                Entry::Vacant(e) => {
-                                    e.insert(k);
-                                }
+        let sorted: Vec<Vec<(T, K)>> = meta.run(shards, |range, out| {
+            for s in range {
+                let parts = claim(&shard_slots[s]).unwrap_or_default();
+                let cap: usize = parts.iter().map(Vec::len).sum();
+                let mut map: HashMap<T, K> = HashMap::with_capacity(cap);
+                for part in parts {
+                    for (t, k) in part {
+                        match map.entry(t) {
+                            Entry::Occupied(mut e) => combine(e.get_mut(), k),
+                            Entry::Vacant(e) => {
+                                e.insert(k);
                             }
                         }
                     }
-                    let mut rows: Vec<(T, K)> = map.into_iter().collect();
-                    rows.sort_by(|a, b| a.0.cmp(&b.0));
-                    out.push(rows);
                 }
-                Ok::<(), Never>(())
-            })
-            .unwrap_or_else(|n| match n {});
+                let mut rows: Vec<(T, K)> = map.into_iter().collect();
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push(rows);
+            }
+            Ok::<(), ExecError>(())
+        })?;
 
         // Phase 3: k-way merge of disjoint sorted runs.
-        kway_merge(sorted)
+        Ok(kway_merge(sorted))
     }
 }
 
@@ -193,24 +225,27 @@ fn kway_merge<T: Ord, K>(sorted: Vec<Vec<(T, K)>>) -> Vec<(T, K)> {
     let mut heads: Vec<Option<(T, K)>> = iters.iter_mut().map(Iterator::next).collect();
     let mut out = Vec::with_capacity(total);
     loop {
+        // index of the smallest live head (stable towards later runs,
+        // irrelevant for correctness: keys are pairwise distinct)
         let mut best: Option<usize> = None;
         for (i, h) in heads.iter().enumerate() {
-            if let Some((t, _)) = h {
-                best = match best {
-                    Some(b) if heads[b].as_ref().unwrap().0 < *t => Some(b),
-                    _ => Some(i),
-                };
-            }
+            let Some((t, _)) = h else { continue };
+            best = match best {
+                Some(b) if matches!(&heads[b], Some((bt, _)) if bt < t) => Some(b),
+                _ => Some(i),
+            };
         }
         let Some(b) = best else { break };
-        let row = heads[b].take().expect("best head is non-empty");
+        if let Some(row) = heads[b].take() {
+            out.push(row);
+        }
         heads[b] = iters[b].next();
-        out.push(row);
     }
     out
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -220,7 +255,7 @@ mod tests {
     }
 
     fn merged(exec: &Executor, n: usize) -> Vec<(u64, u64)> {
-        exec.hash_merge_sorted(rows(n), |k| *k > 0, |acc, k| *acc += k)
+        exec.hash_merge_sorted(rows(n), |k| *k > 0, |acc, k| *acc += k).unwrap()
     }
 
     #[test]
@@ -249,13 +284,13 @@ mod tests {
         // fold that is NOT commutative: keeps (first, last) seen
         let input: Vec<(u64, (u64, u64))> = (0..600u64).map(|i| (i % 7, (i, i))).collect();
         let fold = |acc: &mut (u64, u64), v: (u64, u64)| acc.1 = v.1;
-        let seq = Executor::sequential().hash_merge_sorted(input.clone(), |_| true, fold);
+        let seq = Executor::sequential().hash_merge_sorted(input.clone(), |_| true, fold).unwrap();
         let forced = Executor::new(4).with_partitioner(Partitioner {
             min_morsel: 1,
             morsels_per_worker: 3,
             min_rows_per_worker: 0,
         });
-        assert_eq!(forced.hash_merge_sorted(input, |_| true, fold), seq);
+        assert_eq!(forced.hash_merge_sorted(input, |_| true, fold).unwrap(), seq);
     }
 
     #[test]
@@ -267,7 +302,41 @@ mod tests {
                 morsels_per_worker: 2,
                 min_rows_per_worker: 0,
             })
-            .hash_merge_sorted(input, |k| *k > 0, |acc, k| *acc += k);
+            .hash_merge_sorted(input, |k| *k > 0, |acc, k| *acc += k)
+            .unwrap();
         assert_eq!(out, vec![(1, 2), (3, 1)]);
+    }
+
+    /// A panic in `combine` is contained as a structured error and the
+    /// executor keeps working — on both the inline and parallel paths.
+    #[test]
+    fn combine_panic_is_contained() {
+        let bomb = |_acc: &mut u64, _k: u64| panic!("combine bomb");
+        for exec in [
+            Executor::sequential(),
+            Executor::new(4).with_partitioner(Partitioner {
+                min_morsel: 1,
+                morsels_per_worker: 3,
+                min_rows_per_worker: 0,
+            }),
+        ] {
+            let err = exec.hash_merge_sorted(rows(500), |_| true, bomb).unwrap_err();
+            assert!(matches!(err, ExecError::WorkerPanic { .. }), "got: {err:?}");
+            // reusable afterwards
+            assert_eq!(merged(&exec, 500), merged(&Executor::sequential(), 500));
+        }
+    }
+
+    /// The whole input is charged up front: a budget smaller than the
+    /// row list trips before any scatter work happens.
+    #[test]
+    fn input_charge_trips_budget() {
+        use audb_core::{Budget, BudgetSpec};
+        let exec = Executor::new(4).with_budget(Budget::new(BudgetSpec::rows(100)));
+        let err = exec.hash_merge_sorted(rows(500), |_| true, |acc, k| *acc += k).unwrap_err();
+        assert!(
+            matches!(err, ExecError::BudgetExceeded { operator: "sharded-reduce", .. }),
+            "got: {err:?}"
+        );
     }
 }

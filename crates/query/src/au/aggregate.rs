@@ -290,7 +290,8 @@ fn aggregate_impl(
     // members, per aggregate spec) — far heavier than a row, so the
     // adaptive parallelism floor is lowered accordingly (never raised:
     // a caller-forced zero floor stays zero).
-    let gexec = exec.with_min_rows_per_worker(exec.partitioner().min_rows_per_worker.min(32));
+    let gexec =
+        exec.clone().with_min_rows_per_worker(exec.partitioner().min_rows_per_worker.min(32));
     let one = audb_core::lit(1i64);
     let rows = gexec.run(gindex.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
         let mut members: Vec<&(RangeTuple, AuAnnot)> = Vec::new();
@@ -451,7 +452,7 @@ fn aggregate_impl(
 
     let mut out = AuRelation::empty(schema);
     out.append_rows(rows);
-    Ok(out.into_normalized_with(exec))
+    Ok(out.into_normalized_with(exec)?)
 }
 
 /// Widen a no-group-by aggregate for worlds with an empty input:

@@ -71,7 +71,8 @@ pub fn difference_au_exec(
     // hash lookups) — heavier than a plain row op, so the adaptive
     // parallelism floor is lowered accordingly (never raised: a
     // caller-forced zero floor stays zero).
-    let dexec = exec.with_min_rows_per_worker(exec.partitioner().min_rows_per_worker.min(256));
+    let dexec =
+        exec.clone().with_min_rows_per_worker(exec.partitioner().min_rows_per_worker.min(256));
     let rows = dexec.run(left.len(), |morsel, rows| {
         for i in morsel {
             let (t, k) = &left.rows()[i];
@@ -93,7 +94,7 @@ pub fn difference_au_exec(
     })?;
     let mut out = AuRelation::empty(left.schema.clone());
     out.append_rows(rows);
-    Ok(out.into_normalized_with(exec))
+    Ok(out.into_normalized_with(exec)?)
 }
 
 /// The pre-index implementation — a full right-side scan per left tuple.

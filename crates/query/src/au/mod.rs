@@ -15,8 +15,9 @@ pub mod difference;
 pub(crate) mod pipeline;
 
 use std::borrow::Cow;
+use std::time::Duration;
 
-use audb_core::{AuAnnot, EvalError, Expr, Semiring};
+use audb_core::{AuAnnot, Budget, BudgetSpec, CancelToken, EvalError, Expr, Semiring};
 use audb_exec::Executor;
 use audb_storage::{AuDatabase, AuRelation, Schema};
 
@@ -78,6 +79,19 @@ pub struct AuConfig {
     /// Results are byte-identical either way
     /// (`tests/compiled_exprs_props.rs`).
     pub compiled: bool,
+    /// Wall-clock deadline for the whole query: [`eval_au`] arms a
+    /// [`CancelToken`] with this timeout and threads it through every
+    /// operator driver, which checks it at morsel boundaries and inside
+    /// compiled-chain row sweeps. An expired deadline surfaces as
+    /// [`audb_core::ExecError::DeadlineExceeded`] within one morsel of
+    /// work. `None` (the default) runs ungoverned.
+    pub timeout: Option<Duration>,
+    /// Resource budget for the query: a per-query [`Budget`] charged by
+    /// the expanding operators (join probe output, pipeline-breaker
+    /// buffers, the normalization scatter). Exceeding it surfaces as
+    /// [`audb_core::ExecError::BudgetExceeded`] naming the tripping
+    /// operator. `None` (the default) is unlimited.
+    pub budget: Option<BudgetSpec>,
 }
 
 impl Default for AuConfig {
@@ -91,6 +105,8 @@ impl Default for AuConfig {
             shards: None,
             min_rows_per_worker: None,
             compiled: true,
+            timeout: None,
+            budget: None,
         }
     }
 }
@@ -119,6 +135,18 @@ impl AuConfig {
         self.workers = Some(workers);
         self
     }
+
+    /// Set a wall-clock deadline for the query.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Set a resource budget for the query.
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 /// Evaluate a query over an AU-database.
@@ -128,10 +156,71 @@ impl AuConfig {
 /// normalization per pipeline breaker instead of one per operator;
 /// otherwise every operator runs operator-at-a-time. The result is
 /// byte-identical either way, for any worker and shard count.
+///
+/// Governance: [`AuConfig::timeout`] arms a [`CancelToken`] with a
+/// wall-clock deadline and [`AuConfig::budget`] attaches a fresh
+/// per-query [`Budget`]; faults surface as
+/// [`EvalError::Exec`]. When the compiled-chain path fails with a
+/// *non-resource* fault (a worker panic or injected error — not
+/// cancellation, deadline, or budget exhaustion), evaluation degrades
+/// gracefully: it retries once on the interpreted `Expr`-tree oracle
+/// (`compiled: false`) with a fresh budget before giving up.
 pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
+    let token = cfg.timeout.map(CancelToken::with_deadline_in);
+    eval_au_governed(db, q, cfg, token.as_ref())
+}
+
+/// [`eval_au`] under an externally owned [`CancelToken`], so a serving
+/// layer can cancel a running query from another thread. The token is
+/// used as-is — arm a deadline with [`CancelToken::with_deadline_in`]
+/// rather than [`AuConfig::timeout`], which this entry point ignores.
+pub fn eval_au_cancellable(
+    db: &AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    token: &CancelToken,
+) -> Result<AuRelation, EvalError> {
+    eval_au_governed(db, q, cfg, Some(token))
+}
+
+fn eval_au_governed(
+    db: &AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<AuRelation, EvalError> {
+    match eval_au_attempt(db, q, cfg, cancel) {
+        Err(EvalError::Exec(e)) if cfg.compiled && !e.is_resource_limit() => {
+            // Graceful degradation: one retry on the interpreted oracle.
+            // Resource-limit faults (cancelled / deadline / budget) are
+            // not retried — the second attempt would only burn more of
+            // the exhausted resource. The budget is re-created fresh
+            // inside the attempt; the cancel token is shared, so an
+            // expired deadline still cuts the retry short.
+            let fallback = AuConfig { compiled: false, ..*cfg };
+            eval_au_attempt(db, q, &fallback, cancel)
+        }
+        other => other,
+    }
+}
+
+/// One evaluation attempt with its own governed executor (fresh
+/// [`Budget`], shared [`CancelToken`]).
+fn eval_au_attempt(
+    db: &AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<AuRelation, EvalError> {
     let mut exec = Executor::from_option(cfg.workers);
     if let Some(floor) = cfg.min_rows_per_worker {
         exec = exec.with_min_rows_per_worker(floor);
+    }
+    if let Some(token) = cancel {
+        exec = exec.with_cancel(token.clone());
+    }
+    if let Some(spec) = cfg.budget {
+        exec = exec.with_budget(Budget::new(spec));
     }
     let use_pipeline = cfg.pipeline && cfg.join_compress.is_none() && cfg.agg_compress.is_none();
     let rel = if use_pipeline {
@@ -139,7 +228,7 @@ pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation,
     } else {
         eval_inner(db, q, cfg, &exec)?
     };
-    Ok(rel.into_owned().into_normalized_with(&exec))
+    Ok(rel.into_owned().into_normalized_with(&exec)?)
 }
 
 /// Copy-free evaluation core: base tables are *borrowed* from the
@@ -217,13 +306,13 @@ fn union_cow(
     match (l, r) {
         (Cow::Owned(mut l), r) => {
             l.extend_from(&r);
-            l.normalize_with(exec);
+            l.normalize_with(exec)?;
             Ok(l)
         }
         (Cow::Borrowed(l), Cow::Owned(mut r)) => {
             r.schema = l.schema.clone();
             r.extend_from(l);
-            r.normalize_with(exec);
+            r.normalize_with(exec)?;
             Ok(r)
         }
         (Cow::Borrowed(l), Cow::Borrowed(r)) => union_au_exec(l, r, exec),
@@ -293,7 +382,7 @@ pub fn project_au_exec(
     })?;
     let mut out = AuRelation::empty(schema);
     out.append_rows(rows);
-    out.normalize_with(exec);
+    out.normalize_with(exec)?;
     Ok(out)
 }
 
@@ -339,6 +428,62 @@ pub fn nested_loop_join_au(
     Ok(out)
 }
 
+/// [`nested_loop_join_au`] on the executor runtime: left rows partition
+/// into morsels (the ordered merge keeps the row list byte-identical to
+/// the sequential loop), producer panics are contained, and the
+/// cross-product expansion is *governed* — the cancel token is
+/// re-checked and the accumulated output charged to the budget
+/// (operator `"join-probe"`) every 1024 emitted rows, so even a
+/// predicate-less cross join cannot blow past its limits by more than
+/// one right-side scan.
+pub fn nested_loop_join_au_exec(
+    l: &AuRelation,
+    r: &AuRelation,
+    predicate: Option<&Expr>,
+    exec: &Executor,
+) -> Result<AuRelation, EvalError> {
+    const GOVERN_ROWS: usize = 1024;
+    let schema = l.schema.concat(&r.schema);
+    let rows =
+        exec.run(l.len(), |morsel, out: &mut Vec<(audb_storage::RangeTuple, AuAnnot)>| {
+            let mut watermark = 0usize;
+            let checkpoint = |out: &[(audb_storage::RangeTuple, AuAnnot)],
+                              watermark: &mut usize| {
+                exec.check_cancel()?;
+                let added = out.len() - *watermark;
+                if added > 0 {
+                    let bytes = added * std::mem::size_of::<(audb_storage::RangeTuple, AuAnnot)>();
+                    exec.charge("join-probe", added as u64, bytes as u64)?;
+                    *watermark = out.len();
+                }
+                Ok::<(), audb_core::ExecError>(())
+            };
+            for i in morsel {
+                let (tl, kl) = &l.rows()[i];
+                for (tr, kr) in r.rows() {
+                    if out.len() - watermark >= GOVERN_ROWS {
+                        checkpoint(out, &mut watermark)?;
+                    }
+                    let t = tl.concat(tr);
+                    let mut k = kl.times(kr);
+                    if let Some(p) = predicate {
+                        let (plb, psg, pub_) = p.eval_range_bool3(t.values())?;
+                        if !pub_ {
+                            continue;
+                        }
+                        k = k.times(&AuAnnot::from_bool3(plb, psg, pub_));
+                    }
+                    out.push((t, k));
+                }
+            }
+            checkpoint(out, &mut watermark)?;
+            Ok::<(), EvalError>(())
+        })?;
+    let mut out = AuRelation::empty(schema);
+    out.append_rows(rows);
+    Ok(out)
+}
+
 /// Bag union: annotation addition in `N_AU`.
 pub fn union_au(l: &AuRelation, r: &AuRelation) -> Result<AuRelation, EvalError> {
     union_au_exec(l, r, &Executor::sequential())
@@ -353,7 +498,7 @@ pub fn union_au_exec(
     l.schema.check_union_compatible(&r.schema)?;
     let mut out = l.clone();
     out.extend_from(r);
-    out.normalize_with(exec);
+    out.normalize_with(exec)?;
     Ok(out)
 }
 

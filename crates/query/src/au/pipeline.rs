@@ -65,7 +65,10 @@
 
 use std::borrow::Cow;
 
-use audb_core::{AuAnnot, EvalError, Expr, Program, RangeBatch, RangeValue, Semiring, Value};
+use audb_core::{
+    AuAnnot, CancelToken, EvalError, ExecError, Expr, Program, RangeBatch, RangeValue, Semiring,
+    Value,
+};
 use audb_exec::{Executor, ShardSource};
 use audb_storage::{AuDatabase, AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Schema};
 
@@ -78,6 +81,30 @@ use crate::planner;
 /// per-shard setup cost. Shared with the deterministic mirror in
 /// [`crate::det`].
 pub(crate) const MIN_ROWS_PER_SHARD: usize = 1024;
+
+/// Governance stride inside a shard: every `GOVERN_ROWS` source rows
+/// the chain re-checks the cancel token and charges the rows it
+/// produced since the last checkpoint to the budget. Bounds how much
+/// work a cancelled query can still do inside one shard, and how far an
+/// expanding probe can overshoot its budget.
+const GOVERN_ROWS: usize = 1024;
+
+/// Charge output-buffer growth since `last` to the executor's budget
+/// under `operator`, advancing the watermark.
+fn charge_out(
+    exec: &Executor,
+    operator: &'static str,
+    out: &[(RangeTuple, AuAnnot)],
+    last: &mut usize,
+) -> Result<(), ExecError> {
+    let added = out.len().saturating_sub(*last);
+    if added > 0 {
+        let bytes = added * std::mem::size_of::<(RangeTuple, AuAnnot)>();
+        exec.charge(operator, added as u64, bytes as u64)?;
+        *last = out.len();
+    }
+    Ok(())
+}
 
 /// What the consumer of an evaluation result depends on — see the
 /// module docs.
@@ -488,9 +515,38 @@ fn apply(
 }
 
 /// Run a probe-less compiled chain over one shard **one op at a time**:
-/// every select/project program evaluates over the whole shard's rows
-/// via [`Program::eval_range_batch_lenient`] before the next op runs —
-/// the flat-columnar execution shape.
+/// every select/project program evaluates over a whole chunk of the
+/// shard's rows via [`Program::eval_range_batch_lenient`] before the
+/// next op runs — the flat-columnar execution shape.
+///
+/// The shard is processed in [`GOVERN_ROWS`]-row chunks so cancellation
+/// is observed and produced rows are charged to the budget
+/// (`"pipeline-chain"`) with bounded overshoot; chunking cannot change
+/// results because every op is row-local and chunks run in source
+/// order.
+fn run_shard_batched(
+    ops: &[PipeOp<'_>],
+    source: &AuRelation,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<(RangeTuple, AuAnnot)>,
+    exec: &Executor,
+) -> Result<(), EvalError> {
+    let cancel = exec.cancel_token();
+    let mut watermark = out.len();
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start + GOVERN_ROWS);
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        run_chunk_batched(ops, source, start..end, out, cancel)?;
+        charge_out(exec, "pipeline-chain", out, &mut watermark)?;
+        start = end;
+    }
+    Ok(())
+}
+
+/// One chunk of [`run_shard_batched`].
 ///
 /// Byte-identity with the row-streaming path: the per-row math is the
 /// same combinators in the same order, rows keep their source order
@@ -499,11 +555,12 @@ fn apply(
 /// never dropped) and after the chain the earliest poisoned source row
 /// reports its error, exactly what streaming row-by-row would have
 /// surfaced first.
-fn run_shard_batched(
+fn run_chunk_batched(
     ops: &[PipeOp<'_>],
     source: &AuRelation,
     range: std::ops::Range<usize>,
     out: &mut Vec<(RangeTuple, AuAnnot)>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(), EvalError> {
     enum RowState {
         Clean(AuAnnot),
@@ -530,11 +587,11 @@ fn run_shard_batched(
                 PipeOp::Select(p) => p
                     .compiled()
                     .expect("batched chains are compiled")
-                    .eval_range_batch_lenient(&refs, &mut batch),
+                    .eval_range_batch_lenient(&refs, &mut batch, cancel)?,
                 PipeOp::Project(p) => p
                     .compiled()
                     .expect("batched chains are compiled")
-                    .eval_range_batch_lenient(&refs, &mut batch),
+                    .eval_range_batch_lenient(&refs, &mut batch, cancel)?,
                 PipeOp::Probe(_) => unreachable!("probe chains stream row-at-a-time"),
             }
         }
@@ -628,15 +685,32 @@ impl<'a> AuPipeline<'a> {
             PipeOp::Probe(_) => false,
         });
         let rows = if batchable {
-            exec.run_shards(n, &sharding, |range, out| run_shard_batched(ops, source, range, out))?
+            exec.run_shards(n, &sharding, |range, out| {
+                run_shard_batched(ops, source, range, out, exec)
+            })?
         } else {
+            // Probe chains can expand (join output); charge their
+            // production as "join-probe", plain streamed chains as
+            // "pipeline-chain", re-checking cancellation every
+            // GOVERN_ROWS source rows.
+            let operator = if ops.iter().any(|op| matches!(op, PipeOp::Probe(_))) {
+                "join-probe"
+            } else {
+                "pipeline-chain"
+            };
             exec.run_shards(n, &sharding, |range, out| {
                 let mut bufs: Vec<Buf> = Vec::new();
                 bufs.resize_with(ops.len(), Buf::default);
-                for i in range {
+                let mut watermark = out.len();
+                for (off, i) in range.enumerate() {
+                    if off % GOVERN_ROWS == 0 {
+                        exec.check_cancel()?;
+                        charge_out(exec, operator, out, &mut watermark)?;
+                    }
                     let (t, k) = &source.rows()[i];
                     apply(ops, &mut bufs, i, t.values(), *k, out)?;
                 }
+                charge_out(exec, operator, out, &mut watermark)?;
                 Ok::<(), EvalError>(())
             })?
         };
@@ -645,7 +719,7 @@ impl<'a> AuPipeline<'a> {
             // the one pipeline-breaker normalization (sharded-reduce)
             let mut out = AuRelation::empty(self.schema);
             out.append_rows(rows);
-            out.into_normalized_with(exec)
+            out.into_normalized_with(exec)?
         } else if self.source.is_normalized() {
             // selection preserves normal form: kept rows stay sorted,
             // distinct, and nonzero-annotated

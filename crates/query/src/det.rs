@@ -56,7 +56,7 @@ pub fn eval_det_opts(
     } else {
         eval_inner(db, q, exec)?
     };
-    Ok(rel.into_owned().into_normalized_with(exec))
+    Ok(rel.into_owned().into_normalized_with(exec)?)
 }
 
 /// Copy-free evaluation core: base tables are borrowed from the
@@ -100,7 +100,7 @@ fn eval_inner<'a>(
         }
         Query::Distinct { input } => {
             let rel = eval_inner(db, input, exec)?;
-            Cow::Owned(distinct_det(rel, exec))
+            Cow::Owned(distinct_det(rel, exec)?)
         }
         Query::Aggregate { input, group_by, aggs } => {
             let rel = eval_inner(db, input, exec)?;
@@ -170,7 +170,7 @@ fn difference_det(
     for (t, k) in r.rows() {
         *rmap.entry(t).or_insert(0) += k;
     }
-    let l = l.into_owned().into_normalized_with(exec);
+    let l = l.into_owned().into_normalized_with(exec)?;
     let mut out = Relation::empty(l.schema.clone());
     for (t, k) in l.rows() {
         let sub = rmap.get(t).copied().unwrap_or(0);
@@ -181,13 +181,13 @@ fn difference_det(
 
 /// Duplicate elimination: requires normal form, then resets
 /// multiplicities.
-fn distinct_det(rel: Cow<'_, Relation>, exec: &Executor) -> Relation {
-    let rel = rel.into_owned().into_normalized_with(exec);
+fn distinct_det(rel: Cow<'_, Relation>, exec: &Executor) -> Result<Relation, EvalError> {
+    let rel = rel.into_owned().into_normalized_with(exec)?;
     let mut out = Relation::empty(rel.schema.clone());
     for (t, _) in rel.rows() {
         out.push(t.clone(), 1);
     }
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -488,7 +488,7 @@ impl<'a> DetPipeline<'a> {
         let out = if has_probe {
             let mut out = Relation::empty(self.schema);
             out.append_rows(rows);
-            out.into_normalized_with(exec)
+            out.into_normalized_with(exec)?
         } else if select_only && self.source.is_normalized() {
             Relation::from_normalized_rows(self.schema, rows)
         } else {
@@ -638,7 +638,7 @@ fn eval_pl<'a>(
         }
         Query::Distinct { input } => {
             let rel = eval_pl(db, input, exec, shards, Delivery::Canonical, compiled)?;
-            Cow::Owned(distinct_det(rel, exec))
+            Cow::Owned(distinct_det(rel, exec)?)
         }
         Query::Aggregate { input, group_by, aggs } => {
             // group first-appearance order and float folds depend on the

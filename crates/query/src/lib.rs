@@ -26,7 +26,7 @@ pub mod sql;
 pub mod ua;
 
 pub use algebra::{table, AggFunc, AggSpec, Catalog, Query};
-pub use au::{eval_au, AuConfig};
+pub use au::{eval_au, eval_au_cancellable, AuConfig};
 pub use audb_exec::{Executor, Partitioner};
 pub use det::eval_det;
 pub use planner::{classify, JoinStrategy};

@@ -127,7 +127,7 @@ pub fn optimized_join_exec(
         out.push(t.clone(), *k);
     }
 
-    Ok(out.into_normalized_with(exec))
+    Ok(out.into_normalized_with(exec)?)
 }
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,7 @@
 //!   ([`IntervalIndex::sweep_lb_below_ub`]) enumerating exactly the
 //!   pairs whose ranges may satisfy the comparison;
 //! * anything else → [`JoinStrategy::NestedLoop`], the formal-semantics
-//!   fallback ([`nested_loop_join_au`]).
+//!   fallback ([`nested_loop_join_au_exec`]).
 //!
 //! Candidate sets are supersets of the possibly-satisfying pairs; every
 //! candidate is re-checked with the precise range-annotated predicate
@@ -33,11 +33,30 @@
 //! construction and the sweeps themselves stay sequential: they are
 //! `O(n log n)` and cheap relative to candidate evaluation.
 
-use audb_core::{AuAnnot, EvalError, Expr, Semiring, Value};
+use audb_core::{AuAnnot, EvalError, ExecError, Expr, Semiring, Value};
 use audb_exec::Executor;
 use audb_storage::{AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Relation, Tuple};
 
-use crate::au::nested_loop_join_au;
+use crate::au::nested_loop_join_au_exec;
+
+/// Governance stride for the probe loops: every `GOVERN_ROWS` emitted
+/// rows the worker re-checks the cancel token and charges the growth to
+/// the budget (operator `"join-probe"`), bounding how far an expanding
+/// join can overshoot its limits within one morsel.
+const GOVERN_ROWS: usize = 1024;
+
+/// Cancellation + budget checkpoint for a probe loop: charge the output
+/// rows produced since `watermark` as `"join-probe"`.
+fn charge_probe<T>(exec: &Executor, out: &[T], watermark: &mut usize) -> Result<(), ExecError> {
+    exec.check_cancel()?;
+    let added = out.len().saturating_sub(*watermark);
+    if added > 0 {
+        let bytes = added * std::mem::size_of::<T>();
+        exec.charge("join-probe", added as u64, bytes as u64)?;
+        *watermark = out.len();
+    }
+    Ok(())
+}
 
 /// Which input relation a predicate column belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,7 +150,7 @@ pub fn join_au_planned_exec(
             hi,
             exec,
         ),
-        JoinStrategy::NestedLoop => nested_loop_join_au(l, r, predicate),
+        JoinStrategy::NestedLoop => nested_loop_join_au_exec(l, r, predicate, exec),
     }
 }
 
@@ -202,7 +221,11 @@ fn hash_equi_join_au(
         let index = HashKeyIndex::from_au_sg(r.rows(), &rcols, rc.iter().copied());
         let rows = exec.run(lc.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
             let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+            let mut watermark = 0usize;
             for &li in &lc[morsel] {
+                if rows.len() - watermark >= GOVERN_ROWS {
+                    charge_probe(exec, rows, &mut watermark)?;
+                }
                 let row_l = &l.rows()[li as usize];
                 key.clear();
                 key.extend(lcols.iter().map(|c| row_l.0 .0[*c].sg.join_key()));
@@ -210,6 +233,7 @@ fn hash_equi_join_au(
                     emit_equi_pair(rows, row_l, &r.rows()[ri as usize], predicate, pairs)?;
                 }
             }
+            charge_probe(exec, rows, &mut watermark)?;
             Ok::<(), EvalError>(())
         })?;
         out.append_rows(rows);
@@ -232,9 +256,14 @@ fn hash_equi_join_au(
         IntervalIndex::sweep_overlapping(&li, &ri, |a, b| candidates.push((a, b)));
     }
     let rows = exec.run(candidates.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
+        let mut watermark = 0usize;
         for &(a, b) in &candidates[morsel] {
+            if rows.len() - watermark >= GOVERN_ROWS {
+                charge_probe(exec, rows, &mut watermark)?;
+            }
             emit_equi_pair(rows, &l.rows()[a as usize], &r.rows()[b as usize], predicate, pairs)?;
         }
+        charge_probe(exec, rows, &mut watermark)?;
         Ok::<(), EvalError>(())
     })?;
     out.append_rows(rows);
@@ -287,7 +316,11 @@ fn comparison_join_au(
         |c| IntervalIndex::from_au(r.rows(), c),
     );
     let rows = exec.run(candidates.len(), |morsel, rows: &mut Vec<(RangeTuple, AuAnnot)>| {
+        let mut watermark = 0usize;
         for &(a, b) in &candidates[morsel] {
+            if rows.len() - watermark >= GOVERN_ROWS {
+                charge_probe(exec, rows, &mut watermark)?;
+            }
             let (tl, kl) = &l.rows()[a as usize];
             let (tr, kr) = &r.rows()[b as usize];
             let t = tl.concat(tr);
@@ -298,6 +331,7 @@ fn comparison_join_au(
             let k = kl.times(kr).times(&AuAnnot::from_bool3(plb, psg, pub_));
             rows.push((t, k));
         }
+        charge_probe(exec, rows, &mut watermark)?;
         Ok::<(), EvalError>(())
     })?;
     out.append_rows(rows);
@@ -333,7 +367,11 @@ pub fn join_det_planned_exec(
             let index = HashKeyIndex::from_det(r.rows(), &rcols);
             let rows = exec.run(l.rows().len(), |morsel, rows: &mut Vec<(Tuple, u64)>| {
                 let mut key: Vec<Value> = Vec::with_capacity(pairs.len());
+                let mut watermark = 0usize;
                 for (tl, kl) in &l.rows()[morsel] {
+                    if rows.len() - watermark >= GOVERN_ROWS {
+                        charge_probe(exec, rows, &mut watermark)?;
+                    }
                     key.clear();
                     key.extend(lcols.iter().map(|c| tl.0[*c].join_key()));
                     for &ri in index.get(&key) {
@@ -341,6 +379,7 @@ pub fn join_det_planned_exec(
                         rows.push((tl.concat(tr), kl * kr));
                     }
                 }
+                charge_probe(exec, rows, &mut watermark)?;
                 Ok::<(), EvalError>(())
             })?;
             out.append_rows(rows);
@@ -354,7 +393,11 @@ pub fn join_det_planned_exec(
                 |c| IntervalIndex::from_det(r.rows(), c),
             );
             let rows = exec.run(candidates.len(), |morsel, rows: &mut Vec<(Tuple, u64)>| {
+                let mut watermark = 0usize;
                 for &(a, b) in &candidates[morsel] {
+                    if rows.len() - watermark >= GOVERN_ROWS {
+                        charge_probe(exec, rows, &mut watermark)?;
+                    }
                     let (tl, kl) = &l.rows()[a as usize];
                     let (tr, kr) = &r.rows()[b as usize];
                     let t = tl.concat(tr);
@@ -362,12 +405,17 @@ pub fn join_det_planned_exec(
                         rows.push((t, kl * kr));
                     }
                 }
+                charge_probe(exec, rows, &mut watermark)?;
                 Ok::<(), EvalError>(())
             })?;
             out.append_rows(rows);
         }
         JoinStrategy::NestedLoop => {
+            let mut watermark = 0usize;
             for (tl, kl) in l.rows() {
+                if out.rows().len() - watermark >= GOVERN_ROWS {
+                    charge_probe(exec, out.rows(), &mut watermark)?;
+                }
                 for (tr, kr) in r.rows() {
                     let t = tl.concat(tr);
                     let keep = match predicate {
@@ -379,6 +427,7 @@ pub fn join_det_planned_exec(
                     }
                 }
             }
+            charge_probe(exec, out.rows(), &mut watermark)?;
         }
     }
     Ok(out)

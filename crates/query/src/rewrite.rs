@@ -76,31 +76,33 @@ pub fn enc_schema(schema: &Schema) -> Schema {
 }
 
 /// `Enc` (Definition 29): one multiplicity-1 tuple per AU-DB row.
+/// Infallible: runs on the ungoverned sequential executor.
 pub fn enc_relation(rel: &AuRelation) -> Relation {
     enc_relation_exec(rel, &Executor::sequential())
+        .expect("ungoverned sequential encode cannot fault")
 }
 
 /// Partition-parallel `Enc`: rows encode independently on the pool and
-/// the encoded relation normalizes on the sharded-reduce driver.
-pub fn enc_relation_exec(rel: &AuRelation, exec: &Executor) -> Relation {
-    let rows = exec
-        .run(rel.len(), |morsel, out| {
-            for i in morsel {
-                let (t, k) = &rel.rows()[i];
-                let mut vals: Vec<Value> = t.values().iter().map(|r| r.sg.clone()).collect();
-                vals.extend(t.values().iter().map(|r| r.lb.clone()));
-                vals.extend(t.values().iter().map(|r| r.ub.clone()));
-                vals.push(Value::Int(k.lb as i64));
-                vals.push(Value::Int(k.sg as i64));
-                vals.push(Value::Int(k.ub as i64));
-                out.push((Tuple::new(vals), 1));
-            }
-            Ok::<(), EvalError>(())
-        })
-        .expect("encoding rows is infallible");
+/// the encoded relation normalizes on the sharded-reduce driver. Only
+/// the executor's governance (cancellation, deadline, budget) can make
+/// it fail — row encoding itself is total.
+pub fn enc_relation_exec(rel: &AuRelation, exec: &Executor) -> Result<Relation, EvalError> {
+    let rows = exec.run(rel.len(), |morsel, out| {
+        for i in morsel {
+            let (t, k) = &rel.rows()[i];
+            let mut vals: Vec<Value> = t.values().iter().map(|r| r.sg.clone()).collect();
+            vals.extend(t.values().iter().map(|r| r.lb.clone()));
+            vals.extend(t.values().iter().map(|r| r.ub.clone()));
+            vals.push(Value::Int(k.lb as i64));
+            vals.push(Value::Int(k.sg as i64));
+            vals.push(Value::Int(k.ub as i64));
+            out.push((Tuple::new(vals), 1));
+        }
+        Ok::<(), EvalError>(())
+    })?;
     let mut out = Relation::empty(enc_schema(&rel.schema));
     out.append_rows(rows);
-    out.into_normalized_with(exec)
+    Ok(out.into_normalized_with(exec)?)
 }
 
 /// Decode one encoded row-annotation component: a non-negative `Int`,
@@ -173,7 +175,7 @@ pub fn dec_relation_exec(
     })?;
     let mut out = AuRelation::empty(orig_schema.clone());
     out.append_rows(rows);
-    Ok(out.into_normalized_with(exec))
+    Ok(out.into_normalized_with(exec)?)
 }
 
 /// Encode a whole AU-database (tables keep their names).
@@ -418,7 +420,7 @@ impl<'a> RewriteSession<'a> {
         for name in q.table_refs() {
             if self.enc.get(name).is_err() {
                 self.enc
-                    .insert(name.to_string(), enc_relation_exec(self.src.get(name)?, &self.exec));
+                    .insert(name.to_string(), enc_relation_exec(self.src.get(name)?, &self.exec)?);
             }
         }
         if let Some(pipe) =
@@ -438,7 +440,7 @@ impl<'a> RewriteSession<'a> {
             })?;
             let mut out = AuRelation::empty(schema);
             out.append_rows(rows);
-            return Ok(out.into_normalized_with(&self.exec));
+            return Ok(out.into_normalized_with(&self.exec)?);
         }
         let out = crate::det::eval_det_exec(&self.enc, &plan, &self.exec)?;
         dec_relation_exec(&out, &schema, &self.exec)

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use audb_core::{AuAnnot, EvalError, RangeValue, Semiring, Value};
+use audb_core::{AuAnnot, EvalError, ExecError, RangeValue, Semiring, Value};
 use audb_exec::Executor;
 
 use crate::relation::{Database, Relation};
@@ -115,25 +115,34 @@ impl AuRelation {
     /// Merge identical range tuples with `+_{N_AU}`, drop `(0,0,0)`
     /// annotations, sort canonically. Keeps the AU-relation a function
     /// `D_I^n → N_AU`. Free when the relation is already in normal form.
+    ///
+    /// Infallible: the sequential executor carries no cancellation
+    /// token or budget, and the (saturating) `N_AU` sum is panic-free.
     pub fn normalize(&mut self) {
-        self.normalize_with(&Executor::sequential());
+        self.normalize_with(&Executor::sequential())
+            .expect("ungoverned sequential normalize cannot fault");
     }
 
     /// [`Self::normalize`] on the sharded-reduce driver: the hash-merge
     /// is partitioned by tuple hash across the executor's workers and
     /// the sorted shards are k-way-merged back into the canonical
     /// order — the result is byte-identical for any worker count.
-    pub fn normalize_with(&mut self, exec: &Executor) {
+    /// Fallible through the runtime's governance: the input rows are
+    /// charged to the executor's budget, and cancellation/deadlines are
+    /// observed at morsel boundaries. On error the row list is left
+    /// empty — callers propagate the fault and drop the relation.
+    pub fn normalize_with(&mut self, exec: &Executor) -> Result<(), ExecError> {
         if self.normalized {
-            return;
+            return Ok(());
         }
         let rows = std::mem::take(&mut self.rows);
         self.rows = exec.hash_merge_sorted(
             rows,
             |k: &AuAnnot| !k.is_zero(),
             |acc: &mut AuAnnot, k| *acc = acc.plus(&k),
-        );
+        )?;
         self.normalized = true;
+        Ok(())
     }
 
     pub fn normalized(&self) -> AuRelation {
@@ -150,9 +159,9 @@ impl AuRelation {
     }
 
     /// Consuming [`Self::normalize_with`].
-    pub fn into_normalized_with(mut self, exec: &Executor) -> AuRelation {
-        self.normalize_with(exec);
-        self
+    pub fn into_normalized_with(mut self, exec: &Executor) -> Result<AuRelation, ExecError> {
+        self.normalize_with(exec)?;
+        Ok(self)
     }
 
     /// Annotation `R(t)` of a specific range tuple. Binary-searches the

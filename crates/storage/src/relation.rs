@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use audb_core::EvalError;
+use audb_core::{EvalError, ExecError};
 use audb_exec::Executor;
 
 use crate::schema::Schema;
@@ -94,19 +94,28 @@ impl Relation {
 
     /// Merge duplicate tuples (sum multiplicities), drop zeros, and sort
     /// for canonical comparisons. Free when already normalized.
+    ///
+    /// Infallible: the sequential executor carries no cancellation
+    /// token or budget, and the multiplicity fold is panic-free.
     pub fn normalize(&mut self) {
-        self.normalize_with(&Executor::sequential());
+        self.normalize_with(&Executor::sequential())
+            .expect("ungoverned sequential normalize cannot fault");
     }
 
     /// [`Self::normalize`] on the sharded-reduce driver — the hash-merge
     /// partitioned by tuple hash, byte-identical for any worker count.
-    pub fn normalize_with(&mut self, exec: &Executor) {
+    /// Fallible through the runtime's governance: the input rows are
+    /// charged to the executor's budget, and cancellation/deadlines are
+    /// observed at morsel boundaries. On error the row list is left
+    /// empty — callers propagate the fault and drop the relation.
+    pub fn normalize_with(&mut self, exec: &Executor) -> Result<(), ExecError> {
         if self.normalized {
-            return;
+            return Ok(());
         }
         let rows = std::mem::take(&mut self.rows);
-        self.rows = exec.hash_merge_sorted(rows, |k: &u64| *k > 0, |acc: &mut u64, k| *acc += k);
+        self.rows = exec.hash_merge_sorted(rows, |k: &u64| *k > 0, |acc: &mut u64, k| *acc += k)?;
         self.normalized = true;
+        Ok(())
     }
 
     /// Multiplicity `R(t)`; binary search when normalized.
@@ -148,9 +157,9 @@ impl Relation {
     }
 
     /// Consuming [`Self::normalize_with`].
-    pub fn into_normalized_with(mut self, exec: &Executor) -> Relation {
-        self.normalize_with(exec);
-        self
+    pub fn into_normalized_with(mut self, exec: &Executor) -> Result<Relation, ExecError> {
+        self.normalize_with(exec)?;
+        Ok(self)
     }
 }
 

@@ -57,15 +57,18 @@ pub use audb_workloads as workloads;
 
 /// Common imports for working with AU-DBs.
 pub mod prelude {
-    pub use audb_core::{col, lit, AuAnnot, EvalError, Expr, RangeValue, UaAnnot, Value};
+    pub use audb_core::{
+        col, lit, AuAnnot, Budget, BudgetSpec, CancelToken, EvalError, ExecError, Expr, RangeValue,
+        UaAnnot, Value,
+    };
     pub use audb_exec::{Executor, Partitioner};
     pub use audb_incomplete::{
         database_bounds_incomplete, key_repair_lens, relation_bounds_world, CTable, IncompleteDb,
         TiDb, TiRelation, VTable, XDb, XRelation, XTuple,
     };
     pub use audb_query::{
-        eval_au, eval_det, eval_ua, parse_sql, rewrite::eval_via_rewrite, table, AggFunc, AggSpec,
-        AuConfig, Query,
+        eval_au, eval_au_cancellable, eval_det, eval_ua, parse_sql, rewrite::eval_via_rewrite,
+        table, AggFunc, AggSpec, AuConfig, Query,
     };
     pub use audb_storage::{
         au_row, certain_row, AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema, Tuple,

@@ -159,11 +159,11 @@ proptest! {
     fn enc_dec_identical_across_worker_counts(
         rel in au_relation_strategy("A", "B", 16),
     ) {
-        let enc_seq = enc_relation_exec(&rel, &exec(1));
+        let enc_seq = enc_relation_exec(&rel, &exec(1)).unwrap();
         let dec_seq = dec_relation_exec(&enc_seq, &rel.schema, &exec(1)).unwrap();
         prop_assert_eq!(&dec_seq, &rel, "Enc/Dec round trip");
         for w in WORKERS {
-            let enc = enc_relation_exec(&rel, &exec(w));
+            let enc = enc_relation_exec(&rel, &exec(w)).unwrap();
             prop_assert_eq!(&enc, &enc_seq, "Enc, workers = {}", w);
             let dec = dec_relation_exec(&enc, &rel.schema, &exec(w)).unwrap();
             prop_assert_eq!(&dec, &dec_seq, "Dec, workers = {}", w);
@@ -188,7 +188,7 @@ proptest! {
         let seq = messy.clone().into_normalized();
         for w in WORKERS {
             let mut par = messy.clone();
-            par.normalize_with(&exec(w));
+            par.normalize_with(&exec(w)).unwrap();
             prop_assert_eq!(&par, &seq, "AU normalize, workers = {}", w);
         }
         // the deterministic relation's normalize shares the driver
@@ -201,7 +201,7 @@ proptest! {
         let det_seq = det.clone().into_normalized();
         for w in WORKERS {
             let mut par = det.clone();
-            par.normalize_with(&exec(w));
+            par.normalize_with(&exec(w)).unwrap();
             prop_assert_eq!(&par, &det_seq, "det normalize, workers = {}", w);
         }
     }
@@ -487,13 +487,13 @@ fn adversarial_shapes_identical_across_worker_counts() {
         let proj = [(col(1), "v".to_string()), (col(0).add(col(1)), "s".to_string())];
         let seq_sel = select_au_exec(l, &pred, &exec(1)).unwrap();
         let seq_proj = project_au_exec(l, &proj, &exec(1)).unwrap();
-        let seq_enc = enc_relation_exec(l, &exec(1));
+        let seq_enc = enc_relation_exec(l, &exec(1)).unwrap();
         let seq_dec = dec_relation_exec(&seq_enc, &l.schema, &exec(1)).unwrap();
         assert_eq!(&seq_dec, l, "Enc/Dec round trip");
         for w in WORKERS {
             assert_eq!(select_au_exec(l, &pred, &exec(w)).unwrap(), seq_sel, "select, w = {w}");
             assert_eq!(project_au_exec(l, &proj, &exec(w)).unwrap(), seq_proj, "project, w = {w}");
-            let enc = enc_relation_exec(l, &exec(w));
+            let enc = enc_relation_exec(l, &exec(w)).unwrap();
             assert_eq!(enc, seq_enc, "enc, w = {w}");
             assert_eq!(
                 dec_relation_exec(&enc, &l.schema, &exec(w)).unwrap(),
@@ -512,7 +512,7 @@ fn adversarial_shapes_identical_across_worker_counts() {
     let seq = messy.clone().into_normalized();
     for w in WORKERS {
         let mut par = messy.clone();
-        par.normalize_with(&exec(w));
+        par.normalize_with(&exec(w)).unwrap();
         assert_eq!(par, seq, "normalize, workers = {w}");
     }
 }
@@ -526,6 +526,284 @@ fn det_join_identical_across_worker_counts() {
         for w in WORKERS {
             let par = join_det_planned_exec(&l, &r, pred.as_ref(), &exec(w)).unwrap();
             assert_eq!(par, seq, "workers = {w}, pred = {pred:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// resource governance: deadlines, cancellation, budgets
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+
+/// `t1`/`t2` sized so joins really expand: every key collides, so the
+/// equi-join produces n × n output rows from 2n input rows.
+fn expanding_db(n: usize) -> AuDatabase {
+    let mut db = AuDatabase::new();
+    db.insert("t1", all_same_key(n));
+    db.insert("t2", all_same_key(n));
+    db
+}
+
+fn expanding_join() -> Query {
+    use audb::query::table;
+    table("t1").join_on(table("t2"), col(0).eq(col(2)))
+}
+
+/// Acceptance: `AuConfig::timeout` surfaces `DeadlineExceeded` — the
+/// token is armed before the first driver entry, so an already-expired
+/// deadline trips at the very first morsel boundary, on both the
+/// operator-at-a-time and the pipelined engines.
+#[test]
+fn zero_timeout_reports_deadline_exceeded() {
+    let db = expanding_db(64);
+    let q = expanding_join();
+    for cfg in [cfg_operator(), cfg_pipeline(4, 3)] {
+        let err = eval_au(&db, &q, &cfg.with_timeout(Duration::ZERO)).unwrap_err();
+        assert_eq!(err, EvalError::Exec(ExecError::DeadlineExceeded), "cfg = {cfg:?}");
+    }
+}
+
+/// A generous deadline never trips: the governed run completes and is
+/// byte-identical to the ungoverned reference.
+#[test]
+fn far_deadline_does_not_perturb_results() {
+    let db = expanding_db(24);
+    let q = expanding_join();
+    let reference = eval_au(&db, &q, &cfg_operator()).unwrap();
+    for w in WORKERS {
+        for s in SHARDS {
+            let cfg = cfg_pipeline(w, s)
+                .with_timeout(Duration::from_secs(3600))
+                .with_budget(BudgetSpec::unlimited());
+            let got = eval_au(&db, &q, &cfg).unwrap();
+            assert_eq!(got, reference, "workers = {w}, shards = {s}");
+        }
+    }
+}
+
+/// External cancellation through [`eval_au_cancellable`]: a tripped
+/// token stops the query with the structured `Cancelled` verdict.
+#[test]
+fn cancelled_token_reports_cancelled() {
+    let db = expanding_db(64);
+    let q = expanding_join();
+    let token = CancelToken::new();
+    token.cancel();
+    for cfg in [cfg_operator(), cfg_pipeline(4, 3)] {
+        let err = eval_au_cancellable(&db, &q, &cfg, &token).unwrap_err();
+        assert_eq!(err, EvalError::Exec(ExecError::Cancelled), "cfg = {cfg:?}");
+    }
+}
+
+/// Acceptance: a join whose probe expansion exceeds the row budget
+/// reports `BudgetExceeded` naming the `join-probe` charging site, on
+/// both engines — and the budget is per-query, so the same config
+/// immediately evaluates a small query afterwards.
+#[test]
+fn row_budget_trips_naming_join_probe() {
+    use audb::query::table;
+    // 96 × 96 colliding keys → 9216 probe output rows, far past the cap
+    let db = expanding_db(96);
+    let q = expanding_join();
+    for cfg in [cfg_operator(), cfg_pipeline(4, 3)] {
+        let cfg = cfg.with_budget(BudgetSpec::rows(64));
+        match eval_au(&db, &q, &cfg).unwrap_err() {
+            EvalError::Exec(ExecError::BudgetExceeded { operator, resource, limit, attempted }) => {
+                assert_eq!(operator, "join-probe", "cfg = {cfg:?}");
+                assert_eq!(resource, "rows");
+                assert_eq!(limit, 64);
+                assert!(attempted > limit, "attempted {attempted} must exceed limit {limit}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?} (cfg = {cfg:?})"),
+        }
+        // fresh meters per query: a non-expanding query under the same
+        // budgeted config still runs to completion
+        let small = table("t1").select(col(1).geq(lit(10_000i64)));
+        let out = eval_au(&db, &small, &cfg).unwrap();
+        assert!(out.rows().is_empty());
+    }
+}
+
+/// A byte budget trips too, through the same charge sites.
+#[test]
+fn byte_budget_trips() {
+    let db = expanding_db(96);
+    let q = expanding_join();
+    let cfg = cfg_pipeline(2, 3).with_budget(BudgetSpec::bytes(512));
+    match eval_au(&db, &q, &cfg).unwrap_err() {
+        EvalError::Exec(ExecError::BudgetExceeded { resource, .. }) => {
+            assert_eq!(resource, "bytes");
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deterministic fault injection (feature `faults`)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "faults")]
+mod fault_matrix {
+    use super::*;
+    use audb::exec::faults::{with_plan, FaultKind, FaultPlan, FaultRule};
+    use std::time::Duration;
+
+    fn small_db() -> AuDatabase {
+        let mut db = AuDatabase::new();
+        db.insert("t1", all_same_key(40));
+        db.insert("t2", all_same_key(30));
+        db
+    }
+
+    /// Acceptance: an injected worker panic surfaces as the structured
+    /// `WorkerPanic` (payload preserved), and the engine — same config,
+    /// same process — runs the next query untouched. The rule is
+    /// persistent so the compiled → interpreted degradation retry hits
+    /// it too and cannot silently recover.
+    #[test]
+    fn injected_panic_surfaces_structured_and_engine_recovers() {
+        let db = small_db();
+        let q = expanding_join();
+        let cfg = cfg_pipeline(4, 3);
+        let reference = eval_au(&db, &q, &cfg_operator()).unwrap();
+
+        let plan = FaultPlan::new(vec![FaultRule::persistent(0, FaultKind::Panic)]);
+        let err = with_plan(plan.clone(), || eval_au(&db, &q, &cfg)).unwrap_err();
+        match err {
+            EvalError::Exec(ExecError::WorkerPanic { payload, .. }) => {
+                assert!(payload.contains("injected panic"), "payload preserved, got: {payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(plan.fired() >= 1, "the armed fault must actually fire");
+
+        // recovery: the plan is uninstalled, the same config evaluates
+        // the same query to the byte-identical result
+        assert_eq!(eval_au(&db, &q, &cfg).unwrap(), reference);
+    }
+
+    /// Persistent injected *errors* surface as `ExecError::Injected`
+    /// with the firing coordinates.
+    #[test]
+    fn injected_error_surfaces_structured() {
+        let db = small_db();
+        let q = expanding_join();
+        let plan = FaultPlan::new(vec![FaultRule::persistent(0, FaultKind::Error)]);
+        let err = with_plan(plan, || eval_au(&db, &q, &cfg_pipeline(2, 3))).unwrap_err();
+        match err {
+            EvalError::Exec(ExecError::Injected { morsel, .. }) => assert_eq!(morsel, 0),
+            other => panic!("expected Injected, got {other:?}"),
+        }
+    }
+
+    /// Graceful degradation: a *one-shot* fault during the compiled run
+    /// is absorbed by the interpreted retry — the query still returns
+    /// the byte-identical result.
+    #[test]
+    fn one_shot_fault_is_absorbed_by_degradation() {
+        let db = small_db();
+        let q = expanding_join();
+        let reference = eval_au(&db, &q, &cfg_operator()).unwrap();
+        let cfg = AuConfig { compiled: true, ..cfg_pipeline(4, 3) };
+        let plan = FaultPlan::new(vec![FaultRule::once(0, 0, FaultKind::Error)]);
+        let got = with_plan(plan.clone(), || eval_au(&db, &q, &cfg)).unwrap();
+        assert_eq!(got, reference, "degraded run must be byte-identical");
+        assert_eq!(plan.fired(), 1, "the fault fired and was absorbed");
+    }
+
+    /// A miss-addressed plan (a driver sequence number the query never
+    /// reaches) fires nothing and perturbs nothing.
+    #[test]
+    fn zero_fault_run_is_byte_identical() {
+        let db = small_db();
+        let q = expanding_join();
+        let reference = eval_au(&db, &q, &cfg_operator()).unwrap();
+        let plan = FaultPlan::new(vec![FaultRule::once(usize::MAX, 0, FaultKind::Panic)]);
+        let got = with_plan(plan.clone(), || eval_au(&db, &q, &cfg_pipeline(4, 3))).unwrap();
+        assert_eq!(got, reference);
+        assert_eq!(plan.fired(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// The fault matrix the ISSUE pins down: {panic, error, delay}
+        /// injected at a random (driver, morsel) checkpoint, across the
+        /// workers × shards grid, over the select/join/aggregate query
+        /// corpus. The contract:
+        ///
+        /// * a **delay** alone never changes the outcome — the run
+        ///   completes byte-identical to the sequential reference;
+        /// * a panic or error either surfaces as a *structured*
+        ///   [`ExecError`] (never a wedge, never a garbled result), or
+        ///   the run completes byte-identical — the latter when the
+        ///   checkpoint was never reached or the one-shot fault was
+        ///   absorbed by the compiled → interpreted degradation retry;
+        /// * runs whose plan never fires are always byte-identical.
+        #[test]
+        fn fault_matrix_structured_error_or_identical(
+            t1 in au_relation_strategy("A", "B", 10),
+            t2 in au_relation_strategy("C", "D", 10),
+            qi in 0usize..64,
+            driver in 0usize..8,
+            morsel in 0usize..6,
+            kind_pick in 0usize..3,
+            wi in 0usize..WORKERS.len(),
+            si in 0usize..SHARDS.len(),
+        ) {
+            let kind = [
+                FaultKind::Panic,
+                FaultKind::Error,
+                FaultKind::Delay(Duration::from_millis(1)),
+            ][kind_pick];
+            let queries = pipeline_queries();
+            let q = &queries[qi % queries.len()];
+            let mut db = AuDatabase::new();
+            db.insert("t1", t1);
+            db.insert("t2", t2);
+
+            let reference = eval_au(&db, q, &cfg_operator()).unwrap();
+            let cfg = cfg_pipeline(WORKERS[wi], SHARDS[si]);
+            let plan = FaultPlan::new(vec![FaultRule::once(driver, morsel, kind)]);
+            let got = with_plan(plan.clone(), || eval_au(&db, q, &cfg));
+
+            match got {
+                Ok(out) => {
+                    // completed runs are byte-identical, fault or not
+                    prop_assert_eq!(
+                        &out, &reference,
+                        "kind = {:?}, driver = {}, morsel = {}, fired = {}, q = {}",
+                        kind, driver, morsel, plan.fired(), q
+                    );
+                }
+                Err(EvalError::Exec(e)) => {
+                    prop_assert!(
+                        plan.fired() >= 1,
+                        "a run without a fired fault must not fail: {:?}", e
+                    );
+                    prop_assert!(
+                        !matches!(kind, FaultKind::Delay(_)),
+                        "a delay alone must never fail a query: {:?}", e
+                    );
+                    match e {
+                        ExecError::WorkerPanic { ref payload, .. } => prop_assert!(
+                            payload.contains("injected panic"),
+                            "panic payload preserved, got: {}", payload
+                        ),
+                        ExecError::Injected { .. } => {}
+                        ref other => prop_assert!(
+                            false,
+                            "unexpected structured fault {:?} for injected {:?}", other, kind
+                        ),
+                    }
+                }
+                Err(other) => prop_assert!(false, "non-structured failure: {:?}", other),
+            }
+
+            // whatever the fault did, the engine evaluates the same
+            // query again (plan uninstalled) to the identical result
+            prop_assert_eq!(&eval_au(&db, q, &cfg).unwrap(), &reference);
         }
     }
 }
