@@ -9,10 +9,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use audb_bench::{config_fingerprint, print_trace_breakdown};
 use audb_core::col;
-use audb_query::au::nested_loop_join_au;
+use audb_query::au::{nested_loop_join_au, AuConfig};
 use audb_query::planner::{join_au_planned, join_au_planned_exec};
-use audb_query::Executor;
+use audb_query::{eval_au_traced, table, Executor};
 use audb_workloads::{micro_join_db, MicroConfig};
 
 fn bench(c: &mut Criterion) {
@@ -62,6 +63,16 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // trace-derived breakdown of the benched equi-join as a full query
+    // (operator-at-a-time, so the join span reports its strategy)
+    let cfg = MicroConfig::new(1000, 3).uncertainty(0.03).range_frac(0.02).seed(41);
+    let (audb, _) = micro_join_db(&cfg);
+    let q = table("t1").join_on(table("t2"), col(0).eq(col(3)));
+    let traced_cfg = AuConfig { pipeline: false, workers: Some(1), ..AuConfig::default() };
+    let (_, trace) = eval_au_traced(&audb, &q, &traced_cfg).unwrap();
+    print_trace_breakdown("planned_1k", &trace);
+    println!("engine fingerprint: {}", config_fingerprint(&traced_cfg));
 }
 
 criterion_group!(benches, bench);

@@ -20,13 +20,22 @@
 //! meter). Guarded vs unguarded at one worker is the cancellation-check
 //! overhead gate: the ratio must stay <= 1.03 (criterion_7, measured
 //! within one run so machine speed cancels out).
+//!
+//! The `pipeline_10k_metrics_w1` variant runs the same fused chain
+//! through `eval_au_traced` — live atomic counters, duration
+//! histograms, and span assembly. Traced vs untraced at one worker is
+//! the observability overhead gate: the ratio must stay <= 1.03
+//! (criterion_8, intra-run like criterion_7). The run also prints the
+//! trace-derived per-operator breakdown and the engine-config
+//! fingerprint the wall-clock numbers were measured under.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use audb_bench::{config_fingerprint, print_trace_breakdown};
 use audb_core::{col, lit, BudgetSpec};
 use audb_query::au::AuConfig;
-use audb_query::{eval_au, table, Query};
+use audb_query::{eval_au, eval_au_traced, table, Query};
 use audb_workloads::{micro_join_db, MicroConfig};
 
 fn spine() -> Query {
@@ -81,7 +90,20 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pipeline_10k_guarded_w1", |b| {
         b.iter(|| black_box(eval_au(&audb, &q, &guarded).unwrap()))
     });
+
+    // observability overhead: live metrics + trace assembly on the
+    // same fused chain (criterion_8, vs pipeline_10k_w1 within this run)
+    let traced_cfg = AuConfig { workers: Some(1), ..AuConfig::default() };
+    g.bench_function("pipeline_10k_metrics_w1", |b| {
+        b.iter(|| black_box(eval_au_traced(&audb, &q, &traced_cfg).unwrap()))
+    });
     g.finish();
+
+    // one traced run outside the timing loop: where the spine spends
+    // its time, per operator, straight off the execution trace
+    let (_, trace) = eval_au_traced(&audb, &q, &traced_cfg).unwrap();
+    print_trace_breakdown("pipeline_10k_w1", &trace);
+    println!("engine fingerprint: {}", config_fingerprint(&traced_cfg));
 }
 
 criterion_group!(benches, bench);

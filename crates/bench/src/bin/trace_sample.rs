@@ -1,0 +1,57 @@
+//! Emit a sample `QueryTrace` as versioned JSON on stdout.
+//!
+//! CI (`bench-perf-history`) runs this against the 10k fused spine,
+//! validates the output against the schema documented in
+//! `docs/observability.md`, and uploads it with the perf-history
+//! artifact — so every commit ships a machine-readable example of what
+//! the engine's EXPLAIN ANALYZE actually produced at that revision.
+//!
+//! Usage: `trace_sample [pipeline|operator|compressed]` (default:
+//! `pipeline`).
+
+use audb_core::{col, lit};
+use audb_query::au::AuConfig;
+use audb_query::{eval_au_traced, table};
+use audb_workloads::{micro_join_db, MicroConfig};
+
+fn main() {
+    let flavor = std::env::args().nth(1).unwrap_or_else(|| "pipeline".to_string());
+    let cfg = match flavor.as_str() {
+        "pipeline" => AuConfig { workers: Some(2), shards: Some(4), ..AuConfig::default() },
+        "operator" => AuConfig { pipeline: false, workers: Some(2), ..AuConfig::default() },
+        "compressed" => AuConfig {
+            join_compress: Some(64),
+            agg_compress: Some(25),
+            workers: Some(2),
+            ..AuConfig::default()
+        },
+        other => {
+            eprintln!("unknown flavor {other:?}; use pipeline|operator|compressed");
+            std::process::exit(2);
+        }
+    };
+    let micro = MicroConfig {
+        domain: 10_000,
+        ..MicroConfig::new(10_000, 3).uncertainty(0.03).range_frac(0.02).seed(71)
+    };
+    let (audb, _) = micro_join_db(&micro);
+    let q = table("t1")
+        .select(col(1).geq(lit(0i64)))
+        .join_on(table("t2"), col(0).eq(col(3)))
+        .select(col(1).add(col(4)).lt(lit(5000i64)))
+        .project(vec![(col(0), "k"), (col(1).add(col(4)), "v"), (col(2), "w")])
+        .aggregate(
+            vec![0],
+            vec![audb_query::AggSpec::new(audb_query::AggFunc::Sum, col(1), "total")],
+        );
+    match eval_au_traced(&audb, &q, &cfg) {
+        Ok((_, trace)) => {
+            println!("{}", trace.to_json());
+            eprintln!("{trace}");
+        }
+        Err(e) => {
+            eprintln!("trace sample query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,8 +6,10 @@
 
 use std::time::Instant;
 
+use audb_core::obs::QueryTrace;
 use audb_core::UaAnnot;
 use audb_incomplete::XDb;
+use audb_query::au::AuConfig;
 use audb_storage::{UaDatabase, UaRelation};
 
 /// Wall-clock one invocation.
@@ -49,6 +51,79 @@ pub fn xdb_to_ua(xdb: &XDb) -> UaDatabase {
         out.insert(name.clone(), ua);
     }
     out
+}
+
+/// The current git revision (short), for stamping bench records. Falls
+/// back to `GITHUB_SHA` (CI detached checkouts), then `"unknown"`.
+pub fn git_rev() -> String {
+    let from_git = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    from_git
+        .or_else(|| std::env::var("GITHUB_SHA").ok().map(|s| s.chars().take(12).collect()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One-line engine-configuration fingerprint for `BENCH_*.json` stamps:
+/// every knob that changes what a wall-clock number means (worker and
+/// shard counts, pipeline/compiled flags, compression budgets) plus the
+/// git revision the binary was built from.
+pub fn config_fingerprint(cfg: &AuConfig) -> String {
+    let opt = |v: Option<usize>| v.map_or_else(|| "auto".to_string(), |n| n.to_string());
+    format!(
+        "workers={} shards={} pipeline={} compiled={} adaptive={} join_compress={} \
+         agg_compress={} rev={}",
+        opt(cfg.workers),
+        opt(cfg.shards),
+        cfg.pipeline,
+        cfg.compiled,
+        cfg.adaptive,
+        cfg.join_compress.map_or_else(|| "off".to_string(), |n| n.to_string()),
+        cfg.agg_compress.map_or_else(|| "off".to_string(), |n| n.to_string()),
+        git_rev(),
+    )
+}
+
+/// Per-operator rollup of a [`QueryTrace`]: `(op, spans, rows_out,
+/// elapsed_ns)` per distinct operator kind, in first-seen (pre-order)
+/// order. Rows and time sum over every span of that kind, so a fused
+/// chain shows up as one `fused-chain` line and an operator-at-a-time
+/// plan as one line per operator.
+pub fn operator_breakdown(trace: &QueryTrace) -> Vec<(String, u64, u64, u64)> {
+    let mut out: Vec<(String, u64, u64, u64)> = Vec::new();
+    trace.root.walk(&mut |s| {
+        if s.op == "query" || s.op == "attempt" {
+            return;
+        }
+        let rows = s.rows_out.unwrap_or(0);
+        match out.iter_mut().find(|(op, ..)| *op == s.op) {
+            Some((_, n, r, ns)) => {
+                *n += 1;
+                *r += rows;
+                *ns += s.elapsed_ns;
+            }
+            None => out.push((s.op.clone(), 1, rows, s.elapsed_ns)),
+        }
+    });
+    out
+}
+
+/// Print the trace-derived operator breakdown for a bench workload.
+pub fn print_trace_breakdown(label: &str, trace: &QueryTrace) {
+    println!("--- {label}: trace-derived operator breakdown ---");
+    let widths = [14usize, 6, 10, 12];
+    print_row(&["operator", "spans", "rows_out", "time_ms"].map(str::to_string), &widths);
+    for (op, spans, rows, ns) in operator_breakdown(trace) {
+        print_row(
+            &[op, spans.to_string(), rows.to_string(), format!("{:.3}", ns as f64 / 1e6)],
+            &widths,
+        );
+    }
 }
 
 /// Fixed-width row printer for paper-shaped tables.
@@ -106,6 +181,15 @@ mod tests {
         let rel = ua.get("r").unwrap();
         assert_eq!(rel.annotation(&t1), UaAnnot::new(1, 1));
         assert_eq!(rel.annotation(&t2a), UaAnnot::new(0, 1));
+    }
+
+    #[test]
+    fn fingerprint_names_every_knob() {
+        let cfg = AuConfig { workers: Some(4), join_compress: Some(64), ..AuConfig::default() };
+        let fp = config_fingerprint(&cfg);
+        for part in ["workers=4", "shards=auto", "pipeline=true", "join_compress=64", "rev="] {
+            assert!(fp.contains(part), "missing {part} in {fp}");
+        }
     }
 
     #[test]

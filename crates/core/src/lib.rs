@@ -12,13 +12,16 @@
 //!   monus, provenance polynomials (Section 3.1);
 //! * [`annot`] — tuple annotations `K_UA = K²` and `K_AU ⊂ K³`
 //!   (Definitions 2 and 11);
-//! * [`krelation`] — minimal generic K-relations validating the framework.
+//! * [`krelation`] — minimal generic K-relations validating the framework;
+//! * [`obs`] — query-engine observability: metrics sink, execution
+//!   traces, EXPLAIN ANALYZE renderers.
 
 pub mod annot;
 pub mod error;
 pub mod expr;
 pub mod govern;
 pub mod krelation;
+pub mod obs;
 pub mod program;
 pub mod range;
 pub mod semiring;
@@ -28,6 +31,10 @@ pub use annot::{AuAnnot, UaAnnot};
 pub use error::EvalError;
 pub use expr::{col, lit, Expr};
 pub use govern::{Budget, BudgetSpec, CancelToken, ExecError};
+pub use obs::{
+    Counter, ExecEvent, ExecEventKind, Metrics, MetricsSnapshot, QueryTrace, Site, SiteStats,
+    TraceBuilder, TraceSpan, TRACE_SCHEMA_VERSION,
+};
 pub use program::{Program, RangeBatch};
 pub use range::RangeValue;
 pub use semiring::{

@@ -29,6 +29,7 @@
 
 use std::ops::Range;
 
+use audb_core::obs::Counter;
 use audb_core::ExecError;
 
 use crate::partition::Partitioner;
@@ -116,6 +117,7 @@ impl Executor {
         if slices.is_empty() {
             return Ok(Vec::new());
         }
+        self.metrics().add(Counter::ShardsDispatched, slices.len() as u64);
         // One pool job per shard: the meta-executor partitions the
         // shard list one-to-one (no row-level morsel floor — the shard
         // count already encodes the parallelism decision).

@@ -6,7 +6,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::thread;
+use std::time::Instant;
 
+use audb_core::obs::{Counter, Metrics, Site};
 use audb_core::{Budget, CancelToken, ExecError};
 
 use crate::partition::Partitioner;
@@ -81,6 +83,7 @@ pub struct Executor {
     partitioner: Partitioner,
     cancel: Option<CancelToken>,
     budget: Option<Budget>,
+    metrics: Metrics,
 }
 
 impl Default for Executor {
@@ -98,6 +101,7 @@ impl Executor {
             partitioner: Partitioner::default(),
             cancel: None,
             budget: None,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -149,6 +153,20 @@ impl Executor {
         self
     }
 
+    /// Attach a metrics sink. Cloned executors (the reduce and shard
+    /// meta-drivers) share it, so one query's drivers all report into
+    /// the same meters. The default, [`Metrics::disabled`], costs one
+    /// branch per instrumentation site.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics sink (disabled by default).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     pub fn workers(&self) -> usize {
         self.workers
     }
@@ -171,15 +189,28 @@ impl Executor {
     /// attached or the token is still running.
     pub fn check_cancel(&self) -> Result<(), ExecError> {
         match &self.cancel {
-            Some(token) => token.check(),
+            Some(token) => {
+                self.metrics.add(Counter::CancelChecks, 1);
+                token.check()
+            }
             None => Ok(()),
         }
     }
 
-    /// Charge the attached budget (no-op without one).
+    /// Charge the attached budget (no-op without one). A tripped budget
+    /// lands in the metrics event log with the charging operator.
     pub fn charge(&self, operator: &'static str, rows: u64, bytes: u64) -> Result<(), ExecError> {
         match &self.budget {
-            Some(budget) => budget.charge(operator, rows, bytes),
+            Some(budget) => {
+                self.metrics.add(Counter::BudgetCharges, 1);
+                self.metrics.add(Counter::BudgetRowsCharged, rows);
+                self.metrics.add(Counter::BudgetBytesCharged, bytes);
+                let verdict = budget.charge(operator, rows, bytes);
+                if let Err(e) = &verdict {
+                    self.metrics.record_exec_error(e, None, None);
+                }
+                verdict
+            }
             None => Ok(()),
         }
     }
@@ -208,24 +239,47 @@ impl Executor {
 
         // Deterministic fault addressing: drivers enter sequentially on
         // the query thread, so (driver sequence number, morsel index)
-        // names one checkpoint regardless of worker interleaving.
+        // names one checkpoint regardless of worker interleaving. The
+        // metrics sink numbers drivers the same way, so observed events
+        // carry the same coordinates the fault harness arms.
         #[cfg(feature = "faults")]
         let fault_ctx = crate::faults::driver_context();
+
+        let driver = self.metrics.is_enabled().then(|| {
+            self.metrics.add(Counter::DriversEntered, 1);
+            self.metrics.add(Counter::MorselsDispatched, morsels.len() as u64);
+            self.metrics.enter_driver()
+        });
+        let started = self.metrics.is_enabled().then(Instant::now);
+        let finish = |result: Result<Vec<T>, E>| {
+            if let Some(t) = started {
+                self.metrics.record_ns(Site::Driver, t.elapsed().as_nanos() as u64);
+            }
+            result
+        };
 
         // One morsel, fully contained: cancellation checkpoint at the
         // boundary, then fault checkpoint + producer under catch_unwind.
         let run_morsel = |index: usize, morsel: Range<usize>| -> Result<Vec<T>, E> {
-            self.check_cancel().map_err(E::from)?;
+            if let Err(e) = self.check_cancel() {
+                self.metrics.record_exec_error(&e, driver, Some(index));
+                return Err(E::from(e));
+            }
             let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<T>, E> {
                 #[cfg(feature = "faults")]
-                if let Some((plan, driver)) = &fault_ctx {
-                    plan.checkpoint(*driver, index, self.cancel.as_ref()).map_err(E::from)?;
+                if let Some((plan, fault_driver)) = &fault_ctx {
+                    if let Err(e) = plan.checkpoint(*fault_driver, index, self.cancel.as_ref()) {
+                        self.metrics.record_exec_error(&e, driver, Some(index));
+                        return Err(E::from(e));
+                    }
                 }
                 let mut out = Vec::new();
                 produce(morsel, &mut out).map(|()| out)
             }));
             caught.unwrap_or_else(|payload| {
-                Err(E::from(ExecError::WorkerPanic { morsel: index, payload: panic_text(payload) }))
+                let e = ExecError::WorkerPanic { morsel: index, payload: panic_text(payload) };
+                self.metrics.record_exec_error(&e, driver, Some(index));
+                Err(E::from(e))
             })
         };
 
@@ -233,14 +287,13 @@ impl Executor {
         if self.workers <= 1 || morsels.len() <= 1 {
             let mut merged = Vec::new();
             for (i, m) in morsels.into_iter().enumerate() {
-                let rows = run_morsel(i, m)?;
-                if merged.is_empty() {
-                    merged = rows;
-                } else {
-                    merged.extend(rows);
+                match run_morsel(i, m) {
+                    Ok(rows) if merged.is_empty() => merged = rows,
+                    Ok(rows) => merged.extend(rows),
+                    Err(e) => return finish(Err(e)),
                 }
             }
-            return Ok(merged);
+            return finish(Ok(merged));
         }
 
         let cursor = AtomicUsize::new(0);
@@ -263,18 +316,18 @@ impl Executor {
         for (i, slot) in slots.into_iter().enumerate() {
             match slot.into_inner() {
                 Some(Ok(rows)) => merged.extend(rows),
-                Some(Err(e)) => return Err(e),
+                Some(Err(e)) => return finish(Err(e)),
                 None => {
                     // defensively structured — unreachable per the claim
                     // argument above
-                    return Err(E::from(ExecError::WorkerPanic {
+                    return finish(Err(E::from(ExecError::WorkerPanic {
                         morsel: i,
                         payload: "result slot never filled".to_string(),
-                    }));
+                    })));
                 }
             }
         }
-        Ok(merged)
+        finish(Ok(merged))
     }
 }
 

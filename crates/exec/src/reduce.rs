@@ -48,7 +48,9 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
+use audb_core::obs::{Counter, Site};
 use audb_core::ExecError;
 
 use crate::partition::Partitioner;
@@ -96,6 +98,9 @@ impl Executor {
             rows.len() as u64,
             (rows.len() * std::mem::size_of::<(T, K)>()) as u64,
         )?;
+        let metrics = self.metrics().clone();
+        metrics.add(Counter::NormalizeRuns, 1);
+        metrics.add(Counter::NormalizeRowsIn, rows.len() as u64);
 
         let morsels = self.partitioner().morsels(rows.len(), self.workers());
         if self.workers() <= 1 || morsels.len() <= 1 {
@@ -103,11 +108,13 @@ impl Executor {
             // shares the containment/cancellation path of the parallel
             // shape.
             let slot: Claim<Vec<(T, K)>> = Mutex::new(Some(rows));
-            return self.run(1, |_, out| {
+            let out: Vec<(T, K)> = self.run(1, |_, out| {
                 let rows = claim(&slot).unwrap_or_default();
                 out.append(&mut hash_merge_sorted_seq(rows, &keep, &combine));
                 Ok::<(), ExecError>(())
-            });
+            })?;
+            metrics.add(Counter::NormalizeRowsOut, out.len() as u64);
+            return Ok(out);
         }
 
         // The scatter/reduce jobs are batches themselves (one per morsel
@@ -134,6 +141,7 @@ impl Executor {
         // Phase 1: scatter each chunk into per-shard buckets. One
         // hasher instance keys the whole call so every occurrence of a
         // key agrees on its shard.
+        let phase_started = metrics.is_enabled().then(Instant::now);
         let hasher = RandomState::new();
         let tables: Vec<Buckets<T, K>> = meta.run(chunks.len(), |range, out| {
             for ci in range {
@@ -149,6 +157,9 @@ impl Executor {
             }
             Ok::<(), ExecError>(())
         })?;
+        if let Some(t) = phase_started {
+            metrics.record_ns(Site::ReduceScatter, t.elapsed().as_nanos() as u64);
+        }
 
         // Gather: shard `s` receives its buckets in morsel order, so a
         // key's occurrences stay in original input order.
@@ -163,6 +174,7 @@ impl Executor {
         }
 
         // Phase 2: hash-merge + sort each shard independently.
+        let phase_started = metrics.is_enabled().then(Instant::now);
         let shard_slots: Vec<Claim<Buckets<T, K>>> =
             shard_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
         let sorted: Vec<Vec<(T, K)>> = meta.run(shards, |range, out| {
@@ -186,9 +198,18 @@ impl Executor {
             }
             Ok::<(), ExecError>(())
         })?;
+        if let Some(t) = phase_started {
+            metrics.record_ns(Site::ReduceMergeSort, t.elapsed().as_nanos() as u64);
+        }
 
         // Phase 3: k-way merge of disjoint sorted runs.
-        Ok(kway_merge(sorted))
+        let phase_started = metrics.is_enabled().then(Instant::now);
+        let out = kway_merge(sorted);
+        if let Some(t) = phase_started {
+            metrics.record_ns(Site::ReduceKway, t.elapsed().as_nanos() as u64);
+        }
+        metrics.add(Counter::NormalizeRowsOut, out.len() as u64);
+        Ok(out)
     }
 }
 

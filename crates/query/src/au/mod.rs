@@ -15,8 +15,12 @@ pub mod difference;
 pub(crate) mod pipeline;
 
 use std::borrow::Cow;
-use std::time::Duration;
+use std::fmt;
+use std::time::{Duration, Instant};
 
+use audb_core::obs::{
+    Counter, ExecEvent, ExecEventKind, Metrics, QueryTrace, TraceBuilder, TRACE_SCHEMA_VERSION,
+};
 use audb_core::{AuAnnot, Budget, BudgetSpec, CancelToken, EvalError, Expr, Semiring};
 use audb_exec::Executor;
 use audb_storage::{AuDatabase, AuRelation, Schema};
@@ -131,18 +135,21 @@ impl AuConfig {
     }
 
     /// Set an explicit worker count (1 = sequential).
+    #[must_use = "builder methods return the modified config; dropping it leaves the original unchanged"]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
         self
     }
 
     /// Set a wall-clock deadline for the query.
+    #[must_use = "builder methods return the modified config; dropping it leaves the query ungoverned"]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
         self
     }
 
     /// Set a resource budget for the query.
+    #[must_use = "builder methods return the modified config; dropping it leaves the query ungoverned"]
     pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
         self.budget = Some(budget);
         self
@@ -167,7 +174,7 @@ impl AuConfig {
 /// (`compiled: false`) with a fresh budget before giving up.
 pub fn eval_au(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<AuRelation, EvalError> {
     let token = cfg.timeout.map(CancelToken::with_deadline_in);
-    eval_au_governed(db, q, cfg, token.as_ref())
+    eval_au_governed(db, q, cfg, token.as_ref(), &Metrics::disabled(), &TraceBuilder::disabled())
 }
 
 /// [`eval_au`] under an externally owned [`CancelToken`], so a serving
@@ -180,7 +187,114 @@ pub fn eval_au_cancellable(
     cfg: &AuConfig,
     token: &CancelToken,
 ) -> Result<AuRelation, EvalError> {
-    eval_au_governed(db, q, cfg, Some(token))
+    eval_au_governed(db, q, cfg, Some(token), &Metrics::disabled(), &TraceBuilder::disabled())
+}
+
+/// [`eval_au`] with full observability: a fresh [`Metrics`] sink and
+/// span builder are enabled for this query and the result is returned
+/// together with its [`QueryTrace`]. Enabling them never changes the
+/// result — the traced relation is byte-identical to [`eval_au`]'s
+/// (`tests/observability.rs` pins this across worker × shard shapes).
+pub fn eval_au_traced(
+    db: &AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+) -> Result<(AuRelation, QueryTrace), EvalError> {
+    let (result, trace) = eval_au_traced_full(db, q, cfg);
+    result.map(|rel| (rel, trace))
+}
+
+/// [`eval_au_traced`], but the trace survives failure: the result and
+/// the trace come back side by side, so a failed query can still be
+/// post-mortemed — its events carry the fault's driver/morsel
+/// coordinates and every span closed by the unwind is tagged with the
+/// error.
+pub fn eval_au_traced_full(
+    db: &AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+) -> (Result<AuRelation, EvalError>, QueryTrace) {
+    let token = cfg.timeout.map(CancelToken::with_deadline_in);
+    let metrics = Metrics::enabled();
+    let tr = TraceBuilder::enabled();
+    let started = Instant::now();
+    let root = tr.open("query", || q.to_string());
+    let result = eval_au_governed(db, q, cfg, token.as_ref(), &metrics, &tr);
+    match &result {
+        Ok(rel) => tr.close(root, Some(rel.len() as u64), Some(rel.estimated_bytes())),
+        Err(e) => {
+            // Governance verdicts can surface outside a driver (batch
+            // sweeps check the token directly); the event log dedups to
+            // the first observation, so re-reporting here only fills the
+            // gap. Panics/injected faults always pass a driver, which
+            // already recorded them with exact coordinates.
+            if let EvalError::Exec(xe) = e {
+                if xe.is_resource_limit() {
+                    metrics.record_exec_error(xe, None, None);
+                }
+            }
+            tr.unwind(0, &e.to_string());
+        }
+    }
+    let trace = QueryTrace {
+        version: TRACE_SCHEMA_VERSION,
+        engine: engine_config(cfg),
+        root: tr.finish().unwrap_or_default(),
+        events: metrics.take_events(),
+        metrics: metrics.snapshot(),
+        total_ns: started.elapsed().as_nanos() as u64,
+    };
+    (result, trace)
+}
+
+/// EXPLAIN ANALYZE: evaluate the query with full observability and
+/// return the annotated plan (the result relation is discarded). The
+/// [`fmt::Display`] rendering is the human-readable plan tree with
+/// actual rows/bytes/timings; [`Explain::to_json`] is the versioned
+/// machine form.
+pub fn explain(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<Explain, EvalError> {
+    let (_, trace) = eval_au_traced(db, q, cfg)?;
+    Ok(Explain { trace })
+}
+
+/// The result of [`explain`]: a finished [`QueryTrace`] with renderers.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    pub trace: QueryTrace,
+}
+
+impl Explain {
+    /// The versioned JSON form (schema in `docs/observability.md`).
+    pub fn to_json(&self) -> String {
+        self.trace.to_json()
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.trace.render_text())
+    }
+}
+
+/// The engine-configuration echo embedded in every trace: resolved
+/// worker count and the knobs that decide which execution paths fire.
+fn engine_config(cfg: &AuConfig) -> Vec<(&'static str, String)> {
+    let opt = |v: Option<usize>| v.map_or_else(|| "none".to_string(), |x| x.to_string());
+    vec![
+        (
+            "workers",
+            cfg.workers
+                .map_or_else(|| Executor::default().workers().to_string(), |w| w.to_string()),
+        ),
+        ("shards", cfg.shards.map_or_else(|| "auto".to_string(), |s| s.to_string())),
+        ("pipeline", cfg.pipeline.to_string()),
+        ("compiled", cfg.compiled.to_string()),
+        ("adaptive", cfg.adaptive.to_string()),
+        ("join_compress", opt(cfg.join_compress)),
+        ("agg_compress", opt(cfg.agg_compress)),
+        ("timeout", cfg.timeout.map_or_else(|| "none".to_string(), |t| format!("{t:?}"))),
+        ("budget", if cfg.budget.is_some() { "set" } else { "none" }.to_string()),
+    ]
 }
 
 fn eval_au_governed(
@@ -188,8 +302,11 @@ fn eval_au_governed(
     q: &Query,
     cfg: &AuConfig,
     cancel: Option<&CancelToken>,
+    metrics: &Metrics,
+    tr: &TraceBuilder,
 ) -> Result<AuRelation, EvalError> {
-    match eval_au_attempt(db, q, cfg, cancel) {
+    let depth = tr.depth();
+    match eval_au_attempt(db, q, cfg, cancel, metrics, tr) {
         Err(EvalError::Exec(e)) if cfg.compiled && !e.is_resource_limit() => {
             // Graceful degradation: one retry on the interpreted oracle.
             // Resource-limit faults (cancelled / deadline / budget) are
@@ -197,20 +314,30 @@ fn eval_au_governed(
             // the exhausted resource. The budget is re-created fresh
             // inside the attempt; the cancel token is shared, so an
             // expired deadline still cuts the retry short.
+            metrics.add(Counter::Degradations, 1);
+            metrics.record_event(ExecEvent {
+                kind: ExecEventKind::Degraded,
+                driver: None,
+                morsel: None,
+                detail: e.to_string(),
+            });
+            tr.unwind(depth, &e.to_string());
             let fallback = AuConfig { compiled: false, ..*cfg };
-            eval_au_attempt(db, q, &fallback, cancel)
+            eval_au_attempt(db, q, &fallback, cancel, metrics, tr)
         }
         other => other,
     }
 }
 
 /// One evaluation attempt with its own governed executor (fresh
-/// [`Budget`], shared [`CancelToken`]).
+/// [`Budget`], shared [`CancelToken`], shared [`Metrics`]).
 fn eval_au_attempt(
     db: &AuDatabase,
     q: &Query,
     cfg: &AuConfig,
     cancel: Option<&CancelToken>,
+    metrics: &Metrics,
+    tr: &TraceBuilder,
 ) -> Result<AuRelation, EvalError> {
     let mut exec = Executor::from_option(cfg.workers);
     if let Some(floor) = cfg.min_rows_per_worker {
@@ -222,13 +349,55 @@ fn eval_au_attempt(
     if let Some(spec) = cfg.budget {
         exec = exec.with_budget(Budget::new(spec));
     }
+    if metrics.is_enabled() {
+        exec = exec.with_metrics(metrics.clone());
+    }
     let use_pipeline = cfg.pipeline && cfg.join_compress.is_none() && cfg.agg_compress.is_none();
+    let h = tr.open("attempt", String::new);
+    tr.attr(h, "mode", || {
+        (if use_pipeline { "pipeline" } else { "operator-at-a-time" }).to_string()
+    });
+    tr.attr(h, "exprs", || (if cfg.compiled { "compiled" } else { "interpreted" }).to_string());
+    tr.attr(h, "workers", || exec.workers().to_string());
     let rel = if use_pipeline {
-        pipeline::eval_pipelined(db, q, cfg, &exec)?
+        pipeline::eval_pipelined(db, q, cfg, &exec, tr)?
     } else {
-        eval_inner(db, q, cfg, &exec)?
+        eval_inner(db, q, cfg, &exec, tr)?
     };
-    Ok(rel.into_owned().into_normalized_with(&exec)?)
+    let rel = rel.into_owned().into_normalized_with(&exec)?;
+    close_rel(tr, h, &rel);
+    Ok(rel)
+}
+
+/// Close an operator span with the relation's actual cardinality and
+/// estimated byte size (sizes are only computed when tracing is live).
+pub(crate) fn close_rel(tr: &TraceBuilder, h: usize, rel: &AuRelation) {
+    if tr.is_enabled() {
+        tr.close(h, Some(rel.len() as u64), Some(rel.estimated_bytes()));
+    }
+}
+
+/// Open the span for one plan operator: span kind from the operator
+/// kind, detail from its predicate / projection list / grouping. Shared
+/// by the operator-at-a-time evaluator and the pipeline fallback path.
+pub(crate) fn open_op_span(tr: &TraceBuilder, q: &Query) -> usize {
+    match q {
+        Query::Table(name) => tr.open("scan", || name.clone()),
+        Query::Select { predicate, .. } => tr.open("select", || predicate.to_string()),
+        Query::Project { exprs, .. } => tr.open("project", || {
+            let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e}→{n}")).collect();
+            cols.join(", ")
+        }),
+        Query::Join { predicate, .. } => tr.open("join", || {
+            predicate.as_ref().map_or_else(|| "cross".to_string(), ToString::to_string)
+        }),
+        Query::Union { .. } => tr.open("union", String::new),
+        Query::Difference { .. } => tr.open("difference", String::new),
+        Query::Distinct { .. } => tr.open("distinct", String::new),
+        Query::Aggregate { group_by, aggs, .. } => {
+            tr.open("aggregate", || format!("group_by={group_by:?} aggs={}", aggs.len()))
+        }
+    }
 }
 
 /// Copy-free evaluation core: base tables are *borrowed* from the
@@ -239,51 +408,91 @@ fn eval_inner<'a>(
     q: &Query,
     cfg: &AuConfig,
     exec: &Executor,
+    tr: &TraceBuilder,
 ) -> Result<Cow<'a, AuRelation>, EvalError> {
+    let h = open_op_span(tr, q);
     Ok(match q {
-        Query::Table(name) => Cow::Borrowed(db.get(name)?),
+        Query::Table(name) => {
+            let rel = db.get(name)?;
+            close_rel(tr, h, rel);
+            Cow::Borrowed(rel)
+        }
         Query::Select { input, predicate } => {
-            let rel = eval_inner(db, input, cfg, exec)?;
-            Cow::Owned(select_au_exec(&rel, predicate, exec)?)
+            let rel = eval_inner(db, input, cfg, exec, tr)?;
+            tr.rows_in(h, rel.len() as u64);
+            let out = select_au_exec(&rel, predicate, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Project { input, exprs } => {
-            let rel = eval_inner(db, input, cfg, exec)?;
-            Cow::Owned(project_au_exec(&rel, exprs, exec)?)
+            let rel = eval_inner(db, input, cfg, exec, tr)?;
+            tr.rows_in(h, rel.len() as u64);
+            let out = project_au_exec(&rel, exprs, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Join { left, right, predicate } => {
-            let l = eval_inner(db, left, cfg, exec)?;
-            let r = eval_inner(db, right, cfg, exec)?;
-            Cow::Owned(match cfg.join_compress {
+            let l = eval_inner(db, left, cfg, exec, tr)?;
+            let r = eval_inner(db, right, cfg, exec, tr)?;
+            tr.rows_in(h, (l.len() + r.len()) as u64);
+            let out = match cfg.join_compress {
                 Some(ct) if !cfg.adaptive || opt::join_compression_pays_off(&l, &r) => {
+                    tr.attr(h, "strategy", || "split-compress".to_string());
                     opt::optimized_join_exec(&l, &r, predicate.as_ref(), ct, exec)?
                 }
-                _ => planner::join_au_planned_exec(&l, &r, predicate.as_ref(), exec)?,
-            })
+                _ => {
+                    tr.attr(h, "strategy", || {
+                        planner::classify(predicate.as_ref(), l.schema.arity()).name().to_string()
+                    });
+                    planner::join_au_planned_exec(&l, &r, predicate.as_ref(), exec)?
+                }
+            };
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Union { left, right } => {
-            let l = eval_inner(db, left, cfg, exec)?;
-            let r = eval_inner(db, right, cfg, exec)?;
-            Cow::Owned(union_cow(l, r, exec)?)
+            let l = eval_inner(db, left, cfg, exec, tr)?;
+            let r = eval_inner(db, right, cfg, exec, tr)?;
+            tr.rows_in(h, (l.len() + r.len()) as u64);
+            let out = union_cow(l, r, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Difference { left, right } => {
-            let l = eval_inner(db, left, cfg, exec)?;
-            let r = eval_inner(db, right, cfg, exec)?;
-            Cow::Owned(difference::difference_au_exec(&l, &r, exec)?)
+            let l = eval_inner(db, left, cfg, exec, tr)?;
+            let r = eval_inner(db, right, cfg, exec, tr)?;
+            tr.rows_in(h, (l.len() + r.len()) as u64);
+            let out = difference::difference_au_exec(&l, &r, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Distinct { input } => {
             // δ is aggregation grouping on all columns with no aggregates;
             // this inherits the treatment of uncertain "group" membership.
-            let rel = eval_inner(db, input, cfg, exec)?;
+            let rel = eval_inner(db, input, cfg, exec, tr)?;
+            tr.rows_in(h, rel.len() as u64);
             let all: Vec<usize> = (0..rel.schema.arity()).collect();
             let compress = effective_agg_compress(cfg, &rel, &all);
-            Cow::Owned(aggregate::aggregate_au_exec(&rel, &all, &[], compress, exec)?)
+            tr.attr(h, "compress", || opt_usize_attr(compress));
+            let out = aggregate::aggregate_au_exec(&rel, &all, &[], compress, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Aggregate { input, group_by, aggs } => {
-            let rel = eval_inner(db, input, cfg, exec)?;
+            let rel = eval_inner(db, input, cfg, exec, tr)?;
+            tr.rows_in(h, rel.len() as u64);
             let compress = effective_agg_compress(cfg, &rel, group_by);
-            Cow::Owned(aggregate::aggregate_au_exec(&rel, group_by, aggs, compress, exec)?)
+            tr.attr(h, "compress", || opt_usize_attr(compress));
+            let out = aggregate::aggregate_au_exec(&rel, group_by, aggs, compress, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
     })
+}
+
+/// Trace-attribute rendering of an optional compression knob.
+pub(crate) fn opt_usize_attr(v: Option<usize>) -> String {
+    v.map_or_else(|| "none".to_string(), |x| x.to_string())
 }
 
 /// The aggregation-compression setting after the adaptive check.

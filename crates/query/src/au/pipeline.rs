@@ -65,6 +65,7 @@
 
 use std::borrow::Cow;
 
+use audb_core::obs::TraceBuilder;
 use audb_core::{
     AuAnnot, CancelToken, EvalError, ExecError, Expr, Program, RangeBatch, RangeValue, Semiring,
     Value,
@@ -72,7 +73,10 @@ use audb_core::{
 use audb_exec::{Executor, ShardSource};
 use audb_storage::{AuDatabase, AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Schema};
 
-use super::{aggregate, difference, effective_agg_compress, select_au_exec, union_cow, AuConfig};
+use super::{
+    aggregate, close_rel, difference, effective_agg_compress, open_op_span, opt_usize_attr,
+    select_au_exec, union_cow, AuConfig,
+};
 use crate::algebra::Query;
 use crate::planner;
 
@@ -125,8 +129,9 @@ pub(crate) fn eval_pipelined<'a>(
     q: &Query,
     cfg: &AuConfig,
     exec: &Executor,
+    tr: &TraceBuilder,
 ) -> Result<Cow<'a, AuRelation>, EvalError> {
-    eval_pl(db, q, cfg, exec, Delivery::Canonical)
+    eval_pl(db, q, cfg, exec, Delivery::Canonical, tr)
 }
 
 // ---------------------------------------------------------------------------
@@ -668,8 +673,20 @@ impl<'a> AuPipeline<'a> {
     /// rows at a time ([`run_shard_batched`]); chains with a probe
     /// stream each row through the compiled ops with a per-worker
     /// register file.
-    fn run(self, cfg: &AuConfig, exec: &Executor) -> Result<Cow<'a, AuRelation>, EvalError> {
+    ///
+    /// `h` is the open `fused-chain` span: the chain records its op
+    /// summary, execution shape, and shard count there, and closes it
+    /// with the delivered relation's actual sizes.
+    fn run(
+        self,
+        cfg: &AuConfig,
+        exec: &Executor,
+        tr: &TraceBuilder,
+        h: usize,
+    ) -> Result<Cow<'a, AuRelation>, EvalError> {
+        tr.rows_in(h, self.source.len() as u64);
         if self.ops.is_empty() {
+            close_rel(tr, h, &self.source);
             return Ok(self.source);
         }
         let n = self.source.len();
@@ -684,6 +701,24 @@ impl<'a> AuPipeline<'a> {
             PipeOp::Project(p) => p.compiled().is_some(),
             PipeOp::Probe(_) => false,
         });
+        tr.attr(h, "ops", || {
+            let names: Vec<&'static str> = ops
+                .iter()
+                .map(|op| match op {
+                    PipeOp::Select(_) => "σ",
+                    PipeOp::Project(_) => "π",
+                    PipeOp::Probe(p) => match p.plan {
+                        ProbePlan::HashEqui { .. } => "⋈(hash-equi)",
+                        ProbePlan::Comparison => "⋈(interval-comparison)",
+                        ProbePlan::NestedLoop => "⋈(nested-loop)",
+                    },
+                })
+                .collect();
+            names.join("·")
+        });
+        tr.attr(h, "exprs", || (if cfg.compiled { "compiled" } else { "interpreted" }).to_string());
+        tr.attr(h, "batched", || batchable.to_string());
+        tr.attr(h, "shards", || sharding.slices(n).len().to_string());
         let rows = if batchable {
             exec.run_shards(n, &sharding, |range, out| {
                 run_shard_batched(ops, source, range, out, exec)
@@ -729,6 +764,7 @@ impl<'a> AuPipeline<'a> {
             out.append_rows(rows);
             out
         };
+        close_rel(tr, h, &out);
         Ok(Cow::Owned(out))
     }
 }
@@ -739,6 +775,7 @@ fn build_chain<'a>(
     q: &Query,
     cfg: &AuConfig,
     exec: &Executor,
+    tr: &TraceBuilder,
 ) -> Result<AuPipeline<'a>, EvalError> {
     match q {
         Query::Table(name) => {
@@ -750,12 +787,12 @@ fn build_chain<'a>(
             })
         }
         Query::Select { input, predicate } => {
-            let mut c = build_chain(db, input, cfg, exec)?;
+            let mut c = build_chain(db, input, cfg, exec, tr)?;
             c.ops.push(PipeOp::Select(RangePred::new(predicate, cfg.compiled)));
             Ok(c)
         }
         Query::Project { input, exprs } => {
-            let mut c = build_chain(db, input, cfg, exec)?;
+            let mut c = build_chain(db, input, cfg, exec, tr)?;
             c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
             c.ops.push(PipeOp::Project(RangeProj::new(exprs, cfg.compiled)));
             Ok(c)
@@ -765,13 +802,13 @@ fn build_chain<'a>(
             // row ids stay valid for the sweep candidates); anything
             // else is materialized and becomes the new chain source.
             let mut chain = if fusable(left, cfg) && select_only(left) {
-                build_chain(db, left, cfg, exec)?
+                build_chain(db, left, cfg, exec, tr)?
             } else {
-                let rel = eval_pl(db, left, cfg, exec, Delivery::Canonical)?;
+                let rel = eval_pl(db, left, cfg, exec, Delivery::Canonical, tr)?;
                 let schema = rel.schema.clone();
                 AuPipeline { source: rel, ops: Vec::new(), schema }
             };
-            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
+            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical, tr)?;
             chain.schema = chain.schema.concat(&r.schema);
             let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), cfg.compiled);
             chain.ops.push(PipeOp::Probe(Box::new(probe)));
@@ -791,61 +828,121 @@ fn eval_pl<'a>(
     cfg: &AuConfig,
     exec: &Executor,
     delivery: Delivery,
+    tr: &TraceBuilder,
 ) -> Result<Cow<'a, AuRelation>, EvalError> {
     // Fused path: maximal row-local chains, one breaker normalization.
     if fusable(q, cfg) && (delivery == Delivery::Canonical || faithful_ok(q)) {
-        return build_chain(db, q, cfg, exec)?.run(cfg, exec);
+        let h = tr.open("fused-chain", || q.to_string());
+        tr.attr(h, "delivery", || {
+            (match delivery {
+                Delivery::Canonical => "canonical",
+                Delivery::Faithful => "faithful",
+            })
+            .to_string()
+        });
+        return build_chain(db, q, cfg, exec, tr)?.run(cfg, exec, tr, h);
     }
+    // Why this operator did not fuse — the delivery contract that
+    // blocked it, or the breaker kind. Recorded on the operator's span.
+    let fallback: &'static str = if fusable(q, cfg) {
+        // fusable shape, but the consumer needs the exact operator-path
+        // row list and this chain cannot reproduce it
+        "faithful-delivery-unreproducible"
+    } else {
+        match q {
+            Query::Table(_) | Query::Select { .. } | Query::Project { .. } => "input-not-fusable",
+            Query::Join { .. } => "compressed-join-breaker",
+            Query::Union { .. }
+            | Query::Difference { .. }
+            | Query::Distinct { .. }
+            | Query::Aggregate { .. } => "pipeline-breaker",
+        }
+    };
+    let h = open_op_span(tr, q);
+    tr.attr(h, "fallback", || fallback.to_string());
     // Operator-at-a-time fallback; inputs recurse through the pipeline
     // with the delivery each operator requires (see module docs).
     Ok(match q {
-        Query::Table(name) => Cow::Borrowed(db.get(name)?),
+        Query::Table(name) => {
+            let rel = db.get(name)?;
+            close_rel(tr, h, rel);
+            Cow::Borrowed(rel)
+        }
         Query::Select { input, predicate } => {
             // select preserves its input list one-to-one → propagate
-            let rel = eval_pl(db, input, cfg, exec, delivery)?;
-            Cow::Owned(select_au_exec(&rel, predicate, exec)?)
+            let rel = eval_pl(db, input, cfg, exec, delivery, tr)?;
+            tr.rows_in(h, rel.len() as u64);
+            let out = select_au_exec(&rel, predicate, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Project { input, exprs } => {
             // projection normalizes: multiset-determined output
-            let rel = eval_pl(db, input, cfg, exec, Delivery::Canonical)?;
-            Cow::Owned(super::project_au_exec(&rel, exprs, exec)?)
+            let rel = eval_pl(db, input, cfg, exec, Delivery::Canonical, tr)?;
+            tr.rows_in(h, rel.len() as u64);
+            let out = super::project_au_exec(&rel, exprs, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Join { left, right, predicate } => {
             // a compressed (or Faithful-context) join reproduces the
             // operator path, so its inputs inherit the stricter need
             let d = if cfg.join_compress.is_some() { Delivery::Faithful } else { delivery };
-            let l = eval_pl(db, left, cfg, exec, d)?;
-            let r = eval_pl(db, right, cfg, exec, d)?;
-            Cow::Owned(match cfg.join_compress {
+            let l = eval_pl(db, left, cfg, exec, d, tr)?;
+            let r = eval_pl(db, right, cfg, exec, d, tr)?;
+            tr.rows_in(h, (l.len() + r.len()) as u64);
+            let out = match cfg.join_compress {
                 Some(ct) if !cfg.adaptive || crate::opt::join_compression_pays_off(&l, &r) => {
+                    tr.attr(h, "strategy", || "split-compress".to_string());
                     crate::opt::optimized_join_exec(&l, &r, predicate.as_ref(), ct, exec)?
                 }
-                _ => planner::join_au_planned_exec(&l, &r, predicate.as_ref(), exec)?,
-            })
+                _ => {
+                    tr.attr(h, "strategy", || {
+                        planner::classify(predicate.as_ref(), l.schema.arity()).name().to_string()
+                    });
+                    planner::join_au_planned_exec(&l, &r, predicate.as_ref(), exec)?
+                }
+            };
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Union { left, right } => {
-            let l = eval_pl(db, left, cfg, exec, Delivery::Canonical)?;
-            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
-            Cow::Owned(union_cow(l, r, exec)?)
+            let l = eval_pl(db, left, cfg, exec, Delivery::Canonical, tr)?;
+            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical, tr)?;
+            tr.rows_in(h, (l.len() + r.len()) as u64);
+            let out = union_cow(l, r, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Difference { left, right } => {
-            let l = eval_pl(db, left, cfg, exec, Delivery::Canonical)?;
-            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical)?;
-            Cow::Owned(difference::difference_au_exec(&l, &r, exec)?)
+            let l = eval_pl(db, left, cfg, exec, Delivery::Canonical, tr)?;
+            let r = eval_pl(db, right, cfg, exec, Delivery::Canonical, tr)?;
+            tr.rows_in(h, (l.len() + r.len()) as u64);
+            let out = difference::difference_au_exec(&l, &r, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Distinct { input } => {
             // grouping on all columns, no aggregates: bounding boxes and
             // annotation sums are commutative folds → multiset-determined
-            let rel = eval_pl(db, input, cfg, exec, Delivery::Canonical)?;
+            let rel = eval_pl(db, input, cfg, exec, Delivery::Canonical, tr)?;
+            tr.rows_in(h, rel.len() as u64);
             let all: Vec<usize> = (0..rel.schema.arity()).collect();
             let compress = effective_agg_compress(cfg, &rel, &all);
-            Cow::Owned(aggregate::aggregate_au_exec(&rel, &all, &[], compress, exec)?)
+            tr.attr(h, "compress", || opt_usize_attr(compress));
+            let out = aggregate::aggregate_au_exec(&rel, &all, &[], compress, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
         Query::Aggregate { input, group_by, aggs } => {
             // bound folds run in member order (floats!) → exact list
-            let rel = eval_pl(db, input, cfg, exec, Delivery::Faithful)?;
+            let rel = eval_pl(db, input, cfg, exec, Delivery::Faithful, tr)?;
+            tr.rows_in(h, rel.len() as u64);
             let compress = effective_agg_compress(cfg, &rel, group_by);
-            Cow::Owned(aggregate::aggregate_au_exec(&rel, group_by, aggs, compress, exec)?)
+            tr.attr(h, "compress", || opt_usize_attr(compress));
+            let out = aggregate::aggregate_au_exec(&rel, group_by, aggs, compress, exec)?;
+            close_rel(tr, h, &out);
+            Cow::Owned(out)
         }
     })
 }

@@ -26,7 +26,9 @@ pub mod sql;
 pub mod ua;
 
 pub use algebra::{table, AggFunc, AggSpec, Catalog, Query};
-pub use au::{eval_au, eval_au_cancellable, AuConfig};
+pub use au::{
+    eval_au, eval_au_cancellable, eval_au_traced, eval_au_traced_full, explain, AuConfig, Explain,
+};
 pub use audb_exec::{Executor, Partitioner};
 pub use det::eval_det;
 pub use planner::{classify, JoinStrategy};

@@ -79,6 +79,17 @@ pub enum JoinStrategy {
     NestedLoop,
 }
 
+impl JoinStrategy {
+    /// Stable strategy name, as reported in query traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinStrategy::HashEqui(_) => "hash-equi",
+            JoinStrategy::IntervalComparison { .. } => "interval-comparison",
+            JoinStrategy::NestedLoop => "nested-loop",
+        }
+    }
+}
+
 /// Classify a join predicate over the concatenated schema split at
 /// `split` (the left arity).
 pub fn classify(predicate: Option<&Expr>, split: usize) -> JoinStrategy {

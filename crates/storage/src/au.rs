@@ -112,6 +112,29 @@ impl AuRelation {
         self.rows.is_empty()
     }
 
+    /// Estimated in-memory footprint of the row list, in bytes: the
+    /// inline row size plus each tuple's range-value storage and string
+    /// heap. This is the size the observability layer reports as
+    /// `bytes_out` per operator and the budget layer charges — an
+    /// estimate (allocator overhead and capacity slack are ignored) but
+    /// a deterministic one, so traces are comparable across runs.
+    pub fn estimated_bytes(&self) -> u64 {
+        let inline = std::mem::size_of::<(RangeTuple, AuAnnot)>();
+        let per_val = std::mem::size_of::<RangeValue>();
+        let mut total = (self.rows.len() * inline) as u64;
+        for (t, _) in &self.rows {
+            total += (t.0.len() * per_val) as u64;
+            for rv in &t.0 {
+                for v in [&rv.lb, &rv.sg, &rv.ub] {
+                    if let Value::Str(s) = v {
+                        total += s.len() as u64;
+                    }
+                }
+            }
+        }
+        total
+    }
+
     /// Merge identical range tuples with `+_{N_AU}`, drop `(0,0,0)`
     /// annotations, sort canonically. Keeps the AU-relation a function
     /// `D_I^n → N_AU`. Free when the relation is already in normal form.

@@ -57,6 +57,7 @@ pub use audb_workloads as workloads;
 
 /// Common imports for working with AU-DBs.
 pub mod prelude {
+    pub use audb_core::obs::{Metrics, QueryTrace, TraceSpan, TRACE_SCHEMA_VERSION};
     pub use audb_core::{
         col, lit, AuAnnot, Budget, BudgetSpec, CancelToken, EvalError, ExecError, Expr, RangeValue,
         UaAnnot, Value,
@@ -67,8 +68,9 @@ pub mod prelude {
         TiDb, TiRelation, VTable, XDb, XRelation, XTuple,
     };
     pub use audb_query::{
-        eval_au, eval_au_cancellable, eval_det, eval_ua, parse_sql, rewrite::eval_via_rewrite,
-        table, AggFunc, AggSpec, AuConfig, Query,
+        eval_au, eval_au_cancellable, eval_au_traced, eval_au_traced_full, eval_det, eval_ua,
+        explain, parse_sql, rewrite::eval_via_rewrite, table, AggFunc, AggSpec, AuConfig, Explain,
+        Query,
     };
     pub use audb_storage::{
         au_row, certain_row, AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema, Tuple,

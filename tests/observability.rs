@@ -1,0 +1,407 @@
+//! The observability layer's core contract: *watching a query must not
+//! change it*. `eval_au_traced` has to return byte-identical results to
+//! `eval_au` for every (workers × shards) combination, while the trace
+//! it produces has to tell the truth — root-span cardinalities equal to
+//! the materialized relation, planner strategies matching what the
+//! planner would classify, fusion/fallback decisions with their
+//! blocking reasons, and (under `--features faults`) injected faults
+//! landing in the event log with the exact driver/morsel coordinates
+//! the fault plan fired at.
+
+use proptest::prelude::*;
+
+use audb::core::{col, lit, Expr};
+use audb::prelude::*;
+use audb::query::table;
+
+/// Worker and shard grids the ISSUE pins down.
+const WORKERS: [usize; 4] = [1, 2, 4, 7];
+const SHARDS: [usize; 3] = [1, 3, 8];
+
+/// Forced worker/shard counts with the parallelism floor disabled, so
+/// tiny proptest inputs really exercise multi-worker paths.
+fn cfg_pipeline(workers: usize, shards: usize) -> AuConfig {
+    AuConfig {
+        workers: Some(workers),
+        shards: Some(shards),
+        min_rows_per_worker: Some(0),
+        ..AuConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generators (mirroring tests/exec_equivalence.rs)
+// ---------------------------------------------------------------------------
+
+fn range_value_strategy() -> impl Strategy<Value = RangeValue> {
+    prop_oneof![
+        (-4i64..5).prop_map(|v| RangeValue::certain(Value::Int(v))),
+        (-4i64..5, 0i64..3, 0i64..3).prop_map(|(a, d1, d2)| RangeValue::range(a - d1, a, a + d2)),
+        (-4i64..5).prop_map(|v| RangeValue::unknown(Value::Int(v))),
+    ]
+}
+
+fn annot_strategy() -> impl Strategy<Value = AuAnnot> {
+    (0u64..2, 0u64..3, 0u64..3).prop_map(|(a, b, c)| AuAnnot::triple(a, a + b, a + b + c))
+}
+
+fn au_relation_strategy(
+    name0: &'static str,
+    name1: &'static str,
+    max_rows: usize,
+) -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec(
+        (range_value_strategy(), range_value_strategy(), annot_strategy()),
+        0..max_rows,
+    )
+    .prop_map(move |rows| {
+        AuRelation::from_rows(
+            Schema::named(&[name0, name1]),
+            rows.into_iter().map(|(a, b, k)| (RangeTuple::new(vec![a, b]), k)).collect(),
+        )
+    })
+}
+
+/// Query shapes covering fused chains, breakers, and set operators.
+fn trace_queries() -> Vec<Query> {
+    vec![
+        table("t1")
+            .select(col(1).geq(lit(0i64)))
+            .join_on(table("t2"), col(0).eq(col(2)))
+            .project(vec![(col(0).add(col(3)), "x"), (col(1), "y")]),
+        table("t1")
+            .select(col(0).leq(lit(3i64)))
+            .join_on(table("t2"), col(0).eq(col(2)))
+            .project(vec![(col(0), "g"), (col(1).add(col(3)), "v")])
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]),
+        table("t1").difference(table("t2").project(vec![(col(0), "A"), (col(1), "B")])),
+        table("t1").project(vec![(col(0), "a")]).distinct(),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// satellite: traced evaluation is observation-free
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `eval_au_traced` returns a byte-identical relation to `eval_au`
+    /// for every workers × shards shape, and the root span's
+    /// rows_out/bytes_out equal the materialized relation's actual
+    /// cardinality and estimated footprint.
+    #[test]
+    fn traced_result_identical_and_root_counters_exact(
+        t1 in au_relation_strategy("A", "B", 12),
+        t2 in au_relation_strategy("C", "D", 12),
+    ) {
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1);
+        db.insert("t2", t2);
+        for q in trace_queries() {
+            for w in WORKERS {
+                for s in SHARDS {
+                    let cfg = cfg_pipeline(w, s);
+                    let reference = eval_au(&db, &q, &cfg).unwrap();
+                    let (traced, trace) = eval_au_traced(&db, &q, &cfg).unwrap();
+                    prop_assert_eq!(
+                        &traced, &reference,
+                        "traced != untraced: workers = {}, shards = {}, q = {}", w, s, &q
+                    );
+                    prop_assert_eq!(trace.version, TRACE_SCHEMA_VERSION);
+                    prop_assert_eq!(
+                        trace.root.rows_out, Some(reference.len() as u64),
+                        "root rows_out, workers = {}, shards = {}, q = {}", w, s, &q
+                    );
+                    prop_assert_eq!(
+                        trace.root.bytes_out, Some(reference.estimated_bytes()),
+                        "root bytes_out, workers = {}, shards = {}, q = {}", w, s, &q
+                    );
+                    // a clean run records no governance/fault events
+                    prop_assert!(trace.events.is_empty(), "events = {:?}", &trace.events);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// explain content: strategy, fusion, compiled-vs-interpreted
+// ---------------------------------------------------------------------------
+
+/// Three tables shaped like the paper's experiment corpus: `t`
+/// (fig13-style aggregation input), `t1`/`t2` (fig14-style join pair).
+fn corpus_db() -> AuDatabase {
+    let mk = |n: usize, key_mod: i64| {
+        AuRelation::from_rows(
+            Schema::named(&["k", "v"]),
+            (0..n)
+                .map(|i| {
+                    let v = if i % 5 == 0 {
+                        RangeValue::range(i as i64 - 1, i as i64, i as i64 + 2)
+                    } else {
+                        RangeValue::certain(Value::Int(i as i64))
+                    };
+                    (
+                        RangeTuple::new(vec![
+                            RangeValue::certain(Value::Int(i as i64 % key_mod)),
+                            v,
+                        ]),
+                        AuAnnot::triple(1, 1, 1),
+                    )
+                })
+                .collect(),
+        )
+    };
+    let mut db = AuDatabase::new();
+    db.insert("t", mk(200, 8));
+    db.insert("t1", mk(120, 10));
+    db.insert("t2", mk(90, 10));
+    db
+}
+
+/// fig13-shaped aggregation: the trace reports the aggregate operator
+/// with its group/agg detail and the compression knob.
+#[test]
+fn explain_reports_aggregate_breakdown() {
+    let db = corpus_db();
+    let q = table("t").aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s")]);
+    let cfg = AuConfig { agg_compress: Some(25), ..AuConfig::default() };
+    let ex = explain(&db, &q, &cfg).unwrap();
+    let agg = ex.trace.root.find("aggregate").expect("aggregate span");
+    assert_eq!(agg.attr("compress"), Some("25"));
+    assert_eq!(agg.rows_in, Some(200));
+    assert!(agg.rows_out.is_some() && agg.bytes_out.is_some());
+    // the text renderer mentions the operator and the engine echo
+    let text = ex.to_string();
+    assert!(text.contains("aggregate"), "text:\n{text}");
+    assert!(text.contains("engine:"), "text:\n{text}");
+}
+
+/// fig14-shaped joins: the planner strategy lands on the join span —
+/// hash-equi for an equality predicate, interval-comparison for an
+/// inequality, split-compress when the compressed path is forced.
+#[test]
+fn explain_reports_join_strategy() {
+    let db = corpus_db();
+    // operator-at-a-time so the join gets its own span (the pipelined
+    // engine fuses a bare join into a chain, covered separately below)
+    let op = AuConfig { pipeline: false, ..AuConfig::default() };
+    let cases: [(Option<Expr>, AuConfig, &str); 3] = [
+        (Some(col(0).eq(col(2))), op, "hash-equi"),
+        (Some(col(0).leq(col(2))), op, "interval-comparison"),
+        (Some(col(0).eq(col(2))), AuConfig { join_compress: Some(32), ..op }, "split-compress"),
+    ];
+    for (pred, cfg, want) in cases {
+        let q = match &pred {
+            Some(p) => table("t1").join_on(table("t2"), p.clone()),
+            None => table("t1").cross(table("t2")),
+        };
+        let ex = explain(&db, &q, &cfg).unwrap();
+        let join = ex.trace.root.find("join").expect("join span");
+        assert_eq!(join.attr("strategy"), Some(want), "pred = {pred:?}");
+        assert_eq!(join.rows_in, Some(120 + 90));
+    }
+}
+
+/// A multi-join chain (fig16 shape): every join span carries a
+/// strategy, and the pipelined run reports the fused chain with its
+/// operator summary, shard count, and compiled-vs-interpreted flag.
+#[test]
+fn explain_reports_multi_join_and_fusion() {
+    let db = corpus_db();
+    let q = table("t")
+        .join_on(table("t1"), col(0).eq(col(2)))
+        .join_on(table("t2"), col(1).eq(col(4)))
+        .select(col(0).geq(lit(0i64)))
+        .project(vec![(col(0), "a"), (col(5), "b")]);
+
+    // operator-at-a-time: two join spans, each classified
+    let op_cfg = AuConfig { pipeline: false, ..AuConfig::default() };
+    let ex = explain(&db, &q, &op_cfg).unwrap();
+    let mut joins = 0;
+    ex.trace.root.walk(&mut |s| {
+        if s.op == "join" {
+            joins += 1;
+            assert_eq!(s.attr("strategy"), Some("hash-equi"));
+        }
+    });
+    assert_eq!(joins, 2, "both joins must be traced:\n{}", ex.trace.render_text());
+
+    // pipelined: the spine fuses into one chain; attrs name the mode
+    for compiled in [false, true] {
+        let cfg = AuConfig { compiled, ..cfg_pipeline(2, 3) };
+        let ex = explain(&db, &q, &cfg).unwrap();
+        let attempt = ex.trace.root.find("attempt").expect("attempt span");
+        assert_eq!(attempt.attr("mode"), Some("pipeline"));
+        assert_eq!(attempt.attr("exprs"), Some(if compiled { "compiled" } else { "interpreted" }));
+        let fused = ex.trace.root.find("fused-chain").expect("fused chain span");
+        let ops = fused.attr("ops").expect("ops summary");
+        assert!(ops.contains("⋈(hash-equi)") && ops.contains("σ") && ops.contains("π"), "{ops}");
+        assert_eq!(fused.attr("shards"), Some("3"));
+    }
+}
+
+/// A fusable shape consumed under a Faithful delivery contract falls
+/// back operator-at-a-time and records the blocking reason.
+#[test]
+fn explain_reports_fusion_fallback_reason() {
+    let db = corpus_db();
+    // aggregate directly over a join: the probe chain cannot reproduce
+    // the operator path's row order, so the join subtree must fall back
+    let q = table("t1")
+        .join_on(table("t2"), col(0).eq(col(2)))
+        .aggregate(vec![1], vec![AggSpec::new(AggFunc::Sum, col(3), "s")]);
+    let ex = explain(&db, &q, &cfg_pipeline(2, 3)).unwrap();
+    let agg = ex.trace.root.find("aggregate").expect("aggregate span");
+    assert_eq!(agg.attr("fallback"), Some("pipeline-breaker"));
+    let join = ex.trace.root.find("join").expect("join span");
+    assert_eq!(join.attr("fallback"), Some("faithful-delivery-unreproducible"));
+}
+
+// ---------------------------------------------------------------------------
+// metrics truthfulness and JSON surface
+// ---------------------------------------------------------------------------
+
+/// Counters reflect real work: drivers entered, normalization row
+/// tallies matching the final result, and cancel checks only when a
+/// token is armed.
+#[test]
+fn metrics_counters_reflect_real_work() {
+    let db = corpus_db();
+    let q = table("t1").join_on(table("t2"), col(0).eq(col(2)));
+    let (out, trace) = eval_au_traced(&db, &q, &cfg_pipeline(2, 3)).unwrap();
+    let m = &trace.metrics;
+    assert!(m.counter("drivers_entered").unwrap() >= 1);
+    assert!(m.counter("morsels_dispatched").unwrap() >= 1);
+    assert!(m.counter("normalize_runs").unwrap() >= 1);
+    // the last normalization's output is the final relation
+    assert!(m.counter("normalize_rows_out").unwrap() >= out.len() as u64);
+    assert_eq!(m.counter("cancel_checks"), Some(0), "no token armed");
+
+    let cfg = cfg_pipeline(2, 3).with_timeout(std::time::Duration::from_secs(3600));
+    let (_, trace) = eval_au_traced(&db, &q, &cfg).unwrap();
+    assert!(trace.metrics.counter("cancel_checks").unwrap() >= 1, "token armed");
+
+    let cfg = cfg_pipeline(2, 3).with_budget(BudgetSpec::rows(1_000_000));
+    let (_, trace) = eval_au_traced(&db, &q, &cfg).unwrap();
+    assert!(trace.metrics.counter("budget_charges").unwrap() >= 1);
+    assert!(trace.metrics.counter("budget_rows_charged").unwrap() >= 1);
+}
+
+/// The JSON form is versioned and carries every documented top-level
+/// key; a governed failure still yields a full trace via
+/// `eval_au_traced_full`, with the error tagged on the unwound spans.
+#[test]
+fn trace_json_is_versioned_and_failure_preserves_trace() {
+    let db = corpus_db();
+    let q = table("t1").join_on(table("t2"), col(0).eq(col(2)));
+    let (_, trace) = eval_au_traced(&db, &q, &AuConfig::default()).unwrap();
+    let json = trace.to_json();
+    for key in [
+        "\"version\":1",
+        "\"engine\":",
+        "\"root\":",
+        "\"events\":",
+        "\"metrics\":",
+        "\"total_ns\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+
+    // zero timeout: the query fails, the trace survives
+    let (result, trace) =
+        eval_au_traced_full(&db, &q, &AuConfig::default().with_timeout(std::time::Duration::ZERO));
+    assert_eq!(result.unwrap_err(), EvalError::Exec(ExecError::DeadlineExceeded));
+    assert!(
+        trace.events.iter().any(|e| e.kind.name() == "deadline_exceeded"),
+        "events = {:?}",
+        &trace.events
+    );
+    let err_attr = trace.root.attr("error").expect("root tagged with the error");
+    assert!(err_attr.contains("deadline exceeded"), "{err_attr}");
+}
+
+// ---------------------------------------------------------------------------
+// fault injection lands in the trace (feature `faults`)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "faults")]
+mod fault_trace {
+    use super::*;
+    use audb::exec::faults::{with_plan, FaultKind, FaultPlan, FaultRule};
+
+    /// A one-shot injected *error* during the compiled attempt is
+    /// absorbed by degradation — and the trace records the injected
+    /// fault at exactly the plan's (driver, morsel) coordinates plus
+    /// exactly one degradation event.
+    #[test]
+    fn injected_error_lands_with_exact_coordinates_and_one_degradation() {
+        let db = corpus_db();
+        let q = table("t1").join_on(table("t2"), col(0).eq(col(2)));
+        let cfg = AuConfig { compiled: true, ..cfg_pipeline(2, 3) };
+        let reference = eval_au(&db, &q, &cfg).unwrap();
+        let (driver, morsel) = (0usize, 0usize);
+        let plan = FaultPlan::new(vec![FaultRule::once(driver, morsel, FaultKind::Error)]);
+        let (out, trace) = with_plan(plan.clone(), || eval_au_traced(&db, &q, &cfg)).unwrap();
+        assert_eq!(out, reference, "degraded run must be byte-identical");
+        assert_eq!(plan.fired(), 1);
+
+        let injected: Vec<_> =
+            trace.events.iter().filter(|e| e.kind.name() == "injected_fault").collect();
+        assert_eq!(injected.len(), 1, "events = {:?}", &trace.events);
+        assert_eq!(injected[0].driver, Some(driver), "driver coordinate");
+        assert_eq!(injected[0].morsel, Some(morsel), "morsel coordinate");
+        assert_eq!(trace.metrics.counter("injected_faults"), Some(1));
+
+        let degraded: Vec<_> =
+            trace.events.iter().filter(|e| e.kind.name() == "degraded_to_interpreter").collect();
+        assert_eq!(degraded.len(), 1, "degradation recorded exactly once");
+        assert_eq!(trace.metrics.counter("degradations"), Some(1));
+    }
+
+    /// Same for an injected worker *panic*: the panic is contained,
+    /// degradation absorbs it, and the event carries the morsel the
+    /// panic fired at.
+    #[test]
+    fn injected_panic_lands_in_trace() {
+        let db = corpus_db();
+        let q = table("t1").join_on(table("t2"), col(0).eq(col(2)));
+        let cfg = AuConfig { compiled: true, ..cfg_pipeline(2, 3) };
+        let reference = eval_au(&db, &q, &cfg).unwrap();
+        let plan = FaultPlan::new(vec![FaultRule::once(0, 0, FaultKind::Panic)]);
+        let (out, trace) = with_plan(plan.clone(), || eval_au_traced(&db, &q, &cfg)).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(plan.fired(), 1);
+        let panics: Vec<_> =
+            trace.events.iter().filter(|e| e.kind.name() == "worker_panic").collect();
+        assert_eq!(panics.len(), 1, "events = {:?}", &trace.events);
+        assert_eq!(panics[0].morsel, Some(0));
+        assert!(panics[0].detail.contains("injected panic"), "{}", panics[0].detail);
+        assert_eq!(trace.metrics.counter("worker_panics"), Some(1));
+        assert_eq!(trace.metrics.counter("degradations"), Some(1));
+    }
+
+    /// An injected cancellation (the fault trips the armed token)
+    /// surfaces as a failed query whose trace still carries the
+    /// cancelled event — no retry, since cancellation is a resource
+    /// verdict.
+    #[test]
+    fn injected_cancel_lands_in_trace() {
+        let db = corpus_db();
+        let q = table("t1").join_on(table("t2"), col(0).eq(col(2)));
+        let cfg = AuConfig { compiled: true, ..cfg_pipeline(2, 3) }
+            .with_timeout(std::time::Duration::from_secs(3600));
+        let plan = FaultPlan::new(vec![FaultRule::persistent(0, FaultKind::Cancel)]);
+        let (result, trace) = with_plan(plan, || eval_au_traced_full(&db, &q, &cfg));
+        assert_eq!(result.unwrap_err(), EvalError::Exec(ExecError::Cancelled));
+        assert!(
+            trace.events.iter().any(|e| e.kind.name() == "cancelled"),
+            "events = {:?}",
+            &trace.events
+        );
+        assert_eq!(trace.metrics.counter("degradations"), Some(0), "no retry on cancellation");
+        let err_attr = trace.root.attr("error").expect("root tagged with the error");
+        assert!(err_attr.contains("cancelled"), "{err_attr}");
+    }
+}
