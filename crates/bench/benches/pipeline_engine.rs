@@ -28,6 +28,13 @@
 //! (criterion_8, intra-run like criterion_7). The run also prints the
 //! trace-derived per-operator breakdown and the engine-config
 //! fingerprint the wall-clock numbers were measured under.
+//!
+//! The `pipeline_10k_noverify_w1` variant runs the same fused chain
+//! with `AuConfig::verify = false` (Tier B static verification skipped
+//! at the chain compile sites). Default (verify on) vs noverify at one
+//! worker is the verifier overhead gate: Tier B runs once per compiled
+//! stage per query — never per row — so the ratio must stay <= 1.03
+//! (criterion_9, intra-run like criterion_7/8).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -89,6 +96,13 @@ fn bench(c: &mut Criterion) {
         .with_budget(BudgetSpec::unlimited());
     g.bench_function("pipeline_10k_guarded_w1", |b| {
         b.iter(|| black_box(eval_au(&audb, &q, &guarded).unwrap()))
+    });
+
+    // static-verifier overhead: Tier B off at the chain compile sites
+    // (criterion_9, vs the verify-on pipeline_10k_w1 within this run)
+    let noverify = AuConfig { verify: false, workers: Some(1), ..AuConfig::default() };
+    g.bench_function("pipeline_10k_noverify_w1", |b| {
+        b.iter(|| black_box(eval_au(&audb, &q, &noverify).unwrap()))
     });
 
     // observability overhead: live metrics + trace assembly on the

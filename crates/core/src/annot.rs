@@ -28,6 +28,7 @@ impl AuAnnot {
     }
 
     /// Shorthand; panics on invalid triples (tests / generators).
+    #[allow(clippy::expect_used)] // the panic is this constructor's documented contract
     pub fn triple(lb: u64, sg: u64, ub: u64) -> Self {
         Self::new(lb, sg, ub).expect("invalid AU annotation")
     }
@@ -144,6 +145,7 @@ impl fmt::Display for UaAnnot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

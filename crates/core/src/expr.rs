@@ -122,16 +122,61 @@ impl Expr {
     }
 
     /// Conjunction of a list of expressions (`true` when empty).
-    pub fn conj(mut exprs: Vec<Expr>) -> Expr {
-        match exprs.len() {
-            0 => lit(true),
-            1 => exprs.pop().unwrap(),
-            _ => {
-                let mut it = exprs.into_iter();
-                let first = it.next().unwrap();
-                it.fold(first, |acc, e| acc.and(e))
-            }
+    pub fn conj(exprs: Vec<Expr>) -> Expr {
+        let mut it = exprs.into_iter();
+        match it.next() {
+            None => lit(true),
+            Some(first) => it.fold(first, |acc, e| acc.and(e)),
         }
+    }
+
+    // ---- structural traversal (spans for the compiled backend) ----------
+
+    /// The node's children in syntactic order (up to three).
+    pub(crate) fn children(&self) -> [Option<&Expr>; 3] {
+        match self {
+            Expr::Col(_) | Expr::Const(_) => [None, None, None],
+            Expr::Not(a) | Expr::Neg(a) => [Some(a), None, None],
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Neq(a, b)
+            | Expr::Leq(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Geq(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b) => [Some(a), Some(b), None],
+            Expr::If(c, t, e) | Expr::Uncertain(c, t, e) => [Some(c), Some(t), Some(e)],
+        }
+    }
+
+    /// Number of AST nodes in this subtree (the node itself included).
+    /// Preorder node ids are assigned against this count: a node's first
+    /// child is `id + 1`, each later child starts past its predecessor's
+    /// subtree. The compiled backend stamps every emitted op with the id
+    /// of its emitting node ([`crate::Program`]'s spans).
+    pub fn node_count(&self) -> u32 {
+        1 + self.children().iter().flatten().map(|c| c.node_count()).sum::<u32>()
+    }
+
+    /// The node at preorder index `idx` within this subtree (`0` is the
+    /// root), or `None` past the end.
+    pub fn preorder_node(&self, idx: usize) -> Option<&Expr> {
+        if idx == 0 {
+            return Some(self);
+        }
+        let mut rest = idx - 1;
+        for c in self.children().iter().flatten() {
+            let n = c.node_count() as usize;
+            if rest < n {
+                return c.preorder_node(rest);
+            }
+            rest -= n;
+        }
+        None
     }
 
     /// `vars(e)`: the set of referenced columns.
@@ -542,6 +587,7 @@ impl fmt::Display for Expr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

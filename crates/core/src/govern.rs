@@ -311,6 +311,7 @@ fn saturating_fetch_add(meter: &AtomicU64, delta: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -102,6 +102,7 @@ impl<K: Semiring> KRelation<K> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::expr::{col, lit};

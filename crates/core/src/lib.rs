@@ -15,6 +15,14 @@
 //! * [`krelation`] — minimal generic K-relations validating the framework;
 //! * [`obs`] — query-engine observability: metrics sink, execution
 //!   traces, EXPLAIN ANALYZE renderers.
+//!
+//! Like the execution runtime, this crate denies stray
+//! `unwrap`/`expect` in non-test code
+//! (`clippy::unwrap_used`/`expect_used`): evaluation errors are values
+//! ([`EvalError`]), and the only sanctioned panics are explicit
+//! invariant assertions (e.g. the lowerer's Tier A gate).
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod annot;
 pub mod error;
@@ -26,6 +34,7 @@ pub mod program;
 pub mod range;
 pub mod semiring;
 pub mod value;
+pub mod verify;
 
 pub use annot::{AuAnnot, UaAnnot};
 pub use error::EvalError;
@@ -41,3 +50,4 @@ pub use semiring::{
     delta, LSemiring, MonusSemiring, Nat, NaturallyOrdered, PolyNX, Prod, Semiring,
 };
 pub use value::{Value, F64};
+pub use verify::{LintKind, ProgramLint, VerifyError, VerifyErrorKind};

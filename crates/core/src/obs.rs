@@ -70,11 +70,14 @@ pub enum Counter {
     NormalizeRowsIn,
     /// Rows surviving normalization (in − out = merges + zero-drops).
     NormalizeRowsOut,
+    /// Compiled programs rejected by the static verifier (Tier B) and
+    /// degraded per-site to the interpreted operator.
+    VerifyRejects,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::DriversEntered,
         Counter::MorselsDispatched,
         Counter::ShardsDispatched,
@@ -88,6 +91,7 @@ impl Counter {
         Counter::NormalizeRuns,
         Counter::NormalizeRowsIn,
         Counter::NormalizeRowsOut,
+        Counter::VerifyRejects,
     ];
 
     /// Stable serialized name.
@@ -106,6 +110,7 @@ impl Counter {
             Counter::NormalizeRuns => "normalize_runs",
             Counter::NormalizeRowsIn => "normalize_rows_in",
             Counter::NormalizeRowsOut => "normalize_rows_out",
+            Counter::VerifyRejects => "verify_rejects",
         }
     }
 }
@@ -189,6 +194,9 @@ pub enum ExecEventKind {
     /// The compiled path failed and evaluation degraded to the
     /// interpreter for one retry.
     Degraded,
+    /// The static verifier rejected a freshly compiled program and the
+    /// compile site fell back to the interpreted operator.
+    VerifierRejected,
 }
 
 impl ExecEventKind {
@@ -201,6 +209,7 @@ impl ExecEventKind {
             ExecEventKind::DeadlineExceeded => "deadline_exceeded",
             ExecEventKind::BudgetExceeded => "budget_exceeded",
             ExecEventKind::Degraded => "degraded_to_interpreter",
+            ExecEventKind::VerifierRejected => "verifier_rejected",
         }
     }
 
@@ -457,6 +466,7 @@ impl TraceSpan {
 /// log and metric meters, serializable as EXPLAIN ANALYZE text
 /// ([`QueryTrace::render_text`], also the `Display` impl) or versioned
 /// JSON ([`QueryTrace::to_json`]).
+#[must_use = "a trace is the whole point of a traced evaluation; render or inspect it"]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryTrace {
     /// [`TRACE_SCHEMA_VERSION`] at serialization time.
@@ -856,6 +866,7 @@ fn fix_child_order(s: &mut TraceSpan) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -64,8 +64,8 @@ pub enum Mode {
 
 /// An op operand, addressed in place: a register holding a compound
 /// sub-result, an input tuple column, or a pooled constant.
-#[derive(Debug, Clone, Copy)]
-enum Src {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
     Reg(Reg),
     Col(u32),
     Const(u32),
@@ -74,8 +74,8 @@ enum Src {
 /// One flat instruction. `Range*` ops appear only in `Mode::Range`
 /// programs, `Det*`/load/jump ops only in `Mode::Det` programs;
 /// `CheckCol` is shared.
-#[derive(Debug, Clone)]
-enum Op {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
     /// Bounds-probe a column reference (`UnknownColumn` past the
     /// arity), emitted where the interpreter would have *evaluated* the
     /// reference — later ops then read the column in place.
@@ -240,16 +240,33 @@ enum Op {
 /// pool, and one output location per compiled expression. Programs are
 /// immutable and `Sync` — compile once per chain, share across workers,
 /// and give each worker its own register file.
+///
+/// Every op carries a *span* ([`Program::spans`]): the preorder index
+/// of the source [`Expr`] node that emitted it, global across the
+/// compiled expression list. The static verifier
+/// ([`crate::verify`]) leans on spans to reconstruct which ops belong
+/// to which subtree (jump targets are uniquely determined by the
+/// emitting node's op interval) and to name the offending source node
+/// in diagnostics.
+#[must_use = "a compiled program does nothing until evaluated"]
 #[derive(Debug, Clone)]
 pub struct Program {
-    mode: Mode,
-    ops: Vec<Op>,
+    pub(crate) mode: Mode,
+    pub(crate) ops: Vec<Op>,
     /// Constant pool for `Mode::Det` (and the source of `consts_range`).
-    consts: Vec<Value>,
+    pub(crate) consts: Vec<Value>,
     /// The same pool pre-lifted to certain ranges for `Mode::Range`.
-    consts_range: Vec<RangeValue>,
-    nregs: usize,
-    outputs: Vec<Src>,
+    pub(crate) consts_range: Vec<RangeValue>,
+    pub(crate) nregs: usize,
+    pub(crate) outputs: Vec<Src>,
+    /// Per-op source node: `spans[i]` is the global preorder id of the
+    /// `Expr` node that emitted op `i`.
+    pub(crate) spans: Vec<u32>,
+    /// The source expressions, kept for diagnostics and re-verification.
+    pub(crate) srcs: Vec<Expr>,
+    /// `node_offsets[k]` is the global preorder id of `srcs[k]`'s root;
+    /// one sentinel entry past the end holds the total node count.
+    pub(crate) node_offsets: Vec<u32>,
 }
 
 impl Program {
@@ -262,9 +279,7 @@ impl Program {
     /// one output each; expressions evaluate in list order, so the
     /// first error wins exactly as in per-expression interpretation.
     pub fn compile_range_many(exprs: &[Expr]) -> Program {
-        let mut l = Lowerer::new(Mode::Range);
-        let outputs = exprs.iter().map(|e| l.lower_range_value(e)).collect();
-        l.finish(outputs)
+        Self::lower_many(Mode::Range, exprs).expect_well_formed()
     }
 
     /// Lower one expression for deterministic evaluation.
@@ -274,9 +289,34 @@ impl Program {
 
     /// Deterministic analog of [`Program::compile_range_many`].
     pub fn compile_det_many(exprs: &[Expr]) -> Program {
-        let mut l = Lowerer::new(Mode::Det);
-        let outputs = exprs.iter().map(|e| l.lower_det_value(e)).collect();
-        l.finish(outputs)
+        Self::lower_many(Mode::Det, exprs).expect_well_formed()
+    }
+
+    /// Raw lowering without the Tier A gate — the verifier's
+    /// translation-validation pass re-lowers a program's sources through
+    /// this to compare op-for-op (it must not recurse into
+    /// verification).
+    fn lower_many(mode: Mode, exprs: &[Expr]) -> Program {
+        let mut l = Lowerer::new(mode);
+        let mut nid = 0u32;
+        let outputs = exprs
+            .iter()
+            .map(|e| {
+                let s = match mode {
+                    Mode::Range => l.lower_range_value(e, nid),
+                    Mode::Det => l.lower_det_value(e, nid),
+                };
+                nid += e.node_count();
+                s
+            })
+            .collect();
+        l.finish(outputs, exprs)
+    }
+
+    /// Re-lower this program's sources from scratch (unverified); used
+    /// by [`crate::verify`]'s translation validation.
+    pub(crate) fn relower(&self) -> Program {
+        Self::lower_many(self.mode, &self.srcs)
     }
 
     pub fn mode(&self) -> Mode {
@@ -291,6 +331,47 @@ impl Program {
     /// Number of compiled expressions (outputs).
     pub fn arity(&self) -> usize {
         self.outputs.len()
+    }
+
+    /// Number of ops in the program (disassembly length).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    // ---- static verification --------------------------------------------
+
+    /// Tier A: the structural dataflow verifier ([`crate::verify`]).
+    /// Runs unconditionally at compile time via
+    /// [`Program::expect_well_formed`]; a freshly lowered program that
+    /// fails it is a lowerer bug.
+    pub fn verify(&self) -> Result<(), crate::verify::VerifyError> {
+        crate::verify::check_structure(self)
+    }
+
+    /// Tier A + Tier B: structural verification followed by abstract
+    /// interpretation over the type × interval lattice. Returns the
+    /// advisory lints Tier B collected (a sound program may still carry
+    /// lints, e.g. statically-certain errors in reachable code).
+    pub fn verify_full(
+        &self,
+    ) -> Result<Vec<crate::verify::ProgramLint>, crate::verify::VerifyError> {
+        crate::verify::check_structure(self)?;
+        crate::verify::check_abstract(self)
+    }
+
+    /// The source `Expr` node behind global preorder id `nid`, if any.
+    pub(crate) fn node_expr(&self, nid: u32) -> Option<&Expr> {
+        let k = self.node_offsets.partition_point(|&off| off <= nid).checked_sub(1)?;
+        let root = self.srcs.get(k)?;
+        root.preorder_node((nid - self.node_offsets[k]) as usize)
+    }
+
+    /// Panic (lowerer bug) if Tier A rejects this freshly built program.
+    fn expect_well_formed(self) -> Program {
+        if let Err(e) = self.verify() {
+            panic!("lowerer produced a malformed program: {e}\n{self}");
+        }
+        self
     }
 
     // ---- per-row range evaluation ---------------------------------------
@@ -815,13 +896,28 @@ impl fmt::Display for Program {
 struct Lowerer {
     mode: Mode,
     ops: Vec<Op>,
+    /// One entry per op: the global preorder id of the emitting node.
+    spans: Vec<u32>,
     consts: Vec<Value>,
     next: u32,
 }
 
+/// Global preorder ids of a node's children: the first child is the
+/// next preorder slot, each later child starts past its predecessor's
+/// subtree. Works for any child the lowering visits in any order —
+/// ids are *structural*, independent of visit order (det `Uncertain`
+/// skips two subtrees, `Geq`/`Gt` lower right-first).
+fn child_nids(e: &Expr, nid: u32) -> [u32; 3] {
+    let [c0, c1, _] = e.children();
+    let n0 = nid + 1;
+    let n1 = n0 + c0.map_or(0, Expr::node_count);
+    let n2 = n1 + c1.map_or(0, Expr::node_count);
+    [n0, n1, n2]
+}
+
 impl Lowerer {
     fn new(mode: Mode) -> Self {
-        Lowerer { mode, ops: Vec::new(), consts: Vec::new(), next: 0 }
+        Lowerer { mode, ops: Vec::new(), spans: Vec::new(), consts: Vec::new(), next: 0 }
     }
 
     fn reg(&mut self) -> Reg {
@@ -840,9 +936,15 @@ impl Lowerer {
         }
     }
 
-    /// Emit a placeholder jump; returns its op index for patching.
-    fn emit_jump(&mut self, op: Op) -> usize {
+    /// Emit one op attributed to source node `nid`.
+    fn emit(&mut self, nid: u32, op: Op) {
         self.ops.push(op);
+        self.spans.push(nid);
+    }
+
+    /// Emit a placeholder jump; returns its op index for patching.
+    fn emit_jump(&mut self, nid: u32, op: Op) -> usize {
+        self.emit(nid, op);
         self.ops.len() - 1
     }
 
@@ -856,8 +958,16 @@ impl Lowerer {
         }
     }
 
-    fn finish(self, outputs: Vec<Src>) -> Program {
+    fn finish(self, outputs: Vec<Src>, srcs: &[Expr]) -> Program {
         let consts_range = self.consts.iter().map(|v| RangeValue::certain(v.clone())).collect();
+        let mut node_offsets = Vec::with_capacity(srcs.len() + 1);
+        let mut off = 0u32;
+        for e in srcs {
+            node_offsets.push(off);
+            off += e.node_count();
+        }
+        node_offsets.push(off);
+        debug_assert_eq!(self.ops.len(), self.spans.len());
         Program {
             mode: self.mode,
             ops: self.ops,
@@ -865,6 +975,9 @@ impl Lowerer {
             consts_range,
             nregs: self.next as usize,
             outputs,
+            spans: self.spans,
+            srcs: srcs.to_vec(),
+            node_offsets,
         }
     }
 
@@ -873,169 +986,226 @@ impl Lowerer {
     /// Lower an expression, returning where its value will live. Leaves
     /// are addressed in place (a `CheckCol` keeps the bounds error at
     /// the position the interpreter would have raised it).
-    fn lower_range_value(&mut self, e: &Expr) -> Src {
+    fn lower_range_value(&mut self, e: &Expr, nid: u32) -> Src {
+        let [na, nb, nc] = child_nids(e, nid);
         match e {
             Expr::Col(i) => {
-                self.ops.push(Op::CheckCol { col: *i as u32 });
+                self.emit(nid, Op::CheckCol { col: *i as u32 });
                 Src::Col(*i as u32)
             }
             Expr::Const(v) => Src::Const(self.konst(v)),
-            Expr::And(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeAnd { a, b, dst }),
-            Expr::Or(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeOr { a, b, dst }),
+            Expr::And(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeAnd { a, b, dst })
+            }
+            Expr::Or(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeOr { a, b, dst })
+            }
             Expr::Not(a) => {
-                let ra = self.lower_range_value(a);
+                let ra = self.lower_range_value(a, na);
                 let dst = self.reg();
-                self.ops.push(Op::RangeNot { a: ra, dst });
+                self.emit(nid, Op::RangeNot { a: ra, dst });
                 Src::Reg(dst)
             }
-            Expr::Eq(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeEq { a, b, dst }),
+            Expr::Eq(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeEq { a, b, dst })
+            }
             Expr::Neq(a, b) => {
                 // Eq then Not — the interpreter's derivation, without
                 // its per-row subtree clone.
-                let eq = self.range_bin(a, b, |a, b, dst| Op::RangeEq { a, b, dst });
+                let eq =
+                    self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeEq { a, b, dst });
                 let dst = self.reg();
-                self.ops.push(Op::RangeNot { a: eq, dst });
+                self.emit(nid, Op::RangeNot { a: eq, dst });
                 Src::Reg(dst)
             }
-            Expr::Leq(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeLeq { a, b, dst }),
-            Expr::Lt(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeLt { a, b, dst }),
+            Expr::Leq(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeLeq { a, b, dst })
+            }
+            Expr::Lt(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeLt { a, b, dst })
+            }
             // Derived comparisons: swapped operator, so the *syntactic
             // right* operand lowers (and therefore evaluates) first —
             // matching the interpreter's operand order for identical
             // error classification.
-            Expr::Geq(a, b) => self.range_bin(b, a, |b, a, dst| Op::RangeLeq { a: b, b: a, dst }),
-            Expr::Gt(a, b) => self.range_bin(b, a, |b, a, dst| Op::RangeLt { a: b, b: a, dst }),
-            Expr::Add(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeAdd { a, b, dst }),
-            Expr::Sub(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeSub { a, b, dst }),
-            Expr::Mul(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeMul { a, b, dst }),
-            Expr::Div(a, b) => self.range_bin(a, b, |a, b, dst| Op::RangeDiv { a, b, dst }),
+            Expr::Geq(a, b) => {
+                self.range_bin((b, nb), (a, na), nid, |b, a, dst| Op::RangeLeq { a: b, b: a, dst })
+            }
+            Expr::Gt(a, b) => {
+                self.range_bin((b, nb), (a, na), nid, |b, a, dst| Op::RangeLt { a: b, b: a, dst })
+            }
+            Expr::Add(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeAdd { a, b, dst })
+            }
+            Expr::Sub(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeSub { a, b, dst })
+            }
+            Expr::Mul(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeMul { a, b, dst })
+            }
+            Expr::Div(a, b) => {
+                self.range_bin((a, na), (b, nb), nid, |a, b, dst| Op::RangeDiv { a, b, dst })
+            }
             Expr::Neg(a) => {
-                let ra = self.lower_range_value(a);
+                let ra = self.lower_range_value(a, na);
                 let dst = self.reg();
-                self.ops.push(Op::RangeNeg { a: ra, dst });
+                self.emit(nid, Op::RangeNeg { a: ra, dst });
                 Src::Reg(dst)
             }
             Expr::If(c, t, e2) => {
-                let rc = self.lower_range_value(c);
-                self.ops.push(Op::RangeCheckBool3 { src: rc });
-                let rt = self.lower_range_value(t);
-                let re = self.lower_range_value(e2);
+                let rc = self.lower_range_value(c, na);
+                self.emit(nid, Op::RangeCheckBool3 { src: rc });
+                let rt = self.lower_range_value(t, nb);
+                let re = self.lower_range_value(e2, nc);
                 let dst = self.reg();
-                self.ops.push(Op::RangeIfMerge { c: rc, t: rt, e: re, dst });
+                self.emit(nid, Op::RangeIfMerge { c: rc, t: rt, e: re, dst });
                 Src::Reg(dst)
             }
             Expr::Uncertain(l, s, u) => {
-                let rl = self.lower_range_value(l);
-                let rs = self.lower_range_value(s);
-                let ru = self.lower_range_value(u);
+                let rl = self.lower_range_value(l, na);
+                let rs = self.lower_range_value(s, nb);
+                let ru = self.lower_range_value(u, nc);
                 let dst = self.reg();
-                self.ops.push(Op::RangeUncertain { l: rl, s: rs, u: ru, dst });
+                self.emit(nid, Op::RangeUncertain { l: rl, s: rs, u: ru, dst });
                 Src::Reg(dst)
             }
         }
     }
 
-    fn range_bin(&mut self, a: &Expr, b: &Expr, mk: impl Fn(Src, Src, Reg) -> Op) -> Src {
-        let ra = self.lower_range_value(a);
-        let rb = self.lower_range_value(b);
+    fn range_bin(
+        &mut self,
+        a: (&Expr, u32),
+        b: (&Expr, u32),
+        nid: u32,
+        mk: impl Fn(Src, Src, Reg) -> Op,
+    ) -> Src {
+        let ra = self.lower_range_value(a.0, a.1);
+        let rb = self.lower_range_value(b.0, b.1);
         let dst = self.reg();
-        self.ops.push(mk(ra, rb, dst));
+        self.emit(nid, mk(ra, rb, dst));
         Src::Reg(dst)
     }
 
     // ---- det lowering (short-circuit jumps) -----------------------------
 
-    fn lower_det_value(&mut self, e: &Expr) -> Src {
+    fn lower_det_value(&mut self, e: &Expr, nid: u32) -> Src {
         match e {
             Expr::Col(i) => {
-                self.ops.push(Op::CheckCol { col: *i as u32 });
+                self.emit(nid, Op::CheckCol { col: *i as u32 });
                 Src::Col(*i as u32)
             }
             Expr::Const(v) => Src::Const(self.konst(v)),
             _ => {
                 let dst = self.reg();
-                self.lower_det_into(e, dst);
+                self.lower_det_into(e, nid, dst);
                 Src::Reg(dst)
             }
         }
     }
 
-    fn det_bin(&mut self, a: &Expr, b: &Expr, dst: Reg, mk: impl Fn(Src, Src, Reg) -> Op) {
-        let ra = self.lower_det_value(a);
-        let rb = self.lower_det_value(b);
-        self.ops.push(mk(ra, rb, dst));
+    fn det_bin(
+        &mut self,
+        a: (&Expr, u32),
+        b: (&Expr, u32),
+        nid: u32,
+        dst: Reg,
+        mk: impl Fn(Src, Src, Reg) -> Op,
+    ) {
+        let ra = self.lower_det_value(a.0, a.1);
+        let rb = self.lower_det_value(b.0, b.1);
+        self.emit(nid, mk(ra, rb, dst));
     }
 
     /// Lower an expression so its value lands in `dst` (needed by `If`
     /// branches, which must deposit into a shared register).
-    fn lower_det_into(&mut self, e: &Expr, dst: Reg) {
+    fn lower_det_into(&mut self, e: &Expr, nid: u32, dst: Reg) {
+        let [na, nb, nc] = child_nids(e, nid);
         match e {
-            Expr::Col(i) => self.ops.push(Op::LoadCol { col: *i as u32, dst }),
+            Expr::Col(i) => self.emit(nid, Op::LoadCol { col: *i as u32, dst }),
             Expr::Const(v) => {
                 let idx = self.konst(v);
-                self.ops.push(Op::LoadConst { idx, dst });
+                self.emit(nid, Op::LoadConst { idx, dst });
             }
             Expr::And(a, b) => {
                 // dst ← a; if !dst skip b; dst ← b — Rust's `&&` in the
                 // interpreter, including the skipped operand's skipped
                 // errors.
-                let ra = self.lower_det_value(a);
-                self.ops.push(Op::DetAsBool { src: ra, dst });
-                let j = self.emit_jump(Op::JumpIfFalse { src: Src::Reg(dst), to: u32::MAX });
-                let rb = self.lower_det_value(b);
-                self.ops.push(Op::DetAsBool { src: rb, dst });
+                let ra = self.lower_det_value(a, na);
+                self.emit(nid, Op::DetAsBool { src: ra, dst });
+                let j = self.emit_jump(nid, Op::JumpIfFalse { src: Src::Reg(dst), to: u32::MAX });
+                let rb = self.lower_det_value(b, nb);
+                self.emit(nid, Op::DetAsBool { src: rb, dst });
                 self.patch_jump(j);
             }
             Expr::Or(a, b) => {
-                let ra = self.lower_det_value(a);
-                self.ops.push(Op::DetAsBool { src: ra, dst });
-                let j = self.emit_jump(Op::JumpIfTrue { src: Src::Reg(dst), to: u32::MAX });
-                let rb = self.lower_det_value(b);
-                self.ops.push(Op::DetAsBool { src: rb, dst });
+                let ra = self.lower_det_value(a, na);
+                self.emit(nid, Op::DetAsBool { src: ra, dst });
+                let j = self.emit_jump(nid, Op::JumpIfTrue { src: Src::Reg(dst), to: u32::MAX });
+                let rb = self.lower_det_value(b, nb);
+                self.emit(nid, Op::DetAsBool { src: rb, dst });
                 self.patch_jump(j);
             }
             Expr::Not(a) => {
-                let ra = self.lower_det_value(a);
-                self.ops.push(Op::DetNot { a: ra, dst });
+                let ra = self.lower_det_value(a, na);
+                self.emit(nid, Op::DetNot { a: ra, dst });
             }
-            Expr::Eq(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetEq { a, b, dst }),
+            Expr::Eq(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetEq { a, b, dst })
+            }
             Expr::Neq(a, b) => {
-                let ra = self.lower_det_value(a);
-                let rb = self.lower_det_value(b);
+                let ra = self.lower_det_value(a, na);
+                let rb = self.lower_det_value(b, nb);
                 let r = self.reg();
-                self.ops.push(Op::DetEq { a: ra, b: rb, dst: r });
-                self.ops.push(Op::DetNot { a: Src::Reg(r), dst });
+                self.emit(nid, Op::DetEq { a: ra, b: rb, dst: r });
+                self.emit(nid, Op::DetNot { a: Src::Reg(r), dst });
             }
-            Expr::Leq(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLeq { a, b, dst }),
-            Expr::Lt(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLt { a, b, dst }),
+            Expr::Leq(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetLeq { a, b, dst })
+            }
+            Expr::Lt(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetLt { a, b, dst })
+            }
             // Det `x ≥ y` is `leq(y, x)` — operands still evaluate in
             // syntactic order (the interpreter evaluates both up front).
-            Expr::Geq(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLeq { a: b, b: a, dst }),
-            Expr::Gt(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetLt { a: b, b: a, dst }),
-            Expr::Add(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetAdd { a, b, dst }),
-            Expr::Sub(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetSub { a, b, dst }),
-            Expr::Mul(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetMul { a, b, dst }),
-            Expr::Div(a, b) => self.det_bin(a, b, dst, |a, b, dst| Op::DetDiv { a, b, dst }),
+            Expr::Geq(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetLeq { a: b, b: a, dst })
+            }
+            Expr::Gt(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetLt { a: b, b: a, dst })
+            }
+            Expr::Add(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetAdd { a, b, dst })
+            }
+            Expr::Sub(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetSub { a, b, dst })
+            }
+            Expr::Mul(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetMul { a, b, dst })
+            }
+            Expr::Div(a, b) => {
+                self.det_bin((a, na), (b, nb), nid, dst, |a, b, dst| Op::DetDiv { a, b, dst })
+            }
             Expr::Neg(a) => {
-                let ra = self.lower_det_value(a);
-                self.ops.push(Op::DetNeg { a: ra, dst });
+                let ra = self.lower_det_value(a, na);
+                self.emit(nid, Op::DetNeg { a: ra, dst });
             }
             Expr::If(c, t, e2) => {
-                let rc = self.lower_det_value(c);
-                let jelse = self.emit_jump(Op::JumpIfFalse { src: rc, to: u32::MAX });
-                self.lower_det_into(t, dst);
-                let jend = self.emit_jump(Op::Jump { to: u32::MAX });
+                let rc = self.lower_det_value(c, na);
+                let jelse = self.emit_jump(nid, Op::JumpIfFalse { src: rc, to: u32::MAX });
+                self.lower_det_into(t, nb, dst);
+                let jend = self.emit_jump(nid, Op::Jump { to: u32::MAX });
                 self.patch_jump(jelse);
-                self.lower_det_into(e2, dst);
+                self.lower_det_into(e2, nc, dst);
                 self.patch_jump(jend);
             }
             // Deterministic engines see only the selected guess.
-            Expr::Uncertain(_, s, _) => self.lower_det_into(s, dst),
+            Expr::Uncertain(_, s, _) => self.lower_det_into(s, nb, dst),
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{col, lit};

@@ -67,6 +67,7 @@ impl RangeValue {
 
     /// Shorthand for a three-part range; panics on invalid triples
     /// (convenient in tests and generators).
+    #[allow(clippy::expect_used)] // the panic is this constructor's documented contract
     pub fn range(lb: impl Into<Value>, sg: impl Into<Value>, ub: impl Into<Value>) -> Self {
         Self::new(lb.into(), sg.into(), ub.into()).expect("invalid range triple")
     }
@@ -145,6 +146,7 @@ impl From<Value> for RangeValue {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -24,6 +24,7 @@ pub struct F64(f64);
 impl F64 {
     /// Wrap a float. Panics on NaN (NaN never enters the domain; use
     /// [`F64::try_new`] when the input is untrusted).
+    #[allow(clippy::expect_used)] // the panic is this constructor's documented contract
     pub fn new(v: f64) -> Self {
         Self::try_new(v).expect("NaN is not a member of the value domain")
     }
@@ -226,6 +227,7 @@ impl Value {
                 Some(s) => Value::Int(s),
                 None => Value::float(*a as f64 + *b as f64),
             }),
+            #[allow(clippy::unwrap_used)] // is_numeric guarantees as_f64 succeeds
             (a, b) if a.is_numeric() && b.is_numeric() => {
                 Ok(Value::Float(F64::try_new(a.as_f64().unwrap() + b.as_f64().unwrap())?))
             }
@@ -273,6 +275,7 @@ impl Value {
                 Some(p) => Value::Int(p),
                 None => Value::float(*a as f64 * *b as f64),
             }),
+            #[allow(clippy::unwrap_used)] // is_numeric guarantees as_f64 succeeds
             (a, b) if a.is_numeric() && b.is_numeric() => {
                 Ok(Value::Float(F64::try_new(a.as_f64().unwrap() * b.as_f64().unwrap())?))
             }
@@ -299,6 +302,7 @@ impl Value {
                 a.signum()?; // type check
                 Ok(Value::float(0.0))
             }
+            #[allow(clippy::unwrap_used)] // is_numeric guarantees as_f64 succeeds
             (a, b) if a.is_numeric() && b.is_numeric() => {
                 Ok(Value::Float(F64::try_new(a.as_f64().unwrap() / b.as_f64().unwrap())?))
             }
@@ -389,6 +393,7 @@ impl From<String> for Value {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

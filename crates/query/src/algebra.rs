@@ -242,6 +242,7 @@ impl Catalog for UaDatabase {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use audb_core::{col, lit};

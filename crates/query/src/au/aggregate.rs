@@ -530,6 +530,7 @@ fn agg_bounds(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use audb_core::col;

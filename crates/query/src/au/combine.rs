@@ -33,6 +33,7 @@ pub fn sg_combine(rel: &AuRelation) -> AuRelation {
     }
     let mut out = AuRelation::empty(rel.schema.clone());
     for key in order {
+        #[allow(clippy::unwrap_used)] // every key in `order` was inserted into `merged`
         let (t, k) = merged.remove(&key).unwrap();
         out.push(t, k);
     }
@@ -40,6 +41,7 @@ pub fn sg_combine(rel: &AuRelation) -> AuRelation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use audb_core::RangeValue;

@@ -127,6 +127,7 @@ pub fn difference_au_scan(l: &AuRelation, r: &AuRelation) -> Result<AuRelation, 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use audb_core::{AuAnnot, RangeValue};

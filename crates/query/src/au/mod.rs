@@ -83,6 +83,17 @@ pub struct AuConfig {
     /// Results are byte-identical either way
     /// (`tests/compiled_exprs_props.rs`).
     pub compiled: bool,
+    /// Tier B static verification of compiled chain programs
+    /// ([`audb_core::verify`], on by default): after lowering, every
+    /// chain stage is abstractly interpreted over the type × interval
+    /// lattice, and a rejected program degrades that stage to the
+    /// interpreted `Expr`-tree oracle instead of executing — observable
+    /// as a `verify_rejects` counter tick, a `verifier_rejected` event,
+    /// and a `verify` trace span. Tier A (the structural dataflow
+    /// verifier) is not optional: it runs inside `Program` construction
+    /// regardless of this knob. `false` skips the Tier B pass (the
+    /// compile-overhead bench baseline).
+    pub verify: bool,
     /// Wall-clock deadline for the whole query: [`eval_au`] arms a
     /// [`CancelToken`] with this timeout and threads it through every
     /// operator driver, which checks it at morsel boundaries and inside
@@ -109,6 +120,7 @@ impl Default for AuConfig {
             shards: None,
             min_rows_per_worker: None,
             compiled: true,
+            verify: true,
             timeout: None,
             budget: None,
         }
@@ -209,6 +221,7 @@ pub fn eval_au_traced(
 /// post-mortemed — its events carry the fault's driver/morsel
 /// coordinates and every span closed by the unwind is tagged with the
 /// error.
+#[must_use = "the result carries the query outcome and the trace carries its post-mortem"]
 pub fn eval_au_traced_full(
     db: &AuDatabase,
     q: &Query,
@@ -258,6 +271,7 @@ pub fn explain(db: &AuDatabase, q: &Query, cfg: &AuConfig) -> Result<Explain, Ev
 }
 
 /// The result of [`explain`]: a finished [`QueryTrace`] with renderers.
+#[must_use = "an explain plan does nothing unless rendered or inspected"]
 #[derive(Debug, Clone)]
 pub struct Explain {
     pub trace: QueryTrace,
@@ -289,6 +303,7 @@ fn engine_config(cfg: &AuConfig) -> Vec<(&'static str, String)> {
         ("shards", cfg.shards.map_or_else(|| "auto".to_string(), |s| s.to_string())),
         ("pipeline", cfg.pipeline.to_string()),
         ("compiled", cfg.compiled.to_string()),
+        ("verify", cfg.verify.to_string()),
         ("adaptive", cfg.adaptive.to_string()),
         ("join_compress", opt(cfg.join_compress)),
         ("agg_compress", opt(cfg.agg_compress)),
@@ -712,6 +727,7 @@ pub fn union_au_exec(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use audb_core::{col, lit, RangeValue, Value};
@@ -823,6 +839,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod lens_tests {
     use super::*;
     use crate::algebra::table;

@@ -79,6 +79,7 @@ use super::{
 };
 use crate::algebra::Query;
 use crate::planner;
+use crate::vcheck::Vet;
 
 /// Minimum source rows per shard when the shard count is not forced
 /// ([`AuConfig::shards`] = `None`): below this, extra shards only add
@@ -188,11 +189,10 @@ enum RangePred {
 }
 
 impl RangePred {
-    fn new(e: &Expr, compiled: bool) -> RangePred {
-        if compiled {
-            RangePred::Compiled(Program::compile_range(e))
-        } else {
-            RangePred::Interp(e.clone())
+    fn new(e: &Expr, vet: Vet<'_>) -> RangePred {
+        match vet.range(e) {
+            Some(p) => RangePred::Compiled(p),
+            None => RangePred::Interp(e.clone()),
         }
     }
 
@@ -222,12 +222,11 @@ enum RangeProj {
 }
 
 impl RangeProj {
-    fn new(exprs: &[(Expr, String)], compiled: bool) -> RangeProj {
+    fn new(exprs: &[(Expr, String)], vet: Vet<'_>) -> RangeProj {
         let es: Vec<Expr> = exprs.iter().map(|(e, _)| e.clone()).collect();
-        if compiled {
-            RangeProj::Compiled(Program::compile_range_many(&es))
-        } else {
-            RangeProj::Interp(es)
+        match vet.range_many(&es) {
+            Some(p) => RangeProj::Compiled(p),
+            None => RangeProj::Interp(es),
         }
     }
 
@@ -306,7 +305,7 @@ impl<'a> ProbeOp<'a> {
         source: &AuRelation,
         right: Cow<'a, AuRelation>,
         predicate: Option<&Expr>,
-        compiled: bool,
+        vet: Vet<'_>,
     ) -> ProbeOp<'a> {
         let mut cand: Vec<Vec<u32>> = vec![Vec::new(); source.len()];
         let plan = match planner::classify(predicate, source.schema.arity()) {
@@ -350,7 +349,7 @@ impl<'a> ProbeOp<'a> {
             }
             planner::JoinStrategy::NestedLoop => ProbePlan::NestedLoop,
         };
-        let predicate = predicate.map(|p| RangePred::new(p, compiled));
+        let predicate = predicate.map(|p| RangePred::new(p, vet));
         ProbeOp { right, predicate, plan, cand }
     }
 
@@ -427,6 +426,7 @@ impl<'a> ProbeOp<'a> {
         concat.extend_from_slice(&tr.0);
         let mut k2 = k.times(kr);
         if !fast {
+            #[allow(clippy::expect_used)] // planner only builds HashEqui from a predicate
             let p = self.predicate.as_ref().expect("equi plan implies predicate");
             let (plb, psg, pub_) = p.eval_bool3(concat, regs)?;
             if !pub_ {
@@ -492,6 +492,7 @@ fn apply(
         out.push((RangeTuple::new(vals.to_vec()), k));
         return Ok(());
     };
+    #[allow(clippy::expect_used)] // bufs was sized to ops.len() by the caller
     let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per op");
     match op {
         PipeOp::Select(p) => {
@@ -588,6 +589,7 @@ fn run_chunk_batched(
         }
         {
             let refs: Vec<&[RangeValue]> = clean_idx.iter().map(|&i| live[i].0.values()).collect();
+            #[allow(clippy::expect_used)] // the batchable gate checked compiled() per stage
             match op {
                 PipeOp::Select(p) => p
                     .compiled()
@@ -602,6 +604,7 @@ fn run_chunk_batched(
         }
         match op {
             PipeOp::Select(p) => {
+                #[allow(clippy::expect_used)] // the batchable gate checked compiled() per stage
                 let prog = p.compiled().expect("compiled");
                 // Decide per clean row: poison, drop, or keep with the
                 // multiplied annotation — then compact the drops.
@@ -628,6 +631,7 @@ fn run_chunk_batched(
                 });
             }
             PipeOp::Project(p) => {
+                #[allow(clippy::expect_used)] // the batchable gate checked compiled() per stage
                 let prog = p.compiled().expect("compiled");
                 for (j, &i) in clean_idx.iter().enumerate() {
                     let projected = match batch.row_error(j) {
@@ -788,13 +792,15 @@ fn build_chain<'a>(
         }
         Query::Select { input, predicate } => {
             let mut c = build_chain(db, input, cfg, exec, tr)?;
-            c.ops.push(PipeOp::Select(RangePred::new(predicate, cfg.compiled)));
+            let vet = Vet::new(cfg.compiled, cfg.verify, exec, tr);
+            c.ops.push(PipeOp::Select(RangePred::new(predicate, vet)));
             Ok(c)
         }
         Query::Project { input, exprs } => {
             let mut c = build_chain(db, input, cfg, exec, tr)?;
             c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
-            c.ops.push(PipeOp::Project(RangeProj::new(exprs, cfg.compiled)));
+            let vet = Vet::new(cfg.compiled, cfg.verify, exec, tr);
+            c.ops.push(PipeOp::Project(RangeProj::new(exprs, vet)));
             Ok(c)
         }
         Query::Join { left, right, predicate } => {
@@ -810,7 +816,8 @@ fn build_chain<'a>(
             };
             let r = eval_pl(db, right, cfg, exec, Delivery::Canonical, tr)?;
             chain.schema = chain.schema.concat(&r.schema);
-            let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), cfg.compiled);
+            let vet = Vet::new(cfg.compiled, cfg.verify, exec, tr);
+            let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), vet);
             chain.ops.push(PipeOp::Probe(Box::new(probe)));
             Ok(chain)
         }

@@ -15,12 +15,14 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
+use audb_core::obs::TraceBuilder;
 use audb_core::{EvalError, Expr, Program, Value};
 use audb_exec::{Executor, ShardSource};
 use audb_storage::{Database, HashKeyIndex, IntervalIndex, Relation, Schema, Tuple};
 
 use crate::algebra::{AggFunc, AggSpec, Query};
 use crate::planner;
+use crate::vcheck::Vet;
 
 /// Evaluate a query over a deterministic database on the default
 /// executor (all available hardware threads).
@@ -51,8 +53,10 @@ pub fn eval_det_opts(
     shards: Option<usize>,
     compiled: bool,
 ) -> Result<Relation, EvalError> {
+    let tr = TraceBuilder::disabled();
+    let vet = Vet::new(compiled, true, exec, &tr);
     let rel = if pipeline {
-        eval_pl(db, q, exec, shards, Delivery::Canonical, compiled)?
+        eval_pl(db, q, exec, shards, Delivery::Canonical, vet)?
     } else {
         eval_inner(db, q, exec)?
     };
@@ -206,11 +210,10 @@ enum DetPred {
 }
 
 impl DetPred {
-    fn new(e: &Expr, compiled: bool) -> DetPred {
-        if compiled {
-            DetPred::Compiled(Program::compile_det(e))
-        } else {
-            DetPred::Interp(e.clone())
+    fn new(e: &Expr, vet: Vet<'_>) -> DetPred {
+        match vet.det(e) {
+            Some(p) => DetPred::Compiled(p),
+            None => DetPred::Interp(e.clone()),
         }
     }
 
@@ -230,12 +233,11 @@ enum DetProj {
 }
 
 impl DetProj {
-    fn new(exprs: &[(Expr, String)], compiled: bool) -> DetProj {
+    fn new(exprs: &[(Expr, String)], vet: Vet<'_>) -> DetProj {
         let es: Vec<Expr> = exprs.iter().map(|(e, _)| e.clone()).collect();
-        if compiled {
-            DetProj::Compiled(Program::compile_det_many(&es))
-        } else {
-            DetProj::Interp(es)
+        match vet.det_many(&es) {
+            Some(p) => DetProj::Compiled(p),
+            None => DetProj::Interp(es),
         }
     }
 
@@ -294,7 +296,7 @@ impl DetProbeOp {
         source: &Relation,
         right: Relation,
         predicate: Option<&Expr>,
-        compiled: bool,
+        vet: Vet<'_>,
     ) -> DetProbeOp {
         let mut cand: Vec<Vec<u32>> = Vec::new();
         let plan = match planner::classify(predicate, source.schema.arity()) {
@@ -319,7 +321,7 @@ impl DetProbeOp {
             }
             planner::JoinStrategy::NestedLoop => DetProbePlan::NestedLoop,
         };
-        let predicate = predicate.map(|p| DetPred::new(p, compiled));
+        let predicate = predicate.map(|p| DetPred::new(p, vet));
         DetProbeOp { right, predicate, plan, cand }
     }
 
@@ -408,6 +410,7 @@ where
     let Some((op, rest)) = ops.split_first() else {
         return terminal(vals, k, out);
     };
+    #[allow(clippy::expect_used)] // bufs was sized to ops.len() by the caller
     let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per op");
     match op {
         DetPipeOp::Select(p) => {
@@ -541,18 +544,21 @@ pub(crate) fn build_det_pipeline<'a>(
     q: &Query,
     exec: &Executor,
     compiled: bool,
+    verify: bool,
 ) -> Result<Option<DetPipeline<'a>>, EvalError> {
     if !fusable(q) {
         return Ok(None);
     }
-    Ok(Some(build_chain(db, q, exec, compiled)?))
+    let tr = TraceBuilder::disabled();
+    let vet = Vet::new(compiled, verify, exec, &tr);
+    Ok(Some(build_chain(db, q, exec, vet)?))
 }
 
 fn build_chain<'a>(
     db: &'a Database,
     q: &Query,
     exec: &Executor,
-    compiled: bool,
+    vet: Vet<'_>,
 ) -> Result<DetPipeline<'a>, EvalError> {
     match q {
         Query::Table(name) => {
@@ -564,27 +570,27 @@ fn build_chain<'a>(
             })
         }
         Query::Select { input, predicate } => {
-            let mut c = build_chain(db, input, exec, compiled)?;
-            c.ops.push(DetPipeOp::Select(DetPred::new(predicate, compiled)));
+            let mut c = build_chain(db, input, exec, vet)?;
+            c.ops.push(DetPipeOp::Select(DetPred::new(predicate, vet)));
             Ok(c)
         }
         Query::Project { input, exprs } => {
-            let mut c = build_chain(db, input, exec, compiled)?;
+            let mut c = build_chain(db, input, exec, vet)?;
             c.schema = Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect());
-            c.ops.push(DetPipeOp::Project(DetProj::new(exprs, compiled)));
+            c.ops.push(DetPipeOp::Project(DetProj::new(exprs, vet)));
             Ok(c)
         }
         Query::Join { left, right, predicate } => {
             let mut chain = if fusable(left) && select_only_chain(left) {
-                build_chain(db, left, exec, compiled)?
+                build_chain(db, left, exec, vet)?
             } else {
-                let rel = eval_pl(db, left, exec, None, Delivery::Canonical, compiled)?;
+                let rel = eval_pl(db, left, exec, None, Delivery::Canonical, vet)?;
                 let schema = rel.schema.clone();
                 DetPipeline { source: rel, ops: Vec::new(), schema }
             };
-            let r = eval_pl(db, right, exec, None, Delivery::Canonical, compiled)?.into_owned();
+            let r = eval_pl(db, right, exec, None, Delivery::Canonical, vet)?.into_owned();
             chain.schema = chain.schema.concat(&r.schema);
-            let probe = DetProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), compiled);
+            let probe = DetProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), vet);
             chain.ops.push(DetPipeOp::Probe(Box::new(probe)));
             Ok(chain)
         }
@@ -598,32 +604,32 @@ fn eval_pl<'a>(
     exec: &Executor,
     shards: Option<usize>,
     delivery: Delivery,
-    compiled: bool,
+    vet: Vet<'_>,
 ) -> Result<Cow<'a, Relation>, EvalError> {
     if fusable(q) && (delivery == Delivery::Canonical || !has_probe(q)) {
-        return build_chain(db, q, exec, compiled)?.run(exec, shards);
+        return build_chain(db, q, exec, vet)?.run(exec, shards);
     }
     Ok(match q {
         Query::Table(name) => Cow::Borrowed(db.get(name)?),
         Query::Select { input, predicate } => {
-            let rel = eval_pl(db, input, exec, shards, delivery, compiled)?;
+            let rel = eval_pl(db, input, exec, shards, delivery, vet)?;
             Cow::Owned(select_det_exec(&rel, predicate, exec)?)
         }
         Query::Project { input, exprs } => {
-            let rel = eval_pl(db, input, exec, shards, delivery, compiled)?;
+            let rel = eval_pl(db, input, exec, shards, delivery, vet)?;
             Cow::Owned(project_det_exec(&rel, exprs, exec)?)
         }
         Query::Join { left, right, predicate } => {
             // multiset-determined: the strictness of the context carries
-            let l = eval_pl(db, left, exec, shards, delivery, compiled)?;
-            let r = eval_pl(db, right, exec, shards, delivery, compiled)?;
+            let l = eval_pl(db, left, exec, shards, delivery, vet)?;
+            let r = eval_pl(db, right, exec, shards, delivery, vet)?;
             Cow::Owned(planner::join_det_planned_exec(&l, &r, predicate.as_ref(), exec)?)
         }
         Query::Union { left, right } => {
             // the union list is left ++ right: the context's strictness
             // carries to both sides
-            let l = eval_pl(db, left, exec, shards, delivery, compiled)?;
-            let r = eval_pl(db, right, exec, shards, delivery, compiled)?;
+            let l = eval_pl(db, left, exec, shards, delivery, vet)?;
+            let r = eval_pl(db, right, exec, shards, delivery, vet)?;
             l.schema.check_union_compatible(&r.schema)?;
             let mut out = l.into_owned();
             out.extend_from(&r);
@@ -632,18 +638,18 @@ fn eval_pl<'a>(
         Query::Difference { left, right } => {
             // left is normalized internally, the right feeds commutative
             // sums: multiset-determined on both sides
-            let l = eval_pl(db, left, exec, shards, Delivery::Canonical, compiled)?;
-            let r = eval_pl(db, right, exec, shards, Delivery::Canonical, compiled)?;
+            let l = eval_pl(db, left, exec, shards, Delivery::Canonical, vet)?;
+            let r = eval_pl(db, right, exec, shards, Delivery::Canonical, vet)?;
             Cow::Owned(difference_det(l, &r, exec)?)
         }
         Query::Distinct { input } => {
-            let rel = eval_pl(db, input, exec, shards, Delivery::Canonical, compiled)?;
+            let rel = eval_pl(db, input, exec, shards, Delivery::Canonical, vet)?;
             Cow::Owned(distinct_det(rel, exec)?)
         }
         Query::Aggregate { input, group_by, aggs } => {
             // group first-appearance order and float folds depend on the
             // exact input list
-            let rel = eval_pl(db, input, exec, shards, Delivery::Faithful, compiled)?;
+            let rel = eval_pl(db, input, exec, shards, Delivery::Faithful, vet)?;
             Cow::Owned(aggregate_det(&rel, group_by, aggs)?)
         }
     })
@@ -745,6 +751,7 @@ pub(crate) fn aggregate_det(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::algebra::table;

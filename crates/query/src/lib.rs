@@ -13,6 +13,13 @@
 //!   tests (Theorem 8);
 //! * [`sql`] — a SQL front-end lowering `SELECT`-`FROM`-`WHERE`-
 //!   `GROUP BY` (+`UNION`/`EXCEPT`/`CASE`/`make_uncertain`) to plans.
+//!
+//! This crate denies stray `unwrap`/`expect` in non-test code
+//! (`clippy::unwrap_used`/`expect_used`), matching the execution
+//! runtime: every evaluation entry point returns `Result`, and the
+//! engine's panic containment must not be defeated by its own callers.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub use audb_exec as exec;
 
@@ -24,6 +31,7 @@ pub mod planner;
 pub mod rewrite;
 pub mod sql;
 pub mod ua;
+pub mod vcheck;
 
 pub use algebra::{table, AggFunc, AggSpec, Catalog, Query};
 pub use au::{
@@ -34,3 +42,4 @@ pub use det::eval_det;
 pub use planner::{classify, JoinStrategy};
 pub use sql::parse_sql;
 pub use ua::eval_ua;
+pub use vcheck::with_tampered_programs;

@@ -66,6 +66,7 @@ pub fn compress_rows(
     let chunk = rows.len().div_ceil(n);
     for bucket in order.chunks(chunk) {
         let mut it = bucket.iter();
+        #[allow(clippy::unwrap_used)] // chunks() never yields an empty slice
         let first = *it.next().unwrap();
         let mut bbox = rows[first].0.clone();
         let mut ub = rows[first].1.ub;
@@ -183,6 +184,7 @@ fn uncertain_row_count(rel: &AuRelation) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::au::join_au;

@@ -149,6 +149,7 @@ pub fn join_au_planned_exec(
     predicate: Option<&Expr>,
     exec: &Executor,
 ) -> Result<AuRelation, EvalError> {
+    #[allow(clippy::expect_used)] // classify returns keyed strategies only for Some(predicate)
     match classify(predicate, l.schema.arity()) {
         JoinStrategy::HashEqui(pairs) => {
             hash_equi_join_au(l, r, predicate.expect("equi plan implies predicate"), &pairs, exec)
@@ -396,6 +397,7 @@ pub fn join_det_planned_exec(
             out.append_rows(rows);
         }
         JoinStrategy::IntervalComparison { lo, hi } => {
+            #[allow(clippy::expect_used)] // classify returns Comparison only for Some(predicate)
             let p = predicate.expect("comparison plan implies predicate");
             let candidates = comparison_candidates(
                 lo,
@@ -445,6 +447,7 @@ pub fn join_det_planned_exec(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use audb_core::{col, lit};

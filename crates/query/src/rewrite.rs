@@ -77,6 +77,7 @@ pub fn enc_schema(schema: &Schema) -> Schema {
 
 /// `Enc` (Definition 29): one multiplicity-1 tuple per AU-DB row.
 /// Infallible: runs on the ungoverned sequential executor.
+#[allow(clippy::expect_used)] // documented infallible: ungoverned sequential executor
 pub fn enc_relation(rel: &AuRelation) -> Relation {
     enc_relation_exec(rel, &Executor::sequential())
         .expect("ungoverned sequential encode cannot fault")
@@ -378,11 +379,18 @@ pub struct RewriteSession<'a> {
     enc: Database,
     exec: Executor,
     compiled: bool,
+    verify: bool,
 }
 
 impl<'a> RewriteSession<'a> {
     pub fn new(src: &'a AuDatabase) -> Self {
-        RewriteSession { src, enc: Database::new(), exec: Executor::default(), compiled: true }
+        RewriteSession {
+            src,
+            enc: Database::new(),
+            exec: Executor::default(),
+            compiled: true,
+            verify: true,
+        }
     }
 
     /// Set the worker count for the session's `Enc`/`Dec` drivers:
@@ -398,6 +406,14 @@ impl<'a> RewriteSession<'a> {
     /// differential-testing oracle; results are byte-identical).
     pub fn with_compiled(mut self, compiled: bool) -> Self {
         self.compiled = compiled;
+        self
+    }
+
+    /// Skip Tier B static verification of the fused spine's compiled
+    /// programs (`audb_core::verify`; on by default — a rejected
+    /// program falls back to the interpreter for that stage).
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -423,9 +439,13 @@ impl<'a> RewriteSession<'a> {
                     .insert(name.to_string(), enc_relation_exec(self.src.get(name)?, &self.exec)?);
             }
         }
-        if let Some(pipe) =
-            crate::det::build_det_pipeline(&self.enc, &plan, &self.exec, self.compiled)?
-        {
+        if let Some(pipe) = crate::det::build_det_pipeline(
+            &self.enc,
+            &plan,
+            &self.exec,
+            self.compiled,
+            self.verify,
+        )? {
             let lay = EncLayout::new(schema.arity());
             if pipe.schema().arity() != lay.width() {
                 return Err(EvalError::SchemaMismatch(format!(
@@ -1025,6 +1045,7 @@ fn rewr_aggregate(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::algebra::table;

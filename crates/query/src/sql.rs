@@ -623,6 +623,7 @@ struct SelectItem {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::au::{eval_au, AuConfig};

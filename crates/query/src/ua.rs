@@ -143,6 +143,7 @@ fn join_ua(
 use audb_core::Expr;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::algebra::{table, AggFunc, AggSpec};

@@ -141,6 +141,7 @@ impl AuRelation {
     ///
     /// Infallible: the sequential executor carries no cancellation
     /// token or budget, and the (saturating) `N_AU` sum is panic-free.
+    #[allow(clippy::expect_used)] // documented infallible: ungoverned sequential executor
     pub fn normalize(&mut self) {
         self.normalize_with(&Executor::sequential())
             .expect("ungoverned sequential normalize cannot fault");
@@ -299,6 +300,7 @@ pub fn certain_row(vals: &[i64], lb: u64, sg: u64, ub: u64) -> (RangeTuple, AuAn
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::tuple::Tuple;

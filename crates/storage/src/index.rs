@@ -311,6 +311,7 @@ impl SgGroupIndex {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::au::au_row;

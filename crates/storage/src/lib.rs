@@ -8,6 +8,12 @@
 //!   (the predecessor model, Section 3.3);
 //! * AU-relations ([`AuRelation`]) — range tuples with `N_AU` annotations
 //!   (the paper's contribution, Section 6).
+//!
+//! This crate denies stray `unwrap`/`expect` in non-test code
+//! (`clippy::unwrap_used`/`expect_used`), matching the execution
+//! runtime: storage errors surface as values, not panics.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod au;
 pub mod index;

@@ -97,6 +97,7 @@ impl Relation {
     ///
     /// Infallible: the sequential executor carries no cancellation
     /// token or budget, and the multiplicity fold is panic-free.
+    #[allow(clippy::expect_used)] // documented infallible: ungoverned sequential executor
     pub fn normalize(&mut self) {
         self.normalize_with(&Executor::sequential())
             .expect("ungoverned sequential normalize cannot fault");
@@ -216,6 +217,7 @@ impl Database {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -83,6 +83,7 @@ impl fmt::Display for Schema {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -139,6 +139,7 @@ impl From<Tuple> for RangeTuple {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

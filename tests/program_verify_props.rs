@@ -1,0 +1,336 @@
+//! Property suite for the static program verifier
+//! (`audb_core::verify`) and its query-side gate
+//! (`audb_query::vcheck`):
+//!
+//! * **no false positives** — every program lowered from a random mixed
+//!   Int/Float expression tree, in both lowering modes, passes Tier A +
+//!   Tier B with zero `VerifyError`s; programs whose leaves are all
+//!   columns additionally produce zero lints (constant-free trees give
+//!   the abstract interpreter nothing to decide statically);
+//! * **mutation detection** — every single-op corruption of those
+//!   programs is caught by Tier A/B, surfaces a new lint, or is
+//!   behavior-preserving under the differential oracle (never
+//!   `Missed`);
+//! * **graceful rejection** — a corrupted program injected at the chain
+//!   compile sites (via the `with_tampered_programs` test seam) is
+//!   rejected by the verifier and the stage degrades to the interpreted
+//!   oracle with a byte-identical result, recording the
+//!   `verify_rejects` counter and a `verifier_rejected` event.
+
+use proptest::prelude::*;
+
+use audb::core::program::Program;
+use audb::core::verify::mutate;
+use audb::prelude::*;
+use audb::query::{table, with_tampered_programs};
+
+// ---------------------------------------------------------------------------
+// generators (mirroring tests/compiled_exprs_props.rs)
+// ---------------------------------------------------------------------------
+
+/// Mixed-representation numeric values: `Int` and quarter-step `Float`.
+fn mixed_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-5i64..6).prop_map(Value::Int),
+        (-20i64..21).prop_map(|q| Value::float(q as f64 / 4.0)),
+    ]
+}
+
+/// Any three mixed values, sorted, make a valid range (sg = median).
+fn mixed_range() -> impl Strategy<Value = RangeValue> {
+    (mixed_value(), mixed_value(), mixed_value()).prop_map(|(a, b, c)| {
+        let mut v = [a, b, c];
+        v.sort();
+        let [lb, sg, ub] = v;
+        RangeValue::new(lb, sg, ub).expect("sorted triple is a valid range")
+    })
+}
+
+fn annot_strategy() -> impl Strategy<Value = AuAnnot> {
+    (0u64..2, 0u64..3, 0u64..3).prop_map(|(a, b, c)| AuAnnot::triple(a, a + b, a + b + c))
+}
+
+/// A two-column AU relation over mixed Int/Float ranges.
+fn au_relation_strategy(max_rows: usize) -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec((mixed_range(), mixed_range(), annot_strategy()), 0..max_rows)
+        .prop_map(|rows| {
+            AuRelation::from_rows(
+                Schema::named(&["A", "B"]),
+                rows.into_iter().map(|(a, b, k)| (RangeTuple::new(vec![a, b]), k)).collect(),
+            )
+        })
+}
+
+/// Random numeric expression trees over columns 0..2 with Int/Float
+/// literals — the same shape the compiled-backend differential suite
+/// uses.
+fn num_expr_strategy() -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0usize..2).prop_map(col),
+        (-5i64..6).prop_map(lit),
+        (-12i64..13).prop_map(|q| lit(q as f64 / 4.0)),
+    ]
+    .boxed();
+    recurse_numeric(leaf)
+}
+
+/// The col-only-leaf variant: no literals anywhere, so Tier B's
+/// abstract interpreter can never decide a condition or divisor
+/// statically and the zero-lint property must hold.
+fn col_expr_strategy() -> BoxedStrategy<Expr> {
+    let leaf = (0usize..2).prop_map(col).boxed();
+    recurse_numeric(leaf)
+}
+
+fn recurse_numeric(leaf: BoxedStrategy<Expr>) -> BoxedStrategy<Expr> {
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.div(b)),
+            inner.clone().prop_map(Expr::neg),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, t, e)| Expr::if_then_else(a.leq(b), t, e)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(l, s, u)| Expr::make_uncertain(l, s, u)),
+        ]
+    })
+}
+
+/// Random predicates over numeric subtrees drawn from `e`.
+fn pred_over(e: BoxedStrategy<Expr>) -> BoxedStrategy<Expr> {
+    let cmp = prop_oneof![
+        (e.clone(), e.clone()).prop_map(|(a, b)| a.leq(b)),
+        (e.clone(), e.clone()).prop_map(|(a, b)| a.lt(b)),
+        (e.clone(), e.clone()).prop_map(|(a, b)| a.geq(b)),
+        (e.clone(), e.clone()).prop_map(|(a, b)| a.gt(b)),
+        (e.clone(), e.clone()).prop_map(|(a, b)| a.eq(b)),
+        (e.clone(), e.clone()).prop_map(|(a, b)| a.neq(b)),
+    ]
+    .boxed();
+    cmp.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Expr::not),
+        ]
+    })
+}
+
+fn both_modes(e: &Expr) -> [Program; 2] {
+    [Program::compile_range(e), Program::compile_det(e)]
+}
+
+// ---------------------------------------------------------------------------
+// properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// No false positives: Tier A + Tier B accept every program the
+    /// lowerer produces from random mixed trees, in both modes (numeric
+    /// trees and composed predicates alike). Lints are allowed here —
+    /// random literals legitimately produce statically-certain
+    /// conditions and divisors.
+    #[test]
+    fn random_programs_verify_without_errors(
+        e in num_expr_strategy(),
+        p in pred_over(num_expr_strategy()),
+    ) {
+        for expr in [&e, &p] {
+            for prog in both_modes(expr) {
+                let res = prog.verify_full();
+                prop_assert!(res.is_ok(), "verifier rejected {}: {:?}", expr, res.err());
+            }
+        }
+        // multi-output projection lowering verifies too
+        let many = Program::compile_range_many(&[e.clone(), p.clone()]);
+        prop_assert!(many.verify_full().is_ok(), "multi-output rejected for ({}, {})", e, p);
+    }
+
+    /// Zero diagnostics on constant-free trees: with every leaf a
+    /// column, the abstract interpreter can never prove a condition
+    /// constant or an error certain, so Tier B must stay silent.
+    #[test]
+    fn col_leaf_programs_verify_with_zero_diagnostics(
+        e in col_expr_strategy(),
+        p in pred_over(col_expr_strategy()),
+    ) {
+        for expr in [&e, &p] {
+            for prog in both_modes(expr) {
+                match prog.verify_full() {
+                    Ok(lints) => prop_assert!(
+                        lints.is_empty(),
+                        "false-positive lints for {}: {:?}", expr, lints
+                    ),
+                    Err(err) => return Err(TestCaseError::fail(format!(
+                        "verifier rejected {expr}: {err}"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Mutation harness on random programs: every corruption class is
+    /// either caught (Tier A, Tier B, or a fresh lint) or provably
+    /// behavior-preserving on the oracle corpus — never missed.
+    #[test]
+    fn random_program_mutants_detected_or_equivalent(
+        e in num_expr_strategy(),
+        p in pred_over(num_expr_strategy()),
+    ) {
+        let (range_rows, det_rows) = mutate::oracle_rows(2);
+        for expr in [&e, &p] {
+            for prog in both_modes(expr) {
+                for m in mutate::mutants(&prog) {
+                    let v = mutate::classify(&prog, &m.program, &range_rows, &det_rows);
+                    prop_assert!(
+                        v != mutate::Verdict::Missed,
+                        "missed {} ({}) on {}", m.class, m.detail, expr
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Verifier-rejection degradation: corrupt every rejectable chain
+    /// program at the compile sites — the query must still produce a
+    /// result byte-identical to the fully interpreted oracle.
+    #[test]
+    fn rejected_programs_degrade_byte_identically(
+        rel in au_relation_strategy(12),
+        pred in pred_over(num_expr_strategy()),
+        proj in num_expr_strategy(),
+    ) {
+        let mut db = AuDatabase::new();
+        db.insert("t", rel);
+        let q = table("t")
+            .select(pred)
+            .project(vec![(proj, "p"), (col(0), "a")]);
+        let oracle = eval_au(&db, &q, &AuConfig { compiled: false, ..AuConfig::default() });
+        let tampered = with_tampered_programs(corrupt_if_possible, || {
+            eval_au(&db, &q, &AuConfig::default())
+        });
+        prop_assert_eq!(&tampered, &oracle);
+    }
+}
+
+/// Replace a program with its first verifier-rejectable mutant, if one
+/// exists (otherwise pass it through unchanged — nothing to reject).
+fn corrupt_if_possible(p: Program) -> Program {
+    mutate::mutants(&p)
+        .into_iter()
+        .map(|m| m.program)
+        .find(|m| m.verify_full().is_err())
+        .unwrap_or(p)
+}
+
+fn two_row_db() -> AuDatabase {
+    let mut db = AuDatabase::new();
+    db.insert(
+        "t",
+        AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            vec![
+                (
+                    RangeTuple::new(vec![
+                        RangeValue::range(1i64, 2i64, 3i64),
+                        RangeValue::certain(Value::Int(1)),
+                    ]),
+                    AuAnnot::triple(1, 1, 1),
+                ),
+                (
+                    RangeTuple::new(vec![
+                        RangeValue::certain(Value::Int(5)),
+                        RangeValue::certain(Value::Int(0)),
+                    ]),
+                    AuAnnot::triple(1, 2, 2),
+                ),
+            ],
+        ),
+    );
+    db
+}
+
+/// The rejection is observable: the degraded stage ticks the
+/// `verify_rejects` counter, logs a `verifier_rejected` event carrying
+/// the diagnostic, closes a rejected `verify` span — and the result
+/// still equals the interpreted oracle.
+#[test]
+fn rejection_ticks_counter_and_event() {
+    let db = two_row_db();
+    let q = table("t").select(col(0).leq(col(1))).project(vec![(col(0).add(col(1)), "s")]);
+    let oracle = eval_au(&db, &q, &AuConfig { compiled: false, ..AuConfig::default() });
+
+    let (result, trace) = with_tampered_programs(corrupt_if_possible, || {
+        eval_au_traced_full(&db, &q, &AuConfig::default())
+    });
+    assert_eq!(result, oracle);
+    let rejects = trace.metrics.counter("verify_rejects").unwrap_or(0);
+    assert!(rejects >= 1, "expected at least one verifier rejection:\n{}", trace.render_text());
+    assert!(
+        trace.events.iter().any(|ev| ev.kind.name() == "verifier_rejected"),
+        "expected a verifier_rejected event, got {:?}",
+        trace.events
+    );
+    let mut saw_rejected_span = false;
+    trace.root.walk(&mut |s| {
+        if s.op == "verify" && s.attr("verdict") == Some("rejected") {
+            saw_rejected_span = true;
+            assert!(s.attr("error").is_some(), "rejected span carries the diagnostic");
+        }
+    });
+    assert!(saw_rejected_span, "expected a rejected verify span in:\n{}", trace.render_text());
+}
+
+/// Untampered compiles are observable too: a traced evaluation with
+/// verification on records accepted `verify` spans (tier and op-count
+/// attributes included) and zero rejections.
+#[test]
+fn accepted_compiles_record_verify_spans() {
+    let db = two_row_db();
+    let q = table("t").select(col(0).leq(col(1))).project(vec![(col(0).add(col(1)), "s")]);
+    let (result, trace) = eval_au_traced_full(&db, &q, &AuConfig::default());
+    assert!(result.is_ok(), "evaluation failed: {result:?}");
+    assert_eq!(trace.metrics.counter("verify_rejects"), Some(0));
+    let mut accepted = 0;
+    trace.root.walk(&mut |s| {
+        if s.op == "verify" {
+            assert_eq!(s.attr("verdict"), Some("accepted"), "span: {s:?}");
+            assert_eq!(s.attr("tier"), Some("A+B"));
+            assert!(s.attr("ops").is_some());
+            assert!(s.attr("lints").is_some());
+            accepted += 1;
+        }
+    });
+    assert!(accepted >= 2, "expected verify spans for both chain stages, got {accepted}");
+    // the engine-configuration echo carries the knob
+    assert!(trace.engine.iter().any(|(k, v)| *k == "verify" && v == "true"));
+}
+
+/// The det mirror degrades identically: tampered deterministic chain
+/// programs fall back to the interpreted stage with equal output.
+#[test]
+fn det_chain_rejection_degrades_identically() {
+    use audb::query::det::eval_det_opts;
+
+    let mut det_db = Database::new();
+    det_db.insert("t", two_row_db().get("t").expect("inserted above").sg_world());
+    let q = table("t").select(col(0).leq(col(1))).project(vec![(col(0).add(col(1)), "s")]);
+    let exec = Executor::sequential();
+    let interp = eval_det_opts(&det_db, &q, &exec, true, None, false);
+    let tampered = with_tampered_programs(corrupt_if_possible, || {
+        eval_det_opts(&det_db, &q, &exec, true, None, true)
+    });
+    assert_eq!(tampered, interp);
+}
