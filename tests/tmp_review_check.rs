@@ -1,0 +1,11 @@
+use audb::core::program::Program;
+use audb::prelude::*;
+
+#[test]
+fn zero_times_div_band_verifies() {
+    // exact-zero constant times a full-line band (from a div of columns)
+    let e = lit(0i64).mul(col(0).div(col(1)));
+    let p = Program::compile_range(&e);
+    let res = p.verify_full();
+    assert!(res.is_ok(), "verifier rejected a fresh lowering: {:?}", res.err());
+}
