@@ -73,11 +73,21 @@ pub enum Counter {
     /// Compiled programs rejected by the static verifier (Tier B) and
     /// degraded per-site to the interpreted operator.
     VerifyRejects,
+    /// Queries admitted by the serving layer (granted an execution slot).
+    Admitted,
+    /// Queries shed by the serving layer (queue full or wait timed out).
+    Shed,
+    /// Serving-layer retry attempts taken after a transient fault.
+    Retries,
+    /// Circuit-breaker trips (prepared plan routed to the interpreter).
+    BreakerTrips,
+    /// Events dropped because the event log hit its retention cap.
+    EventsDropped,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 19] = [
         Counter::DriversEntered,
         Counter::MorselsDispatched,
         Counter::ShardsDispatched,
@@ -92,6 +102,11 @@ impl Counter {
         Counter::NormalizeRowsIn,
         Counter::NormalizeRowsOut,
         Counter::VerifyRejects,
+        Counter::Admitted,
+        Counter::Shed,
+        Counter::Retries,
+        Counter::BreakerTrips,
+        Counter::EventsDropped,
     ];
 
     /// Stable serialized name.
@@ -111,6 +126,11 @@ impl Counter {
             Counter::NormalizeRowsIn => "normalize_rows_in",
             Counter::NormalizeRowsOut => "normalize_rows_out",
             Counter::VerifyRejects => "verify_rejects",
+            Counter::Admitted => "admitted",
+            Counter::Shed => "shed",
+            Counter::Retries => "retries",
+            Counter::BreakerTrips => "breaker_trips",
+            Counter::EventsDropped => "events_dropped",
         }
     }
 }
@@ -197,6 +217,14 @@ pub enum ExecEventKind {
     /// The static verifier rejected a freshly compiled program and the
     /// compile site fell back to the interpreted operator.
     VerifierRejected,
+    /// The serving layer granted a query an execution slot.
+    Admitted,
+    /// The serving layer shed a query (queue full or wait timed out).
+    Shed,
+    /// The serving layer retried a query after a transient fault.
+    Retried,
+    /// A prepared plan's circuit breaker tripped open.
+    BreakerTripped,
 }
 
 impl ExecEventKind {
@@ -210,6 +238,10 @@ impl ExecEventKind {
             ExecEventKind::BudgetExceeded => "budget_exceeded",
             ExecEventKind::Degraded => "degraded_to_interpreter",
             ExecEventKind::VerifierRejected => "verifier_rejected",
+            ExecEventKind::Admitted => "admitted",
+            ExecEventKind::Shed => "shed",
+            ExecEventKind::Retried => "retried",
+            ExecEventKind::BreakerTripped => "breaker_tripped",
         }
     }
 
@@ -310,11 +342,15 @@ impl Metrics {
     }
 
     /// Append a structured event (first-only kinds dedup; the log caps
-    /// at [`MAX_EVENTS`]).
+    /// at [`MAX_EVENTS`]). Long-lived sinks (a serving engine) outgrow
+    /// the cap quickly, so drops are counted ([`Counter::EventsDropped`])
+    /// rather than silent — dashboards can detect truncation.
     pub fn record_event(&self, ev: ExecEvent) {
         let Some(inner) = &self.inner else { return };
         let mut log = inner.events.lock().unwrap_or_else(PoisonError::into_inner);
         if log.len() >= MAX_EVENTS {
+            drop(log);
+            self.add(Counter::EventsDropped, 1);
             return;
         }
         if ev.kind.first_only() && log.iter().any(|e| e.kind == ev.kind) {
@@ -939,6 +975,29 @@ mod tests {
         m.record_exec_error(&ExecError::Injected { driver: 3, morsel: 9 }, Some(0), Some(0));
         let ev = &m.take_events()[0];
         assert_eq!((ev.driver, ev.morsel), (Some(3), Some(9)));
+    }
+
+    #[test]
+    fn event_log_saturation_counts_drops() {
+        let m = Metrics::enabled();
+        for i in 0..MAX_EVENTS + 10 {
+            m.record_event(ExecEvent {
+                kind: ExecEventKind::WorkerPanic,
+                driver: Some(0),
+                morsel: Some(i),
+                detail: String::new(),
+            });
+        }
+        assert_eq!(m.snapshot().counter("events_dropped"), Some(10));
+        assert_eq!(m.take_events().len(), MAX_EVENTS);
+        // the drained log frees capacity: appends count drops no more
+        m.record_event(ExecEvent {
+            kind: ExecEventKind::WorkerPanic,
+            driver: None,
+            morsel: None,
+            detail: String::new(),
+        });
+        assert_eq!(m.snapshot().counter("events_dropped"), Some(10));
     }
 
     #[test]

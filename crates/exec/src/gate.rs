@@ -1,0 +1,155 @@
+//! The shared worker gate: one engine-wide budget of worker threads.
+//!
+//! Every [`Executor::run`](crate::Executor::run) call spawns its own
+//! scoped threads, so N concurrent queries each configured for W
+//! workers would put N×W threads on the machine — oversubscription
+//! that grows unbounded with load. A [`WorkerGate`] caps the *total*
+//! number of extra worker threads alive across every executor that
+//! shares it (a serving engine hands one gate to all of its queries).
+//!
+//! Acquisition is **non-blocking and partial**: a driver asks for the
+//! threads it wants and is granted whatever share is free, possibly
+//! zero. A query that gets nothing simply runs inline on its own
+//! thread — the ordered-merge collector makes results identical for
+//! any worker count, so degrading parallelism under contention changes
+//! latency, never answers. No driver ever waits on the gate, so the
+//! gate cannot deadlock and admission-level queueing stays the only
+//! place where queries wait.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct GateInner {
+    /// Total extra worker threads the gate will allow alive at once.
+    total: usize,
+    /// Currently leased threads.
+    leased: AtomicUsize,
+}
+
+/// A shared, cloneable budget of worker threads. Clones share the same
+/// meter; see the module docs for the contention model.
+#[derive(Debug, Clone)]
+pub struct WorkerGate {
+    inner: Arc<GateInner>,
+}
+
+impl WorkerGate {
+    /// A gate allowing at most `total` extra worker threads engine-wide
+    /// (0 forces every sharing executor inline).
+    pub fn new(total: usize) -> Self {
+        WorkerGate { inner: Arc::new(GateInner { total, leased: AtomicUsize::new(0) }) }
+    }
+
+    /// The gate's total thread budget.
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Threads currently leased out.
+    pub fn leased(&self) -> usize {
+        self.inner.leased.load(Ordering::Relaxed)
+    }
+
+    /// Claim up to `want` threads without blocking. The lease holds
+    /// `min(want, free)` threads — possibly zero — and releases them on
+    /// drop.
+    pub fn try_acquire(&self, want: usize) -> GateLease {
+        let mut current = self.inner.leased.load(Ordering::Relaxed);
+        loop {
+            let free = self.inner.total.saturating_sub(current);
+            let take = want.min(free);
+            if take == 0 {
+                return GateLease { gate: self.clone(), granted: 0 };
+            }
+            match self.inner.leased.compare_exchange_weak(
+                current,
+                current + take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return GateLease { gate: self.clone(), granted: take },
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// A granted share of a [`WorkerGate`]; threads return to the gate when
+/// the lease drops.
+#[derive(Debug)]
+pub struct GateLease {
+    gate: WorkerGate,
+    granted: usize,
+}
+
+impl GateLease {
+    /// How many threads this lease holds (0 = run inline).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for GateLease {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            self.gate.inner.leased.fetch_sub(self.granted, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_grants_and_release() {
+        let gate = WorkerGate::new(4);
+        let a = gate.try_acquire(3);
+        assert_eq!(a.granted(), 3);
+        let b = gate.try_acquire(3);
+        assert_eq!(b.granted(), 1, "only the remainder is granted");
+        let c = gate.try_acquire(2);
+        assert_eq!(c.granted(), 0, "exhausted gate grants zero, never blocks");
+        assert_eq!(gate.leased(), 4);
+        drop(a);
+        assert_eq!(gate.leased(), 1);
+        let d = gate.try_acquire(8);
+        assert_eq!(d.granted(), 3, "released threads are reusable");
+    }
+
+    #[test]
+    fn zero_total_always_inline() {
+        let gate = WorkerGate::new(0);
+        assert_eq!(gate.try_acquire(4).granted(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_meter() {
+        let gate = WorkerGate::new(2);
+        let lease = gate.clone().try_acquire(2);
+        assert_eq!(gate.leased(), 2);
+        assert_eq!(gate.try_acquire(1).granted(), 0);
+        drop(lease);
+        assert_eq!(gate.leased(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquisition_never_exceeds_total() {
+        let gate = WorkerGate::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                let gate = gate.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let lease = gate.try_acquire(3);
+                        assert!(gate.leased() <= gate.total());
+                        drop(lease);
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.leased(), 0);
+    }
+}

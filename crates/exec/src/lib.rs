@@ -63,11 +63,13 @@
 
 #[cfg(feature = "faults")]
 pub mod faults;
+pub mod gate;
 pub mod partition;
 pub mod pipeline;
 pub mod pool;
 pub mod reduce;
 
+pub use gate::WorkerGate;
 pub use partition::Partitioner;
 pub use pipeline::ShardSource;
 pub use pool::Executor;

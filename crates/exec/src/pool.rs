@@ -11,6 +11,7 @@ use std::time::Instant;
 use audb_core::obs::{Counter, Metrics, Site};
 use audb_core::{Budget, CancelToken, ExecError};
 
+use crate::gate::{GateLease, WorkerGate};
 use crate::partition::Partitioner;
 
 /// One morsel's pending output: a poison-tolerant one-shot slot, filled
@@ -84,6 +85,7 @@ pub struct Executor {
     cancel: Option<CancelToken>,
     budget: Option<Budget>,
     metrics: Metrics,
+    gate: Option<WorkerGate>,
 }
 
 impl Default for Executor {
@@ -102,6 +104,7 @@ impl Executor {
             cancel: None,
             budget: None,
             metrics: Metrics::disabled(),
+            gate: None,
         }
     }
 
@@ -159,6 +162,18 @@ impl Executor {
     /// branch per instrumentation site.
     pub fn with_metrics(mut self, metrics: Metrics) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Share a [`WorkerGate`]: before spawning worker threads, the
+    /// driver claims a share of the gate's engine-wide thread budget
+    /// (non-blocking) and spawns only what it is granted. A query that
+    /// gets nothing runs inline — results are worker-count-invariant,
+    /// so contention degrades latency, never answers. Cloned executors
+    /// (the reduce and shard meta-drivers) share the gate, so one
+    /// engine's concurrent queries draw from a single pool.
+    pub fn with_worker_gate(mut self, gate: WorkerGate) -> Self {
+        self.gate = Some(gate);
         self
     }
 
@@ -283,8 +298,21 @@ impl Executor {
             })
         };
 
-        // Inline fast path: sequential executor or a single morsel.
-        if self.workers <= 1 || morsels.len() <= 1 {
+        // Shared-gate claim: with a gate attached, spawn only the
+        // granted share of the engine-wide thread budget (non-blocking
+        // partial acquisition). A starved claim degrades to the inline
+        // path — same bytes out, the caller's thread does all the work.
+        // The lease lives until this call returns, covering the scope.
+        let wanted = self.workers.min(morsels.len().max(1));
+        let lease = match &self.gate {
+            Some(gate) if wanted > 1 => Some(gate.try_acquire(wanted)),
+            _ => None,
+        };
+        let threads = lease.as_ref().map_or(wanted, GateLease::granted);
+
+        // Inline fast path: sequential executor, a single morsel, or a
+        // starved gate.
+        if threads <= 1 || morsels.len() <= 1 {
             let mut merged = Vec::new();
             for (i, m) in morsels.into_iter().enumerate() {
                 match run_morsel(i, m) {
@@ -298,7 +326,6 @@ impl Executor {
 
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Slot<Result<Vec<T>, E>>> = morsels.iter().map(|_| Slot::empty()).collect();
-        let threads = self.workers.min(morsels.len());
         thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -460,6 +487,28 @@ mod tests {
         let exec = Executor::new(2).with_cancel(token);
         let err = exec.run(10_000, produce).unwrap_err();
         assert_eq!(err, String::from(ExecError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn gated_executor_matches_sequential_at_any_grant() {
+        let seq = Executor::sequential().run(5000, produce).unwrap();
+        // plenty of budget, a starved gate, and a partial grant all
+        // produce identical bytes
+        for total in [0usize, 1, 2, 16] {
+            let exec = Executor::new(4).with_worker_gate(WorkerGate::new(total));
+            assert_eq!(exec.run(5000, produce).unwrap(), seq, "gate total = {total}");
+        }
+    }
+
+    #[test]
+    fn gate_releases_after_each_run() {
+        let gate = WorkerGate::new(4);
+        let exec = Executor::new(4).with_worker_gate(gate.clone());
+        for _ in 0..3 {
+            let seq = Executor::sequential().run(1000, produce).unwrap();
+            assert_eq!(exec.run(1000, produce).unwrap(), seq);
+            assert_eq!(gate.leased(), 0, "lease returned when the driver exits");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use audb_core::obs::{
     Counter, ExecEvent, ExecEventKind, Metrics, QueryTrace, TraceBuilder, TRACE_SCHEMA_VERSION,
 };
 use audb_core::{AuAnnot, Budget, BudgetSpec, CancelToken, EvalError, Expr, Semiring};
-use audb_exec::Executor;
+use audb_exec::{Executor, WorkerGate};
 use audb_storage::{AuDatabase, AuRelation, Schema};
 
 use crate::algebra::Query;
@@ -202,6 +202,27 @@ pub fn eval_au_cancellable(
     eval_au_governed(db, q, cfg, Some(token), &Metrics::disabled(), &TraceBuilder::disabled())
 }
 
+/// One evaluation attempt under a serving layer's governance context:
+/// an externally owned [`CancelToken`], a shared [`WorkerGate`]
+/// (engine-wide worker-thread budget), and a shared [`Metrics`] sink.
+///
+/// Unlike [`eval_au`], this never degrades internally: a compiled-path
+/// fault surfaces to the caller, who owns the retry / interpreted-
+/// fallback policy (the serving engine's backoff loop and per-plan
+/// circuit breaker need to *see* each fault to count it). The token is
+/// used as-is; [`AuConfig::timeout`] is ignored — arm deadlines on the
+/// token.
+pub fn eval_au_once(
+    db: &AuDatabase,
+    q: &Query,
+    cfg: &AuConfig,
+    token: Option<&CancelToken>,
+    gate: Option<&WorkerGate>,
+    metrics: &Metrics,
+) -> Result<AuRelation, EvalError> {
+    eval_au_attempt(db, q, cfg, token, gate, metrics, &TraceBuilder::disabled())
+}
+
 /// [`eval_au`] with full observability: a fresh [`Metrics`] sink and
 /// span builder are enabled for this query and the result is returned
 /// together with its [`QueryTrace`]. Enabling them never changes the
@@ -321,7 +342,7 @@ fn eval_au_governed(
     tr: &TraceBuilder,
 ) -> Result<AuRelation, EvalError> {
     let depth = tr.depth();
-    match eval_au_attempt(db, q, cfg, cancel, metrics, tr) {
+    match eval_au_attempt(db, q, cfg, cancel, None, metrics, tr) {
         Err(EvalError::Exec(e)) if cfg.compiled && !e.is_resource_limit() => {
             // Graceful degradation: one retry on the interpreted oracle.
             // Resource-limit faults (cancelled / deadline / budget) are
@@ -338,7 +359,7 @@ fn eval_au_governed(
             });
             tr.unwind(depth, &e.to_string());
             let fallback = AuConfig { compiled: false, ..*cfg };
-            eval_au_attempt(db, q, &fallback, cancel, metrics, tr)
+            eval_au_attempt(db, q, &fallback, cancel, None, metrics, tr)
         }
         other => other,
     }
@@ -351,12 +372,16 @@ fn eval_au_attempt(
     q: &Query,
     cfg: &AuConfig,
     cancel: Option<&CancelToken>,
+    gate: Option<&WorkerGate>,
     metrics: &Metrics,
     tr: &TraceBuilder,
 ) -> Result<AuRelation, EvalError> {
     let mut exec = Executor::from_option(cfg.workers);
     if let Some(floor) = cfg.min_rows_per_worker {
         exec = exec.with_min_rows_per_worker(floor);
+    }
+    if let Some(gate) = gate {
+        exec = exec.with_worker_gate(gate.clone());
     }
     if let Some(token) = cancel {
         exec = exec.with_cancel(token.clone());

@@ -61,6 +61,17 @@ pub fn with_tampered_programs<R>(
     f()
 }
 
+/// Cache key for a projection-list compile: mode prefix + every
+/// expression, separated so adjacent lists cannot collide.
+fn many_key(prefix: &str, es: &[Expr]) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::from(prefix);
+    for e in es {
+        let _ = write!(key, "\u{1f}{e}");
+    }
+    key
+}
+
 fn tamper(p: Program) -> Program {
     TAMPER.with(|t| match t.borrow_mut().as_mut() {
         Some(f) => f(p),
@@ -92,30 +103,56 @@ impl<'a> Vet<'a> {
     /// Compile one range predicate, vetted. `None` means "use the
     /// interpreter": compilation is off, or the program was rejected.
     pub(crate) fn range(&self, e: &Expr) -> Option<Program> {
-        self.vet(|| Program::compile_range(e))
+        self.vet(|| format!("range1|{e}"), || Program::compile_range(e))
     }
 
     /// Compile a range projection list, vetted.
     pub(crate) fn range_many(&self, es: &[Expr]) -> Option<Program> {
-        self.vet(|| Program::compile_range_many(es))
+        self.vet(|| many_key("rangeN", es), || Program::compile_range_many(es))
     }
 
     /// Compile one deterministic predicate, vetted.
     pub(crate) fn det(&self, e: &Expr) -> Option<Program> {
-        self.vet(|| Program::compile_det(e))
+        self.vet(|| format!("det1|{e}"), || Program::compile_det(e))
     }
 
     /// Compile a deterministic projection list, vetted.
     pub(crate) fn det_many(&self, es: &[Expr]) -> Option<Program> {
-        self.vet(|| Program::compile_det_many(es))
+        self.vet(|| many_key("detN", es), || Program::compile_det_many(es))
     }
 
-    fn vet(&self, compile: impl FnOnce() -> Program) -> Option<Program> {
+    fn vet(
+        &self,
+        key: impl FnOnce() -> String,
+        compile: impl FnOnce() -> Program,
+    ) -> Option<Program> {
         if !self.compiled {
             return None;
         }
+        // Prepared-plan reuse: an installed program cache
+        // ([`crate::prepare::with_program_cache`]) is consulted before
+        // lowering. A hit skips compilation and Tier B, but the cached
+        // program still passes the cheap structural Tier A gate before
+        // it executes — a corrupted cache degrades to a recompile, not
+        // a suspect program.
+        let cache = crate::prepare::current();
+        let cache_key = cache.as_ref().map(|_| key());
+        if let (Some(cache), Some(k)) = (&cache, &cache_key) {
+            if let Some(p) = cache.lookup(k) {
+                if p.verify().is_ok() {
+                    let h = self.tr.open("verify", || "cached".to_string());
+                    self.tr.attr(h, "tier", || "A".to_string());
+                    self.tr.attr(h, "verdict", || "accepted".to_string());
+                    self.tr.close(h, None, None);
+                    return Some(p);
+                }
+            }
+        }
         let p = tamper(compile());
         if !self.verify {
+            if let (Some(cache), Some(k)) = (&cache, cache_key) {
+                cache.insert(k, p.clone());
+            }
             return Some(p);
         }
         let h = self.tr.open("verify", || {
@@ -136,6 +173,9 @@ impl<'a> Vet<'a> {
                 self.tr.attr(h, "lints", || lints.len().to_string());
                 self.tr.attr(h, "verdict", || "accepted".to_string());
                 self.tr.close(h, None, None);
+                if let (Some(cache), Some(k)) = (&cache, cache_key) {
+                    cache.insert(k, p.clone());
+                }
                 Some(p)
             }
             Err(e) => {

@@ -1,0 +1,488 @@
+//! The long-lived serving [`Engine`]: epochs, prepared plans, and the
+//! per-query robustness loop.
+//!
+//! ## Epochs
+//!
+//! The engine holds the database as an `Arc`'d immutable [`Snapshot`].
+//! A query pins the current snapshot once, at admission, and evaluates
+//! against it for its whole attempt loop — the `Cow`-based evaluators
+//! never clone the pinned data. [`Engine::publish`] swaps in a new
+//! snapshot under the next epoch number; in-flight queries keep their
+//! pinned epoch alive through the `Arc` and finish against the world
+//! they started in.
+//!
+//! ## Prepared plans
+//!
+//! Parse → plan → compile → verify is paid once per (query text,
+//! epoch): the prepared table maps query text to a [`PreparedPlan`]
+//! holding the parsed plan, a shared
+//! [`ProgramCache`](audb_query::ProgramCache) of its vetted compiled
+//! programs, and the plan's circuit breaker. Publish drops the whole
+//! table — the coherence property test pins that a warm re-execution
+//! against a new epoch is byte-identical to a cold one.
+//!
+//! ## The robustness loop
+//!
+//! Per query: admission (bounded queue, structured shed) → breaker
+//! consultation (compiled vs interpreted oracle) → one governed
+//! evaluation attempt → on a *transient* fault, jittered-backoff retry
+//! inside the same admission slot; on a *resource* verdict, a final
+//! structured rejection. Every submission resolves — to a result or a
+//! structured [`ServeError`] — and no outcome can poison the engine.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use audb_core::obs::{Counter, ExecEvent, ExecEventKind, Metrics, MetricsSnapshot};
+use audb_core::{CancelToken, EvalError};
+use audb_exec::WorkerGate;
+use audb_query::au::AuConfig;
+use audb_query::{eval_au_once, parse_sql, with_program_cache, ProgramCache, Query};
+use audb_storage::{AuDatabase, AuRelation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::admission::{Admission, Class, ClassPolicy};
+use crate::breaker::{Breaker, BreakerPolicy};
+use crate::retry::RetryPolicy;
+use crate::stats::{ClassStats, ClassStatsSnapshot};
+
+/// One immutable published world: the database plus its epoch number.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    db: AuDatabase,
+}
+
+impl Snapshot {
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn db(&self) -> &AuDatabase {
+        &self.db
+    }
+}
+
+/// Everything the engine is configured with.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Base evaluation knobs; per-class `timeout`/`budget` and the
+    /// breaker's compiled/interpreted routing are layered on top.
+    pub eval: AuConfig,
+    /// Engine-wide worker-thread budget shared by every concurrent
+    /// query (the [`WorkerGate`] total). 0 runs everything inline.
+    pub worker_threads: usize,
+    /// Admission knobs, indexed by [`Class`] discriminant order.
+    pub classes: [ClassPolicy; 3],
+    pub retry: RetryPolicy,
+    pub breaker: BreakerPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            eval: AuConfig::default(),
+            worker_threads: audb_exec::pool::available_workers(),
+            classes: Class::ALL.map(ClassPolicy::default_for),
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+        }
+    }
+}
+
+/// A parsed, compile-cached plan pinned to one epoch.
+#[derive(Debug)]
+struct PreparedPlan {
+    query: Query,
+    epoch: u64,
+    /// Vetted compiled programs, shared across executions of this plan.
+    programs: Arc<ProgramCache>,
+    breaker: Breaker,
+}
+
+/// One successful serve: the result plus how it was produced.
+#[derive(Debug)]
+pub struct Response {
+    pub relation: AuRelation,
+    /// The epoch the query was evaluated against.
+    pub epoch: u64,
+    pub class: Class,
+    /// Evaluation attempts taken (1 = no retries).
+    pub attempts: usize,
+    /// Whether the prepared-plan table already held this plan.
+    pub prepared_hit: bool,
+    /// Whether the final attempt ran on the interpreted oracle because
+    /// the plan's breaker was open.
+    pub breaker_degraded: bool,
+    /// Time spent waiting for admission.
+    pub queued: Duration,
+    /// Admission wait + every evaluation attempt + backoff sleeps.
+    pub total: Duration,
+}
+
+/// Structured serving verdicts: every failed submission resolves to
+/// exactly one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Load shed: the class queue was full or the queue wait timed out.
+    Overloaded { class: Class, queue_depth: usize, retry_after: Duration },
+    /// A final governance verdict (cancelled / deadline / budget) —
+    /// never retried.
+    Rejected(EvalError),
+    /// Transient faults exhausted the retry budget.
+    Failed(EvalError),
+    /// A deterministic query error (parse, type, unknown table):
+    /// retrying cannot help.
+    Query(EvalError),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { class, queue_depth, retry_after } => write!(
+                f,
+                "overloaded: class {} queue depth {queue_depth}, retry after {retry_after:?}",
+                class.name()
+            ),
+            ServeError::Rejected(e) => write!(f, "rejected by governance: {e}"),
+            ServeError::Failed(e) => write!(f, "failed after retries: {e}"),
+            ServeError::Query(e) => write!(f, "query error: {e}"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A point-in-time view of the engine's meters.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    pub epoch: u64,
+    /// Prepared plans currently cached.
+    pub prepared_plans: usize,
+    /// Per-class meters, indexed by [`Class`] discriminant order.
+    pub classes: [ClassStatsSnapshot; 3],
+    /// The engine-lifetime metrics sink (admission counters, runtime
+    /// events, drop accounting).
+    pub metrics: MetricsSnapshot,
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    config: EngineConfig,
+    snapshot: Mutex<Arc<Snapshot>>,
+    prepared: Mutex<HashMap<String, Arc<PreparedPlan>>>,
+    admission: Admission,
+    gate: WorkerGate,
+    metrics: Metrics,
+    stats: [ClassStats; 3],
+    seq: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// The long-lived concurrent serving engine. Cheap to clone (handles
+/// share one engine); see the module docs for the architecture.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// An engine serving `db` as epoch 0.
+    pub fn new(db: AuDatabase, config: EngineConfig) -> Self {
+        Engine {
+            inner: Arc::new(EngineInner {
+                admission: Admission::new(config.classes),
+                gate: WorkerGate::new(config.worker_threads),
+                config,
+                snapshot: Mutex::new(Arc::new(Snapshot { epoch: 0, db })),
+                prepared: Mutex::new(HashMap::new()),
+                metrics: Metrics::enabled(),
+                stats: [ClassStats::default(), ClassStats::default(), ClassStats::default()],
+                seq: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Publish a new world: the database becomes the next epoch and
+    /// every prepared plan is evicted (plans are compiled against one
+    /// epoch's catalog). In-flight queries finish on their pinned
+    /// snapshots. Returns the new epoch number.
+    pub fn publish(&self, db: AuDatabase) -> u64 {
+        let mut current = self.inner.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
+        let epoch = current.epoch + 1;
+        *current = Arc::new(Snapshot { epoch, db });
+        drop(current);
+        self.inner.prepared.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        epoch
+    }
+
+    /// Pin the current snapshot (readers hold it as long as they like).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.inner.snapshot.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Stop admitting new queries; in-flight queries finish normally.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// The engine-lifetime metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Per-class and engine-wide meters at this instant.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            epoch: self.snapshot().epoch,
+            prepared_plans: self
+                .inner
+                .prepared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            classes: [
+                self.inner.stats[0].snapshot(),
+                self.inner.stats[1].snapshot(),
+                self.inner.stats[2].snapshot(),
+            ],
+            metrics: self.inner.metrics.snapshot(),
+        }
+    }
+
+    /// Serve one SQL query under `class`, through the prepared-plan
+    /// cache.
+    pub fn execute_sql(&self, sql: &str, class: Class) -> Result<Response, ServeError> {
+        self.serve(sql, class, true)
+    }
+
+    /// Serve one algebra plan under `class`, through the prepared-plan
+    /// cache (keyed on the plan's text rendering).
+    pub fn execute(&self, q: &Query, class: Class) -> Result<Response, ServeError> {
+        self.serve_parsed(&q.to_string(), Some(q), class, true)
+    }
+
+    /// The cold path: serve one SQL query bypassing the prepared-plan
+    /// table (a fresh parse + compile + verify every call). The
+    /// coherence tests and the warm-vs-cold bench diff against this.
+    pub fn execute_sql_cold(&self, sql: &str, class: Class) -> Result<Response, ServeError> {
+        self.serve(sql, class, false)
+    }
+
+    fn serve(&self, sql: &str, class: Class, reuse: bool) -> Result<Response, ServeError> {
+        self.serve_parsed(sql, None, class, reuse)
+    }
+
+    /// The full per-query path; see the module docs for the loop.
+    /// `key` is the prepared-table key; `plan` short-circuits parsing
+    /// when the caller already holds the algebra.
+    fn serve_parsed(
+        &self,
+        key: &str,
+        plan: Option<&Query>,
+        class: Class,
+        reuse: bool,
+    ) -> Result<Response, ServeError> {
+        let inner = &self.inner;
+        let stats = &inner.stats[class as usize];
+        stats.submit();
+        if inner.closed.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+
+        let started = Instant::now();
+        let ticket = match inner.admission.admit(class) {
+            Ok(t) => t,
+            Err(shed) => {
+                stats.shed();
+                inner.metrics.add(Counter::Shed, 1);
+                inner.metrics.record_event(ExecEvent {
+                    kind: ExecEventKind::Shed,
+                    driver: None,
+                    morsel: None,
+                    detail: format!("class {} queue depth {}", class.name(), shed.queue_depth),
+                });
+                return Err(ServeError::Overloaded {
+                    class,
+                    queue_depth: shed.queue_depth,
+                    retry_after: shed.retry_after,
+                });
+            }
+        };
+        let queued = started.elapsed();
+        stats.admit();
+        inner.metrics.add(Counter::Admitted, 1);
+        inner.metrics.record_event(ExecEvent {
+            kind: ExecEventKind::Admitted,
+            driver: None,
+            morsel: None,
+            detail: format!("class {}", class.name()),
+        });
+
+        // Pin the epoch after admission: queued queries evaluate
+        // against the freshest world at the moment they start running.
+        let snap = self.snapshot();
+        let prepared = self.prepare(key, plan, &snap, reuse).map_err(ServeError::Query)?;
+        let prepared_hit = prepared.1;
+        let plan = prepared.0;
+
+        let policy = *inner.admission.policy(class);
+        let result = self.attempt_loop(&plan, &snap, &policy, class);
+        drop(ticket);
+
+        match result {
+            Ok((relation, attempts, breaker_degraded)) => {
+                let total = started.elapsed();
+                stats.complete(total);
+                Ok(Response {
+                    relation,
+                    epoch: snap.epoch,
+                    class,
+                    attempts,
+                    prepared_hit,
+                    breaker_degraded,
+                    queued,
+                    total,
+                })
+            }
+            Err(e) => {
+                match &e {
+                    ServeError::Rejected(_) => stats.reject(),
+                    ServeError::Failed(_) | ServeError::Query(_) => stats.fail(),
+                    _ => {}
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Look up (or build) the prepared plan for `key` on `snap`'s
+    /// epoch. `reuse: false` always builds fresh and never stores —
+    /// the cold path.
+    fn prepare(
+        &self,
+        key: &str,
+        plan: Option<&Query>,
+        snap: &Snapshot,
+        reuse: bool,
+    ) -> Result<(Arc<PreparedPlan>, bool), EvalError> {
+        if reuse {
+            let table = self.inner.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(p) = table.get(key) {
+                if p.epoch == snap.epoch {
+                    return Ok((Arc::clone(p), true));
+                }
+            }
+        }
+        let query = match plan {
+            Some(q) => q.clone(),
+            None => parse_sql(key, snap.db())?,
+        };
+        let fresh = Arc::new(PreparedPlan {
+            query,
+            epoch: snap.epoch,
+            programs: Arc::new(ProgramCache::new()),
+            breaker: Breaker::new(self.inner.config.breaker),
+        });
+        if reuse {
+            // Last insert wins on a race; both candidates were built
+            // against the same (key, epoch) pair, so either is valid.
+            self.inner
+                .prepared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(key.to_string(), Arc::clone(&fresh));
+        }
+        Ok((fresh, false))
+    }
+
+    /// The bounded-retry attempt loop. Holds the caller's admission
+    /// slot throughout; returns the relation, the attempt count, and
+    /// whether the successful attempt ran breaker-degraded.
+    fn attempt_loop(
+        &self,
+        plan: &PreparedPlan,
+        snap: &Snapshot,
+        policy: &ClassPolicy,
+        class: Class,
+    ) -> Result<(AuRelation, usize, bool), ServeError> {
+        let inner = &self.inner;
+        let retry = inner.config.retry;
+        let mut rng = StdRng::seed_from_u64(inner.seq.fetch_add(1, Ordering::Relaxed));
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let compiled_wanted = inner.config.eval.compiled;
+            let compiled = compiled_wanted && plan.breaker.allow_compiled();
+            let cfg = AuConfig {
+                compiled,
+                budget: policy.budget.or(inner.config.eval.budget),
+                ..inner.config.eval
+            };
+            let token = policy.timeout.map(CancelToken::with_deadline_in);
+            let verdict = with_program_cache(Arc::clone(&plan.programs), || {
+                eval_au_once(
+                    snap.db(),
+                    &plan.query,
+                    &cfg,
+                    token.as_ref(),
+                    Some(&inner.gate),
+                    &inner.metrics,
+                )
+            });
+            match verdict {
+                Ok(relation) => {
+                    if compiled {
+                        plan.breaker.record_success();
+                    }
+                    return Ok((relation, attempts, compiled_wanted && !compiled));
+                }
+                Err(EvalError::Exec(e)) if e.is_resource_limit() => {
+                    if compiled {
+                        plan.breaker.record_inconclusive();
+                    }
+                    return Err(ServeError::Rejected(EvalError::Exec(e)));
+                }
+                Err(EvalError::Exec(e)) => {
+                    // Transient producer fault: count it against the
+                    // breaker (compiled attempts only — the breaker
+                    // models compiled-path health), then retry with
+                    // jittered backoff inside the same admission slot.
+                    if compiled && plan.breaker.record_fault() {
+                        inner.metrics.add(Counter::BreakerTrips, 1);
+                        inner.metrics.record_event(ExecEvent {
+                            kind: ExecEventKind::BreakerTripped,
+                            driver: None,
+                            morsel: None,
+                            detail: format!("plan epoch {}: {e}", plan.epoch),
+                        });
+                    }
+                    if attempts > retry.max_retries {
+                        return Err(ServeError::Failed(EvalError::Exec(e)));
+                    }
+                    inner.stats[class as usize].retry();
+                    inner.metrics.add(Counter::Retries, 1);
+                    inner.metrics.record_event(ExecEvent {
+                        kind: ExecEventKind::Retried,
+                        driver: None,
+                        morsel: None,
+                        detail: format!("attempt {attempts}: {e}"),
+                    });
+                    let backoff = retry.backoff(attempts, &mut rng);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                Err(e) => return Err(ServeError::Query(e)),
+            }
+        }
+    }
+}

@@ -45,13 +45,14 @@
 //! ```
 //!
 //! The workspace crates are re-exported here: see [`core`], [`storage`],
-//! [`query`], [`incomplete`], [`baselines`], [`workloads`].
+//! [`query`], [`serve`], [`incomplete`], [`baselines`], [`workloads`].
 
 pub use audb_baselines as baselines;
 pub use audb_core as core;
 pub use audb_exec as exec;
 pub use audb_incomplete as incomplete;
 pub use audb_query as query;
+pub use audb_serve as serve;
 pub use audb_storage as storage;
 pub use audb_workloads as workloads;
 
@@ -68,10 +69,11 @@ pub mod prelude {
         TiDb, TiRelation, VTable, XDb, XRelation, XTuple,
     };
     pub use audb_query::{
-        eval_au, eval_au_cancellable, eval_au_traced, eval_au_traced_full, eval_det, eval_ua,
-        explain, parse_sql, rewrite::eval_via_rewrite, table, AggFunc, AggSpec, AuConfig, Explain,
-        Query,
+        eval_au, eval_au_cancellable, eval_au_once, eval_au_traced, eval_au_traced_full, eval_det,
+        eval_ua, explain, parse_sql, rewrite::eval_via_rewrite, table, AggFunc, AggSpec, AuConfig,
+        Explain, ProgramCache, Query,
     };
+    pub use audb_serve::{Class, ClassPolicy, Engine, EngineConfig, Response, ServeError};
     pub use audb_storage::{
         au_row, certain_row, AuDatabase, AuRelation, Database, RangeTuple, Relation, Schema, Tuple,
         UaDatabase, UaRelation,
