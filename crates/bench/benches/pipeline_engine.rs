@@ -35,6 +35,17 @@
 //! worker is the verifier overhead gate: Tier B runs once per compiled
 //! stage per query — never per row — so the ratio must stay <= 1.03
 //! (criterion_9, intra-run like criterion_7/8).
+//!
+//! The `pipeline_10k_columnar_w1` / `pipeline_10k_rowmajor_w1` pair
+//! runs an arithmetic-heavy **batchable** chain (select/project only —
+//! probe stages break batchability, so the join spine above never
+//! routes columnar) over the same homogeneous-Int 10k table, differing
+//! only in `AuConfig::columnar`. Columnar must be >= 1.3x over the
+//! row-major batch path at one worker (criterion_11, intra-run and
+//! core-count-free): the win is op-at-a-time vector kernels over
+//! contiguous typed lanes instead of per-row register slots of boxed
+//! `RangeValue`s. Byte-identity of the two paths is property-tested in
+//! tests/columnar_props.rs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -57,6 +68,25 @@ fn spine() -> Query {
         .join_on(table("t2"), col(0).eq(col(3)))
         .select(col(1).add(col(4)).lt(lit(5000i64)))
         .project(vec![(col(0), "k"), (col(1).add(col(4)), "v"), (col(2), "w")])
+}
+
+fn batchable_chain() -> Query {
+    // select → project → select → project with no probe stage: the
+    // whole chain compiles and fuses, so the columnar driver runs
+    // vector kernels over the t1 lanes end to end. Arithmetic-heavy on
+    // purpose — every op is a typed i64 kernel (checked adds/muls that
+    // never overflow on this domain, comparison kernels for the
+    // selections).
+    table("t1")
+        .select(col(1).geq(lit(0i64)))
+        .project(vec![
+            (col(0), "k"),
+            (col(1).add(col(2)), "s"),
+            (col(2).mul(lit(3i64)), "m"),
+            (col(1).sub(col(2)), "d"),
+        ])
+        .select(col(1).lt(lit(20_000i64)).and(col(3).geq(lit(-10_000i64))))
+        .project(vec![(col(0), "k"), (col(1).add(col(2)).add(col(3)), "v")])
 }
 
 fn bench(c: &mut Criterion) {
@@ -110,6 +140,20 @@ fn bench(c: &mut Criterion) {
     let traced_cfg = AuConfig { workers: Some(1), ..AuConfig::default() };
     g.bench_function("pipeline_10k_metrics_w1", |b| {
         b.iter(|| black_box(eval_au_traced(&audb, &q, &traced_cfg).unwrap()))
+    });
+
+    // columnar vs row-major batch execution on a fully batchable
+    // arithmetic chain (criterion_11, intra-run ratio): same compiled
+    // programs, same shard driver — only the evaluation substrate
+    // differs (typed lane kernels vs per-row register slots)
+    let bq = batchable_chain();
+    let rowmajor = AuConfig { columnar: false, workers: Some(1), ..AuConfig::default() };
+    g.bench_function("pipeline_10k_rowmajor_w1", |b| {
+        b.iter(|| black_box(eval_au(&audb, &bq, &rowmajor).unwrap()))
+    });
+    let columnar = AuConfig { workers: Some(1), ..AuConfig::default() };
+    g.bench_function("pipeline_10k_columnar_w1", |b| {
+        b.iter(|| black_box(eval_au(&audb, &bq, &columnar).unwrap()))
     });
     g.finish();
 

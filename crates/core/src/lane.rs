@@ -1,0 +1,832 @@
+//! Columnar value lanes: the column-major representation of one
+//! attribute of range-annotated rows, and the typed vector kernels the
+//! compiled backend runs over them.
+//!
+//! A [`ValueLane`] stores a column of [`RangeValue`]s as three
+//! contiguous component arrays (`lb`/`sg`/`ub`) when every cell of the
+//! column is homogeneously typed — `Int`, `Float`, or `Bool` in all
+//! three components of every row — and falls back to a boxed row of
+//! `RangeValue`s otherwise (mixed numeric columns, strings, sentinels,
+//! `Null`). This is the flat succinct encoding that made U-relations
+//! fast: homogeneous inner loops touch raw `i64`/`f64`/`bool` arrays
+//! with no per-cell enum dispatch, so the compiler can unroll and
+//! auto-vectorize them.
+//!
+//! # Exactness contract
+//!
+//! The typed kernels in this module are *refinements* of the shared
+//! `range_*` combinators (`crate::expr`), never reinterpretations:
+//! for every input they either produce the bit-identical result the
+//! combinator would, or they **demote** — return `None`, telling the
+//! caller to rerun the whole op through the generic per-cell combinator
+//! into a boxed lane. Demotion triggers exactly where the scalar
+//! semantics leave the homogeneous type lattice:
+//!
+//! * `i64` checked arithmetic returning `None` — the scalar path
+//!   *promotes that component to float* (`Value::add` et al.), so the
+//!   result column is no longer homogeneous `Int`;
+//! * an `f64` kernel producing NaN — the scalar path raises
+//!   [`EvalError::NotANumber`] for that row, which only the generic
+//!   path can report per-row.
+//!
+//! The `f64` kernels canonicalize `-0.0` to `0.0` after every
+//! operation, mirroring `F64::try_new` (e.g. `-1.0 * 0.0` is `-0.0` in
+//! IEEE arithmetic but `0.0` in the value domain). Mixed `Int`/`Float`
+//! operand pairs may use the `f64` kernels because the scalar mixed
+//! semantics are themselves f64-cast based: `Value::add` computes
+//! `a as f64 + b`, and the comparison tie rules (`Int` sorts before
+//! `Float` on numeric ties, `value_eq` casts) reduce `leq`/`lt`/
+//! `value_eq` to plain `<=`/`</`==` on the casts. `Int ⊗ Int`
+//! comparisons use exact `i64` compares — beyond 2^53 the cast is
+//! lossy, the integers are not.
+
+use std::ops::Range;
+
+use crate::error::EvalError;
+use crate::range::RangeValue;
+use crate::value::{Value, F64};
+
+/// The type tag of a lane: which component representation it uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneTag {
+    /// Every cell is `[Int / Int / Int]`.
+    Int,
+    /// Every cell is `[Float / Float / Float]`.
+    Float,
+    /// Every cell is `[Bool / Bool / Bool]`.
+    Bool,
+    /// Anything else: per-cell `RangeValue`s (the fallback lane).
+    Boxed,
+}
+
+/// One attribute column of range-annotated values, column-major.
+///
+/// Typed variants hold the `lb`/`sg`/`ub` components in three parallel
+/// arrays; [`ValueLane::Boxed`] is the row-shaped fallback for columns
+/// that are not homogeneously typed. Every variant materializes cells
+/// back into [`RangeValue`]s on demand ([`ValueLane::get`]), so the row
+/// `Tuple` view is always recoverable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueLane {
+    Int { lb: Vec<i64>, sg: Vec<i64>, ub: Vec<i64> },
+    Float { lb: Vec<f64>, sg: Vec<f64>, ub: Vec<f64> },
+    Bool { lb: Vec<bool>, sg: Vec<bool>, ub: Vec<bool> },
+    Boxed(Vec<RangeValue>),
+}
+
+impl Default for ValueLane {
+    fn default() -> Self {
+        ValueLane::Boxed(Vec::new())
+    }
+}
+
+/// Borrowed view of (part of) a [`ValueLane`] — what kernels and
+/// chunked executors actually operate on.
+#[derive(Debug, Clone, Copy)]
+pub enum LaneSlice<'a> {
+    Int { lb: &'a [i64], sg: &'a [i64], ub: &'a [i64] },
+    Float { lb: &'a [f64], sg: &'a [f64], ub: &'a [f64] },
+    Bool { lb: &'a [bool], sg: &'a [bool], ub: &'a [bool] },
+    Boxed(&'a [RangeValue]),
+}
+
+impl ValueLane {
+    pub fn len(&self) -> usize {
+        match self {
+            ValueLane::Int { lb, .. } => lb.len(),
+            ValueLane::Float { lb, .. } => lb.len(),
+            ValueLane::Bool { lb, .. } => lb.len(),
+            ValueLane::Boxed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn tag(&self) -> LaneTag {
+        match self {
+            ValueLane::Int { .. } => LaneTag::Int,
+            ValueLane::Float { .. } => LaneTag::Float,
+            ValueLane::Bool { .. } => LaneTag::Bool,
+            ValueLane::Boxed(_) => LaneTag::Boxed,
+        }
+    }
+
+    /// Materialize cell `i` as a [`RangeValue`].
+    pub fn get(&self, i: usize) -> RangeValue {
+        self.as_slice().get(i)
+    }
+
+    /// Borrow the whole lane.
+    pub fn as_slice(&self) -> LaneSlice<'_> {
+        self.slice(0..self.len())
+    }
+
+    /// Borrow a sub-range of the lane.
+    pub fn slice(&self, r: Range<usize>) -> LaneSlice<'_> {
+        match self {
+            ValueLane::Int { lb, sg, ub } => {
+                LaneSlice::Int { lb: &lb[r.clone()], sg: &sg[r.clone()], ub: &ub[r] }
+            }
+            ValueLane::Float { lb, sg, ub } => {
+                LaneSlice::Float { lb: &lb[r.clone()], sg: &sg[r.clone()], ub: &ub[r] }
+            }
+            ValueLane::Bool { lb, sg, ub } => {
+                LaneSlice::Bool { lb: &lb[r.clone()], sg: &sg[r.clone()], ub: &ub[r] }
+            }
+            ValueLane::Boxed(v) => LaneSlice::Boxed(&v[r]),
+        }
+    }
+
+    /// Build a lane from a column of cells, choosing the tightest
+    /// representation: a typed lane iff *every* cell is homogeneously
+    /// `Int`/`Float`/`Bool` in all three components, boxed otherwise
+    /// (so mixed-type columns and sentinel-carrying cells — e.g. the
+    /// `[MinVal / sg / MaxVal]` encoding of `null` — take the fallback
+    /// lane and keep exact scalar semantics).
+    pub fn from_cells<'a>(cells: impl Iterator<Item = &'a RangeValue> + Clone) -> ValueLane {
+        let (mut all_int, mut all_float, mut all_bool, mut n) = (true, true, true, 0usize);
+        for c in cells.clone() {
+            n += 1;
+            all_int &=
+                matches!((&c.lb, &c.sg, &c.ub), (Value::Int(_), Value::Int(_), Value::Int(_)));
+            all_float &= matches!(
+                (&c.lb, &c.sg, &c.ub),
+                (Value::Float(_), Value::Float(_), Value::Float(_))
+            );
+            all_bool &=
+                matches!((&c.lb, &c.sg, &c.ub), (Value::Bool(_), Value::Bool(_), Value::Bool(_)));
+            if !(all_int || all_float || all_bool) {
+                break;
+            }
+        }
+        let _ = n;
+        if all_int {
+            let (mut lb, mut sg, mut ub) = (Vec::new(), Vec::new(), Vec::new());
+            for c in cells {
+                if let (Value::Int(l), Value::Int(s), Value::Int(u)) = (&c.lb, &c.sg, &c.ub) {
+                    lb.push(*l);
+                    sg.push(*s);
+                    ub.push(*u);
+                }
+            }
+            ValueLane::Int { lb, sg, ub }
+        } else if all_float {
+            let (mut lb, mut sg, mut ub) = (Vec::new(), Vec::new(), Vec::new());
+            for c in cells {
+                if let (Value::Float(l), Value::Float(s), Value::Float(u)) = (&c.lb, &c.sg, &c.ub) {
+                    lb.push(l.get());
+                    sg.push(s.get());
+                    ub.push(u.get());
+                }
+            }
+            ValueLane::Float { lb, sg, ub }
+        } else if all_bool {
+            let (mut lb, mut sg, mut ub) = (Vec::new(), Vec::new(), Vec::new());
+            for c in cells {
+                if let (Value::Bool(l), Value::Bool(s), Value::Bool(u)) = (&c.lb, &c.sg, &c.ub) {
+                    lb.push(*l);
+                    sg.push(*s);
+                    ub.push(*u);
+                }
+            }
+            ValueLane::Bool { lb, sg, ub }
+        } else {
+            ValueLane::Boxed(cells.cloned().collect())
+        }
+    }
+
+    /// A lane of `n` copies of one cell (constants broadcast to a
+    /// chunk's length so kernels see uniform operands).
+    pub fn splat(cell: &RangeValue, n: usize) -> ValueLane {
+        match (&cell.lb, &cell.sg, &cell.ub) {
+            (Value::Int(l), Value::Int(s), Value::Int(u)) => {
+                ValueLane::Int { lb: vec![*l; n], sg: vec![*s; n], ub: vec![*u; n] }
+            }
+            (Value::Float(l), Value::Float(s), Value::Float(u)) => ValueLane::Float {
+                lb: vec![l.get(); n],
+                sg: vec![s.get(); n],
+                ub: vec![u.get(); n],
+            },
+            (Value::Bool(l), Value::Bool(s), Value::Bool(u)) => {
+                ValueLane::Bool { lb: vec![*l; n], sg: vec![*s; n], ub: vec![*u; n] }
+            }
+            _ => ValueLane::Boxed(vec![cell.clone(); n]),
+        }
+    }
+
+    /// Exact heap footprint of this lane's component storage in bytes
+    /// (element payloads plus, for boxed cells, their string heap).
+    pub fn lane_bytes(&self) -> u64 {
+        match self {
+            ValueLane::Int { lb, .. } => (3 * lb.len() * std::mem::size_of::<i64>()) as u64,
+            ValueLane::Float { lb, .. } => (3 * lb.len() * std::mem::size_of::<f64>()) as u64,
+            ValueLane::Bool { lb, .. } => (3 * lb.len()) as u64,
+            ValueLane::Boxed(cells) => {
+                let mut total = (cells.len() * std::mem::size_of::<RangeValue>()) as u64;
+                for c in cells {
+                    for v in [&c.lb, &c.sg, &c.ub] {
+                        if let Value::Str(s) = v {
+                            total += s.len() as u64;
+                        }
+                    }
+                }
+                total
+            }
+        }
+    }
+}
+
+impl<'a> LaneSlice<'a> {
+    pub fn len(&self) -> usize {
+        match self {
+            LaneSlice::Int { lb, .. } => lb.len(),
+            LaneSlice::Float { lb, .. } => lb.len(),
+            LaneSlice::Bool { lb, .. } => lb.len(),
+            LaneSlice::Boxed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn tag(&self) -> LaneTag {
+        match self {
+            LaneSlice::Int { .. } => LaneTag::Int,
+            LaneSlice::Float { .. } => LaneTag::Float,
+            LaneSlice::Bool { .. } => LaneTag::Bool,
+            LaneSlice::Boxed(_) => LaneTag::Boxed,
+        }
+    }
+
+    /// Materialize cell `i` as a [`RangeValue`].
+    pub fn get(&self, i: usize) -> RangeValue {
+        match self {
+            LaneSlice::Int { lb, sg, ub } => {
+                RangeValue { lb: Value::Int(lb[i]), sg: Value::Int(sg[i]), ub: Value::Int(ub[i]) }
+            }
+            LaneSlice::Float { lb, sg, ub } => RangeValue {
+                lb: Value::Float(F64::new(lb[i])),
+                sg: Value::Float(F64::new(sg[i])),
+                ub: Value::Float(F64::new(ub[i])),
+            },
+            LaneSlice::Bool { lb, sg, ub } => RangeValue {
+                lb: Value::Bool(lb[i]),
+                sg: Value::Bool(sg[i]),
+                ub: Value::Bool(ub[i]),
+            },
+            LaneSlice::Boxed(v) => v[i].clone(),
+        }
+    }
+
+    /// Boolean-triple view of cell `i` — free on a `Bool` lane, exact
+    /// scalar error classification elsewhere.
+    pub fn bool3(&self, i: usize) -> Result<(bool, bool, bool), EvalError> {
+        match self {
+            LaneSlice::Bool { lb, sg, ub } => Ok((lb[i], sg[i], ub[i])),
+            LaneSlice::Boxed(v) => v[i].as_bool3(),
+            other => other.get(i).as_bool3(),
+        }
+    }
+
+    /// Gather the cells at `idx` (in order) into an owned lane of the
+    /// same representation — the compaction step after a selection.
+    pub fn gather(&self, idx: &[u32]) -> ValueLane {
+        match self {
+            LaneSlice::Int { lb, sg, ub } => ValueLane::Int {
+                lb: idx.iter().map(|&i| lb[i as usize]).collect(),
+                sg: idx.iter().map(|&i| sg[i as usize]).collect(),
+                ub: idx.iter().map(|&i| ub[i as usize]).collect(),
+            },
+            LaneSlice::Float { lb, sg, ub } => ValueLane::Float {
+                lb: idx.iter().map(|&i| lb[i as usize]).collect(),
+                sg: idx.iter().map(|&i| sg[i as usize]).collect(),
+                ub: idx.iter().map(|&i| ub[i as usize]).collect(),
+            },
+            LaneSlice::Bool { lb, sg, ub } => ValueLane::Bool {
+                lb: idx.iter().map(|&i| lb[i as usize]).collect(),
+                sg: idx.iter().map(|&i| sg[i as usize]).collect(),
+                ub: idx.iter().map(|&i| ub[i as usize]).collect(),
+            },
+            LaneSlice::Boxed(v) => {
+                ValueLane::Boxed(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
+    }
+
+    /// Copy into an owned lane.
+    pub fn to_lane(&self) -> ValueLane {
+        match self {
+            LaneSlice::Int { lb, sg, ub } => {
+                ValueLane::Int { lb: lb.to_vec(), sg: sg.to_vec(), ub: ub.to_vec() }
+            }
+            LaneSlice::Float { lb, sg, ub } => {
+                ValueLane::Float { lb: lb.to_vec(), sg: sg.to_vec(), ub: ub.to_vec() }
+            }
+            LaneSlice::Bool { lb, sg, ub } => {
+                ValueLane::Bool { lb: lb.to_vec(), sg: sg.to_vec(), ub: ub.to_vec() }
+            }
+            LaneSlice::Boxed(v) => ValueLane::Boxed(v.to_vec()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed kernels
+// ---------------------------------------------------------------------------
+//
+// Each kernel returns `Some(lane)` with the bit-exact result of running
+// the corresponding `range_*` combinator over every row, or `None` to
+// demote: the operand shapes (or a produced value) left the homogeneous
+// type lattice and the caller must rerun the op generically. Kernels
+// may compute rows the caller knows are poisoned — typed lanes always
+// hold genuine domain values, so the extra work is harmless (a demotion
+// triggered by a poisoned row's data costs performance, never
+// correctness).
+
+/// Canonicalize an f64 the way `F64::try_new` does (`-0.0` → `0.0`).
+#[inline]
+fn canon(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+#[inline]
+fn fmin(a: f64, b: f64) -> f64 {
+    // total_cmp order on canonical, NaN-free floats is the usual order;
+    // ties return `a`, matching `Value::min_of`.
+    if b < a {
+        b
+    } else {
+        a
+    }
+}
+
+#[inline]
+fn fmax(a: f64, b: f64) -> f64 {
+    if b > a {
+        b
+    } else {
+        a
+    }
+}
+
+/// f64 view of a numeric lane component: `Int` components cast
+/// elementwise (exactly what the scalar mixed-numeric semantics do).
+fn numeric_f64(s: &LaneSlice<'_>) -> Option<[Vec<f64>; 3]> {
+    match s {
+        LaneSlice::Int { lb, sg, ub } => Some([
+            lb.iter().map(|&v| v as f64).collect(),
+            sg.iter().map(|&v| v as f64).collect(),
+            ub.iter().map(|&v| v as f64).collect(),
+        ]),
+        LaneSlice::Float { lb, sg, ub } => Some([lb.to_vec(), sg.to_vec(), ub.to_vec()]),
+        _ => None,
+    }
+}
+
+fn checked_zip(a: &[i64], b: &[i64], f: impl Fn(i64, i64) -> Option<i64>) -> Option<Vec<i64>> {
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        out.push(f(x, y)?);
+    }
+    Some(out)
+}
+
+/// f64 map over two components; `None` when any element is NaN (the
+/// scalar path raises `NotANumber` there — only the generic path can
+/// report it per-row).
+fn f64_zip(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> Option<Vec<f64>> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut ok = true;
+    for (&x, &y) in a.iter().zip(b) {
+        let v = canon(f(x, y));
+        ok &= !v.is_nan();
+        out.push(v);
+    }
+    ok.then_some(out)
+}
+
+/// The scalar `Value::sub` is `add(neg(b))`: `i64::MIN` fails to negate
+/// (and float-promotes) even when `a - b` itself is representable.
+#[inline]
+fn int_sub(a: i64, b: i64) -> Option<i64> {
+    b.checked_neg().and_then(|nb| a.checked_add(nb))
+}
+
+/// `range_add` kernel: componentwise sums. Monotone, so the validating
+/// `RangeValue::new` of the scalar path cannot fail on the homogeneous
+/// inputs this kernel accepts.
+pub(crate) fn k_add(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Int { lb: al, sg: asg, ub: au },
+            LaneSlice::Int { lb: bl, sg: bsg, ub: bu },
+        ) => Some(ValueLane::Int {
+            lb: checked_zip(al, bl, i64::checked_add)?,
+            sg: checked_zip(asg, bsg, i64::checked_add)?,
+            ub: checked_zip(au, bu, i64::checked_add)?,
+        }),
+        _ => {
+            let [al, asg, au] = numeric_f64(a)?;
+            let [bl, bsg, bu] = numeric_f64(b)?;
+            Some(ValueLane::Float {
+                lb: f64_zip(&al, &bl, |x, y| x + y)?,
+                sg: f64_zip(&asg, &bsg, |x, y| x + y)?,
+                ub: f64_zip(&au, &bu, |x, y| x + y)?,
+            })
+        }
+    }
+}
+
+/// `range_sub` kernel: `sg = a.sg − b.sg`, bounds `a.lb − b.ub` and
+/// `a.ub − b.lb` widened by `sg`.
+pub(crate) fn k_sub(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Int { lb: al, sg: asg, ub: au },
+            LaneSlice::Int { lb: bl, sg: bsg, ub: bu },
+        ) => {
+            let sg = checked_zip(asg, bsg, int_sub)?;
+            let dl = checked_zip(al, bu, int_sub)?;
+            let du = checked_zip(au, bl, int_sub)?;
+            let lb = dl.iter().zip(&sg).map(|(&d, &s)| d.min(s)).collect();
+            let ub = du.iter().zip(&sg).map(|(&d, &s)| d.max(s)).collect();
+            Some(ValueLane::Int { lb, sg, ub })
+        }
+        _ => {
+            let [al, asg, au] = numeric_f64(a)?;
+            let [bl, bsg, bu] = numeric_f64(b)?;
+            // IEEE negation is exact and `x + (-y) == x - y`, so the
+            // scalar `add(neg(b))` chain is plain subtraction here.
+            let sg = f64_zip(&asg, &bsg, |x, y| x - y)?;
+            let dl = f64_zip(&al, &bu, |x, y| x - y)?;
+            let du = f64_zip(&au, &bl, |x, y| x - y)?;
+            let lb = dl.iter().zip(&sg).map(|(&d, &s)| fmin(d, s)).collect();
+            let ub = du.iter().zip(&sg).map(|(&d, &s)| fmax(d, s)).collect();
+            Some(ValueLane::Float { lb, sg, ub })
+        }
+    }
+}
+
+/// `range_mul` kernel: four corner products, min/max envelope, widened
+/// by the sg product.
+pub(crate) fn k_mul(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Int { lb: al, sg: asg, ub: au },
+            LaneSlice::Int { lb: bl, sg: bsg, ub: bu },
+        ) => {
+            let c0 = checked_zip(al, bl, i64::checked_mul)?;
+            let c1 = checked_zip(al, bu, i64::checked_mul)?;
+            let c2 = checked_zip(au, bl, i64::checked_mul)?;
+            let c3 = checked_zip(au, bu, i64::checked_mul)?;
+            let sg: Vec<i64> = checked_zip(asg, bsg, i64::checked_mul)?;
+            let n = sg.len();
+            let mut lb = Vec::with_capacity(n);
+            let mut ub = Vec::with_capacity(n);
+            for i in 0..n {
+                let lo = c0[i].min(c1[i]).min(c2[i].min(c3[i]));
+                let hi = c0[i].max(c1[i]).max(c2[i].max(c3[i]));
+                lb.push(lo.min(sg[i]));
+                ub.push(hi.max(sg[i]));
+            }
+            Some(ValueLane::Int { lb, sg, ub })
+        }
+        _ => {
+            let [al, asg, au] = numeric_f64(a)?;
+            let [bl, bsg, bu] = numeric_f64(b)?;
+            let c0 = f64_zip(&al, &bl, |x, y| x * y)?;
+            let c1 = f64_zip(&al, &bu, |x, y| x * y)?;
+            let c2 = f64_zip(&au, &bl, |x, y| x * y)?;
+            let c3 = f64_zip(&au, &bu, |x, y| x * y)?;
+            let sg = f64_zip(&asg, &bsg, |x, y| x * y)?;
+            let n = sg.len();
+            let mut lb = Vec::with_capacity(n);
+            let mut ub = Vec::with_capacity(n);
+            for i in 0..n {
+                let lo = fmin(fmin(c0[i], c1[i]), fmin(c2[i], c3[i]));
+                let hi = fmax(fmax(c0[i], c1[i]), fmax(c2[i], c3[i]));
+                lb.push(fmin(lo, sg[i]));
+                ub.push(fmax(hi, sg[i]));
+            }
+            Some(ValueLane::Float { lb, sg, ub })
+        }
+    }
+}
+
+/// `range_neg` kernel: `sg = −a.sg`, bounds `−a.ub` / `−a.lb` widened
+/// by `sg`.
+pub(crate) fn k_neg(a: &LaneSlice<'_>) -> Option<ValueLane> {
+    match a {
+        LaneSlice::Int { lb: al, sg: asg, ub: au } => {
+            let mut sg = Vec::with_capacity(asg.len());
+            let mut lb = Vec::with_capacity(asg.len());
+            let mut ub = Vec::with_capacity(asg.len());
+            for i in 0..asg.len() {
+                let s = asg[i].checked_neg()?;
+                lb.push(au[i].checked_neg()?.min(s));
+                ub.push(al[i].checked_neg()?.max(s));
+                sg.push(s);
+            }
+            Some(ValueLane::Int { lb, sg, ub })
+        }
+        LaneSlice::Float { lb: al, sg: asg, ub: au } => {
+            let sg: Vec<f64> = asg.iter().map(|&v| canon(-v)).collect();
+            let lb = au.iter().zip(&sg).map(|(&v, &s)| fmin(canon(-v), s)).collect();
+            let ub = al.iter().zip(&sg).map(|(&v, &s)| fmax(canon(-v), s)).collect();
+            Some(ValueLane::Float { lb, sg, ub })
+        }
+        _ => None,
+    }
+}
+
+/// `range_leq` kernel: `(a.ub ≤ b.lb, a.sg ≤ b.sg, a.lb ≤ b.ub)`.
+pub(crate) fn k_leq(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    cmp_kernel(a, b, |x, y| x <= y, |x, y| x <= y)
+}
+
+/// `range_lt` kernel: strict variants of the same components.
+pub(crate) fn k_lt(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    cmp_kernel(a, b, |x, y| x < y, |x, y| x < y)
+}
+
+fn cmp_kernel(
+    a: &LaneSlice<'_>,
+    b: &LaneSlice<'_>,
+    fi: impl Fn(i64, i64) -> bool + Copy,
+    ff: impl Fn(f64, f64) -> bool + Copy,
+) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Int { lb: al, sg: asg, ub: au },
+            LaneSlice::Int { lb: bl, sg: bsg, ub: bu },
+        ) => Some(ValueLane::Bool {
+            lb: au.iter().zip(bl.iter()).map(|(&x, &y)| fi(x, y)).collect(),
+            sg: asg.iter().zip(bsg.iter()).map(|(&x, &y)| fi(x, y)).collect(),
+            ub: al.iter().zip(bu.iter()).map(|(&x, &y)| fi(x, y)).collect(),
+        }),
+        _ => {
+            // Mixed Int/Float compares reduce to the casts: `leq` is
+            // `a <= b || value_eq`, and both the total order's numeric
+            // tie rule and `value_eq` are f64-cast based, so
+            // `leq ⇔ af <= bf` and `lt ⇔ af < bf` whenever a float is
+            // involved.
+            let [al, asg, au] = numeric_f64(a)?;
+            let [bl, bsg, bu] = numeric_f64(b)?;
+            Some(ValueLane::Bool {
+                lb: au.iter().zip(bl.iter()).map(|(&x, &y)| ff(x, y)).collect(),
+                sg: asg.iter().zip(bsg.iter()).map(|(&x, &y)| ff(x, y)).collect(),
+                ub: al.iter().zip(bu.iter()).map(|(&x, &y)| ff(x, y)).collect(),
+            })
+        }
+    }
+}
+
+/// `range_eq` kernel: certainly-equal iff both endpoints pin the same
+/// value, possibly-equal iff the ranges overlap (`value_eq`-aware,
+/// which for numeric lanes is exactly the cast equality).
+pub(crate) fn k_eq(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Int { lb: al, sg: asg, ub: au },
+            LaneSlice::Int { lb: bl, sg: bsg, ub: bu },
+        ) => {
+            let n = al.len();
+            let mut lb = Vec::with_capacity(n);
+            let mut sg = Vec::with_capacity(n);
+            let mut ub = Vec::with_capacity(n);
+            for i in 0..n {
+                lb.push(au[i] == bl[i] && bu[i] == al[i]);
+                sg.push(asg[i] == bsg[i]);
+                ub.push(al[i] <= bu[i] && bl[i] <= au[i]);
+            }
+            Some(ValueLane::Bool { lb, sg, ub })
+        }
+        _ => {
+            let [al, asg, au] = numeric_f64(a)?;
+            let [bl, bsg, bu] = numeric_f64(b)?;
+            let n = al.len();
+            let mut lb = Vec::with_capacity(n);
+            let mut sg = Vec::with_capacity(n);
+            let mut ub = Vec::with_capacity(n);
+            for i in 0..n {
+                lb.push(au[i] == bl[i] && bu[i] == al[i]);
+                sg.push(asg[i] == bsg[i]);
+                ub.push(al[i] <= bu[i] && bl[i] <= au[i]);
+            }
+            Some(ValueLane::Bool { lb, sg, ub })
+        }
+    }
+}
+
+/// `range_and` kernel over two boolean lanes (componentwise `&&`).
+pub(crate) fn k_and(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Bool { lb: al, sg: asg, ub: au },
+            LaneSlice::Bool { lb: bl, sg: bsg, ub: bu },
+        ) => Some(ValueLane::Bool {
+            lb: al.iter().zip(bl.iter()).map(|(&x, &y)| x && y).collect(),
+            sg: asg.iter().zip(bsg.iter()).map(|(&x, &y)| x && y).collect(),
+            ub: au.iter().zip(bu.iter()).map(|(&x, &y)| x && y).collect(),
+        }),
+        _ => None,
+    }
+}
+
+/// `range_or` kernel (componentwise `||`).
+pub(crate) fn k_or(a: &LaneSlice<'_>, b: &LaneSlice<'_>) -> Option<ValueLane> {
+    match (a, b) {
+        (
+            LaneSlice::Bool { lb: al, sg: asg, ub: au },
+            LaneSlice::Bool { lb: bl, sg: bsg, ub: bu },
+        ) => Some(ValueLane::Bool {
+            lb: al.iter().zip(bl.iter()).map(|(&x, &y)| x || y).collect(),
+            sg: asg.iter().zip(bsg.iter()).map(|(&x, &y)| x || y).collect(),
+            ub: au.iter().zip(bu.iter()).map(|(&x, &y)| x || y).collect(),
+        }),
+        _ => None,
+    }
+}
+
+/// `range_not` kernel: negate and swap the bounds (`¬` is
+/// antimonotone).
+pub(crate) fn k_not(a: &LaneSlice<'_>) -> Option<ValueLane> {
+    match a {
+        LaneSlice::Bool { lb, sg, ub } => Some(ValueLane::Bool {
+            lb: ub.iter().map(|&v| !v).collect(),
+            sg: sg.iter().map(|&v| !v).collect(),
+            ub: lb.iter().map(|&v| !v).collect(),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::expr::{range_add, range_eq, range_leq, range_lt, range_mul, range_neg, range_sub};
+
+    fn lane_of(cells: &[RangeValue]) -> ValueLane {
+        ValueLane::from_cells(cells.iter())
+    }
+
+    fn int_cells() -> Vec<RangeValue> {
+        vec![
+            RangeValue::range(1i64, 2i64, 3i64),
+            RangeValue::range(-7i64, 0i64, 4i64),
+            RangeValue::certain(Value::Int(9)),
+            RangeValue::range(i64::MIN + 1, 0i64, i64::MAX - 1),
+        ]
+    }
+
+    fn float_cells() -> Vec<RangeValue> {
+        vec![
+            RangeValue::range(1.5f64, 2.0f64, 3.25f64),
+            RangeValue::range(-0.5f64, 0.0f64, 0.5f64),
+            RangeValue::certain(Value::float(-9.75)),
+            RangeValue::range(-1e300f64, 0.0f64, 1e300f64),
+        ]
+    }
+
+    #[test]
+    fn classification_picks_tightest_lane() {
+        assert_eq!(lane_of(&int_cells()).tag(), LaneTag::Int);
+        assert_eq!(lane_of(&float_cells()).tag(), LaneTag::Float);
+        let bools =
+            vec![RangeValue::certain(Value::Bool(true)), RangeValue::range(false, false, true)];
+        assert_eq!(lane_of(&bools).tag(), LaneTag::Bool);
+        // mixed numeric and sentinel cells force the boxed lane
+        let mixed =
+            vec![RangeValue::certain(Value::Int(1)), RangeValue::certain(Value::float(1.0))];
+        assert_eq!(lane_of(&mixed).tag(), LaneTag::Boxed);
+        let null = vec![RangeValue::unknown(Value::Int(0))];
+        assert_eq!(lane_of(&null).tag(), LaneTag::Boxed);
+    }
+
+    #[test]
+    fn roundtrip_preserves_cells() {
+        for cells in [int_cells(), float_cells()] {
+            let lane = lane_of(&cells);
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(lane.get(i), *c);
+            }
+            assert_eq!(lane.slice(1..3).get(0), cells[1]);
+        }
+    }
+
+    /// Every kernel matches its scalar combinator cell for cell, across
+    /// Int⊗Int, Float⊗Float, and mixed Int⊗Float lane pairs.
+    #[test]
+    fn kernels_match_combinators() {
+        let ints = lane_of(&int_cells());
+        let floats = lane_of(&float_cells());
+        let pairs: Vec<(&ValueLane, &ValueLane)> =
+            vec![(&ints, &ints), (&floats, &floats), (&ints, &floats), (&floats, &ints)];
+        for (a, b) in pairs {
+            let (sa, sb) = (a.as_slice(), b.as_slice());
+            for i in 0..a.len() {
+                let (ca, cb) = (a.get(i), b.get(i));
+                if let Some(out) = k_add(&sa, &sb) {
+                    assert_eq!(out.get(i), range_add(&ca, &cb).unwrap(), "add {ca} {cb}");
+                }
+                if let Some(out) = k_sub(&sa, &sb) {
+                    assert_eq!(out.get(i), range_sub(&ca, &cb).unwrap(), "sub {ca} {cb}");
+                }
+                if let Some(out) = k_mul(&sa, &sb) {
+                    assert_eq!(out.get(i), range_mul(&ca, &cb).unwrap(), "mul {ca} {cb}");
+                }
+                if let Some(out) = k_neg(&sa) {
+                    assert_eq!(out.get(i), range_neg(&ca).unwrap(), "neg {ca}");
+                }
+                let out = k_leq(&sa, &sb).unwrap();
+                assert_eq!(out.get(i), range_leq(&ca, &cb), "leq {ca} {cb}");
+                let out = k_lt(&sa, &sb).unwrap();
+                assert_eq!(out.get(i), range_lt(&ca, &cb), "lt {ca} {cb}");
+                let out = k_eq(&sa, &sb).unwrap();
+                assert_eq!(out.get(i), range_eq(&ca, &cb), "eq {ca} {cb}");
+            }
+        }
+    }
+
+    /// Arithmetic that would overflow i64 demotes instead of producing
+    /// a wrong typed result (the scalar path float-promotes there).
+    #[test]
+    fn int_overflow_demotes() {
+        let a = lane_of(&[RangeValue::certain(Value::Int(i64::MAX))]);
+        let b = lane_of(&[RangeValue::certain(Value::Int(1))]);
+        assert!(k_add(&a.as_slice(), &b.as_slice()).is_none());
+        let m = lane_of(&[RangeValue::certain(Value::Int(i64::MIN))]);
+        assert!(k_neg(&m.as_slice()).is_none());
+        // i64::MIN as a *subtrahend* fails neg even when a - b fits
+        let a2 = lane_of(&[RangeValue::certain(Value::Int(-1))]);
+        assert!(k_sub(&a2.as_slice(), &m.as_slice()).is_none());
+    }
+
+    /// `-0.0` never escapes a float kernel (mirrors `F64::try_new`).
+    #[test]
+    fn float_kernels_canonicalize_negative_zero() {
+        let a = lane_of(&[RangeValue::range(-1.0f64, 0.0f64, 1.0f64)]);
+        let z = lane_of(&[RangeValue::certain(Value::float(0.0))]);
+        let out = k_mul(&a.as_slice(), &z.as_slice()).unwrap();
+        assert_eq!(out.get(0), RangeValue::certain(Value::float(0.0)));
+        let out = k_neg(&z.as_slice()).unwrap();
+        assert_eq!(out.get(0), RangeValue::certain(Value::float(0.0)));
+    }
+
+    #[test]
+    fn bool_kernels_match() {
+        use crate::expr::{range_and, range_not, range_or};
+        let cells = [
+            RangeValue::range(false, false, false),
+            RangeValue::range(false, false, true),
+            RangeValue::range(false, true, true),
+            RangeValue::range(true, true, true),
+        ];
+        let lane = lane_of(&cells);
+        let s = lane.as_slice();
+        for i in 0..cells.len() {
+            for j in 0..cells.len() {
+                // pair lane: cell i on the left, cell j on the right
+                let right = lane_of(&vec![cells[j].clone(); 4]);
+                let sr = right.as_slice();
+                let and = k_and(&s, &sr).unwrap();
+                assert_eq!(and.get(i), range_and(&cells[i], &cells[j]).unwrap());
+                let or = k_or(&s, &sr).unwrap();
+                assert_eq!(or.get(i), range_or(&cells[i], &cells[j]).unwrap());
+            }
+            let not = k_not(&s).unwrap();
+            assert_eq!(not.get(i), range_not(&cells[i]).unwrap());
+        }
+    }
+
+    #[test]
+    fn gather_and_splat() {
+        let lane = lane_of(&int_cells());
+        let g = lane.as_slice().gather(&[2, 0]);
+        assert_eq!(g.get(0), lane.get(2));
+        assert_eq!(g.get(1), lane.get(0));
+        let s = ValueLane::splat(&RangeValue::certain(Value::str("x")), 3);
+        assert_eq!(s.tag(), LaneTag::Boxed);
+        assert_eq!(s.len(), 3);
+        let s = ValueLane::splat(&RangeValue::certain(Value::Int(5)), 2);
+        assert_eq!(s.tag(), LaneTag::Int);
+    }
+
+    #[test]
+    fn lane_bytes_accounting() {
+        let lane = lane_of(&int_cells());
+        assert_eq!(lane.lane_bytes(), 3 * 8 * 4);
+        let boxed =
+            lane_of(&[RangeValue::certain(Value::str("abcd")), RangeValue::certain(Value::Int(1))]);
+        let base = 2 * std::mem::size_of::<RangeValue>() as u64;
+        assert_eq!(boxed.lane_bytes(), base + 3 * 4);
+    }
+}

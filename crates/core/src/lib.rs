@@ -13,6 +13,8 @@
 //! * [`annot`] — tuple annotations `K_UA = K²` and `K_AU ⊂ K³`
 //!   (Definitions 2 and 11);
 //! * [`krelation`] — minimal generic K-relations validating the framework;
+//! * [`lane`] — columnar value lanes and the typed vector kernels the
+//!   compiled backend runs over them;
 //! * [`obs`] — query-engine observability: metrics sink, execution
 //!   traces, EXPLAIN ANALYZE renderers.
 //!
@@ -29,6 +31,7 @@ pub mod error;
 pub mod expr;
 pub mod govern;
 pub mod krelation;
+pub mod lane;
 pub mod obs;
 pub mod program;
 pub mod range;
@@ -40,11 +43,12 @@ pub use annot::{AuAnnot, UaAnnot};
 pub use error::EvalError;
 pub use expr::{col, lit, Expr};
 pub use govern::{Budget, BudgetSpec, CancelToken, ExecError};
+pub use lane::{LaneSlice, LaneTag, ValueLane};
 pub use obs::{
     Counter, ExecEvent, ExecEventKind, Metrics, MetricsSnapshot, QueryTrace, Site, SiteStats,
     TraceBuilder, TraceSpan, TRACE_SCHEMA_VERSION,
 };
-pub use program::{Program, RangeBatch};
+pub use program::{LaneBatch, Program, RangeBatch};
 pub use range::RangeValue;
 pub use semiring::{
     delta, LSemiring, MonusSemiring, Nat, NaturallyOrdered, PolyNX, Prod, Semiring,

@@ -46,6 +46,7 @@ use crate::expr::{
     self, range_add, range_and, range_div, range_eq, range_if_merge, range_leq, range_lt,
     range_mul, range_neg, range_not, range_or, range_sub, range_uncertain,
 };
+use crate::lane::{self, LaneSlice, LaneTag, ValueLane};
 use crate::range::RangeValue;
 use crate::value::Value;
 use crate::Expr;
@@ -830,6 +831,305 @@ impl Program {
         }
         Ok(())
     }
+
+    // ---- columnar (lane) range evaluation -------------------------------
+
+    /// [`Program::eval_range_batch_lenient`] over typed value lanes:
+    /// the true column-at-a-time execution shape. Each op first tries
+    /// its typed vector kernel ([`crate::lane`]) — a tight loop over
+    /// contiguous `i64`/`f64`/`bool` component arrays with no per-cell
+    /// enum dispatch — and **demotes** to the shared `range_*`
+    /// combinators (into a boxed lane) whenever operand shapes or a
+    /// produced value leave the homogeneous type lattice. Kernels are
+    /// exact refinements of the combinators, so results, error
+    /// classification, and error *positions* are identical to the
+    /// row-major batch path by construction.
+    ///
+    /// `cols` are the input attribute lanes (each of length `nrows`);
+    /// poisoned rows keep their error in the batch and are skipped by
+    /// later generic sweeps (typed kernels may compute them — typed
+    /// lanes always hold genuine domain values, so the extra work is
+    /// harmless). Outputs are read back via [`LaneBatch::output_lane`]
+    /// / [`LaneBatch::take_output`].
+    pub fn eval_range_lanes(
+        &self,
+        cols: &[LaneSlice<'_>],
+        nrows: usize,
+        batch: &mut LaneBatch,
+        cancel: Option<&crate::govern::CancelToken>,
+    ) -> Result<(), crate::govern::ExecError> {
+        assert_eq!(self.mode, Mode::Range, "lane evaluation requires a range program");
+        debug_assert!(cols.iter().all(|c| c.len() == nrows));
+        batch.reset(self, nrows);
+        let LaneBatch { regs, consts, errs } = batch;
+
+        // A column reference past the arity poisons every row at its
+        // `CheckCol` probe (the lowerer emits one before any read), but
+        // later ops still sweep the batch — give them a stand-in lane
+        // whose values are never read. Only allocated when the program
+        // actually probes past the arity.
+        let oob = self
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::CheckCol { col } if *col as usize >= cols.len()));
+        let missing = if oob {
+            ValueLane::splat(&RangeValue::certain(Value::Null), nrows)
+        } else {
+            ValueLane::default()
+        };
+
+        // Resolve an operand as a borrowed lane view.
+        macro_rules! lsrc {
+            ($s:expr) => {
+                match $s {
+                    Src::Reg(r) => regs[*r as usize].as_slice(),
+                    Src::Col(c) if (*c as usize) < cols.len() => cols[*c as usize],
+                    Src::Col(_) => missing.as_slice(),
+                    Src::Const(k) => consts[*k as usize].as_slice(),
+                }
+            };
+        }
+        // Kernel-or-demote for unary/binary ops. The computed lane is
+        // bound *outside* the operand borrows, then stored: the lowerer
+        // never reuses registers, so `dst` is distinct from operands.
+        macro_rules! unary {
+            ($a:expr, $dst:expr, $kernel:expr, $generic:expr) => {{
+                let out = {
+                    let x = lsrc!($a);
+                    match $kernel(&x) {
+                        Some(l) => l,
+                        None => lane_generic1(&x, nrows, errs, $generic),
+                    }
+                };
+                regs[*$dst as usize] = out;
+            }};
+        }
+        macro_rules! binary {
+            ($a:expr, $b:expr, $dst:expr, $kernel:expr, $generic:expr) => {{
+                let out = {
+                    let (x, y) = (lsrc!($a), lsrc!($b));
+                    match $kernel(&x, &y) {
+                        Some(l) => l,
+                        None => lane_generic2(&x, &y, nrows, errs, $generic),
+                    }
+                };
+                regs[*$dst as usize] = out;
+            }};
+        }
+        // A "kernel" that always demotes (division's spans-zero guard
+        // stays scalar).
+        fn never2(_a: &LaneSlice<'_>, _b: &LaneSlice<'_>) -> Option<ValueLane> {
+            None
+        }
+
+        for op in &self.ops {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+            match op {
+                Op::CheckCol { col } => {
+                    // Columnar rows share one arity, so the row batch's
+                    // per-row bounds probe collapses to a single test.
+                    let c = *col as usize;
+                    if c >= cols.len() {
+                        for e in errs.iter_mut() {
+                            if e.is_none() {
+                                *e = Some(EvalError::UnknownColumn(c));
+                            }
+                        }
+                    }
+                }
+                Op::RangeAnd { a, b, dst } => binary!(a, b, dst, lane::k_and, range_and),
+                Op::RangeOr { a, b, dst } => binary!(a, b, dst, lane::k_or, range_or),
+                Op::RangeNot { a, dst } => unary!(a, dst, lane::k_not, range_not),
+                Op::RangeEq { a, b, dst } => {
+                    binary!(a, b, dst, lane::k_eq, |x, y| Ok(range_eq(x, y)))
+                }
+                Op::RangeLeq { a, b, dst } => {
+                    binary!(a, b, dst, lane::k_leq, |x, y| Ok(range_leq(x, y)))
+                }
+                Op::RangeLt { a, b, dst } => {
+                    binary!(a, b, dst, lane::k_lt, |x, y| Ok(range_lt(x, y)))
+                }
+                Op::RangeAdd { a, b, dst } => binary!(a, b, dst, lane::k_add, range_add),
+                Op::RangeSub { a, b, dst } => binary!(a, b, dst, lane::k_sub, range_sub),
+                Op::RangeMul { a, b, dst } => binary!(a, b, dst, lane::k_mul, range_mul),
+                Op::RangeDiv { a, b, dst } => binary!(a, b, dst, never2, range_div),
+                Op::RangeNeg { a, dst } => unary!(a, dst, lane::k_neg, range_neg),
+                Op::RangeCheckBool3 { src } => {
+                    let s = lsrc!(src);
+                    // A Bool lane is a boolean triple by construction —
+                    // the check that follows every `If` condition is
+                    // free on the typed hot path.
+                    if s.tag() != LaneTag::Bool {
+                        for (i, e) in errs.iter_mut().enumerate() {
+                            if e.is_none() {
+                                if let Err(err) = s.bool3(i) {
+                                    *e = Some(err);
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::RangeIfMerge { c, t, e, dst } => {
+                    let out = {
+                        let (cc, tt, ee) = (lsrc!(c), lsrc!(t), lsrc!(e));
+                        let null = RangeValue::certain(Value::Null);
+                        let mut o = Vec::with_capacity(nrows);
+                        for (i, err) in errs.iter_mut().enumerate().take(nrows) {
+                            if err.is_some() {
+                                o.push(null.clone());
+                                continue;
+                            }
+                            let cv = cc.get(i);
+                            match range_if_merge(&cv, tt.get(i), ee.get(i)) {
+                                Ok(v) => o.push(v),
+                                Err(e2) => {
+                                    *err = Some(e2);
+                                    o.push(null.clone());
+                                }
+                            }
+                        }
+                        ValueLane::Boxed(o)
+                    };
+                    regs[*dst as usize] = out;
+                }
+                Op::RangeUncertain { l, s, u, dst } => {
+                    let out = {
+                        let (ll, ss, uu) = (lsrc!(l), lsrc!(s), lsrc!(u));
+                        let null = RangeValue::certain(Value::Null);
+                        let mut o = Vec::with_capacity(nrows);
+                        for (i, err) in errs.iter_mut().enumerate().take(nrows) {
+                            if err.is_some() {
+                                o.push(null.clone());
+                                continue;
+                            }
+                            let (lv, sv, uv) = (ll.get(i), ss.get(i), uu.get(i));
+                            match range_uncertain(&lv, &sv, &uv) {
+                                Ok(v) => o.push(v),
+                                Err(e2) => {
+                                    *err = Some(e2);
+                                    o.push(null.clone());
+                                }
+                            }
+                        }
+                        ValueLane::Boxed(o)
+                    };
+                    regs[*dst as usize] = out;
+                }
+                _ => unreachable!("det op in a range program"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run an op generically over a lane pair: the shared scalar combinator
+/// per live row, into a boxed lane (poisoned/erroring rows get a `Null`
+/// placeholder — never read, the poison slot wins).
+fn lane_generic2(
+    a: &LaneSlice<'_>,
+    b: &LaneSlice<'_>,
+    nrows: usize,
+    errs: &mut [Option<EvalError>],
+    f: impl Fn(&RangeValue, &RangeValue) -> Result<RangeValue, EvalError>,
+) -> ValueLane {
+    let null = RangeValue::certain(Value::Null);
+    let mut out = Vec::with_capacity(nrows);
+    for (i, e) in errs.iter_mut().enumerate() {
+        if e.is_some() {
+            out.push(null.clone());
+            continue;
+        }
+        let (x, y) = (a.get(i), b.get(i));
+        match f(&x, &y) {
+            Ok(v) => out.push(v),
+            Err(err) => {
+                *e = Some(err);
+                out.push(null.clone());
+            }
+        }
+    }
+    ValueLane::Boxed(out)
+}
+
+/// Unary analog of [`lane_generic2`].
+fn lane_generic1(
+    a: &LaneSlice<'_>,
+    nrows: usize,
+    errs: &mut [Option<EvalError>],
+    f: impl Fn(&RangeValue) -> Result<RangeValue, EvalError>,
+) -> ValueLane {
+    let null = RangeValue::certain(Value::Null);
+    let mut out = Vec::with_capacity(nrows);
+    for (i, e) in errs.iter_mut().enumerate() {
+        if e.is_some() {
+            out.push(null.clone());
+            continue;
+        }
+        let x = a.get(i);
+        match f(&x) {
+            Ok(v) => out.push(v),
+            Err(err) => {
+                *e = Some(err);
+                out.push(null.clone());
+            }
+        }
+    }
+    ValueLane::Boxed(out)
+}
+
+/// Reusable scratch for [`Program::eval_range_lanes`]: one typed lane
+/// per register, the constant pool broadcast to the chunk length, and
+/// the per-row poison slots.
+#[derive(Default)]
+pub struct LaneBatch {
+    regs: Vec<ValueLane>,
+    consts: Vec<ValueLane>,
+    errs: Vec<Option<EvalError>>,
+}
+
+impl LaneBatch {
+    fn reset(&mut self, prog: &Program, nrows: usize) {
+        self.regs.clear();
+        self.regs.resize_with(prog.nregs, ValueLane::default);
+        self.consts.clear();
+        self.consts.extend(prog.consts_range.iter().map(|c| ValueLane::splat(c, nrows)));
+        self.errs.clear();
+        self.errs.resize(nrows, None);
+    }
+
+    /// The `out`-th output as a borrowed lane (the input lanes are
+    /// needed because outputs may address input columns in place);
+    /// valid at non-poisoned rows after a lane evaluation.
+    pub fn output_lane<'r>(
+        &'r self,
+        prog: &Program,
+        out: usize,
+        cols: &[LaneSlice<'r>],
+    ) -> LaneSlice<'r> {
+        match prog.outputs[out] {
+            Src::Reg(r) => self.regs[r as usize].as_slice(),
+            Src::Col(c) => cols[c as usize],
+            Src::Const(k) => self.consts[k as usize].as_slice(),
+        }
+    }
+
+    /// Steal an output's register lane — the zero-copy projection path
+    /// when no row of the chunk is poisoned. `None` when the output
+    /// addresses an input column or constant (the caller gathers or
+    /// copies those).
+    pub fn take_output(&mut self, prog: &Program, out: usize) -> Option<ValueLane> {
+        match prog.outputs[out] {
+            Src::Reg(r) => Some(std::mem::take(&mut self.regs[r as usize])),
+            _ => None,
+        }
+    }
+
+    /// The poison slot of row `i` after a lane evaluation.
+    pub fn row_error(&self, i: usize) -> Option<&EvalError> {
+        self.errs[i].as_ref()
+    }
 }
 
 /// Reusable scratch for [`Program::eval_range_batch`]: one register
@@ -1362,6 +1662,83 @@ mod tests {
         let refs: Vec<&[RangeValue]> = rows.iter().map(|r| r.as_slice()).collect();
         let err = p2.eval_range_batch(&refs, &mut batch).unwrap_err();
         assert_eq!(err, EvalError::RangeDivisionSpansZero);
+    }
+
+    /// The lane (columnar) entry point equals the row batch cell for
+    /// cell — outputs, error classification, and error positions — on
+    /// homogeneous Int, homogeneous Float, and mixed/boxed corpora,
+    /// including rows that poison (spans-zero division, type errors)
+    /// and rows that force kernel demotion (i64 overflow).
+    #[test]
+    fn lanes_match_row_batch() {
+        let corpora: Vec<Vec<Vec<RangeValue>>> = vec![
+            // homogeneous Int (typed kernels all the way)
+            vec![
+                vec![rv(1, 2, 3), rv(0, 0, 5)],
+                vec![rv(-3, -1, 0), rv(2, 2, 2)],
+                vec![rv(4, 4, 4), rv(1, 1, 1)],
+            ],
+            // homogeneous Float
+            vec![
+                vec![
+                    RangeValue::range(1.5f64, 2.0f64, 3.0f64),
+                    RangeValue::range(0.5f64, 1.0f64, 1.5f64),
+                ],
+                vec![
+                    RangeValue::range(-2.0f64, 0.0f64, 2.0f64),
+                    RangeValue::certain(Value::float(3.0)),
+                ],
+            ],
+            // mixed Int/Float cells and a string: boxed lanes
+            vec![
+                vec![
+                    RangeValue::new(Value::Int(1), Value::Int(1), Value::float(1.5)).unwrap(),
+                    rv(0, 1, 2),
+                ],
+                vec![RangeValue::certain(Value::str("x")), rv(1, 1, 1)],
+                vec![RangeValue::unknown(Value::Int(0)), rv(2, 2, 2)],
+            ],
+            // poison inducers: col(1) spans zero on row 0, overflow on
+            // row 1 (demotes the typed kernel mid-corpus)
+            vec![
+                vec![rv(1, 1, 1), rv(-1, 0, 1)],
+                vec![rv(i64::MAX, i64::MAX, i64::MAX), rv(1, 1, 2)],
+                vec![rv(5, 6, 7), rv(1, 2, 3)],
+            ],
+        ];
+        let mut exprs_all = exprs();
+        exprs_all.push(col(7).add(lit(1i64))); // unknown column, uniform arity
+        exprs_all.push(col(0).and(lit(true))); // non-boolean And operand
+        let mut rb = RangeBatch::default();
+        let mut lb = LaneBatch::default();
+        for rows in &corpora {
+            let n = rows.len();
+            let arity = rows[0].len();
+            let lanes: Vec<ValueLane> =
+                (0..arity).map(|c| ValueLane::from_cells(rows.iter().map(|r| &r[c]))).collect();
+            let slices: Vec<LaneSlice<'_>> = lanes.iter().map(|l| l.as_slice()).collect();
+            let refs: Vec<&[RangeValue]> = rows.iter().map(|r| r.as_slice()).collect();
+            for e in &exprs_all {
+                let p = Program::compile_range(e);
+                p.eval_range_batch_lenient(&refs, &mut rb, None).unwrap();
+                p.eval_range_lanes(&slices, n, &mut lb, None).unwrap();
+                for i in 0..n {
+                    assert_eq!(
+                        rb.row_error(i),
+                        lb.row_error(i),
+                        "error mismatch for {e} on row {i} of {rows:?}"
+                    );
+                    if rb.row_error(i).is_none() {
+                        let lane_out = lb.output_lane(&p, 0, &slices);
+                        assert_eq!(
+                            *rb.output(&p, 0, i, &rows[i]),
+                            lane_out.get(i),
+                            "output mismatch for {e} on row {i} of {rows:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Multi-output programs evaluate expressions in list order and

@@ -109,6 +109,15 @@ impl Value {
         }
     }
 
+    /// Rank of the variant in the cross-type total order (`MinVal`
+    /// first, `MaxVal` last; `Int` and `Float` share a rank, with
+    /// numeric ties ordering `Int` first). Exposed for
+    /// order-preserving key encoders — a packed byte key must lead
+    /// with exactly this rank to sort like [`Value::total_cmp`].
+    pub fn order_rank(&self) -> u8 {
+        self.type_rank()
+    }
+
     pub fn is_numeric(&self) -> bool {
         matches!(self, Value::Int(_) | Value::Float(_))
     }

@@ -93,6 +93,31 @@ impl Executor {
         T: Hash + Eq + Ord + Send,
         K: Send,
     {
+        // The trivial sort key compares nothing, so every comparison
+        // falls through to the full key order.
+        self.hash_merge_sorted_by_key(rows, keep, combine, |_| ())
+    }
+
+    /// [`Executor::hash_merge_sorted`] with an order-refining sort
+    /// accelerator: `sort_key(t)` must be *monotone* in `T`'s order
+    /// (`sort_key(a) < sort_key(b)` ⇒ `a < b`), and both the per-shard
+    /// sorts and the k-way merge then compare `(sort_key, row)` — a
+    /// cheap (typically memcmp) fast path in front of the exact
+    /// comparator, producing the identical canonical order. The
+    /// columnar layout keys relation normalization on packed column
+    /// bytes through this entry point.
+    pub fn hash_merge_sorted_by_key<T, K, B>(
+        &self,
+        rows: Vec<(T, K)>,
+        keep: impl Fn(&K) -> bool + Sync,
+        combine: impl Fn(&mut K, K) + Sync,
+        sort_key: impl Fn(&T) -> B + Sync,
+    ) -> Result<Vec<(T, K)>, ExecError>
+    where
+        T: Hash + Eq + Ord + Send,
+        K: Send,
+        B: Ord + Send,
+    {
         self.charge(
             "sharded-reduce",
             rows.len() as u64,
@@ -110,7 +135,7 @@ impl Executor {
             let slot: Claim<Vec<(T, K)>> = Mutex::new(Some(rows));
             let out: Vec<(T, K)> = self.run(1, |_, out| {
                 let rows = claim(&slot).unwrap_or_default();
-                out.append(&mut hash_merge_sorted_seq(rows, &keep, &combine));
+                out.append(&mut hash_merge_sorted_seq(rows, &keep, &combine, &sort_key));
                 Ok::<(), ExecError>(())
             })?;
             metrics.add(Counter::NormalizeRowsOut, out.len() as u64);
@@ -173,11 +198,13 @@ impl Executor {
             }
         }
 
-        // Phase 2: hash-merge + sort each shard independently.
+        // Phase 2: hash-merge + sort each shard independently. Rows are
+        // decorated with their sort key for the shard sort AND the
+        // k-way merge, then stripped at the end.
         let phase_started = metrics.is_enabled().then(Instant::now);
         let shard_slots: Vec<Claim<Buckets<T, K>>> =
             shard_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
-        let sorted: Vec<Vec<(T, K)>> = meta.run(shards, |range, out| {
+        let sorted: Vec<Vec<(B, (T, K))>> = meta.run(shards, |range, out| {
             for s in range {
                 let parts = claim(&shard_slots[s]).unwrap_or_default();
                 let cap: usize = parts.iter().map(Vec::len).sum();
@@ -192,8 +219,9 @@ impl Executor {
                         }
                     }
                 }
-                let mut rows: Vec<(T, K)> = map.into_iter().collect();
-                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut rows: Vec<(B, (T, K))> =
+                    map.into_iter().map(|(t, k)| (sort_key(&t), (t, k))).collect();
+                rows.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1 .0.cmp(&b.1 .0)));
                 out.push(rows);
             }
             Ok::<(), ExecError>(())
@@ -213,14 +241,17 @@ impl Executor {
     }
 }
 
-/// The sequential algorithm — exactly the pre-runtime normalize.
-fn hash_merge_sorted_seq<T, K>(
+/// The sequential algorithm — exactly the pre-runtime normalize, with
+/// the same sort-key decoration as the parallel shards.
+fn hash_merge_sorted_seq<T, K, B>(
     rows: Vec<(T, K)>,
     keep: impl Fn(&K) -> bool,
     combine: impl Fn(&mut K, K),
+    sort_key: impl Fn(&T) -> B,
 ) -> Vec<(T, K)>
 where
     T: Hash + Eq + Ord,
+    B: Ord,
 {
     let mut map: HashMap<T, K> = HashMap::with_capacity(rows.len());
     for (t, k) in rows {
@@ -233,31 +264,34 @@ where
             }
         }
     }
-    let mut out: Vec<(T, K)> = map.into_iter().collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    out
+    let mut out: Vec<(B, (T, K))> = map.into_iter().map(|(t, k)| (sort_key(&t), (t, k))).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1 .0.cmp(&b.1 .0)));
+    out.into_iter().map(|(_, row)| row).collect()
 }
 
-/// Merge sorted runs with pairwise-distinct keys into one sorted list.
-fn kway_merge<T: Ord, K>(sorted: Vec<Vec<(T, K)>>) -> Vec<(T, K)> {
+/// Merge key-decorated sorted runs with pairwise-distinct keys into one
+/// sorted list, stripping the decoration.
+fn kway_merge<T: Ord, K, B: Ord>(sorted: Vec<Vec<(B, (T, K))>>) -> Vec<(T, K)> {
     let total: usize = sorted.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<(T, K)>> =
+    let mut iters: Vec<std::vec::IntoIter<(B, (T, K))>> =
         sorted.into_iter().map(Vec::into_iter).collect();
-    let mut heads: Vec<Option<(T, K)>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut heads: Vec<Option<(B, (T, K))>> = iters.iter_mut().map(Iterator::next).collect();
     let mut out = Vec::with_capacity(total);
     loop {
         // index of the smallest live head (stable towards later runs,
         // irrelevant for correctness: keys are pairwise distinct)
         let mut best: Option<usize> = None;
         for (i, h) in heads.iter().enumerate() {
-            let Some((t, _)) = h else { continue };
+            let Some((kb, (t, _))) = h else { continue };
             best = match best {
-                Some(b) if matches!(&heads[b], Some((bt, _)) if bt < t) => Some(b),
+                Some(b) if matches!(&heads[b], Some((bk, (bt, _))) if (bk, bt) < (kb, t)) => {
+                    Some(b)
+                }
                 _ => Some(i),
             };
         }
         let Some(b) = best else { break };
-        if let Some(row) = heads[b].take() {
+        if let Some((_, row)) = heads[b].take() {
             out.push(row);
         }
         heads[b] = iters[b].next();
@@ -326,6 +360,29 @@ mod tests {
             .hash_merge_sorted(input, |k| *k > 0, |acc, k| *acc += k)
             .unwrap();
         assert_eq!(out, vec![(1, 2), (3, 1)]);
+    }
+
+    /// A monotone sort key changes nothing: keyed output is
+    /// byte-identical to the plain path at any worker count.
+    #[test]
+    fn keyed_sort_identical_to_plain() {
+        let seq = merged(&Executor::sequential(), 5_000);
+        let forced = Executor::new(4).with_partitioner(Partitioner {
+            min_morsel: 1,
+            morsels_per_worker: 3,
+            min_rows_per_worker: 0,
+        });
+        for exec in [Executor::sequential(), forced] {
+            let out = exec
+                .hash_merge_sorted_by_key(
+                    rows(5_000),
+                    |k| *k > 0,
+                    |acc, k| *acc += k,
+                    |t| t.to_be_bytes(),
+                )
+                .unwrap();
+            assert_eq!(out, seq);
+        }
     }
 
     /// A panic in `combine` is contained as a structured error and the

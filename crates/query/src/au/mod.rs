@@ -83,6 +83,17 @@ pub struct AuConfig {
     /// Results are byte-identical either way
     /// (`tests/compiled_exprs_props.rs`).
     pub compiled: bool,
+    /// Vectorized columnar execution of compiled probe-less chains (on
+    /// by default): batched select/project stages evaluate as typed
+    /// vector kernels over the source relation's column lanes
+    /// ([`audb_storage::ColumnSet`], [`audb_core::Program::eval_range_lanes`])
+    /// instead of row-major batch sweeps. Kernels are exact refinements
+    /// of the scalar range combinators — any row a kernel cannot
+    /// reproduce bit-identically (overflow out of the Int lattice, NaN)
+    /// demotes its whole op to the generic per-row path — so results
+    /// are byte-identical either way (`tests/columnar_props.rs`).
+    /// `false` keeps the row-major batch path, the differential oracle.
+    pub columnar: bool,
     /// Tier B static verification of compiled chain programs
     /// ([`audb_core::verify`], on by default): after lowering, every
     /// chain stage is abstractly interpreted over the type × interval
@@ -120,6 +131,7 @@ impl Default for AuConfig {
             shards: None,
             min_rows_per_worker: None,
             compiled: true,
+            columnar: true,
             verify: true,
             timeout: None,
             budget: None,
@@ -150,6 +162,14 @@ impl AuConfig {
     #[must_use = "builder methods return the modified config; dropping it leaves the original unchanged"]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Toggle columnar (vectorized) evaluation of batched chains;
+    /// `false` is the row-major differential oracle.
+    #[must_use = "builder methods return the modified config; dropping it leaves the original unchanged"]
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
         self
     }
 
@@ -324,6 +344,7 @@ fn engine_config(cfg: &AuConfig) -> Vec<(&'static str, String)> {
         ("shards", cfg.shards.map_or_else(|| "auto".to_string(), |s| s.to_string())),
         ("pipeline", cfg.pipeline.to_string()),
         ("compiled", cfg.compiled.to_string()),
+        ("columnar", cfg.columnar.to_string()),
         ("verify", cfg.verify.to_string()),
         ("adaptive", cfg.adaptive.to_string()),
         ("join_compress", opt(cfg.join_compress)),
@@ -660,18 +681,19 @@ pub fn nested_loop_join_au(
 ) -> Result<AuRelation, EvalError> {
     let schema = l.schema.concat(&r.schema);
     let mut out = AuRelation::empty(schema);
+    let mut buf = Vec::new();
     for (tl, kl) in l.rows() {
         for (tr, kr) in r.rows() {
-            let t = tl.concat(tr);
+            tl.concat_into(tr, &mut buf);
             let mut k = kl.times(kr);
             if let Some(p) = predicate {
-                let (plb, psg, pub_) = p.eval_range_bool3(t.values())?;
+                let (plb, psg, pub_) = p.eval_range_bool3(&buf)?;
                 if !pub_ {
                     continue;
                 }
                 k = k.times(&AuAnnot::from_bool3(plb, psg, pub_));
             }
-            out.push(t, k);
+            out.push(audb_storage::RangeTuple::new(buf.clone()), k);
         }
     }
     Ok(out)
@@ -707,22 +729,23 @@ pub fn nested_loop_join_au_exec(
                 }
                 Ok::<(), audb_core::ExecError>(())
             };
+            let mut buf = Vec::new();
             for i in morsel {
                 let (tl, kl) = &l.rows()[i];
                 for (tr, kr) in r.rows() {
                     if out.len() - watermark >= GOVERN_ROWS {
                         checkpoint(out, &mut watermark)?;
                     }
-                    let t = tl.concat(tr);
+                    tl.concat_into(tr, &mut buf);
                     let mut k = kl.times(kr);
                     if let Some(p) = predicate {
-                        let (plb, psg, pub_) = p.eval_range_bool3(t.values())?;
+                        let (plb, psg, pub_) = p.eval_range_bool3(&buf)?;
                         if !pub_ {
                             continue;
                         }
                         k = k.times(&AuAnnot::from_bool3(plb, psg, pub_));
                     }
-                    out.push((t, k));
+                    out.push((audb_storage::RangeTuple::new(buf.clone()), k));
                 }
             }
             checkpoint(out, &mut watermark)?;

@@ -67,11 +67,13 @@ use std::borrow::Cow;
 
 use audb_core::obs::TraceBuilder;
 use audb_core::{
-    AuAnnot, CancelToken, EvalError, ExecError, Expr, Program, RangeBatch, RangeValue, Semiring,
-    Value,
+    AuAnnot, CancelToken, EvalError, ExecError, Expr, LaneBatch, LaneSlice, Program, RangeBatch,
+    RangeValue, Semiring, Value, ValueLane,
 };
 use audb_exec::{Executor, ShardSource};
-use audb_storage::{AuDatabase, AuRelation, HashKeyIndex, IntervalIndex, RangeTuple, Schema};
+use audb_storage::{
+    AuDatabase, AuRelation, ColumnSet, HashKeyIndex, IntervalIndex, RangeTuple, Schema,
+};
 
 use super::{
     aggregate, close_rel, difference, effective_agg_compress, open_op_span, opt_usize_attr,
@@ -301,12 +303,25 @@ impl<'a> ProbeOp<'a> {
     /// the source and the probe only drop rows, never change them, so
     /// candidates of dropped rows are simply never probed. The
     /// re-check predicate compiles once here, like the chain stages.
+    ///
+    /// With `columnar`, the full-relation interval indexes build
+    /// straight from the relations' column lanes
+    /// ([`IntervalIndex::from_lane`]) — identical index contents,
+    /// no row-tuple walk; `false` keeps the row-major oracle everywhere.
     fn build(
         source: &AuRelation,
         right: Cow<'a, AuRelation>,
         predicate: Option<&Expr>,
         vet: Vet<'_>,
+        columnar: bool,
     ) -> ProbeOp<'a> {
+        let full_index = |rel: &AuRelation, c: usize| {
+            if columnar {
+                IntervalIndex::from_lane(rel.columns().lane(c).as_slice())
+            } else {
+                IntervalIndex::from_au(rel.rows(), c)
+            }
+        };
         let mut cand: Vec<Vec<u32>> = vec![Vec::new(); source.len()];
         let plan = match planner::classify(predicate, source.schema.arity()) {
             planner::JoinStrategy::HashEqui(pairs) => {
@@ -325,7 +340,7 @@ impl<'a> ProbeOp<'a> {
                 let (c0l, c0r) = pairs[0];
                 if !lu.is_empty() {
                     let li = IntervalIndex::from_au_subset(source.rows(), c0l, &lu);
-                    let ri = IntervalIndex::from_au(right.rows(), c0r);
+                    let ri = full_index(right.as_ref(), c0r);
                     IntervalIndex::sweep_overlapping(&li, &ri, |a, b| cand[a as usize].push(b));
                 }
                 if !ru.is_empty() && !lc.is_empty() {
@@ -339,8 +354,8 @@ impl<'a> ProbeOp<'a> {
                 let pairs = planner::comparison_candidates(
                     lo,
                     hi,
-                    |c| IntervalIndex::from_au(source.rows(), c),
-                    |c| IntervalIndex::from_au(right.rows(), c),
+                    |c| full_index(source, c),
+                    |c| full_index(right.as_ref(), c),
                 );
                 for (a, b) in pairs {
                     cand[a as usize].push(b);
@@ -533,6 +548,7 @@ fn apply(
 fn run_shard_batched(
     ops: &[PipeOp<'_>],
     source: &AuRelation,
+    columns: Option<&ColumnSet>,
     range: std::ops::Range<usize>,
     out: &mut Vec<(RangeTuple, AuAnnot)>,
     exec: &Executor,
@@ -545,7 +561,10 @@ fn run_shard_batched(
         if let Some(token) = cancel {
             token.check()?;
         }
-        run_chunk_batched(ops, source, start..end, out, cancel)?;
+        match columns {
+            Some(cs) => run_chunk_columnar(ops, cs, start..end, out, cancel)?,
+            None => run_chunk_batched(ops, source, start..end, out, cancel)?,
+        }
         charge_out(exec, "pipeline-chain", out, &mut watermark)?;
         start = end;
     }
@@ -659,6 +678,153 @@ fn run_chunk_batched(
     Ok(())
 }
 
+/// One chunk of [`run_shard_batched`] on the columnar path: ops
+/// evaluate as typed vector kernels over the source's column lanes
+/// ([`Program::eval_range_lanes`]); row tuples materialize only at the
+/// chunk boundary.
+///
+/// Byte-identity with [`run_chunk_batched`] (and hence with the
+/// row-streaming path) holds because the kernels are exact refinements
+/// of the scalar combinators — an op whose kernel cannot reproduce a
+/// row bit-identically (Int overflow, NaN) demotes wholesale to the
+/// generic per-row evaluation inside [`Program::eval_range_lanes`] —
+/// and the row protocol is the same: erroring rows are poisoned (never
+/// dropped), surviving rows keep source order, and after the chain the
+/// earliest poisoned source row reports its error.
+fn run_chunk_columnar(
+    ops: &[PipeOp<'_>],
+    cs: &ColumnSet,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<(RangeTuple, AuAnnot)>,
+    cancel: Option<&CancelToken>,
+) -> Result<(), EvalError> {
+    enum RowState {
+        Clean(AuAnnot),
+        Poisoned(EvalError),
+        Dropped,
+    }
+    /// The rows in flight: lane slices borrowed straight from the
+    /// relation's [`ColumnSet`] until the first op that rewrites or
+    /// compacts them, owned lanes after.
+    enum ChunkLanes<'a> {
+        Borrowed(Vec<LaneSlice<'a>>),
+        Owned(Vec<ValueLane>),
+    }
+    impl ChunkLanes<'_> {
+        fn slices(&self) -> Vec<LaneSlice<'_>> {
+            match self {
+                ChunkLanes::Borrowed(s) => s.clone(),
+                ChunkLanes::Owned(v) => v.iter().map(ValueLane::as_slice).collect(),
+            }
+        }
+    }
+
+    let n = range.len();
+    // States are indexed by chunk position (original row order); lanes
+    // hold exactly the still-clean rows and `live[j]` maps lane row `j`
+    // back to its chunk position.
+    let mut states: Vec<RowState> =
+        range.clone().map(|i| RowState::Clean(cs.annots().get(i))).collect();
+    let mut lanes =
+        ChunkLanes::Borrowed((0..cs.arity()).map(|c| cs.lane(c).slice(range.clone())).collect());
+    let mut live: Vec<u32> = (0..n as u32).collect();
+    let mut batch = LaneBatch::default();
+
+    for op in ops {
+        if live.is_empty() {
+            break;
+        }
+        let nrows = live.len();
+        let slices = lanes.slices();
+        #[allow(clippy::expect_used)] // the batchable gate checked compiled() per stage
+        let prog = match op {
+            PipeOp::Select(p) => p.compiled().expect("batched chains are compiled"),
+            PipeOp::Project(p) => p.compiled().expect("batched chains are compiled"),
+            PipeOp::Probe(_) => unreachable!("probe chains stream row-at-a-time"),
+        };
+        prog.eval_range_lanes(&slices, nrows, &mut batch, cancel)?;
+        // Reading an output lane is only safe when some row survived:
+        // with every row poisoned (e.g. an out-of-arity column probe)
+        // the output source may reference a column that does not exist.
+        let any_clean = (0..nrows).any(|j| batch.row_error(j).is_none());
+        let mut keep: Vec<u32> = Vec::with_capacity(nrows);
+        let compacted: Option<Vec<ValueLane>> = match op {
+            PipeOp::Select(_) => {
+                if any_clean {
+                    let out_lane = batch.output_lane(prog, 0, &slices);
+                    for (j, &lj) in live.iter().enumerate().take(nrows) {
+                        let pos = lj as usize;
+                        if let Some(e) = batch.row_error(j) {
+                            states[pos] = RowState::Poisoned(e.clone());
+                            continue;
+                        }
+                        match out_lane.bool3(j) {
+                            Err(e) => states[pos] = RowState::Poisoned(e),
+                            Ok((_, _, false)) => states[pos] = RowState::Dropped,
+                            Ok((lb, sg, ub)) => {
+                                let RowState::Clean(k) = &mut states[pos] else { unreachable!() };
+                                *k = k.times(&AuAnnot::from_bool3(lb, sg, ub));
+                                keep.push(j as u32);
+                            }
+                        }
+                    }
+                } else {
+                    for j in 0..nrows {
+                        if let Some(e) = batch.row_error(j) {
+                            states[live[j] as usize] = RowState::Poisoned(e.clone());
+                        }
+                    }
+                }
+                if keep.len() < nrows {
+                    Some(slices.iter().map(|s| s.gather(&keep)).collect())
+                } else {
+                    None
+                }
+            }
+            PipeOp::Project(_) => {
+                for j in 0..nrows {
+                    if let Some(e) = batch.row_error(j) {
+                        states[live[j] as usize] = RowState::Poisoned(e.clone());
+                    } else {
+                        keep.push(j as u32);
+                    }
+                }
+                if any_clean {
+                    let outs: Vec<LaneSlice<'_>> =
+                        (0..prog.arity()).map(|oi| batch.output_lane(prog, oi, &slices)).collect();
+                    if keep.len() < nrows {
+                        Some(outs.iter().map(|s| s.gather(&keep)).collect())
+                    } else {
+                        Some(outs.iter().map(LaneSlice::to_lane).collect())
+                    }
+                } else {
+                    Some(Vec::new())
+                }
+            }
+            PipeOp::Probe(_) => unreachable!("probe chains stream row-at-a-time"),
+        };
+        if let Some(nl) = compacted {
+            lanes = ChunkLanes::Owned(nl);
+            live = keep.iter().map(|&j| live[j as usize]).collect();
+        }
+    }
+
+    // The earliest poisoned source row wins the error report, exactly
+    // like the row-major paths.
+    for st in &states {
+        if let RowState::Poisoned(e) = st {
+            return Err(e.clone());
+        }
+    }
+    let slices = lanes.slices();
+    for (j, &pos) in live.iter().enumerate() {
+        let RowState::Clean(k) = states[pos as usize] else { unreachable!() };
+        let t = RangeTuple::new(slices.iter().map(|s| s.get(j)).collect());
+        out.push((t, k));
+    }
+    Ok(())
+}
+
 /// A fused chain ready to run: the source relation, the op list, and
 /// the output schema.
 struct AuPipeline<'a> {
@@ -722,10 +888,16 @@ impl<'a> AuPipeline<'a> {
         });
         tr.attr(h, "exprs", || (if cfg.compiled { "compiled" } else { "interpreted" }).to_string());
         tr.attr(h, "batched", || batchable.to_string());
+        let columnar = cfg.columnar && batchable;
+        tr.attr(h, "columnar", || columnar.to_string());
         tr.attr(h, "shards", || sharding.slices(n).len().to_string());
+        // Built (or fetched from the relation's cache) once, shared by
+        // every shard; `None` keeps the row-major batch oracle.
+        let columns = if columnar { Some(source.columns()) } else { None };
         let rows = if batchable {
+            let columns = columns.as_deref();
             exec.run_shards(n, &sharding, |range, out| {
-                run_shard_batched(ops, source, range, out, exec)
+                run_shard_batched(ops, source, columns, range, out, exec)
             })?
         } else {
             // Probe chains can expand (join output); charge their
@@ -817,7 +989,8 @@ fn build_chain<'a>(
             let r = eval_pl(db, right, cfg, exec, Delivery::Canonical, tr)?;
             chain.schema = chain.schema.concat(&r.schema);
             let vet = Vet::new(cfg.compiled, cfg.verify, exec, tr);
-            let probe = ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), vet);
+            let probe =
+                ProbeOp::build(chain.source.as_ref(), r, predicate.as_ref(), vet, cfg.columnar);
             chain.ops.push(PipeOp::Probe(Box::new(probe)));
             Ok(chain)
         }

@@ -194,8 +194,10 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// An engine serving `db` as epoch 0.
+    /// An engine serving `db` as epoch 0. Column sets are warmed up
+    /// front, like [`Engine::publish`] does for later epochs.
     pub fn new(db: AuDatabase, config: EngineConfig) -> Self {
+        db.warm_columns();
         Engine {
             inner: Arc::new(EngineInner {
                 admission: Admission::new(config.classes),
@@ -215,7 +217,13 @@ impl Engine {
     /// every prepared plan is evicted (plans are compiled against one
     /// epoch's catalog). In-flight queries finish on their pinned
     /// snapshots. Returns the new epoch number.
+    ///
+    /// Column sets are warmed before the epoch swap: the snapshot is
+    /// immutable once published, so every query against it shares the
+    /// `Arc`'d columnar lanes instead of racing to build them on first
+    /// touch — the build cost is paid once, off the query path.
     pub fn publish(&self, db: AuDatabase) -> u64 {
+        db.warm_columns();
         let mut current = self.inner.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
         let epoch = current.epoch + 1;
         *current = Arc::new(Snapshot { epoch, db });

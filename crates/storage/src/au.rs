@@ -4,10 +4,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use audb_core::{AuAnnot, EvalError, ExecError, RangeValue, Semiring, Value};
 use audb_exec::Executor;
 
+use crate::column::{packed_range_key, ColumnSet};
 use crate::relation::{Database, Relation};
 use crate::schema::Schema;
 use crate::tuple::RangeTuple;
@@ -24,6 +26,12 @@ pub struct AuRelation {
     pub schema: Schema,
     rows: Vec<(RangeTuple, AuAnnot)>,
     normalized: bool,
+    /// Lazily built column-major twin of `rows` (see
+    /// [`crate::column`]): per-attribute typed lanes + annotation
+    /// column, shared by `Arc` across pipeline chunks and serving
+    /// snapshots. Invalidated by every row mutation; `Clone` shares the
+    /// already-built columns (the row list is identical).
+    columns: OnceLock<Arc<ColumnSet>>,
 }
 
 impl PartialEq for AuRelation {
@@ -35,13 +43,13 @@ impl Eq for AuRelation {}
 
 impl AuRelation {
     pub fn empty(schema: Schema) -> Self {
-        AuRelation { schema, rows: Vec::new(), normalized: true }
+        AuRelation { schema, rows: Vec::new(), normalized: true, columns: OnceLock::new() }
     }
 
     /// Build from rows; merges identical range tuples (summing
     /// annotations in `N_AU`) and drops zero annotations.
     pub fn from_rows(schema: Schema, rows: Vec<(RangeTuple, AuAnnot)>) -> Self {
-        let mut r = AuRelation { schema, rows, normalized: false };
+        let mut r = AuRelation { schema, rows, normalized: false, columns: OnceLock::new() };
         r.normalize();
         r
     }
@@ -56,7 +64,7 @@ impl AuRelation {
             "rows must be strictly sorted by tuple"
         );
         debug_assert!(rows.iter().all(|(_, k)| !k.is_zero()), "rows must have nonzero annotations");
-        AuRelation { schema, rows, normalized: true }
+        AuRelation { schema, rows, normalized: true, columns: OnceLock::new() }
     }
 
     /// Lift a deterministic relation into a fully certain AU-relation
@@ -78,6 +86,7 @@ impl AuRelation {
         if !k.is_zero() {
             self.rows.push((t, k));
             self.normalized = false;
+            self.columns.take();
         }
     }
 
@@ -97,6 +106,7 @@ impl AuRelation {
         }
         self.rows.extend(other.rows.iter().cloned());
         self.normalized = false;
+        self.columns.take();
     }
 
     /// Is the row list known to be in normal form?
@@ -112,27 +122,37 @@ impl AuRelation {
         self.rows.is_empty()
     }
 
-    /// Estimated in-memory footprint of the row list, in bytes: the
-    /// inline row size plus each tuple's range-value storage and string
-    /// heap. This is the size the observability layer reports as
-    /// `bytes_out` per operator and the budget layer charges — an
-    /// estimate (allocator overhead and capacity slack are ignored) but
-    /// a deterministic one, so traces are comparable across runs.
+    /// In-memory footprint of the relation under the columnar layout,
+    /// in bytes: the exact size of every attribute lane's component
+    /// arrays (typed lanes are `3 × 8` bytes per row for `Int`/`Float`,
+    /// `3` for `Bool`; boxed lanes charge the full `RangeValue` plus
+    /// string heap) plus the annotation column. This is the size the
+    /// observability layer reports as `bytes_out` per operator and the
+    /// budget layer charges. Deterministic, and identical whether or
+    /// not the column cache has been materialized.
     pub fn estimated_bytes(&self) -> u64 {
-        let inline = std::mem::size_of::<(RangeTuple, AuAnnot)>();
-        let per_val = std::mem::size_of::<RangeValue>();
-        let mut total = (self.rows.len() * inline) as u64;
-        for (t, _) in &self.rows {
-            total += (t.0.len() * per_val) as u64;
-            for rv in &t.0 {
-                for v in [&rv.lb, &rv.sg, &rv.ub] {
-                    if let Value::Str(s) = v {
-                        total += s.len() as u64;
-                    }
-                }
-            }
+        match self.columns.get() {
+            Some(cs) => cs.estimated_bytes(),
+            None => ColumnSet::byte_size_of_rows(self.schema.arity(), &self.rows),
         }
-        total
+    }
+
+    /// The column-major twin of this relation's rows, built on first
+    /// use and shared from then on (cheap `Arc` clone per caller —
+    /// pipeline chunks borrow lanes out of it, serving snapshots
+    /// publish it to every reader).
+    pub fn columns(&self) -> Arc<ColumnSet> {
+        Arc::clone(
+            self.columns
+                .get_or_init(|| Arc::new(ColumnSet::from_rows(self.schema.arity(), &self.rows))),
+        )
+    }
+
+    /// Build the column cache now (no-op when already built) — the
+    /// serving layer warms snapshots before publishing so readers never
+    /// pay the columnarization.
+    pub fn warm_columns(&self) {
+        let _ = self.columns();
     }
 
     /// Merge identical range tuples with `+_{N_AU}`, drop `(0,0,0)`
@@ -160,10 +180,15 @@ impl AuRelation {
             return Ok(());
         }
         let rows = std::mem::take(&mut self.rows);
-        self.rows = exec.hash_merge_sorted(
+        self.columns.take();
+        // Sorting is keyed on packed column bytes (a memcmp fast path
+        // that refines the tuple order; see `crate::column`) — the
+        // output is byte-identical to sorting on the tuples alone.
+        self.rows = exec.hash_merge_sorted_by_key(
             rows,
             |k: &AuAnnot| !k.is_zero(),
             |acc: &mut AuAnnot, k| *acc = acc.plus(&k),
+            packed_range_key,
         )?;
         self.normalized = true;
         Ok(())
@@ -284,6 +309,16 @@ impl AuDatabase {
         }
         db
     }
+
+    /// Build every relation's column cache ([`AuRelation::columns`]) —
+    /// called by the serving engine before publishing a snapshot so the
+    /// columnarization cost is paid once at publish time, never by a
+    /// reader.
+    pub fn warm_columns(&self) {
+        for (_, rel) in self.iter() {
+            rel.warm_columns();
+        }
+    }
 }
 
 /// Convenience builder for AU rows used across tests and generators.
@@ -378,5 +413,75 @@ mod tests {
             vec![certain_row(&[1], 0, 1, 4), certain_row(&[2], 1, 1, 2)],
         );
         assert_eq!(r.possible_size(), 6);
+    }
+
+    /// `estimated_bytes` is the exact columnar footprint, hand-counted:
+    /// a 3-row relation with one homogeneous `Int` column (typed lane)
+    /// and one mixed column holding a string (boxed lane).
+    #[test]
+    fn estimated_bytes_hand_counted() {
+        let schema = Schema::named(&["A", "B"]);
+        let r = AuRelation::from_rows(
+            schema,
+            vec![
+                au_row(
+                    vec![
+                        RangeValue::range(1i64, 2i64, 3i64),
+                        RangeValue::certain(Value::str("abcde")),
+                    ],
+                    1,
+                    1,
+                    1,
+                ),
+                au_row(
+                    vec![RangeValue::certain(Value::Int(7)), RangeValue::certain(Value::Int(0))],
+                    1,
+                    1,
+                    2,
+                ),
+                au_row(
+                    vec![
+                        RangeValue::range(-4i64, 0i64, 4i64),
+                        RangeValue::certain(Value::str("xy")),
+                    ],
+                    0,
+                    1,
+                    1,
+                ),
+            ],
+        );
+        assert_eq!(r.len(), 3);
+        let annots: u64 = 3 * 3 * 8; // 3 rows × (lb,sg,ub) × u64
+        let lane_a: u64 = 3 * 3 * 8; // Int lane: 3 rows × 3 components × i64
+                                     // column B is mixed Int/Str → boxed: full RangeValue per row
+                                     // plus the string heap ("abcde" + "xy" = 7 bytes; the certain
+                                     // string rows store it in all three components)
+        let lane_b = 3 * std::mem::size_of::<RangeValue>() as u64 + 3 * 5 + 3 * 2;
+        assert_eq!(r.estimated_bytes(), annots + lane_a + lane_b);
+        // identical whether or not the column cache is materialized
+        let before = r.estimated_bytes();
+        r.warm_columns();
+        assert_eq!(r.estimated_bytes(), before);
+    }
+
+    /// The column cache is invalidated by mutation and shared by clone.
+    #[test]
+    fn column_cache_tracks_mutation() {
+        let schema = Schema::named(&["A"]);
+        let mut r = AuRelation::from_rows(schema, vec![certain_row(&[1], 1, 1, 1)]);
+        let cs = r.columns();
+        assert_eq!(cs.nrows(), 1);
+        // clone shares the built columns
+        let c = r.clone();
+        assert!(Arc::ptr_eq(&cs, &c.columns()));
+        // mutation invalidates
+        r.push(certain_row(&[2], 1, 1, 1).0, AuAnnot::triple(1, 1, 1));
+        let cs2 = r.columns();
+        assert_eq!(cs2.nrows(), 2);
+        assert!(!Arc::ptr_eq(&cs, &cs2));
+        for i in 0..r.len() {
+            assert_eq!(cs2.row(i), r.rows()[i].0);
+            assert_eq!(cs2.annots().get(i), r.rows()[i].1);
+        }
     }
 }

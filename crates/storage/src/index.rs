@@ -59,6 +59,24 @@ impl IntervalIndex {
         Self::from_entries(rows.iter().enumerate().map(|(i, (t, _))| (i as u32, &t.0[col])))
     }
 
+    /// Index one attribute directly from its column lane (the columnar
+    /// path — see [`crate::ColumnSet::lane_slices`]): produces `by_lb`
+    /// and `ub_order` identical to [`IntervalIndex::from_entries`] over
+    /// the materialized rows, without touching row tuples.
+    pub fn from_lane(lane: audb_core::LaneSlice<'_>) -> Self {
+        let mut by_lb: Vec<(Value, Value, u32)> = (0..lane.len())
+            .map(|i| {
+                let rv = lane.get(i);
+                (rv.lb, rv.ub, i as u32)
+            })
+            .collect();
+        by_lb.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut ub_order: Vec<u32> = (0..by_lb.len() as u32).collect();
+        ub_order
+            .sort_by(|&a, &b| by_lb[a as usize].1.total_cmp(&by_lb[b as usize].1).then(a.cmp(&b)));
+        IntervalIndex { by_lb, ub_order }
+    }
+
     /// Index attribute `col` of the AU rows with the given ids.
     pub fn from_au_subset(rows: &[(RangeTuple, AuAnnot)], col: usize, ids: &[u32]) -> Self {
         Self::from_entries(ids.iter().map(|&i| (i, &rows[i as usize].0 .0[col])))
@@ -373,6 +391,32 @@ mod tests {
         }
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn from_lane_matches_from_entries() {
+        use audb_core::ValueLane;
+        // Mixed column (boxed lane) with ties on lb, distinct ub order,
+        // plus a homogeneous Int column (typed lane).
+        let mixed = vec![
+            RangeValue::range(1i64, 2i64, 9i64),
+            RangeValue::range(1i64, 1i64, 3i64),
+            RangeValue::certain(Value::str("q")),
+            RangeValue::range(Value::float(0.5), Value::float(1.0), Value::float(8.0)),
+            RangeValue::certain(Value::Null),
+        ];
+        let ints: Vec<RangeValue> = [(5i64, 7i64), (1, 2), (5, 6), (-3, 12)]
+            .iter()
+            .map(|(lo, hi)| RangeValue::range(*lo, *lo, *hi))
+            .collect();
+        for cells in [&mixed, &ints] {
+            let lane = ValueLane::from_cells(cells.iter());
+            let a = IntervalIndex::from_lane(lane.as_slice());
+            let b =
+                IntervalIndex::from_entries(cells.iter().enumerate().map(|(i, r)| (i as u32, r)));
+            assert_eq!(a.by_lb, b.by_lb);
+            assert_eq!(a.ub_order, b.ub_order);
+        }
     }
 
     #[test]

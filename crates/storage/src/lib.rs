@@ -16,6 +16,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod au;
+pub mod column;
 pub mod index;
 pub mod relation;
 pub mod schema;
@@ -23,6 +24,7 @@ pub mod tuple;
 pub mod ua;
 
 pub use au::{au_row, certain_row, AuDatabase, AuRelation};
+pub use column::{packed_range_key, packed_value_key, AnnotColumn, ColumnSet};
 pub use index::{HashKeyIndex, IntervalIndex, SgGroupIndex};
 pub use relation::{Database, Relation};
 pub use schema::Schema;

@@ -23,13 +23,35 @@ impl Tuple {
 
     /// Project onto the given columns.
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple(cols.iter().map(|c| self.0[*c].clone()).collect())
+        let mut v = Vec::with_capacity(cols.len());
+        self.project_into(cols, &mut v);
+        Tuple(v)
+    }
+
+    /// [`Tuple::project`] into a caller-owned buffer: clears `out` and
+    /// fills it without allocating when its capacity already suffices.
+    pub fn project_into(&self, cols: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(cols.iter().map(|c| self.0[*c].clone()));
     }
 
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut v = self.0.clone();
-        v.extend(other.0.iter().cloned());
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
         Tuple(v)
+    }
+
+    /// [`Tuple::concat`] into a caller-owned buffer: clears `out` and
+    /// fills it without allocating when its capacity already suffices.
+    /// Hot loops (nested-loop joins) reuse one buffer across pairs and
+    /// only materialize an owned tuple for pairs that survive the
+    /// predicate.
+    pub fn concat_into(&self, other: &Tuple, out: &mut Vec<Value>) {
+        out.clear();
+        out.reserve(self.0.len() + other.0.len());
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&other.0);
     }
 }
 
@@ -109,13 +131,36 @@ impl RangeTuple {
     }
 
     pub fn project(&self, cols: &[usize]) -> RangeTuple {
-        RangeTuple(cols.iter().map(|c| self.0[*c].clone()).collect())
+        let mut v = Vec::with_capacity(cols.len());
+        self.project_into(cols, &mut v);
+        RangeTuple(v)
+    }
+
+    /// [`RangeTuple::project`] into a caller-owned buffer: clears `out`
+    /// and fills it without allocating when its capacity already
+    /// suffices.
+    pub fn project_into(&self, cols: &[usize], out: &mut Vec<RangeValue>) {
+        out.clear();
+        out.extend(cols.iter().map(|c| self.0[*c].clone()));
     }
 
     pub fn concat(&self, other: &RangeTuple) -> RangeTuple {
-        let mut v = self.0.clone();
-        v.extend(other.0.iter().cloned());
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
         RangeTuple(v)
+    }
+
+    /// [`RangeTuple::concat`] into a caller-owned buffer: clears `out`
+    /// and fills it without allocating when its capacity already
+    /// suffices. The nested-loop join evaluates its predicate against
+    /// the buffer and only clones out an owned tuple for surviving
+    /// pairs.
+    pub fn concat_into(&self, other: &RangeTuple, out: &mut Vec<RangeValue>) {
+        out.clear();
+        out.reserve(self.0.len() + other.0.len());
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&other.0);
     }
 }
 

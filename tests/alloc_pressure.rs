@@ -1,0 +1,115 @@
+//! Allocation-pressure pins for the retained row-view fallback path.
+//!
+//! The columnar refactor keeps [`audb_storage::RangeTuple`] as the
+//! row-view API; the nested-loop join and projection fallbacks still
+//! materialize row tuples. This binary installs a counting global
+//! allocator and pins the per-call allocation budget of
+//! `project`/`concat` and their buffer-reusing `_into` variants, so a
+//! regression back to the old clone-then-extend shape (two allocations
+//! per concat) fails loudly.
+//!
+//! All assertions live in ONE `#[test]` — the counter is process-global
+//! and concurrent test threads would otherwise race it.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use audb_core::{RangeValue, Value};
+use audb_storage::{RangeTuple, Tuple};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation calls (alloc + realloc) performed by `f`.
+fn allocs_in<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - before, out)
+}
+
+fn int_tuple(vs: &[i64]) -> Tuple {
+    vs.iter().copied().collect()
+}
+
+fn int_range_tuple(vs: &[i64]) -> RangeTuple {
+    RangeTuple::new(vs.iter().map(|v| RangeValue::certain(Value::Int(*v))).collect())
+}
+
+#[test]
+fn tuple_ops_allocation_budget() {
+    let ta = int_tuple(&[1, 2, 3]);
+    let tb = int_tuple(&[4, 5]);
+    let ra = int_range_tuple(&[1, 2, 3]);
+    let rb = int_range_tuple(&[4, 5]);
+
+    // Int values carry no heap data, so the Vec is the only allocation
+    // each of these may make. The pre-refactor `concat` cost two
+    // (clone, then a reallocating extend).
+    let (n, t) = allocs_in(|| ta.concat(&tb));
+    assert_eq!(t.values().len(), 5);
+    assert_eq!(n, 1, "Tuple::concat must allocate exactly once");
+
+    let (n, t) = allocs_in(|| ta.project(&[2, 0]));
+    assert_eq!(t, int_tuple(&[3, 1]));
+    assert_eq!(n, 1, "Tuple::project must allocate exactly once");
+
+    let (n, t) = allocs_in(|| ra.concat(&rb));
+    assert_eq!(t.arity(), 5);
+    assert_eq!(n, 1, "RangeTuple::concat must allocate exactly once");
+
+    let (n, t) = allocs_in(|| ra.project(&[1]));
+    assert_eq!(t, int_range_tuple(&[2]));
+    assert_eq!(n, 1, "RangeTuple::project must allocate exactly once");
+
+    // Warmed buffers: the `_into` variants are allocation-free once the
+    // buffer has capacity — this is the shape the nested-loop join hot
+    // path relies on across the inner loop.
+    let mut buf = Vec::with_capacity(8);
+    let mut rbuf: Vec<RangeValue> = Vec::with_capacity(8);
+    ta.concat_into(&tb, &mut buf); // warm
+    ra.concat_into(&rb, &mut rbuf);
+
+    let (n, ()) = allocs_in(|| {
+        for _ in 0..16 {
+            ta.concat_into(&tb, &mut buf);
+            ra.concat_into(&rb, &mut rbuf);
+        }
+    });
+    assert_eq!(n, 0, "warm concat_into must not allocate");
+    assert_eq!(buf, int_tuple(&[1, 2, 3, 4, 5]).0);
+    assert_eq!(rbuf, int_range_tuple(&[1, 2, 3, 4, 5]).0);
+
+    let (n, ()) = allocs_in(|| {
+        for _ in 0..16 {
+            ta.project_into(&[0, 2], &mut buf);
+            ra.project_into(&[0, 2], &mut rbuf);
+        }
+    });
+    assert_eq!(n, 0, "warm project_into must not allocate");
+    assert_eq!(buf, int_tuple(&[1, 3]).0);
+    assert_eq!(rbuf, int_range_tuple(&[1, 3]).0);
+}

@@ -1,0 +1,256 @@
+//! Differential properties of columnar execution: for every query in
+//! the corpus, evaluation with `AuConfig::columnar` (typed vector
+//! kernels over column lanes) must be **byte-identical** to the
+//! row-major path (`columnar: false`) — same rows, same order, same
+//! annotations — at every worker × shard combination, including the
+//! error case: a query that fails must fail with the identical error
+//! (the earliest poisoned row's) on both paths.
+//!
+//! Corpus: fig13/fig14/fig16-shaped query spines over proptest-generated
+//! mixed-type relations (strings and floats force the boxed lane,
+//! sentinels force `Null`-carrying cells), the paper's microbenchmark
+//! join tables at 10k rows, and the TPC-H workload with PDBench-style
+//! injected uncertainty.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use audb::core::col;
+use audb::prelude::*;
+use audb::query::table;
+use audb::workloads::{
+    gen_tpch, inject_uncertainty, micro_join_db, tpch_queries, MicroConfig, TpchConfig,
+};
+
+/// Worker counts the ISSUE pins down; 7 exceeds most CI machines.
+const WORKERS: [usize; 4] = [1, 2, 4, 7];
+/// Forced shard counts for the fused-chain driver.
+const SHARDS: [usize; 3] = [1, 3, 8];
+
+/// Pipelined config with forced worker/shard counts and the columnar
+/// knob explicit. The adaptive parallelism floor is disabled so tiny
+/// proptest inputs really run multi-worker.
+fn cfg(columnar: bool, workers: usize, shards: usize) -> AuConfig {
+    AuConfig {
+        workers: Some(workers),
+        shards: Some(shards),
+        min_rows_per_worker: Some(0),
+        columnar,
+        ..AuConfig::default()
+    }
+}
+
+/// Columnar evaluation is the default.
+#[test]
+fn columnar_is_the_default() {
+    assert!(AuConfig::default().columnar);
+}
+
+/// Assert row-major and columnar agree (result or error) for every
+/// workers × shards combination, anchored on the sequential row-major
+/// reference.
+fn assert_differential(db: &AuDatabase, q: &Query, ctx: &str) {
+    let reference = eval_au(db, q, &cfg(false, 1, 1));
+    for w in WORKERS {
+        for s in SHARDS {
+            let got = eval_au(db, q, &cfg(true, w, s));
+            assert_eq!(got, reference, "columnar: {ctx}, workers = {w}, shards = {s}, q = {q}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fig-shaped query corpus over mixed-type relations (proptest)
+// ---------------------------------------------------------------------------
+
+/// Values spanning every lane class: homogeneous Int cells (typed
+/// lane), floats (typed Float lane / mixed Int⊗Float boxing), strings
+/// and `unknown` sentinels (boxed lane with `Null`/`MinVal`/`MaxVal`
+/// components).
+fn mixed_value_strategy() -> impl Strategy<Value = RangeValue> {
+    prop_oneof![
+        (-4i64..5).prop_map(|v| RangeValue::certain(Value::Int(v))),
+        (-4i64..5, 0i64..3, 0i64..3).prop_map(|(a, d1, d2)| RangeValue::range(a - d1, a, a + d2)),
+        (-8i64..9).prop_map(|v| RangeValue::certain(Value::float(v as f64 * 0.5))),
+        (0i64..3).prop_map(|v| RangeValue::certain(Value::str(format!("s{v}")))),
+        (-4i64..5).prop_map(|v| RangeValue::unknown(Value::Int(v))),
+    ]
+}
+
+/// Homogeneous-Int values: both columns classify as typed lanes, so the
+/// vector kernels (not the boxed fallback) carry the whole query.
+fn int_value_strategy() -> impl Strategy<Value = RangeValue> {
+    prop_oneof![
+        (-4i64..5).prop_map(|v| RangeValue::certain(Value::Int(v))),
+        (-4i64..5, 0i64..3, 0i64..3).prop_map(|(a, d1, d2)| RangeValue::range(a - d1, a, a + d2)),
+    ]
+}
+
+fn annot_strategy() -> impl Strategy<Value = AuAnnot> {
+    (0u64..2, 0u64..3, 0u64..3).prop_map(|(a, b, c)| AuAnnot::triple(a, a + b, a + b + c))
+}
+
+fn relation_strategy<S: Strategy<Value = RangeValue>>(
+    values: impl Fn() -> S,
+    name0: &'static str,
+    name1: &'static str,
+    max_rows: usize,
+) -> impl Strategy<Value = AuRelation> {
+    proptest::collection::vec((values(), values(), annot_strategy()), 0..max_rows).prop_map(
+        move |rows| {
+            AuRelation::from_rows(
+                Schema::named(&[name0, name1]),
+                rows.into_iter().map(|(a, b, k)| (RangeTuple::new(vec![a, b]), k)).collect(),
+            )
+        },
+    )
+}
+
+/// The fig13/fig14/fig16 query shapes: batchable select/project chains
+/// (the columnar kernels' home turf), probe chains with every planner
+/// strategy (columnar interval indexes), and breakers around fused
+/// chains.
+fn fig_queries() -> Vec<Query> {
+    let spine = table("t1")
+        .select(col(1).geq(lit(0i64)))
+        .join_on(table("t2"), col(0).eq(col(2)))
+        .project(vec![(col(0).add(col(3)), "x"), (col(1), "y")]);
+    vec![
+        spine,
+        // batchable chain: arithmetic + comparison kernels end to end
+        table("t1")
+            .project(vec![(col(0), "a"), (col(1).mul(lit(2i64)), "b")])
+            .select(col(1).gt(lit(-2i64)))
+            .project(vec![(col(0).add(col(1)), "s")]),
+        // select-only chain (normal-form-preserving delivery)
+        table("t1").select(col(0).leq(col(1)).and(col(1).neq(lit(3i64)))),
+        // comparison-predicate and cross joins under a projection
+        table("t1")
+            .join_on(table("t2"), col(0).leq(col(2)))
+            .project(vec![(col(1), "a"), (col(3), "b")]),
+        table("t1").cross(table("t2")).select(col(0).neq(col(3))),
+        // fig13-shaped aggregate over a fused chain
+        table("t1")
+            .select(col(0).leq(lit(3i64)))
+            .project(vec![(col(0), "g"), (col(1).add(col(0)), "v")])
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Sum, col(1), "s"), AggSpec::count("c")]),
+        // set operators with fused chains on both sides
+        table("t1")
+            .select(col(0).gt(lit(0i64)))
+            .union(table("t1").project(vec![(col(0), "A"), (col(1), "B")])),
+        table("t1").difference(table("t2").project(vec![(col(0), "A"), (col(1), "B")])),
+        table("t1").project(vec![(col(0), "a")]).distinct(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Mixed-type columns: strings, floats, and sentinels force the
+    /// boxed lane (and mixed Int⊗Float comparisons inside kernels), and
+    /// arithmetic over non-numeric cells poisons rows — results and
+    /// errors must match the row path exactly.
+    #[test]
+    fn columnar_identical_on_mixed_type_corpus(
+        t1 in relation_strategy(mixed_value_strategy, "A", "B", 14),
+        t2 in relation_strategy(mixed_value_strategy, "C", "D", 14),
+    ) {
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1);
+        db.insert("t2", t2);
+        for q in fig_queries() {
+            assert_differential(&db, &q, "mixed");
+        }
+    }
+
+    /// Homogeneous Int columns: the typed kernels carry every op.
+    #[test]
+    fn columnar_identical_on_int_corpus(
+        t1 in relation_strategy(int_value_strategy, "A", "B", 14),
+        t2 in relation_strategy(int_value_strategy, "C", "D", 14),
+    ) {
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1);
+        db.insert("t2", t2);
+        for q in fig_queries() {
+            assert_differential(&db, &q, "int");
+        }
+    }
+
+    /// Kernel demotion boundary: values near `i64::MAX` overflow the
+    /// checked Int kernels (which must demote the op and float-promote
+    /// exactly like the scalar combinators), and division columns
+    /// spanning zero poison rows — the reported error and its position
+    /// must be identical on both paths.
+    #[test]
+    fn columnar_identical_at_demotion_and_poison_boundaries(
+        rows in proptest::collection::vec((-3i64..4, 0u8..4), 1..12),
+    ) {
+        let t1 = AuRelation::from_rows(
+            Schema::named(&["A", "B"]),
+            rows.iter()
+                .map(|(v, kind)| {
+                    let a = match kind {
+                        0 => RangeValue::certain(Value::Int(i64::MAX - 1)),
+                        1 => RangeValue::range(i64::MIN, i64::MIN + 1, 0),
+                        2 => RangeValue::range(*v - 1, *v, *v + 1),
+                        _ => RangeValue::certain(Value::Int(*v)),
+                    };
+                    (RangeTuple::new(vec![a, RangeValue::certain(Value::Int(*v))]), AuAnnot::certain_one())
+                })
+                .collect(),
+        );
+        let mut db = AuDatabase::new();
+        db.insert("t1", t1.clone());
+        db.insert("t2", t1);
+        // overflow-demoting arithmetic; division whose divisor may span
+        // or hit zero (poisoned rows)
+        for q in [
+            table("t1").project(vec![(col(0).add(lit(2i64)), "x"), (col(0).mul(col(1)), "y")]),
+            table("t1").project(vec![(col(1).div(col(0)), "q")]),
+            table("t1").select(col(0).sub(lit(1i64)).leq(col(1))),
+        ] {
+            assert_differential(&db, &q, "boundary");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the paper's workloads at scale: microbenchmark tables and TPC-H
+// ---------------------------------------------------------------------------
+
+/// fig14/fig16-shaped join tables at 10k rows: the microbenchmark
+/// generator's homogeneous-Int spine with 3% attribute uncertainty.
+#[test]
+fn columnar_identical_on_micro_join_corpus() {
+    let (db, _) =
+        micro_join_db(&MicroConfig::new(10_000, 3).uncertainty(0.03).range_frac(0.02).seed(71));
+    let queries = [
+        // batchable arithmetic chain over t1 (pure kernel path)
+        table("t1")
+            .select(col(1).lt(lit(800i64)))
+            .project(vec![(col(0), "k"), (col(1).add(col(2)), "s"), (col(2).mul(lit(3i64)), "m")])
+            .select(col(1).geq(lit(0i64))),
+        // selective spine through an equi-join probe
+        table("t1")
+            .select(col(1).lt(lit(100i64)))
+            .join_on(table("t2"), col(0).eq(col(3)))
+            .project(vec![(col(0), "k"), (col(1).add(col(4)), "v")]),
+    ];
+    for q in &queries {
+        assert_differential(&db, q, "micro");
+    }
+}
+
+/// TPC-H with PDBench-style injected uncertainty: the realistic-schema
+/// end of the corpus (strings, floats, and Int keys in one database).
+#[test]
+fn columnar_identical_on_tpch_corpus() {
+    let det = gen_tpch(TpchConfig::new(0.1, 21));
+    let xdb = inject_uncertainty(&det, 0.02, 6, 22);
+    let db = xdb.to_au();
+    for (name, q) in tpch_queries().into_iter().take(2) {
+        assert_differential(&db, &q, name);
+    }
+}
